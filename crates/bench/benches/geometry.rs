@@ -1,0 +1,66 @@
+//! Geometry micro-benchmarks: NMS, Hungarian assignment, coverage grids
+//! and greedy merging — the per-frame primitives of the CaTDet loop.
+
+use catdet_geom::{greedy_merge, hungarian, nms_indices, Box2, CoverageGrid};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn boxes(n: usize) -> Vec<(Box2, f32)> {
+    (0..n)
+        .map(|i| {
+            let x = (i * 37 % 1100) as f32;
+            let y = (i * 53 % 300) as f32;
+            (
+                Box2::from_xywh(x, y, 60.0 + (i % 5) as f32 * 10.0, 45.0),
+                1.0 - i as f32 / n as f32,
+            )
+        })
+        .collect()
+}
+
+fn bench_nms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nms");
+    for n in [10usize, 50, 300] {
+        let items = boxes(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &items, |b, items| {
+            b.iter(|| nms_indices(criterion::black_box(items), 0.5))
+        });
+    }
+    group.finish();
+}
+
+fn bench_hungarian(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hungarian");
+    for n in [5usize, 15, 40] {
+        let costs: Vec<Vec<f64>> = (0..n)
+            .map(|r| (0..n).map(|cidx| ((r * 31 + cidx * 17) % 97) as f64 / 97.0).collect())
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &costs, |b, costs| {
+            b.iter(|| hungarian(criterion::black_box(costs)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_coverage(c: &mut Criterion) {
+    let items = boxes(25);
+    c.bench_function("coverage_grid_25_regions", |b| {
+        b.iter(|| {
+            let mut g = CoverageGrid::new(1242.0, 375.0, 16);
+            for (bx, _) in &items {
+                g.add_box(&bx.dilate(30.0));
+            }
+            criterion::black_box(g.coverage_fraction())
+        })
+    });
+}
+
+fn bench_merge(c: &mut Criterion) {
+    let items: Vec<Box2> = boxes(20).into_iter().map(|(b, _)| b).collect();
+    let cost = |b: &Box2| 2.0e-3 + b.area() as f64 * 1e-7;
+    c.bench_function("greedy_merge_20_regions", |b| {
+        b.iter(|| greedy_merge(criterion::black_box(&items), &cost))
+    });
+}
+
+criterion_group!(benches, bench_nms, bench_hungarian, bench_coverage, bench_merge);
+criterion_main!(benches);

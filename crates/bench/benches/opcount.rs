@@ -1,0 +1,31 @@
+//! Operation-model benchmarks: full-frame op counting and region-masked
+//! accounting (these run once per frame inside every system, so they must
+//! be cheap relative to the simulated inference itself).
+
+use catdet_geom::Box2;
+use catdet_nn::{presets, RetinaNetSpec};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_opcount(c: &mut Criterion) {
+    let res50 = presets::frcnn_resnet50(2);
+    c.bench_function("frcnn_full_frame_macs", |b| {
+        b.iter(|| criterion::black_box(&res50).full_frame_macs(1242, 375, 300))
+    });
+    c.bench_function("frcnn_masked_macs", |b| {
+        b.iter(|| criterion::black_box(&res50).masked_macs(1242, 375, 0.35, 20))
+    });
+
+    let retina = RetinaNetSpec::resnet50(2);
+    let regions: Vec<Box2> = (0..20)
+        .map(|i| Box2::from_xywh((i * 55) as f32, 150.0, 70.0, 60.0))
+        .collect();
+    c.bench_function("retinanet_full_frame_macs", |b| {
+        b.iter(|| criterion::black_box(&retina).full_frame_macs(1242, 375))
+    });
+    c.bench_function("retinanet_masked_macs", |b| {
+        b.iter(|| criterion::black_box(&retina).masked_macs(1242, 375, &regions, 30.0))
+    });
+}
+
+criterion_group!(benches, bench_opcount);
+criterion_main!(benches);

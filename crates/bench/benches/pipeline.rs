@@ -1,0 +1,46 @@
+//! End-to-end system throughput: frames per second of the whole simulated
+//! pipeline (world ground truth → detectors → tracker → metrics-ready
+//! detections) for each system of Fig. 1.
+
+use catdet_core::{CaTDetSystem, CascadedSystem, DetectionSystem, SingleModelSystem};
+use catdet_data::{kitti_like, VideoDataset};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+fn dataset() -> VideoDataset {
+    kitti_like().sequences(1).frames_per_sequence(100).build()
+}
+
+fn bench_system<S: DetectionSystem + Clone>(
+    c: &mut Criterion,
+    name: &str,
+    ds: &VideoDataset,
+    system: S,
+) {
+    let mut group = c.benchmark_group("pipeline");
+    group.throughput(Throughput::Elements(ds.total_frames() as u64));
+    group.bench_function(name, |b| {
+        b.iter_batched(
+            || system.clone(),
+            |mut sys| {
+                for seq in ds.sequences() {
+                    sys.reset();
+                    for frame in seq.frames() {
+                        criterion::black_box(sys.process_frame(frame));
+                    }
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_pipelines(c: &mut Criterion) {
+    let ds = dataset();
+    bench_system(c, "single_resnet50", &ds, SingleModelSystem::resnet50_kitti());
+    bench_system(c, "cascade_a", &ds, CascadedSystem::cascade_a());
+    bench_system(c, "catdet_a", &ds, CaTDetSystem::catdet_a());
+}
+
+criterion_group!(benches, bench_pipelines);
+criterion_main!(benches);

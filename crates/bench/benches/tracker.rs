@@ -1,0 +1,79 @@
+//! Tracker throughput (paper §4.1: 1 082 fps single-thread on a Xeon
+//! E5-2620 v4; our Rust implementation should comfortably exceed that).
+
+use catdet_data::kitti_like;
+use catdet_geom::Box2;
+use catdet_track::{TrackDetection, Tracker, TrackerConfig};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+/// Pre-computes a realistic detection stream from the simulator.
+fn detection_stream(frames: usize) -> Vec<Vec<TrackDetection<u8>>> {
+    let ds = kitti_like().sequences(1).frames_per_sequence(frames).build();
+    ds.sequences()[0]
+        .frames()
+        .iter()
+        .map(|f| {
+            f.ground_truth
+                .iter()
+                .map(|o| TrackDetection {
+                    bbox: o.bbox,
+                    score: 0.9,
+                    class: o.class as u8,
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn bench_tracker(c: &mut Criterion) {
+    let stream = detection_stream(200);
+    let mut group = c.benchmark_group("tracker");
+    group.throughput(Throughput::Elements(stream.len() as u64));
+    group.bench_function("kitti_stream_200_frames", |b| {
+        b.iter_batched(
+            || Tracker::<u8>::new(TrackerConfig::paper()),
+            |mut tracker| {
+                for dets in &stream {
+                    tracker.update(dets);
+                    criterion::black_box(tracker.predictions(1242.0, 375.0));
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    // Heavier association: 50 objects per frame.
+    let dense: Vec<Vec<TrackDetection<u8>>> = (0..50)
+        .map(|f| {
+            (0..50)
+                .map(|i| TrackDetection {
+                    bbox: Box2::from_xywh(
+                        (i * 24) as f32 + f as f32,
+                        100.0 + (i % 7) as f32 * 30.0,
+                        40.0,
+                        30.0,
+                    ),
+                    score: 0.9,
+                    class: (i % 2) as u8,
+                })
+                .collect()
+        })
+        .collect();
+    group.throughput(Throughput::Elements(dense.len() as u64));
+    group.bench_function("dense_50_objects", |b| {
+        b.iter_batched(
+            || Tracker::<u8>::new(TrackerConfig::paper()),
+            |mut tracker| {
+                for dets in &dense {
+                    tracker.update(dets);
+                    criterion::black_box(tracker.predictions(1242.0, 375.0));
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tracker);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Calibration dashboard: single-model accuracy/delay vs. paper targets.
+//!
+//! Run while tuning `catdet_detector::zoo` constants:
+//!
+//! ```text
+//! CATDET_QUICK=1 cargo run --release -p catdet-bench --bin calibrate
+//! ```
+
+use catdet_bench::Scale;
+use catdet_core::{evaluate_collected, run_collect, SingleModelSystem};
+use catdet_data::Difficulty;
+use catdet_detector::zoo;
+
+fn main() {
+    let scale = Scale::from_env();
+    let ds = scale.kitti();
+    println!(
+        "KITTI-like: {} sequences x {} frames, {} annotations",
+        ds.sequences().len(),
+        ds.sequences()[0].len(),
+        ds.labeled_annotations()
+    );
+    println!(
+        "{:12} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "model", "mAP(M)", "tgt", "mAP(H)", "tgt", "mD@.8(H)", "tgt"
+    );
+    let targets: Vec<(catdet_detector::DetectorModel, f64, f64, f64)> = vec![
+        (zoo::resnet50(2), 0.812, 0.740, 3.3),
+        (zoo::vgg16(2), f64::NAN, 0.742, 4.2),
+        (zoo::resnet18(2), f64::NAN, 0.687, 5.9),
+        (zoo::resnet10a(2), f64::NAN, 0.606, 10.9),
+        (zoo::resnet10b(2), f64::NAN, 0.564, 13.4),
+        (zoo::resnet10c(2), f64::NAN, 0.542, 15.4),
+        (zoo::retinanet_resnet50(2), 0.773, f64::NAN, f64::NAN),
+    ];
+    for (model, tgt_m, tgt_h, tgt_d) in targets {
+        let name = model.name.clone();
+        let mut sys = SingleModelSystem::new(model, 1242.0, 375.0);
+        let r = run_collect(&mut sys, &ds);
+        let moderate = evaluate_collected(&r, &ds, Difficulty::Moderate);
+        let hard = evaluate_collected(&r, &ds, Difficulty::Hard);
+        let d_hard = hard
+            .mean_delay_at_precision(0.8)
+            .map(|d| d.mean)
+            .unwrap_or(f64::NAN);
+        println!(
+            "{:12} {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>9.2} {:>9.2}",
+            name,
+            moderate.map(),
+            tgt_m,
+            hard.map(),
+            tgt_h,
+            d_hard,
+            tgt_d
+        );
+    }
+}

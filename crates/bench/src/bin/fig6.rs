@@ -1,0 +1,43 @@
+//! Regenerates Figure 6: mAP and mD@0.8 (Hard) vs. the proposal network's
+//! output threshold, with and without the tracker.
+
+use catdet_bench::{experiments, tables, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    tables::heading(
+        "Figure 6",
+        "C-thresh sweep x {Res10a, Res10c, Res18} x {with, without tracker}",
+    );
+    let points = experiments::fig6(scale);
+    println!(
+        "{:12} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "model", "tracker", "C-thresh", "mAP(H)", "mD@0.8(H)", "ops (G)"
+    );
+    for p in &points {
+        println!(
+            "{:12} {:>9} {:>9.2} {:>9.3} {:>9.2} {:>9.1}",
+            p.model,
+            if p.tracker { "with" } else { "without" },
+            p.c_thresh,
+            p.map_hard,
+            p.md08_hard.unwrap_or(f64::NAN),
+            p.gops
+        );
+    }
+    // The paper's qualitative claims, checked on the spot:
+    let with: Vec<_> = points.iter().filter(|p| p.tracker).collect();
+    let without: Vec<_> = points.iter().filter(|p| !p.tracker).collect();
+    let spread = |pts: &[&experiments::Fig6Point]| {
+        let maps: Vec<f64> = pts.iter().map(|p| p.map_hard).collect();
+        maps.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            - maps.iter().cloned().fold(f64::INFINITY, f64::min)
+    };
+    println!();
+    println!(
+        "mAP spread across sweep: with tracker {:.3}, without {:.3} (paper: flat vs sensitive)",
+        spread(&with),
+        spread(&without)
+    );
+    tables::save_json("fig6", &points);
+}

@@ -1,0 +1,24 @@
+//! Regenerates Figure 7: recall and delay as functions of precision for
+//! the Car and Pedestrian classes (CaTDet-A, KITTI, Hard).
+
+use catdet_bench::{experiments, tables, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    tables::heading("Figure 7", "recall/delay vs precision per class");
+    let curves = experiments::fig7(scale);
+    for (name, curve) in [("Car", &curves.car), ("Pedestrian", &curves.pedestrian)] {
+        println!("--- {name} ---");
+        println!(
+            "{:>10} {:>10} {:>10} {:>10}",
+            "precision", "recall", "delay", "threshold"
+        );
+        for p in curve.iter().filter(|p| p.precision >= 0.5) {
+            println!(
+                "{:>10.3} {:>10.3} {:>10.2} {:>10.3}",
+                p.precision, p.recall, p.delay, p.threshold
+            );
+        }
+    }
+    tables::save_json("fig7", &curves);
+}

@@ -1,0 +1,22 @@
+//! Regenerates Table 1: proposal-network specifications and op counts.
+
+use catdet_bench::{experiments, tables};
+
+fn main() {
+    tables::heading("Table 1", "model specifications and operation counts");
+    println!(
+        "{:28} {:>12} {:>12} {:>8}",
+        "model", "ops (G)", "paper (G)", "rel err"
+    );
+    let rows = experiments::table1();
+    for r in &rows {
+        println!(
+            "{:28} {:>12.1} {:>12.1} {:>7.1}%",
+            r.model,
+            r.gops,
+            r.paper_gops,
+            (r.gops - r.paper_gops).abs() / r.paper_gops * 100.0
+        );
+    }
+    tables::save_json("table1", &rows);
+}

@@ -1,0 +1,30 @@
+//! Regenerates Table 2: the KITTI main results.
+
+use catdet_bench::{experiments, tables, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    tables::heading("Table 2", "KITTI main results (Moderate and Hard)");
+    println!(
+        "{:28} {:>7} {:>7} | {:>7} {:>7} | {:>7} {:>7} | {:>8} {:>8} | {:>8} {:>8}",
+        "system", "ops", "paper", "mAP(M)", "paper", "mAP(H)", "paper", "mD.8(M)", "paper", "mD.8(H)", "paper"
+    );
+    let rows = experiments::table2(scale);
+    for r in &rows {
+        println!(
+            "{:28} {:>7.1} {:>7.1} | {:>7.3} {:>7.3} | {:>7.3} {:>7.3} | {:>8.2} {:>8.2} | {:>8.2} {:>8.2}",
+            r.system,
+            r.gops,
+            r.paper.0,
+            r.map_moderate,
+            r.paper.1,
+            r.map_hard,
+            r.paper.2,
+            r.md08_moderate.unwrap_or(f64::NAN),
+            r.paper.3,
+            r.md08_hard.unwrap_or(f64::NAN),
+            r.paper.4,
+        );
+    }
+    tables::save_json("table2", &rows);
+}

@@ -1,0 +1,31 @@
+//! Regenerates Table 3: operation break-down.
+
+use catdet_bench::{experiments, tables, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    tables::heading("Table 3", "operation break-down (Gops; sources overlap)");
+    println!(
+        "{:28} {:>7} {:>7} | {:>7} {:>7} | {:>7} {:>7} | {:>8} {:>8} | {:>8} {:>8}",
+        "system", "total", "paper", "prop", "paper", "refine", "paper", "from-trk", "paper", "from-prop", "paper"
+    );
+    let rows = experiments::table3(scale);
+    for r in &rows {
+        let fmt_opt = |v: Option<f64>| v.map(|x| format!("{x:>8.1}")).unwrap_or_else(|| format!("{:>8}", "/"));
+        println!(
+            "{:28} {:>7.1} {:>7.1} | {:>7.1} {:>7.1} | {:>7.1} {:>7.1} | {} {} | {} {}",
+            r.system,
+            r.total,
+            r.paper.0,
+            r.proposal,
+            r.paper.1,
+            r.refinement,
+            r.paper.2,
+            fmt_opt(r.from_tracker),
+            fmt_opt(r.paper.3),
+            fmt_opt(r.from_proposal),
+            fmt_opt(r.paper.4),
+        );
+    }
+    tables::save_json("table3", &rows);
+}

@@ -1,0 +1,30 @@
+//! Regenerates Table 5: importance of the refinement network.
+
+use catdet_bench::{experiments, tables, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    tables::heading(
+        "Table 5",
+        "each model as (a) single FR-CNN, (b) CaTDet refinement net (Hard)",
+    );
+    println!(
+        "{:12} {:10} {:>8} {:>8} | {:>8} {:>8} | {:>8} {:>8}",
+        "model", "setting", "mAP", "paper", "mD@0.8", "paper", "ops (G)", "paper"
+    );
+    let rows = experiments::table5(scale);
+    for r in &rows {
+        println!(
+            "{:12} {:10} {:>8.3} {:>8.3} | {:>8.2} {:>8.2} | {:>8.1} {:>8.1}",
+            r.model,
+            r.setting,
+            r.map_hard,
+            r.paper.0,
+            r.md08_hard.unwrap_or(f64::NAN),
+            r.paper.1,
+            r.gops,
+            r.paper.2
+        );
+    }
+    tables::save_json("table5", &rows);
+}

@@ -1,0 +1,20 @@
+//! Regenerates Table 6: CityPersons results.
+
+use catdet_bench::{experiments, tables, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    tables::heading("Table 6", "CityPersons mAP and operations");
+    println!(
+        "{:28} {:>8} {:>8} | {:>8} {:>8}",
+        "system", "mAP", "paper", "ops (G)", "paper"
+    );
+    let rows = experiments::table6(scale);
+    for r in &rows {
+        println!(
+            "{:28} {:>8.3} {:>8.3} | {:>8.1} {:>8.1}",
+            r.system, r.map, r.paper.0, r.gops, r.paper.1
+        );
+    }
+    tables::save_json("table6", &rows);
+}

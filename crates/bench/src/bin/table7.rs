@@ -1,0 +1,21 @@
+//! Regenerates Table 7 (Appendix I): measured execution time on the
+//! Titan X timing model with greedy region merging.
+
+use catdet_bench::{experiments, tables, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    tables::heading("Table 7", "GPU-platform timing (linear model + merging)");
+    println!(
+        "{:28} {:>9} {:>9} | {:>9} {:>9}",
+        "system", "total (s)", "paper", "GPU (s)", "paper"
+    );
+    let rows = experiments::table7(scale);
+    for r in &rows {
+        println!(
+            "{:28} {:>9.3} {:>9.3} | {:>9.3} {:>9.3}",
+            r.system, r.total_s, r.paper.0, r.gpu_s, r.paper.1
+        );
+    }
+    tables::save_json("table7", &rows);
+}

@@ -1,0 +1,26 @@
+//! Regenerates Table 8 (Appendix II): RetinaNet-based CaTDet.
+
+use catdet_bench::{experiments, tables, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    tables::heading("Table 8", "RetinaNet single model vs RetinaNet CaTDet (Moderate)");
+    println!(
+        "{:32} {:>8} {:>8} | {:>8} {:>8} | {:>8} {:>8}",
+        "system", "ops (G)", "paper", "mAP", "paper", "mD@0.8", "paper"
+    );
+    let rows = experiments::table8(scale);
+    for r in &rows {
+        println!(
+            "{:32} {:>8.1} {:>8.1} | {:>8.3} {:>8.3} | {:>8.2} {:>8.2}",
+            r.system,
+            r.gops,
+            r.paper.0,
+            r.map_moderate,
+            r.paper.1,
+            r.md08_moderate.unwrap_or(f64::NAN),
+            r.paper.2
+        );
+    }
+    tables::save_json("table8", &rows);
+}

@@ -1,0 +1,77 @@
+//! Experiment scale control.
+
+use catdet_data::{citypersons_like, kitti_like, VideoDataset};
+
+/// How much data an experiment runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scale {
+    /// KITTI-like sequences.
+    pub kitti_sequences: usize,
+    /// Frames per KITTI-like sequence.
+    pub kitti_frames: usize,
+    /// CityPersons-like sequences (30 frames each, 1 labelled).
+    pub citypersons_sequences: usize,
+}
+
+impl Scale {
+    /// The benchmark-shaped scale: 21×381 ≈ 8 000 KITTI frames and 500
+    /// CityPersons sequences.
+    pub fn full() -> Self {
+        Self {
+            kitti_sequences: 21,
+            kitti_frames: 381,
+            citypersons_sequences: 500,
+        }
+    }
+
+    /// A ~8x smaller scale for iteration.
+    pub fn quick() -> Self {
+        Self {
+            kitti_sequences: 6,
+            kitti_frames: 160,
+            citypersons_sequences: 60,
+        }
+    }
+
+    /// Full scale unless `CATDET_QUICK` is set in the environment.
+    pub fn from_env() -> Self {
+        if std::env::var_os("CATDET_QUICK").is_some() {
+            Self::quick()
+        } else {
+            Self::full()
+        }
+    }
+
+    /// Builds the KITTI-like dataset at this scale.
+    pub fn kitti(&self) -> VideoDataset {
+        kitti_like()
+            .sequences(self.kitti_sequences)
+            .frames_per_sequence(self.kitti_frames)
+            .build()
+    }
+
+    /// Builds the CityPersons-like dataset at this scale.
+    pub fn citypersons(&self) -> VideoDataset {
+        citypersons_like()
+            .sequences(self.citypersons_sequences)
+            .build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_scale_matches_benchmark_size() {
+        let s = Scale::full();
+        assert_eq!(s.kitti_sequences * s.kitti_frames, 8001);
+    }
+
+    #[test]
+    fn quick_is_smaller() {
+        let q = Scale::quick();
+        let f = Scale::full();
+        assert!(q.kitti_sequences * q.kitti_frames < f.kitti_sequences * f.kitti_frames / 4);
+    }
+}

@@ -1,0 +1,331 @@
+//! CaTDet: the cascade with tracker feedback (paper Fig. 1c, Fig. 2).
+
+use crate::ops::OpsBreakdown;
+use crate::system::{nms_per_class, refinement_macs, DetectionSystem, FrameOutput, SystemConfig};
+use catdet_data::Frame;
+use catdet_detector::{zoo, DetectorModel, SimulatedDetector};
+use catdet_geom::Box2;
+use catdet_metrics::Detection;
+use catdet_sim::ActorClass;
+use catdet_track::{TrackDetection, Tracker, TrackerConfig};
+
+/// The full CaTDet system.
+///
+/// Per frame (Fig. 2): the tracker predicts where last frame's confirmed
+/// objects will be; the proposal network scans the frame for new objects;
+/// the union of both region sets goes to the refinement network; the
+/// refined detections are the system output *and* the tracker's next
+/// input. The tracker's coasting-through-misses behaviour is what lets the
+/// system re-acquire objects the proposal network persistently misses —
+/// the accuracy gap between this system and [`crate::CascadedSystem`] is
+/// the paper's central ablation (Fig. 6, Table 6).
+#[derive(Debug, Clone)]
+pub struct CaTDetSystem {
+    proposal: SimulatedDetector,
+    refinement: SimulatedDetector,
+    tracker: Tracker<ActorClass>,
+    cfg: SystemConfig,
+    width: f32,
+    height: f32,
+}
+
+impl CaTDetSystem {
+    /// Builds a CaTDet system from two detector models with the paper's
+    /// tracker settings.
+    pub fn new(
+        proposal: DetectorModel,
+        refinement: DetectorModel,
+        width: f32,
+        height: f32,
+        cfg: SystemConfig,
+    ) -> Self {
+        let tracker_cfg = TrackerConfig::paper().with_input_threshold(cfg.t_thresh);
+        Self::with_tracker(proposal, refinement, width, height, cfg, tracker_cfg)
+    }
+
+    /// Builds a CaTDet system with a custom tracker configuration (used by
+    /// the motion-model and lifetime ablations).
+    pub fn with_tracker(
+        proposal: DetectorModel,
+        refinement: DetectorModel,
+        width: f32,
+        height: f32,
+        cfg: SystemConfig,
+        tracker_cfg: TrackerConfig,
+    ) -> Self {
+        Self {
+            proposal: SimulatedDetector::new(proposal, width, height),
+            refinement: SimulatedDetector::new(refinement, width, height),
+            tracker: Tracker::new(tracker_cfg),
+            cfg,
+            width,
+            height,
+        }
+    }
+
+    /// CaTDet-A: ResNet-10a proposal + ResNet-50 refinement (Table 2).
+    pub fn catdet_a() -> Self {
+        Self::new(
+            zoo::resnet10a(2),
+            zoo::resnet50(2),
+            1242.0,
+            375.0,
+            SystemConfig::paper(),
+        )
+    }
+
+    /// CaTDet-B: ResNet-10b proposal + ResNet-50 refinement (Table 2).
+    pub fn catdet_b() -> Self {
+        Self::new(
+            zoo::resnet10b(2),
+            zoo::resnet50(2),
+            1242.0,
+            375.0,
+            SystemConfig::paper(),
+        )
+    }
+
+    /// RetinaNet-refined CaTDet (Appendix II, Table 8).
+    pub fn catdet_retinanet() -> Self {
+        Self::new(
+            zoo::resnet10a(2),
+            zoo::retinanet_resnet50(2),
+            1242.0,
+            375.0,
+            SystemConfig::paper(),
+        )
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// Live tracker state (for inspection/examples).
+    pub fn tracker(&self) -> &Tracker<ActorClass> {
+        &self.tracker
+    }
+}
+
+impl DetectionSystem for CaTDetSystem {
+    fn name(&self) -> String {
+        format!(
+            "{}+{} CaTDet",
+            self.proposal.model().name,
+            self.refinement.model().name
+        )
+    }
+
+    fn reset(&mut self) {
+        self.proposal.reset();
+        self.refinement.reset();
+        self.tracker.reset();
+    }
+
+    fn process_frame(&mut self, frame: &Frame) -> FrameOutput {
+        // (b) Tracker predicts current-frame locations of known objects.
+        let predictions = self.tracker.predictions(self.width, self.height);
+        let tracker_regions: Vec<Box2> = predictions.iter().map(|p| p.bbox).collect();
+
+        // (c) Proposal network adds candidate locations for new objects.
+        let raw_props = self.proposal.detect_full_frame(
+            frame.sequence_id,
+            frame.index,
+            &frame.ground_truth,
+        );
+        let props: Vec<Detection> = raw_props
+            .into_iter()
+            .filter(|d| d.score >= self.cfg.c_thresh)
+            .collect();
+        let props = nms_per_class(&props, self.cfg.nms_iou);
+        let proposal_regions: Vec<Box2> = props.iter().map(|d| d.bbox).collect();
+
+        // (d) Refinement network calibrates the union of both sources;
+        // NMS removes duplicates.
+        let mut regions = tracker_regions.clone();
+        regions.extend_from_slice(&proposal_regions);
+        let refined = self.refinement.detect_regions(
+            frame.sequence_id,
+            frame.index,
+            &frame.ground_truth,
+            &regions,
+            self.cfg.margin,
+        );
+        let detections = nms_per_class(&refined, self.cfg.nms_iou);
+
+        // (a→) Tracker consumes the calibrated detections for next frame.
+        let track_inputs: Vec<TrackDetection<ActorClass>> = detections
+            .iter()
+            .filter(|d| d.score >= self.cfg.t_thresh)
+            .map(|d| TrackDetection {
+                bbox: d.bbox,
+                score: d.score,
+                class: d.class,
+            })
+            .collect();
+        self.tracker.update(&track_inputs);
+
+        // Accounting, with the Table 3 source attribution.
+        let proposal_macs = self
+            .proposal
+            .model()
+            .ops
+            .full_frame_macs(self.width as usize, self.height as usize);
+        let spec = &self.refinement.model().ops;
+        let refine_macs = refinement_macs(spec, self.width, self.height, &regions, self.cfg.margin);
+        let from_tracker = refinement_macs(
+            spec,
+            self.width,
+            self.height,
+            &tracker_regions,
+            self.cfg.margin,
+        );
+        let from_proposal = refinement_macs(
+            spec,
+            self.width,
+            self.height,
+            &proposal_regions,
+            self.cfg.margin,
+        );
+        let coverage = catdet_geom::coverage::masked_fraction(
+            &regions,
+            self.width,
+            self.height,
+            16,
+            self.cfg.margin,
+        );
+        FrameOutput {
+            detections,
+            ops: OpsBreakdown {
+                proposal: proposal_macs,
+                refinement: refine_macs,
+                refinement_from_tracker: from_tracker,
+                refinement_from_proposal: from_proposal,
+            },
+            num_refinement_regions: regions.len(),
+            refinement_coverage: coverage,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use catdet_data::kitti_like;
+
+    #[test]
+    fn tracker_regions_appear_after_first_detections() {
+        let ds = kitti_like().sequences(1).frames_per_sequence(30).build();
+        let mut sys = CaTDetSystem::catdet_a();
+        let frames = ds.sequences()[0].frames();
+        let first = sys.process_frame(&frames[0]);
+        assert_eq!(first.ops.refinement_from_tracker, 0.0);
+        let mut saw_tracker_work = false;
+        for f in &frames[1..] {
+            if sys.process_frame(f).ops.refinement_from_tracker > 0.0 {
+                saw_tracker_work = true;
+            }
+        }
+        assert!(saw_tracker_work, "tracker never contributed regions");
+    }
+
+    #[test]
+    fn attribution_sources_exceed_actual_refinement() {
+        // Overlapping sources: from_tracker + from_proposal >= refinement.
+        let ds = kitti_like().sequences(1).frames_per_sequence(40).build();
+        let mut sys = CaTDetSystem::catdet_a();
+        let mut checked = 0;
+        for f in ds.sequences()[0].frames() {
+            let o = sys.process_frame(f);
+            if o.ops.refinement_from_tracker > 0.0 && o.ops.refinement_from_proposal > 0.0 {
+                assert!(
+                    o.ops.refinement_from_tracker + o.ops.refinement_from_proposal
+                        >= o.ops.refinement * 0.999,
+                    "sum of sources below actual"
+                );
+                checked += 1;
+            }
+        }
+        assert!(checked > 5);
+    }
+
+    #[test]
+    fn catdet_is_cheaper_than_single_model() {
+        let ds = kitti_like().sequences(2).frames_per_sequence(50).build();
+        let mut sys = CaTDetSystem::catdet_a();
+        let mut total = 0.0;
+        let mut n = 0;
+        for s in ds.sequences() {
+            sys.reset();
+            for f in s.frames() {
+                total += sys.process_frame(f).ops.total();
+                n += 1;
+            }
+        }
+        let mean_g = total / n as f64 / 1e9;
+        assert!(mean_g < 150.0, "mean {mean_g} G");
+    }
+
+    #[test]
+    fn catdet_recall_beats_cascade_on_same_frames() {
+        // The system-level claim in miniature: with identical components,
+        // adding the tracker cannot lose objects and typically recovers
+        // proposal misses.
+        use crate::cascade::CascadedSystem;
+        let ds = kitti_like().sequences(3).frames_per_sequence(80).build();
+        let mut catdet = CaTDetSystem::catdet_b();
+        let mut cascade = CascadedSystem::cascade_b();
+        let (mut cat_hits, mut cas_hits, mut total) = (0usize, 0usize, 0usize);
+        for s in ds.sequences() {
+            catdet.reset();
+            cascade.reset();
+            for f in s.frames() {
+                let a = catdet.process_frame(f);
+                let b = cascade.process_frame(f);
+                for gt in f.ground_truth.iter().filter(|g| g.height_px() >= 25.0) {
+                    total += 1;
+                    if a.detections.iter().any(|d| {
+                        d.class == gt.class && d.bbox.iou(&gt.bbox) > 0.5 && d.score > 0.3
+                    }) {
+                        cat_hits += 1;
+                    }
+                    if b.detections.iter().any(|d| {
+                        d.class == gt.class && d.bbox.iou(&gt.bbox) > 0.5 && d.score > 0.3
+                    }) {
+                        cas_hits += 1;
+                    }
+                }
+            }
+        }
+        assert!(total > 500);
+        assert!(
+            cat_hits > cas_hits,
+            "CaTDet {cat_hits} vs cascade {cas_hits} of {total}"
+        );
+    }
+
+    #[test]
+    fn reset_clears_tracker_state() {
+        let ds = kitti_like().sequences(1).frames_per_sequence(20).build();
+        let mut sys = CaTDetSystem::catdet_a();
+        for f in ds.sequences()[0].frames() {
+            sys.process_frame(f);
+        }
+        assert!(!sys.tracker().tracks().is_empty());
+        sys.reset();
+        assert!(sys.tracker().tracks().is_empty());
+    }
+
+    #[test]
+    fn deterministic_end_to_end() {
+        let ds = kitti_like().sequences(1).frames_per_sequence(25).build();
+        let mut a = CaTDetSystem::catdet_a();
+        let mut b = CaTDetSystem::catdet_a();
+        for f in ds.sequences()[0].frames() {
+            let oa = a.process_frame(f);
+            let ob = b.process_frame(f);
+            assert_eq!(oa.detections, ob.detections);
+            assert_eq!(oa.ops, ob.ops);
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! The CaTDet detection systems (paper Fig. 1) and their accounting.
+//!
+//! Three systems share the [`DetectionSystem`] interface:
+//!
+//! * [`SingleModelSystem`] (Fig. 1a) — one detector scans every frame;
+//!   the paper's baseline.
+//! * [`CascadedSystem`] (Fig. 1b) — a cheap proposal network scans the
+//!   frame; an expensive refinement network runs only on the proposed
+//!   regions.
+//! * [`CaTDetSystem`] (Fig. 1c) — the cascade plus a tracker whose
+//!   next-frame predictions are added to the refinement regions, closing
+//!   the temporal feedback loop of Fig. 2.
+//!
+//! Each processed frame returns both the detections and an
+//! [`OpsBreakdown`] with the arithmetic cost actually spent, attributed to
+//! proposal vs. refinement and (for CaTDet) to tracker- vs. proposal-fed
+//! regions — the quantities of the paper's Tables 2, 3 and 6.
+//!
+//! [`timing`] implements Appendix I: a linear GPU execution-time model
+//! `T = αW + b` with the greedy region-merging heuristic.
+//!
+//! # Example
+//!
+//! ```
+//! use catdet_core::{CaTDetSystem, DetectionSystem, run_on_dataset};
+//! use catdet_data::{kitti_like, Difficulty};
+//!
+//! let ds = kitti_like().sequences(1).frames_per_sequence(40).build();
+//! let mut system = CaTDetSystem::catdet_a();
+//! let report = run_on_dataset(&mut system, &ds, Difficulty::Hard);
+//! assert!(report.mean_ops.total() > 0.0);
+//! // CaTDet spends far less than the 254 GMACs of full-frame ResNet-50.
+//! assert!(report.mean_ops.total() / 1e9 < 150.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cascade;
+pub mod catdet;
+pub mod ops;
+pub mod runner;
+pub mod single;
+pub mod system;
+pub mod timing;
+
+pub use cascade::CascadedSystem;
+pub use catdet::CaTDetSystem;
+pub use ops::OpsBreakdown;
+pub use runner::{evaluate_collected, evaluate_collected_with, run_collect, run_on_dataset, CollectedRun, RunReport};
+pub use single::SingleModelSystem;
+pub use system::{nms_per_class, DetectionSystem, FrameOutput, SystemConfig};
+pub use timing::{FrameTiming, GpuTimingModel};

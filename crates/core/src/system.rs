@@ -1,0 +1,192 @@
+//! The common detection-system interface and shared plumbing.
+
+use crate::ops::OpsBreakdown;
+use catdet_data::Frame;
+use catdet_detector::OpsSpec;
+use catdet_geom::{nms_indices, Box2};
+use catdet_metrics::Detection;
+use catdet_sim::ActorClass;
+use serde::{Deserialize, Serialize};
+
+/// Hyper-parameters shared by the cascaded systems (paper §4.3).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SystemConfig {
+    /// Proposal-network output threshold ("C-thresh"); proposals scoring
+    /// below it never reach the refinement network.
+    pub c_thresh: f32,
+    /// Tracker input threshold ("T-thresh"): refined detections must score
+    /// at least this to update the tracker.
+    pub t_thresh: f32,
+    /// Margin appended around each proposal before feature extraction
+    /// (paper: 30 px).
+    pub margin: f32,
+    /// NMS IoU threshold applied to each network's output per class.
+    pub nms_iou: f32,
+}
+
+impl SystemConfig {
+    /// The paper's settings: 30 px margin, standard 0.5 NMS, C-thresh 0.1,
+    /// T-thresh 0.6.
+    pub fn paper() -> Self {
+        Self {
+            c_thresh: 0.1,
+            t_thresh: 0.6,
+            margin: 30.0,
+            nms_iou: 0.5,
+        }
+    }
+
+    /// Returns a copy with a different proposal output threshold (the
+    /// Figure 6 sweep variable).
+    pub fn with_c_thresh(mut self, c: f32) -> Self {
+        self.c_thresh = c;
+        self
+    }
+
+    /// Returns a copy with a different tracker input threshold.
+    pub fn with_t_thresh(mut self, t: f32) -> Self {
+        self.t_thresh = t;
+        self
+    }
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// Everything a system produces for one frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrameOutput {
+    /// Final calibrated detections (after NMS).
+    pub detections: Vec<Detection>,
+    /// Arithmetic cost of the frame.
+    pub ops: OpsBreakdown,
+    /// Number of regions handed to the refinement network (0 for
+    /// single-model systems).
+    pub num_refinement_regions: usize,
+    /// Fraction of the stride-16 feature grid covered by those regions.
+    pub refinement_coverage: f64,
+}
+
+/// A video detection system: single-model, cascaded, or CaTDet.
+pub trait DetectionSystem {
+    /// Human-readable system name (used in experiment tables).
+    fn name(&self) -> String;
+
+    /// Clears temporal state at a sequence boundary.
+    fn reset(&mut self);
+
+    /// Processes the next frame of the current sequence.
+    fn process_frame(&mut self, frame: &Frame) -> FrameOutput;
+}
+
+/// Applies greedy NMS independently within each class.
+pub fn nms_per_class(detections: &[Detection], iou: f32) -> Vec<Detection> {
+    let mut kept = Vec::with_capacity(detections.len());
+    for class in ActorClass::ALL {
+        let of_class: Vec<(Box2, f32, usize)> = detections
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.class == class)
+            .map(|(i, d)| (d.bbox, d.score, i))
+            .collect();
+        let scored: Vec<(Box2, f32)> = of_class.iter().map(|&(b, s, _)| (b, s)).collect();
+        for idx in nms_indices(&scored, iou) {
+            kept.push(detections[of_class[idx].2]);
+        }
+    }
+    kept.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+    kept
+}
+
+/// Refinement-network cost over a set of regions, dispatching on the
+/// detector's ops model (Faster R-CNN masked trunk + per-RoI head, or
+/// RetinaNet per-level masking).
+pub fn refinement_macs(
+    spec: &OpsSpec,
+    width: f32,
+    height: f32,
+    regions: &[Box2],
+    margin: f32,
+) -> f64 {
+    if regions.is_empty() {
+        return 0.0;
+    }
+    match spec {
+        OpsSpec::FasterRcnn(s) => {
+            let coverage =
+                catdet_geom::coverage::masked_fraction(regions, width, height, 16, margin);
+            s.masked_macs(width as usize, height as usize, coverage, regions.len())
+                .total()
+        }
+        OpsSpec::RetinaNet(r) => {
+            r.masked_macs(width as usize, height as usize, regions, margin)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn det(x: f32, score: f32, class: ActorClass) -> Detection {
+        Detection {
+            bbox: Box2::from_xywh(x, 100.0, 40.0, 30.0),
+            score,
+            class,
+        }
+    }
+
+    #[test]
+    fn nms_respects_class_boundaries() {
+        // Identical boxes of different classes both survive.
+        let dets = [
+            det(100.0, 0.9, ActorClass::Car),
+            det(100.0, 0.8, ActorClass::Pedestrian),
+        ];
+        assert_eq!(nms_per_class(&dets, 0.5).len(), 2);
+    }
+
+    #[test]
+    fn nms_suppresses_within_class() {
+        let dets = [
+            det(100.0, 0.9, ActorClass::Car),
+            det(102.0, 0.7, ActorClass::Car),
+            det(400.0, 0.8, ActorClass::Car),
+        ];
+        let kept = nms_per_class(&dets, 0.5);
+        assert_eq!(kept.len(), 2);
+        assert!(kept[0].score >= kept[1].score);
+    }
+
+    #[test]
+    fn paper_config_values() {
+        let c = SystemConfig::paper();
+        assert_eq!(c.margin, 30.0);
+        assert_eq!(c.nms_iou, 0.5);
+        let c2 = c.with_c_thresh(0.4).with_t_thresh(0.8);
+        assert_eq!(c2.c_thresh, 0.4);
+        assert_eq!(c2.t_thresh, 0.8);
+    }
+
+    #[test]
+    fn refinement_macs_empty_regions_is_free() {
+        let spec = OpsSpec::FasterRcnn(catdet_nn::presets::frcnn_resnet50(2));
+        assert_eq!(refinement_macs(&spec, 1242.0, 375.0, &[], 30.0), 0.0);
+    }
+
+    #[test]
+    fn refinement_macs_grow_with_regions() {
+        let spec = OpsSpec::FasterRcnn(catdet_nn::presets::frcnn_resnet50(2));
+        let one = [Box2::from_xywh(100.0, 100.0, 80.0, 60.0)];
+        let two = [
+            Box2::from_xywh(100.0, 100.0, 80.0, 60.0),
+            Box2::from_xywh(600.0, 100.0, 80.0, 60.0),
+        ];
+        let a = refinement_macs(&spec, 1242.0, 375.0, &one, 30.0);
+        let b = refinement_macs(&spec, 1242.0, 375.0, &two, 30.0);
+        assert!(b > a && a > 0.0);
+    }
+}

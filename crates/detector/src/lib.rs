@@ -1,0 +1,51 @@
+//! Simulated CNN detectors with calibrated accuracy profiles.
+//!
+//! The paper's detectors are trained Faster R-CNN / RetinaNet models; none
+//! can be trained or run here. What the *system-level* evaluation needs
+//! from a detector, however, is its **statistical behaviour**, and that is
+//! what this crate models:
+//!
+//! * **Detection probability** — a logistic function of an object's
+//!   visibility quality (pixel height, occlusion, truncation), shifted by
+//!   a per-model offset; stronger backbones have higher offsets.
+//! * **Persistent per-object difficulty** — some objects are just hard
+//!   (viewpoint, contrast); a latent component shared across models plus a
+//!   model-specific one makes misses *correlated over time and across
+//!   models*, which is precisely the failure mode the CaTDet tracker
+//!   compensates for (and why more proposals cannot replace it, Fig. 6).
+//! * **Temporally correlated noise** — an AR(1) process per object, so a
+//!   miss tends to persist several frames rather than flickering i.i.d.
+//! * **Confidence scores** correlated with the same margin, so the
+//!   precision–recall trade-off (and the paper's precision-matched delay
+//!   metric) behaves like a real detector's.
+//! * **False positives** — Poisson-distributed clutter with a calibrated
+//!   score distribution, confined to the proposed regions in refinement
+//!   mode.
+//! * **Localisation jitter** — small box perturbations, larger for weaker
+//!   models; at KITTI's 70% IoU threshold for cars this measurably costs
+//!   weak models mAP, as in the paper.
+//!
+//! Two inference modes mirror Fig. 1: [`SimulatedDetector::detect_full_frame`]
+//! (proposal network / single-model detector) and
+//! [`SimulatedDetector::detect_regions`] (refinement network: only objects
+//! covered by the proposed regions can be detected, but *validation is
+//! easier than detection* — the margin gets a calibrated boost, §3).
+//!
+//! Every draw is derived from `(seed, model, sequence, frame)` counters, so
+//! results are bit-reproducible and models can be recombined freely.
+//!
+//! The model zoo ([`zoo`]) carries profiles calibrated so that each
+//! single-model Faster R-CNN reproduces its paper mAP/delay (Tables 4–5);
+//! the calibration targets are recorded next to the constants.
+
+#![warn(missing_docs)]
+
+pub mod accuracy;
+pub mod latent;
+pub mod simulate;
+pub mod zoo;
+
+pub use accuracy::{object_quality, sigmoid, AccuracyProfile};
+pub use latent::{derive_rng, sample_normal, TemporalNoise};
+pub use simulate::SimulatedDetector;
+pub use zoo::{DetectorModel, OpsSpec};

@@ -1,0 +1,391 @@
+//! Exact minimum-cost bipartite assignment (Hungarian / Kuhn–Munkres).
+//!
+//! The CaTDet tracker associates detections between adjacent frames by
+//! solving an N-to-M assignment problem whose cost matrix holds *negative*
+//! IoU values (so maximising total IoU = minimising total cost), exactly as
+//! in SORT. This module implements the O(n²·m) shortest-augmenting-path
+//! formulation of the Hungarian algorithm, which handles rectangular
+//! matrices and arbitrary (including negative) finite costs.
+
+/// The result of solving an assignment problem.
+///
+/// For an `n × m` cost matrix, `min(n, m)` pairs are matched; the remaining
+/// rows/columns are unassigned (`None`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Assignment {
+    /// `row_to_col[r]` is the column matched to row `r`, if any.
+    pub row_to_col: Vec<Option<usize>>,
+    /// `col_to_row[c]` is the row matched to column `c`, if any.
+    pub col_to_row: Vec<Option<usize>>,
+    /// Sum of the costs of all matched pairs.
+    pub total_cost: f64,
+}
+
+impl Assignment {
+    /// Iterates over the matched `(row, col)` pairs in row order.
+    pub fn pairs(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.row_to_col
+            .iter()
+            .enumerate()
+            .filter_map(|(r, c)| c.map(|c| (r, c)))
+    }
+
+    /// Number of matched pairs.
+    pub fn len(&self) -> usize {
+        self.row_to_col.iter().flatten().count()
+    }
+
+    /// Returns `true` if no pairs were matched.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Solves the min-cost assignment problem for the given cost matrix.
+///
+/// `costs` is indexed `costs[row][col]`; rows may be ragged-free (all rows
+/// must have equal length). Exactly `min(rows, cols)` pairs are produced and
+/// their total cost is minimal among all such matchings.
+///
+/// # Panics
+///
+/// Panics if the rows of `costs` have unequal lengths or any cost is NaN.
+///
+/// # Example
+///
+/// ```
+/// use catdet_geom::hungarian;
+///
+/// let costs = vec![vec![4.0, 1.0, 3.0], vec![2.0, 0.0, 5.0], vec![3.0, 2.0, 2.0]];
+/// let a = hungarian(&costs);
+/// assert_eq!(a.total_cost, 5.0); // 1 + 2 + 2
+/// ```
+pub fn hungarian(costs: &[Vec<f64>]) -> Assignment {
+    let n = costs.len();
+    let m = costs.first().map_or(0, |r| r.len());
+    assert!(
+        costs.iter().all(|r| r.len() == m),
+        "cost matrix rows must have equal lengths"
+    );
+    assert!(
+        costs.iter().flatten().all(|c| !c.is_nan()),
+        "cost matrix must not contain NaN"
+    );
+    if n == 0 || m == 0 {
+        return Assignment {
+            row_to_col: vec![None; n],
+            col_to_row: vec![None; m],
+            total_cost: 0.0,
+        };
+    }
+
+    // The core solver requires rows <= cols; transpose if necessary.
+    let transposed = n > m;
+    let (rows, cols) = if transposed { (m, n) } else { (n, m) };
+    let cost = |r: usize, c: usize| -> f64 {
+        if transposed {
+            costs[c][r]
+        } else {
+            costs[r][c]
+        }
+    };
+
+    let row_match = solve_min_cost(&cost, rows, cols);
+
+    let mut row_to_col = vec![None; n];
+    let mut col_to_row = vec![None; m];
+    let mut total_cost = 0.0;
+    for (r, c) in row_match.iter().enumerate() {
+        if let Some(c) = *c {
+            let (orig_r, orig_c) = if transposed { (c, r) } else { (r, c) };
+            row_to_col[orig_r] = Some(orig_c);
+            col_to_row[orig_c] = Some(orig_r);
+            total_cost += costs[orig_r][orig_c];
+        }
+    }
+    Assignment {
+        row_to_col,
+        col_to_row,
+        total_cost,
+    }
+}
+
+/// Solves the assignment problem and discards matches whose individual cost
+/// exceeds `max_cost`.
+///
+/// This is the gating rule used by SORT-style trackers: the optimal
+/// assignment is computed on the full matrix, then pairs that are "too
+/// expensive" (e.g. IoU below a threshold when costs are negative IoUs) are
+/// severed and both endpoints become unmatched.
+///
+/// # Example
+///
+/// ```
+/// use catdet_geom::hungarian_with_threshold;
+///
+/// // Second row's best option is still too expensive.
+/// let costs = vec![vec![0.1, 9.0], vec![9.0, 7.0]];
+/// let a = hungarian_with_threshold(&costs, 1.0);
+/// assert_eq!(a.row_to_col, vec![Some(0), None]);
+/// ```
+pub fn hungarian_with_threshold(costs: &[Vec<f64>], max_cost: f64) -> Assignment {
+    let mut a = hungarian(costs);
+    let mut total = 0.0;
+    for r in 0..a.row_to_col.len() {
+        if let Some(c) = a.row_to_col[r] {
+            if costs[r][c] > max_cost {
+                a.row_to_col[r] = None;
+                a.col_to_row[c] = None;
+            } else {
+                total += costs[r][c];
+            }
+        }
+    }
+    a.total_cost = total;
+    a
+}
+
+/// Shortest-augmenting-path Hungarian algorithm for `rows <= cols`.
+///
+/// Returns, for each row, the matched column. All rows are matched.
+/// Based on the classic potentials formulation (see e.g. e-maxx /
+/// "Algorithms for Competitive Programming", assignment problem).
+fn solve_min_cost(cost: &dyn Fn(usize, usize) -> f64, rows: usize, cols: usize) -> Vec<Option<usize>> {
+    debug_assert!(rows <= cols);
+    const INF: f64 = f64::INFINITY;
+    // 1-indexed potentials and matching arrays; index 0 is a sentinel.
+    let mut u = vec![0.0f64; rows + 1];
+    let mut v = vec![0.0f64; cols + 1];
+    let mut p = vec![0usize; cols + 1]; // p[j]: row matched to column j
+    let mut way = vec![0usize; cols + 1];
+
+    for i in 1..=rows {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![INF; cols + 1];
+        let mut used = vec![false; cols + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = INF;
+            let mut j1 = 0usize;
+            for j in 1..=cols {
+                if !used[j] {
+                    let cur = cost(i0 - 1, j - 1) - u[i0] - v[j];
+                    if cur < minv[j] {
+                        minv[j] = cur;
+                        way[j] = j0;
+                    }
+                    if minv[j] < delta {
+                        delta = minv[j];
+                        j1 = j;
+                    }
+                }
+            }
+            for j in 0..=cols {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        // Augment along the found path.
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+
+    let mut row_match = vec![None; rows];
+    for j in 1..=cols {
+        if p[j] != 0 {
+            row_match[p[j] - 1] = Some(j - 1);
+        }
+    }
+    row_match
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Brute-force minimum assignment cost by enumerating permutations.
+    fn brute_force(costs: &[Vec<f64>]) -> f64 {
+        let n = costs.len();
+        let m = costs[0].len();
+        let (small, big, flip) = if n <= m { (n, m, false) } else { (m, n, true) };
+        let mut cols: Vec<usize> = (0..big).collect();
+        let mut best = f64::INFINITY;
+        permute(&mut cols, 0, &mut |perm| {
+            let mut total = 0.0;
+            for r in 0..small {
+                let c = perm[r];
+                total += if flip { costs[c][r] } else { costs[r][c] };
+            }
+            if total < best {
+                best = total;
+            }
+        });
+        best
+    }
+
+    fn permute(items: &mut Vec<usize>, k: usize, f: &mut dyn FnMut(&[usize])) {
+        if k == items.len() {
+            f(items);
+            return;
+        }
+        for i in k..items.len() {
+            items.swap(k, i);
+            permute(items, k + 1, f);
+            items.swap(k, i);
+        }
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let a = hungarian(&[]);
+        assert!(a.is_empty());
+        assert_eq!(a.total_cost, 0.0);
+    }
+
+    #[test]
+    fn one_by_one() {
+        let a = hungarian(&[vec![7.0]]);
+        assert_eq!(a.row_to_col, vec![Some(0)]);
+        assert_eq!(a.total_cost, 7.0);
+    }
+
+    #[test]
+    fn classic_square_case() {
+        let costs = vec![
+            vec![4.0, 1.0, 3.0],
+            vec![2.0, 0.0, 5.0],
+            vec![3.0, 2.0, 2.0],
+        ];
+        let a = hungarian(&costs);
+        assert_eq!(a.total_cost, 5.0);
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn rectangular_wide_leaves_columns_unmatched() {
+        let costs = vec![vec![1.0, 10.0, 0.5]];
+        let a = hungarian(&costs);
+        assert_eq!(a.row_to_col, vec![Some(2)]);
+        assert_eq!(a.col_to_row, vec![None, None, Some(0)]);
+        assert_eq!(a.total_cost, 0.5);
+    }
+
+    #[test]
+    fn rectangular_tall_leaves_rows_unmatched() {
+        let costs = vec![vec![5.0], vec![1.0], vec![3.0]];
+        let a = hungarian(&costs);
+        assert_eq!(a.row_to_col, vec![None, Some(0), None]);
+        assert_eq!(a.total_cost, 1.0);
+    }
+
+    #[test]
+    fn negative_costs() {
+        // Maximising IoU == minimising negative IoU.
+        let costs = vec![vec![-0.9, -0.1], vec![-0.2, -0.8]];
+        let a = hungarian(&costs);
+        assert_eq!(a.row_to_col, vec![Some(0), Some(1)]);
+        assert!((a.total_cost - (-1.7)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn threshold_severs_expensive_pairs() {
+        let costs = vec![vec![0.1, 9.0], vec![9.0, 7.0]];
+        let a = hungarian_with_threshold(&costs, 1.0);
+        assert_eq!(a.row_to_col, vec![Some(0), None]);
+        assert_eq!(a.col_to_row, vec![Some(0), None]);
+        assert!((a.total_cost - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn threshold_keeps_all_when_loose() {
+        let costs = vec![vec![0.1, 9.0], vec![9.0, 7.0]];
+        let a = hungarian_with_threshold(&costs, 100.0);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn ragged_matrix_panics() {
+        let _ = hungarian(&[vec![1.0, 2.0], vec![1.0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_cost_panics() {
+        let _ = hungarian(&[vec![f64::NAN]]);
+    }
+
+    #[test]
+    fn identity_preference() {
+        // Strongly diagonal matrix: optimal solution is the identity.
+        let n = 8;
+        let costs: Vec<Vec<f64>> = (0..n)
+            .map(|r| (0..n).map(|c| if r == c { 0.0 } else { 10.0 }).collect())
+            .collect();
+        let a = hungarian(&costs);
+        for (r, c) in a.pairs() {
+            assert_eq!(r, c);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_matches_brute_force_square(
+            vals in proptest::collection::vec(-10.0f64..10.0, 16),
+        ) {
+            let costs: Vec<Vec<f64>> = vals.chunks(4).map(|c| c.to_vec()).collect();
+            let a = hungarian(&costs);
+            let bf = brute_force(&costs);
+            prop_assert!((a.total_cost - bf).abs() < 1e-6,
+                "hungarian={} brute={}", a.total_cost, bf);
+        }
+
+        #[test]
+        fn prop_matches_brute_force_rect(
+            vals in proptest::collection::vec(-5.0f64..5.0, 15),
+            wide in proptest::bool::ANY,
+        ) {
+            // 3x5 or 5x3.
+            let costs: Vec<Vec<f64>> = if wide {
+                vals.chunks(5).map(|c| c.to_vec()).collect()
+            } else {
+                vals.chunks(3).map(|c| c.to_vec()).collect()
+            };
+            let a = hungarian(&costs);
+            let bf = brute_force(&costs);
+            prop_assert!((a.total_cost - bf).abs() < 1e-6);
+        }
+
+        #[test]
+        fn prop_assignment_is_a_matching(
+            vals in proptest::collection::vec(-10.0f64..10.0, 30),
+        ) {
+            let costs: Vec<Vec<f64>> = vals.chunks(6).map(|c| c.to_vec()).collect();
+            let a = hungarian(&costs);
+            // Row/col maps are mutually consistent and injective.
+            let mut seen_cols = std::collections::HashSet::new();
+            for (r, c) in a.pairs() {
+                prop_assert!(seen_cols.insert(c));
+                prop_assert_eq!(a.col_to_row[c], Some(r));
+            }
+            prop_assert_eq!(a.len(), 5.min(6));
+        }
+    }
+}

@@ -1,0 +1,319 @@
+//! Stride-aligned coverage rasterisation.
+//!
+//! The refinement network in CaTDet only computes the parts of its feature
+//! maps that correspond to the selected regions (paper §4.3, Fig. 4b). On a
+//! convolutional trunk with stride `s`, the unit of work is one feature-map
+//! cell covering an `s × s` pixel tile; the trunk's operation count scales
+//! with the number of *distinct* cells touched by the union of all dilated
+//! proposals — overlapping proposals are not paid for twice.
+//!
+//! [`CoverageGrid`] rasterises boxes onto that cell grid and reports the
+//! covered fraction, which [`catdet-nn`]'s masked-ops accounting multiplies
+//! into the full-frame trunk cost.
+
+use crate::Box2;
+
+/// A boolean occupancy grid over a frame, aligned to a convolutional stride.
+///
+/// # Example
+///
+/// ```
+/// use catdet_geom::{Box2, CoverageGrid};
+///
+/// let mut g = CoverageGrid::new(160.0, 160.0, 16);
+/// assert_eq!(g.total_cells(), 100);
+/// g.add_box(&Box2::new(0.0, 0.0, 32.0, 32.0));
+/// assert_eq!(g.covered_cells(), 4);
+/// assert!((g.coverage_fraction() - 0.04).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CoverageGrid {
+    stride: u32,
+    grid_w: usize,
+    grid_h: usize,
+    width: f32,
+    height: f32,
+    cells: Vec<bool>,
+}
+
+impl CoverageGrid {
+    /// Creates an empty grid for a `width × height` frame at the given
+    /// feature stride.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride == 0` or the frame has non-positive dimensions.
+    pub fn new(width: f32, height: f32, stride: u32) -> Self {
+        assert!(stride > 0, "stride must be positive");
+        assert!(
+            width > 0.0 && height > 0.0,
+            "frame dimensions must be positive"
+        );
+        let grid_w = (width / stride as f32).ceil() as usize;
+        let grid_h = (height / stride as f32).ceil() as usize;
+        Self {
+            stride,
+            grid_w,
+            grid_h,
+            width,
+            height,
+            cells: vec![false; grid_w * grid_h],
+        }
+    }
+
+    /// The feature stride the grid is aligned to.
+    pub fn stride(&self) -> u32 {
+        self.stride
+    }
+
+    /// Grid dimensions `(cells_x, cells_y)`.
+    pub fn grid_dims(&self) -> (usize, usize) {
+        (self.grid_w, self.grid_h)
+    }
+
+    /// Total number of cells (the cost of a full-frame pass).
+    pub fn total_cells(&self) -> usize {
+        self.grid_w * self.grid_h
+    }
+
+    /// Marks every cell that intersects `b` (after clipping to the frame).
+    ///
+    /// Boxes fully outside the frame or degenerate boxes mark nothing.
+    pub fn add_box(&mut self, b: &Box2) {
+        let c = b.clip(self.width, self.height);
+        if !c.is_valid() {
+            return;
+        }
+        let s = self.stride as f32;
+        let x0 = (c.x1 / s).floor() as usize;
+        let y0 = (c.y1 / s).floor() as usize;
+        // A cell [k*s, (k+1)*s) intersects iff k*s < c.x2, i.e. k <= ceil(x2/s)-1.
+        let x1 = ((c.x2 / s).ceil() as usize).min(self.grid_w);
+        let y1 = ((c.y2 / s).ceil() as usize).min(self.grid_h);
+        for y in y0..y1 {
+            let row = y * self.grid_w;
+            for x in x0..x1 {
+                self.cells[row + x] = true;
+            }
+        }
+    }
+
+    /// Marks the cells of every box in `boxes`.
+    pub fn add_boxes<'a, I: IntoIterator<Item = &'a Box2>>(&mut self, boxes: I) {
+        for b in boxes {
+            self.add_box(b);
+        }
+    }
+
+    /// Number of covered cells.
+    pub fn covered_cells(&self) -> usize {
+        self.cells.iter().filter(|&&c| c).count()
+    }
+
+    /// Fraction of the grid that is covered, in `[0, 1]`.
+    pub fn coverage_fraction(&self) -> f64 {
+        if self.cells.is_empty() {
+            0.0
+        } else {
+            self.covered_cells() as f64 / self.total_cells() as f64
+        }
+    }
+
+    /// Covered area in pixels (covered cells × stride²), an upper bound on
+    /// the pixel area of the rasterised union.
+    pub fn covered_area_px(&self) -> f64 {
+        self.covered_cells() as f64 * (self.stride as f64).powi(2)
+    }
+
+    /// Returns `true` if the cell containing pixel `(x, y)` is covered.
+    pub fn is_covered(&self, x: f32, y: f32) -> bool {
+        if x < 0.0 || y < 0.0 || x >= self.width || y >= self.height {
+            return false;
+        }
+        let cx = (x / self.stride as f32).floor() as usize;
+        let cy = (y / self.stride as f32).floor() as usize;
+        self.cells[cy * self.grid_w + cx]
+    }
+
+    /// Clears all cells, keeping the geometry.
+    pub fn clear(&mut self) {
+        self.cells.fill(false);
+    }
+}
+
+/// Convenience: the covered feature fraction for a set of proposals dilated
+/// by `margin` pixels, on a `width × height` frame with feature stride
+/// `stride`.
+///
+/// This is the quantity that scales the refinement trunk's operation count
+/// (paper §4.3: a 30-pixel margin is appended around each proposal).
+pub fn masked_fraction(boxes: &[Box2], width: f32, height: f32, stride: u32, margin: f32) -> f64 {
+    let mut g = CoverageGrid::new(width, height, stride);
+    for b in boxes {
+        g.add_box(&b.dilate(margin));
+    }
+    g.coverage_fraction()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_grid_is_uncovered() {
+        let g = CoverageGrid::new(100.0, 100.0, 10);
+        assert_eq!(g.covered_cells(), 0);
+        assert_eq!(g.coverage_fraction(), 0.0);
+    }
+
+    #[test]
+    fn grid_dims_round_up() {
+        let g = CoverageGrid::new(105.0, 95.0, 10);
+        assert_eq!(g.grid_dims(), (11, 10));
+    }
+
+    #[test]
+    fn aligned_box_covers_exact_cells() {
+        let mut g = CoverageGrid::new(160.0, 160.0, 16);
+        g.add_box(&Box2::new(16.0, 16.0, 48.0, 48.0));
+        assert_eq!(g.covered_cells(), 4);
+    }
+
+    #[test]
+    fn unaligned_box_covers_all_touched_cells() {
+        let mut g = CoverageGrid::new(160.0, 160.0, 16);
+        // Straddles cell boundaries: touches cells 0..=2 in both axes.
+        g.add_box(&Box2::new(10.0, 10.0, 40.0, 40.0));
+        assert_eq!(g.covered_cells(), 9);
+    }
+
+    #[test]
+    fn box_outside_frame_marks_nothing() {
+        let mut g = CoverageGrid::new(100.0, 100.0, 10);
+        g.add_box(&Box2::new(200.0, 200.0, 300.0, 300.0));
+        assert_eq!(g.covered_cells(), 0);
+        g.add_box(&Box2::new(-50.0, -50.0, -10.0, -10.0));
+        assert_eq!(g.covered_cells(), 0);
+    }
+
+    #[test]
+    fn box_partially_outside_is_clipped() {
+        let mut g = CoverageGrid::new(100.0, 100.0, 10);
+        g.add_box(&Box2::new(-50.0, -50.0, 15.0, 15.0));
+        assert_eq!(g.covered_cells(), 4); // cells (0,0),(1,0),(0,1),(1,1)
+    }
+
+    #[test]
+    fn full_frame_box_covers_everything() {
+        let mut g = CoverageGrid::new(100.0, 80.0, 16);
+        g.add_box(&Box2::new(0.0, 0.0, 100.0, 80.0));
+        assert_eq!(g.covered_cells(), g.total_cells());
+        assert_eq!(g.coverage_fraction(), 1.0);
+    }
+
+    #[test]
+    fn overlapping_boxes_counted_once() {
+        let mut g = CoverageGrid::new(160.0, 160.0, 16);
+        let b = Box2::new(0.0, 0.0, 32.0, 32.0);
+        g.add_box(&b);
+        let once = g.covered_cells();
+        g.add_box(&b);
+        assert_eq!(g.covered_cells(), once);
+    }
+
+    #[test]
+    fn is_covered_point_queries() {
+        let mut g = CoverageGrid::new(100.0, 100.0, 10);
+        g.add_box(&Box2::new(20.0, 20.0, 30.0, 30.0));
+        assert!(g.is_covered(25.0, 25.0));
+        assert!(!g.is_covered(5.0, 5.0));
+        assert!(!g.is_covered(-1.0, 25.0));
+        assert!(!g.is_covered(25.0, 1000.0));
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut g = CoverageGrid::new(100.0, 100.0, 10);
+        g.add_box(&Box2::new(0.0, 0.0, 100.0, 100.0));
+        g.clear();
+        assert_eq!(g.covered_cells(), 0);
+    }
+
+    #[test]
+    fn masked_fraction_with_margin() {
+        // A tiny box with a large margin covers a lot more.
+        let b = [Box2::new(50.0, 50.0, 52.0, 52.0)];
+        let no_margin = masked_fraction(&b, 100.0, 100.0, 10, 0.0);
+        let with_margin = masked_fraction(&b, 100.0, 100.0, 10, 30.0);
+        assert!(with_margin > no_margin * 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "stride must be positive")]
+    fn zero_stride_panics() {
+        let _ = CoverageGrid::new(10.0, 10.0, 0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_fraction_in_unit_interval(
+            boxes in proptest::collection::vec(
+                (-50.0f32..150.0, -50.0f32..150.0, 0.0f32..80.0, 0.0f32..80.0), 0..20),
+        ) {
+            let mut g = CoverageGrid::new(124.0, 37.0, 16);
+            for (x, y, w, h) in boxes {
+                g.add_box(&Box2::from_xywh(x, y, w, h));
+            }
+            let f = g.coverage_fraction();
+            prop_assert!((0.0..=1.0).contains(&f));
+        }
+
+        #[test]
+        fn prop_coverage_monotone_in_boxes(
+            boxes in proptest::collection::vec(
+                (0.0f32..100.0, 0.0f32..100.0, 1.0f32..40.0, 1.0f32..40.0), 1..15),
+        ) {
+            let mut g = CoverageGrid::new(100.0, 100.0, 8);
+            let mut last = 0usize;
+            for (x, y, w, h) in boxes {
+                g.add_box(&Box2::from_xywh(x, y, w, h));
+                let now = g.covered_cells();
+                prop_assert!(now >= last);
+                last = now;
+            }
+        }
+
+        #[test]
+        fn prop_union_le_sum_of_individual(
+            boxes in proptest::collection::vec(
+                (0.0f32..100.0, 0.0f32..100.0, 1.0f32..40.0, 1.0f32..40.0), 1..10),
+        ) {
+            let bs: Vec<Box2> = boxes
+                .iter()
+                .map(|&(x, y, w, h)| Box2::from_xywh(x, y, w, h))
+                .collect();
+            let mut union = CoverageGrid::new(100.0, 100.0, 8);
+            union.add_boxes(&bs);
+            let mut sum = 0usize;
+            for b in &bs {
+                let mut g = CoverageGrid::new(100.0, 100.0, 8);
+                g.add_box(b);
+                sum += g.covered_cells();
+            }
+            prop_assert!(union.covered_cells() <= sum);
+        }
+
+        #[test]
+        fn prop_cell_area_bounds_box_area(
+            x in 0.0f32..90.0, y in 0.0f32..90.0,
+            w in 1.0f32..10.0, h in 1.0f32..10.0,
+        ) {
+            // The rasterised area always upper-bounds the true box area.
+            let b = Box2::from_xywh(x, y, w, h).clip(100.0, 100.0);
+            let mut g = CoverageGrid::new(100.0, 100.0, 4);
+            g.add_box(&b);
+            prop_assert!(g.covered_area_px() + 1e-3 >= b.area() as f64);
+        }
+    }
+}

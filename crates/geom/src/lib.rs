@@ -1,0 +1,39 @@
+//! 2-D geometry primitives for the CaTDet detection system.
+//!
+//! This crate provides the geometric substrate every other CaTDet crate is
+//! built on:
+//!
+//! * [`Box2`] — axis-aligned bounding boxes with the usual IoU / clipping /
+//!   dilation operations,
+//! * [`nms`] — greedy non-maximum suppression,
+//! * [`assignment`] — an exact Hungarian (Kuhn–Munkres) solver used by the
+//!   tracker's data-association step,
+//! * [`coverage`] — a stride-aligned rasteriser that measures what fraction
+//!   of a frame's feature map is covered by a set of regions of interest
+//!   (this drives the refinement network's operation count),
+//! * [`merge`] — the greedy bounding-box merging heuristic of the paper's
+//!   Appendix I, generic over a cost model.
+//!
+//! # Example
+//!
+//! ```
+//! use catdet_geom::Box2;
+//!
+//! let a = Box2::new(0.0, 0.0, 10.0, 10.0);
+//! let b = Box2::new(5.0, 5.0, 15.0, 15.0);
+//! assert!((a.iou(&b) - 25.0 / 175.0).abs() < 1e-6);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod assignment;
+pub mod box2;
+pub mod coverage;
+pub mod merge;
+pub mod nms;
+
+pub use assignment::{hungarian, hungarian_with_threshold, Assignment};
+pub use box2::Box2;
+pub use coverage::CoverageGrid;
+pub use merge::{greedy_merge, MergeCost};
+pub use nms::{nms, nms_indices, Scored};

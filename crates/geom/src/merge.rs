@@ -1,0 +1,243 @@
+//! Greedy bounding-box merging (paper Appendix I).
+//!
+//! GPUs are inefficient at processing many small workloads, so before the
+//! refinement network runs, CaTDet merges nearby regions of interest into
+//! larger rectangles: *"two bounding boxes are merged if the merged box has
+//! a smaller estimated execution time than the sum of both"*. The estimate
+//! comes from a linear timing model `T = αW + b` (see
+//! `catdet_core::timing`); this module implements the merging loop itself,
+//! generic over any cost model.
+
+use crate::Box2;
+
+/// A cost model for running a CNN over a rectangular region.
+///
+/// Implementations estimate the execution time (or any other super-additive
+/// launch cost) of processing one region. The greedy merger compares
+/// `cost(a ∪ b)` against `cost(a) + cost(b)`.
+pub trait MergeCost {
+    /// Estimated cost of processing region `b`.
+    fn cost(&self, b: &Box2) -> f64;
+}
+
+impl<F: Fn(&Box2) -> f64> MergeCost for F {
+    fn cost(&self, b: &Box2) -> f64 {
+        self(b)
+    }
+}
+
+/// Greedily merges boxes while doing so reduces the total estimated cost.
+///
+/// At each step the pair whose merge yields the largest cost reduction is
+/// replaced by its enclosing box; the loop stops when no pair improves.
+/// The result is returned together with the total cost of the final set.
+///
+/// This is quadratic per step and `O(n³)` overall, which is fine for the
+/// tens of regions per frame CaTDet produces.
+///
+/// # Example
+///
+/// ```
+/// use catdet_geom::{greedy_merge, Box2};
+///
+/// // Fixed launch cost of 10 plus area: adjacent boxes merge, far ones don't.
+/// let cost = |b: &Box2| 10.0 + b.area() as f64;
+/// let boxes = vec![
+///     Box2::new(0.0, 0.0, 10.0, 10.0),
+///     Box2::new(10.0, 0.0, 20.0, 10.0),
+///     Box2::new(500.0, 500.0, 510.0, 510.0),
+/// ];
+/// let (merged, _total) = greedy_merge(&boxes, &cost);
+/// assert_eq!(merged.len(), 2);
+/// ```
+pub fn greedy_merge<C: MergeCost + ?Sized>(boxes: &[Box2], model: &C) -> (Vec<Box2>, f64) {
+    let mut set: Vec<Box2> = boxes.to_vec();
+    let mut costs: Vec<f64> = set.iter().map(|b| model.cost(b)).collect();
+
+    loop {
+        let n = set.len();
+        if n < 2 {
+            break;
+        }
+        let mut best: Option<(usize, usize, f64, Box2)> = None;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let merged = set[i].union_bounds(&set[j]);
+                let saving = costs[i] + costs[j] - model.cost(&merged);
+                if saving > 1e-12 {
+                    match best {
+                        Some((_, _, s, _)) if s >= saving => {}
+                        _ => best = Some((i, j, saving, merged)),
+                    }
+                }
+            }
+        }
+        match best {
+            Some((i, j, _, merged)) => {
+                // Remove j first (j > i) so i's index stays valid.
+                set.swap_remove(j);
+                costs.swap_remove(j);
+                set[i] = merged;
+                costs[i] = model.cost(&merged);
+            }
+            None => break,
+        }
+    }
+
+    let total = costs.iter().sum();
+    (set, total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Launch-overhead cost model: fixed cost per region plus its area.
+    fn overhead_cost(fixed: f64) -> impl Fn(&Box2) -> f64 {
+        move |b: &Box2| fixed + b.area() as f64
+    }
+
+    #[test]
+    fn empty_input() {
+        let (m, total) = greedy_merge(&[], &overhead_cost(10.0));
+        assert!(m.is_empty());
+        assert_eq!(total, 0.0);
+    }
+
+    #[test]
+    fn single_box_unchanged() {
+        let b = Box2::new(0.0, 0.0, 5.0, 5.0);
+        let (m, total) = greedy_merge(&[b], &overhead_cost(10.0));
+        assert_eq!(m, vec![b]);
+        assert!((total - 35.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn adjacent_boxes_merge() {
+        let boxes = vec![
+            Box2::new(0.0, 0.0, 10.0, 10.0),
+            Box2::new(10.0, 0.0, 20.0, 10.0),
+        ];
+        // Separate: 2*(100+100)=400... wait: 2*(100) area + 2*100 fixed = 400.
+        // Merged: 200 area + 100 fixed = 300 -> merge happens.
+        let (m, total) = greedy_merge(&boxes, &overhead_cost(100.0));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0], Box2::new(0.0, 0.0, 20.0, 10.0));
+        assert!((total - 300.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn distant_boxes_do_not_merge() {
+        let boxes = vec![
+            Box2::new(0.0, 0.0, 10.0, 10.0),
+            Box2::new(1000.0, 1000.0, 1010.0, 1010.0),
+        ];
+        let (m, _) = greedy_merge(&boxes, &overhead_cost(10.0));
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn zero_overhead_never_merges_disjoint() {
+        // With no launch cost, merging disjoint boxes only adds area.
+        let boxes = vec![
+            Box2::new(0.0, 0.0, 10.0, 10.0),
+            Box2::new(20.0, 20.0, 30.0, 30.0),
+        ];
+        let (m, _) = greedy_merge(&boxes, &overhead_cost(0.0));
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn overlapping_boxes_merge_even_with_zero_overhead() {
+        // Union area < sum of areas when boxes overlap.
+        let boxes = vec![
+            Box2::new(0.0, 0.0, 10.0, 10.0),
+            Box2::new(1.0, 1.0, 9.0, 9.0),
+        ];
+        let (m, _) = greedy_merge(&boxes, &overhead_cost(0.0));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn huge_overhead_merges_everything() {
+        let boxes = vec![
+            Box2::new(0.0, 0.0, 10.0, 10.0),
+            Box2::new(100.0, 0.0, 110.0, 10.0),
+            Box2::new(0.0, 100.0, 10.0, 110.0),
+        ];
+        let (m, _) = greedy_merge(&boxes, &overhead_cost(1e9));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn chain_merge_cascades() {
+        // Three boxes in a row where pairwise merges progressively pay off.
+        let boxes = vec![
+            Box2::new(0.0, 0.0, 10.0, 10.0),
+            Box2::new(12.0, 0.0, 22.0, 10.0),
+            Box2::new(24.0, 0.0, 34.0, 10.0),
+        ];
+        let (m, _) = greedy_merge(&boxes, &overhead_cost(200.0));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0], Box2::new(0.0, 0.0, 34.0, 10.0));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_total_cost_never_increases(
+            boxes in proptest::collection::vec(
+                (0.0f32..500.0, 0.0f32..200.0, 1.0f32..60.0, 1.0f32..60.0), 0..15),
+            fixed in 0.0f64..500.0,
+        ) {
+            let bs: Vec<Box2> = boxes
+                .iter()
+                .map(|&(x, y, w, h)| Box2::from_xywh(x, y, w, h))
+                .collect();
+            let model = overhead_cost(fixed);
+            let before: f64 = bs.iter().map(|b| model(b)).sum();
+            let (_, after) = greedy_merge(&bs, &model);
+            prop_assert!(after <= before + 1e-6);
+        }
+
+        #[test]
+        fn prop_merged_set_covers_inputs(
+            boxes in proptest::collection::vec(
+                (0.0f32..500.0, 0.0f32..200.0, 1.0f32..60.0, 1.0f32..60.0), 1..15),
+            fixed in 0.0f64..500.0,
+        ) {
+            let bs: Vec<Box2> = boxes
+                .iter()
+                .map(|&(x, y, w, h)| Box2::from_xywh(x, y, w, h))
+                .collect();
+            let (merged, _) = greedy_merge(&bs, &overhead_cost(fixed));
+            for b in &bs {
+                let covered = merged.iter().any(|m| m.contains_box(b));
+                prop_assert!(covered, "input box {:?} not covered by any merged box", b);
+            }
+        }
+
+        #[test]
+        fn prop_no_improving_pair_remains(
+            boxes in proptest::collection::vec(
+                (0.0f32..300.0, 0.0f32..300.0, 1.0f32..50.0, 1.0f32..50.0), 0..10),
+            fixed in 0.0f64..200.0,
+        ) {
+            let bs: Vec<Box2> = boxes
+                .iter()
+                .map(|&(x, y, w, h)| Box2::from_xywh(x, y, w, h))
+                .collect();
+            let model = overhead_cost(fixed);
+            let (merged, _) = greedy_merge(&bs, &model);
+            for i in 0..merged.len() {
+                for j in (i + 1)..merged.len() {
+                    let u = merged[i].union_bounds(&merged[j]);
+                    prop_assert!(
+                        model(&u) + 1e-9 >= model(&merged[i]) + model(&merged[j]),
+                        "pair ({i},{j}) still improves"
+                    );
+                }
+            }
+        }
+    }
+}

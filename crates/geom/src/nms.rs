@@ -1,0 +1,214 @@
+//! Greedy non-maximum suppression.
+//!
+//! Both the proposal network and the refinement network in CaTDet apply NMS
+//! to their raw outputs; the refinement network additionally relies on NMS to
+//! remove the duplicated detections that arise when the tracker and the
+//! proposal network propose overlapping regions (Fig. 2d of the paper).
+
+use crate::Box2;
+
+/// A bounding box with a confidence score, the minimal input NMS needs.
+pub trait Scored {
+    /// The bounding box of this item.
+    fn bounding_box(&self) -> Box2;
+    /// The confidence score of this item; higher wins.
+    fn score(&self) -> f32;
+}
+
+impl Scored for (Box2, f32) {
+    fn bounding_box(&self) -> Box2 {
+        self.0
+    }
+    fn score(&self) -> f32 {
+        self.1
+    }
+}
+
+/// Runs greedy NMS and returns the *indices* of the kept items, in
+/// descending score order.
+///
+/// Items are visited in descending score order; an item is kept if its IoU
+/// with every already-kept item is `< iou_threshold`. Ties in score are
+/// broken by original index so the result is deterministic.
+///
+/// # Example
+///
+/// ```
+/// use catdet_geom::{nms_indices, Box2};
+///
+/// let dets = vec![
+///     (Box2::new(0.0, 0.0, 10.0, 10.0), 0.9),
+///     (Box2::new(1.0, 1.0, 11.0, 11.0), 0.8), // overlaps the first
+///     (Box2::new(50.0, 50.0, 60.0, 60.0), 0.7),
+/// ];
+/// assert_eq!(nms_indices(&dets, 0.5), vec![0, 2]);
+/// ```
+pub fn nms_indices<T: Scored>(items: &[T], iou_threshold: f32) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..items.len()).collect();
+    order.sort_by(|&a, &b| {
+        items[b]
+            .score()
+            .partial_cmp(&items[a].score())
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+
+    let mut kept: Vec<usize> = Vec::new();
+    'outer: for &i in &order {
+        let bi = items[i].bounding_box();
+        for &k in &kept {
+            if bi.iou(&items[k].bounding_box()) >= iou_threshold {
+                continue 'outer;
+            }
+        }
+        kept.push(i);
+    }
+    kept
+}
+
+/// Runs greedy NMS and returns the surviving items (cloned), in descending
+/// score order.
+///
+/// See [`nms_indices`] for the exact suppression rule.
+pub fn nms<T: Scored + Clone>(items: &[T], iou_threshold: f32) -> Vec<T> {
+    nms_indices(items, iou_threshold)
+        .into_iter()
+        .map(|i| items[i].clone())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_input() {
+        let items: Vec<(Box2, f32)> = vec![];
+        assert!(nms_indices(&items, 0.5).is_empty());
+    }
+
+    #[test]
+    fn single_item_survives() {
+        let items = vec![(Box2::new(0.0, 0.0, 1.0, 1.0), 0.5)];
+        assert_eq!(nms_indices(&items, 0.5), vec![0]);
+    }
+
+    #[test]
+    fn suppresses_lower_scored_duplicate() {
+        let items = vec![
+            (Box2::new(0.0, 0.0, 10.0, 10.0), 0.5),
+            (Box2::new(0.0, 0.0, 10.0, 10.0), 0.9),
+        ];
+        // Index 1 has the higher score and must win.
+        assert_eq!(nms_indices(&items, 0.5), vec![1]);
+    }
+
+    #[test]
+    fn keeps_disjoint_boxes() {
+        let items = vec![
+            (Box2::new(0.0, 0.0, 10.0, 10.0), 0.9),
+            (Box2::new(20.0, 0.0, 30.0, 10.0), 0.8),
+            (Box2::new(40.0, 0.0, 50.0, 10.0), 0.7),
+        ];
+        assert_eq!(nms_indices(&items, 0.5), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn threshold_controls_suppression() {
+        let a = Box2::new(0.0, 0.0, 10.0, 10.0);
+        let b = Box2::new(5.0, 0.0, 15.0, 10.0); // IoU 1/3 with a
+        let items = vec![(a, 0.9), (b, 0.8)];
+        assert_eq!(nms_indices(&items, 0.5), vec![0, 1]);
+        assert_eq!(nms_indices(&items, 0.3), vec![0]);
+    }
+
+    #[test]
+    fn chain_suppression_is_greedy_not_transitive() {
+        // b overlaps a heavily, c overlaps b heavily but a only slightly.
+        // Greedy NMS keeps a, removes b, and keeps c (because b, which
+        // would have suppressed c, was itself removed).
+        let a = Box2::new(0.0, 0.0, 10.0, 10.0);
+        let b = Box2::new(4.0, 0.0, 14.0, 10.0);
+        let c = Box2::new(8.0, 0.0, 18.0, 10.0);
+        let items = vec![(a, 0.9), (b, 0.8), (c, 0.7)];
+        assert_eq!(nms_indices(&items, 0.3), vec![0, 2]);
+    }
+
+    #[test]
+    fn equal_scores_break_ties_by_index() {
+        let items = vec![
+            (Box2::new(0.0, 0.0, 10.0, 10.0), 0.5),
+            (Box2::new(0.0, 0.0, 10.0, 10.0), 0.5),
+        ];
+        assert_eq!(nms_indices(&items, 0.5), vec![0]);
+    }
+
+    #[test]
+    fn nms_returns_items_in_score_order() {
+        let items = vec![
+            (Box2::new(0.0, 0.0, 10.0, 10.0), 0.2),
+            (Box2::new(20.0, 0.0, 30.0, 10.0), 0.9),
+        ];
+        let kept = nms(&items, 0.5);
+        assert_eq!(kept.len(), 2);
+        assert!(kept[0].1 > kept[1].1);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_kept_items_mutually_below_threshold(
+            boxes in proptest::collection::vec(
+                (0.0f32..100.0, 0.0f32..100.0, 1.0f32..40.0, 1.0f32..40.0, 0.0f32..1.0), 0..30),
+            thr in 0.1f32..0.9,
+        ) {
+            let items: Vec<(Box2, f32)> = boxes
+                .iter()
+                .map(|&(x, y, w, h, s)| (Box2::from_xywh(x, y, w, h), s))
+                .collect();
+            let kept = nms_indices(&items, thr);
+            for (i, &a) in kept.iter().enumerate() {
+                for &b in &kept[i + 1..] {
+                    prop_assert!(items[a].0.iou(&items[b].0) < thr);
+                }
+            }
+        }
+
+        #[test]
+        fn prop_every_suppressed_item_overlaps_a_kept_one(
+            boxes in proptest::collection::vec(
+                (0.0f32..100.0, 0.0f32..100.0, 1.0f32..40.0, 1.0f32..40.0, 0.0f32..1.0), 0..30),
+            thr in 0.1f32..0.9,
+        ) {
+            let items: Vec<(Box2, f32)> = boxes
+                .iter()
+                .map(|&(x, y, w, h, s)| (Box2::from_xywh(x, y, w, h), s))
+                .collect();
+            let kept = nms_indices(&items, thr);
+            for i in 0..items.len() {
+                if !kept.contains(&i) {
+                    let covered = kept.iter().any(|&k| {
+                        items[k].0.iou(&items[i].0) >= thr
+                            && items[k].1 >= items[i].1
+                    });
+                    prop_assert!(covered, "suppressed item {} has no kept suppressor", i);
+                }
+            }
+        }
+
+        #[test]
+        fn prop_output_sorted_by_score(
+            boxes in proptest::collection::vec(
+                (0.0f32..100.0, 0.0f32..100.0, 1.0f32..40.0, 1.0f32..40.0, 0.0f32..1.0), 0..30),
+        ) {
+            let items: Vec<(Box2, f32)> = boxes
+                .iter()
+                .map(|&(x, y, w, h, s)| (Box2::from_xywh(x, y, w, h), s))
+                .collect();
+            let kept = nms(&items, 0.5);
+            for pair in kept.windows(2) {
+                prop_assert!(pair[0].1 >= pair[1].1);
+            }
+        }
+    }
+}

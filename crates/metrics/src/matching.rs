@@ -1,0 +1,233 @@
+//! Per-frame detection ↔ ground-truth matching, KITTI style.
+//!
+//! Matching is greedy in descending score order. Each detection is matched
+//! to the unmatched *valid* (difficulty-admitted) ground truth of its class
+//! with the highest IoU above the class threshold. Detections that only
+//! reach an *ignored* ground truth (one filtered out by the difficulty
+//! level) are discarded from scoring entirely — KITTI neither rewards nor
+//! punishes them. Everything else is a false positive.
+
+use crate::Detection;
+use catdet_data::{iou_threshold_for, Difficulty, GroundTruthObject};
+
+/// How one detection was classified by the matcher.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DetectionOutcome {
+    /// Matched a valid ground truth (index into the frame's GT list).
+    TruePositive(usize),
+    /// Matched nothing.
+    FalsePositive,
+    /// Overlapped only ignored ground truth; excluded from scoring.
+    Ignored,
+}
+
+/// Result of matching one frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrameMatch {
+    /// Outcome per detection, in the order given.
+    pub outcomes: Vec<DetectionOutcome>,
+    /// For each ground truth: the index of the detection that matched it.
+    pub gt_matched_by: Vec<Option<usize>>,
+    /// Number of valid (admitted) ground-truth objects in the frame.
+    pub num_valid_gt: usize,
+}
+
+/// Matches a frame's detections against its ground truth at a difficulty
+/// level.
+///
+/// Only same-class pairs can match; the IoU threshold is per class
+/// ([`iou_threshold_for`]). Ties in score are broken by detection index,
+/// making the result deterministic.
+pub fn match_frame(
+    gts: &[GroundTruthObject],
+    dets: &[Detection],
+    difficulty: Difficulty,
+) -> FrameMatch {
+    let admitted: Vec<bool> = gts.iter().map(|g| difficulty.admits(g)).collect();
+    let num_valid_gt = admitted.iter().filter(|&&a| a).count();
+
+    let mut order: Vec<usize> = (0..dets.len()).collect();
+    order.sort_by(|&a, &b| {
+        dets[b]
+            .score
+            .partial_cmp(&dets[a].score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+
+    let mut outcomes = vec![DetectionOutcome::FalsePositive; dets.len()];
+    let mut gt_matched_by: Vec<Option<usize>> = vec![None; gts.len()];
+
+    for &di in &order {
+        let det = &dets[di];
+        let thr = iou_threshold_for(det.class);
+        // Best unmatched valid ground truth of the same class.
+        let mut best_valid: Option<(usize, f32)> = None;
+        let mut best_ignored: Option<(usize, f32)> = None;
+        for (gi, gt) in gts.iter().enumerate() {
+            if gt.class != det.class || gt_matched_by[gi].is_some() {
+                continue;
+            }
+            let iou = det.bbox.iou(&gt.bbox);
+            if iou < thr {
+                continue;
+            }
+            let slot = if admitted[gi] {
+                &mut best_valid
+            } else {
+                &mut best_ignored
+            };
+            if slot.map_or(true, |(_, b)| iou > b) {
+                *slot = Some((gi, iou));
+            }
+        }
+        if let Some((gi, _)) = best_valid {
+            gt_matched_by[gi] = Some(di);
+            outcomes[di] = DetectionOutcome::TruePositive(gi);
+        } else if let Some((gi, _)) = best_ignored {
+            gt_matched_by[gi] = Some(di);
+            outcomes[di] = DetectionOutcome::Ignored;
+        }
+    }
+
+    FrameMatch {
+        outcomes,
+        gt_matched_by,
+        num_valid_gt,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use catdet_geom::Box2;
+    use catdet_sim::ActorClass;
+
+    fn gt(x: f32, w: f32, h: f32, class: ActorClass) -> GroundTruthObject {
+        GroundTruthObject {
+            track_id: 0,
+            class,
+            bbox: Box2::from_xywh(x, 100.0, w, h),
+            full_bbox: Box2::from_xywh(x, 100.0, w, h),
+            occlusion: 0.0,
+            truncation: 0.0,
+            depth: 20.0,
+        }
+    }
+
+    fn det(x: f32, w: f32, h: f32, score: f32, class: ActorClass) -> Detection {
+        Detection {
+            bbox: Box2::from_xywh(x, 100.0, w, h),
+            score,
+            class,
+        }
+    }
+
+    const CAR: ActorClass = ActorClass::Car;
+    const PED: ActorClass = ActorClass::Pedestrian;
+
+    #[test]
+    fn perfect_detection_is_tp() {
+        let gts = [gt(50.0, 60.0, 40.0, CAR)];
+        let dets = [det(50.0, 60.0, 40.0, 0.9, CAR)];
+        let m = match_frame(&gts, &dets, Difficulty::Hard);
+        assert_eq!(m.outcomes, vec![DetectionOutcome::TruePositive(0)]);
+        assert_eq!(m.num_valid_gt, 1);
+    }
+
+    #[test]
+    fn class_mismatch_is_fp() {
+        let gts = [gt(50.0, 60.0, 40.0, CAR)];
+        let dets = [det(50.0, 60.0, 40.0, 0.9, PED)];
+        let m = match_frame(&gts, &dets, Difficulty::Hard);
+        assert_eq!(m.outcomes, vec![DetectionOutcome::FalsePositive]);
+    }
+
+    #[test]
+    fn car_needs_70_percent_iou() {
+        let gts = [gt(0.0, 100.0, 40.0, CAR)];
+        // Offset by 25 → IoU = 75/125 = 0.6 < 0.7 → FP.
+        let dets = [det(25.0, 100.0, 40.0, 0.9, CAR)];
+        let m = match_frame(&gts, &dets, Difficulty::Hard);
+        assert_eq!(m.outcomes, vec![DetectionOutcome::FalsePositive]);
+    }
+
+    #[test]
+    fn pedestrian_needs_only_50_percent() {
+        let gts = [gt(0.0, 100.0, 40.0, PED)];
+        let dets = [det(25.0, 100.0, 40.0, 0.9, PED)];
+        let m = match_frame(&gts, &dets, Difficulty::Hard);
+        assert_eq!(m.outcomes, vec![DetectionOutcome::TruePositive(0)]);
+    }
+
+    #[test]
+    fn duplicate_detections_one_tp_one_fp() {
+        let gts = [gt(50.0, 60.0, 40.0, CAR)];
+        let dets = [
+            det(50.0, 60.0, 40.0, 0.9, CAR),
+            det(51.0, 60.0, 40.0, 0.8, CAR),
+        ];
+        let m = match_frame(&gts, &dets, Difficulty::Hard);
+        assert_eq!(m.outcomes[0], DetectionOutcome::TruePositive(0));
+        assert_eq!(m.outcomes[1], DetectionOutcome::FalsePositive);
+    }
+
+    #[test]
+    fn higher_score_wins_the_gt() {
+        let gts = [gt(50.0, 60.0, 40.0, CAR)];
+        let dets = [
+            det(51.0, 60.0, 40.0, 0.5, CAR),
+            det(50.0, 60.0, 40.0, 0.9, CAR),
+        ];
+        let m = match_frame(&gts, &dets, Difficulty::Hard);
+        assert_eq!(m.outcomes[1], DetectionOutcome::TruePositive(0));
+        assert_eq!(m.outcomes[0], DetectionOutcome::FalsePositive);
+        assert_eq!(m.gt_matched_by[0], Some(1));
+    }
+
+    #[test]
+    fn ignored_gt_absorbs_detection_without_scoring() {
+        // A tiny (sub-25px) ground truth is ignored at Hard; detecting it
+        // must not create a false positive.
+        let gts = [gt(50.0, 30.0, 15.0, CAR)];
+        let dets = [det(50.0, 30.0, 15.0, 0.9, CAR)];
+        let m = match_frame(&gts, &dets, Difficulty::Hard);
+        assert_eq!(m.outcomes, vec![DetectionOutcome::Ignored]);
+        assert_eq!(m.num_valid_gt, 0);
+    }
+
+    #[test]
+    fn valid_gt_preferred_over_ignored() {
+        let valid = gt(0.0, 100.0, 40.0, CAR);
+        let mut small = gt(0.0, 100.0, 40.0, CAR);
+        small.occlusion = 0.95; // ignored at Hard (max 0.9)
+        let gts = [small, valid];
+        let dets = [det(0.0, 100.0, 40.0, 0.9, CAR)];
+        let m = match_frame(&gts, &dets, Difficulty::Hard);
+        assert_eq!(m.outcomes, vec![DetectionOutcome::TruePositive(1)]);
+    }
+
+    #[test]
+    fn unmatched_gt_counts_toward_valid_total() {
+        let gts = [gt(0.0, 100.0, 40.0, CAR), gt(300.0, 100.0, 40.0, CAR)];
+        let dets = [det(0.0, 100.0, 40.0, 0.9, CAR)];
+        let m = match_frame(&gts, &dets, Difficulty::Hard);
+        assert_eq!(m.num_valid_gt, 2);
+        assert_eq!(m.gt_matched_by[1], None);
+    }
+
+    #[test]
+    fn greedy_prefers_best_iou_per_detection() {
+        let gts = [gt(0.0, 100.0, 40.0, PED), gt(20.0, 100.0, 40.0, PED)];
+        let dets = [det(18.0, 100.0, 40.0, 0.9, PED)];
+        let m = match_frame(&gts, &dets, Difficulty::Hard);
+        assert_eq!(m.outcomes, vec![DetectionOutcome::TruePositive(1)]);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let m = match_frame(&[], &[], Difficulty::Hard);
+        assert!(m.outcomes.is_empty());
+        assert_eq!(m.num_valid_gt, 0);
+    }
+}

@@ -1,0 +1,36 @@
+//! Prints the measured Table 1 / Table 2 operation counts next to the paper's.
+use catdet_nn::{gops, presets, RetinaNetSpec};
+
+fn main() {
+    for (spec, paper) in [
+        (presets::frcnn_resnet18(2), 138.3),
+        (presets::frcnn_resnet10a(2), 20.7),
+        (presets::frcnn_resnet10b(2), 7.5),
+        (presets::frcnn_resnet10c(2), 4.5),
+        (presets::frcnn_resnet50(2), 254.3),
+        (presets::frcnn_vgg16(2), 179.0),
+    ] {
+        let ops = spec.full_frame_macs(1242, 375, 300);
+        println!(
+            "{:28} trunk {:6.1}  rpn {:5.1}  head {:6.1}  total {:6.1}  paper {:6.1}",
+            spec.name,
+            gops(ops.trunk),
+            gops(ops.rpn),
+            gops(ops.head),
+            gops(ops.total()),
+            paper
+        );
+    }
+    let retina = RetinaNetSpec::resnet50(2);
+    println!(
+        "{:28} total {:6.1}  paper   96.7",
+        retina.name,
+        gops(retina.full_frame_macs(1242, 375))
+    );
+    let cp = presets::frcnn_resnet50(1);
+    println!(
+        "{:28} total {:6.1}  paper  597.0 (CityPersons 2048x1024)",
+        cp.name,
+        gops(cp.full_frame_macs(2048, 1024, 300).total())
+    );
+}

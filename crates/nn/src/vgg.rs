@@ -1,0 +1,99 @@
+//! VGG-16 backbone (used as a refinement network in Table 5).
+//!
+//! Faster R-CNN's original VGG-16 layout: the trunk runs `conv1_1` through
+//! `conv5_3` with the first four max-pools (so conv5 stays at stride 16,
+//! `pool5` is dropped), and the per-RoI head is the two 4096-wide
+//! fully-connected layers on 7×7 RoI-pooled features.
+
+use crate::layers::{linear_macs, sequential_macs, Layer, Shape};
+
+/// The VGG-16 convolutional trunk as a sequential layer list (stride 16).
+pub fn vgg16_trunk() -> Vec<Layer> {
+    let mut layers = Vec::new();
+    let cfg: [(usize, usize); 5] = [(64, 2), (128, 2), (256, 3), (512, 3), (512, 3)];
+    for (stage, &(ch, reps)) in cfg.iter().enumerate() {
+        for _ in 0..reps {
+            layers.push(Layer::Conv2d {
+                out_ch: ch,
+                kernel: 3,
+                stride: 1,
+            });
+        }
+        // Pool after stages 1-4 only; conv5 stays at stride 16.
+        if stage < 4 {
+            layers.push(Layer::MaxPool { stride: 2 });
+        }
+    }
+    layers
+}
+
+/// MACs of the VGG-16 trunk on a `width × height` image; returns
+/// `(macs, feat_h, feat_w)`.
+pub fn vgg16_trunk_macs(width: usize, height: usize) -> (f64, usize, usize) {
+    let (macs, shape) = sequential_macs(&vgg16_trunk(), Shape::new(3, height, width));
+    (macs, shape.h, shape.w)
+}
+
+/// MACs of the VGG-16 per-RoI head: `fc6` and `fc7` (4096 wide) on a
+/// 7×7×512 RoI plus the classification/regression outputs.
+pub fn vgg16_head_macs_per_roi(num_classes: usize) -> f64 {
+    linear_macs(512 * 7 * 7, 4096)
+        + linear_macs(4096, 4096)
+        + linear_macs(4096, num_classes + 1)
+        + linear_macs(4096, 4 * num_classes)
+}
+
+/// Trunk output channels (conv5_3).
+pub const VGG16_TRUNK_CHANNELS: usize = 512;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trunk_has_13_convs_and_4_pools() {
+        let layers = vgg16_trunk();
+        let convs = layers
+            .iter()
+            .filter(|l| matches!(l, Layer::Conv2d { .. }))
+            .count();
+        let pools = layers
+            .iter()
+            .filter(|l| matches!(l, Layer::MaxPool { .. }))
+            .count();
+        assert_eq!(convs, 13);
+        assert_eq!(pools, 4);
+    }
+
+    #[test]
+    fn trunk_is_stride_16() {
+        let (_, h, w) = vgg16_trunk_macs(1242, 375);
+        assert_eq!((h, w), (24, 78));
+    }
+
+    #[test]
+    fn trunk_macs_match_literature_at_224() {
+        // VGG-16 convs at 224x224 are ~15.3 GMACs in the literature
+        // (including conv5 at stride 16 rather than 32 changes little
+        // because pool5 sits after conv5).
+        let (macs, _, _) = vgg16_trunk_macs(224, 224);
+        let g = macs / 1e9;
+        assert!((14.0..17.0).contains(&g), "got {g}");
+    }
+
+    #[test]
+    fn kitti_resolution_trunk_scale() {
+        // 1242x375 has ~9.3x the pixels of 224x224.
+        let (at_kitti, _, _) = vgg16_trunk_macs(1242, 375);
+        let (at_224, _, _) = vgg16_trunk_macs(224, 224);
+        let ratio = at_kitti / at_224;
+        assert!((8.0..10.5).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn head_dominated_by_fc6() {
+        let head = vgg16_head_macs_per_roi(2);
+        let fc6 = 512.0 * 49.0 * 4096.0;
+        assert!(head > fc6 && head < fc6 * 1.3);
+    }
+}

@@ -1,0 +1,51 @@
+//! The CaTDet tracker: SORT-style association with an exponential-decay
+//! motion model (paper §4.1).
+//!
+//! Unlike a conventional tracker, whose product is track*lets*, this
+//! tracker's product is **predicted next-frame locations**: regions of
+//! interest handed to the refinement network. Its design follows the paper
+//! exactly:
+//!
+//! * **Association** — per class, a Hungarian assignment on a cost matrix
+//!   of negative IoUs between the tracks' predicted boxes and the new
+//!   detections; pairs at or below the IoU gate β (default 0) are severed.
+//! * **Motion** — instead of SORT's Kalman filter, an exponential decay
+//!   model (Eq. 1–3): `ẋ ← η·ẋ + (1−η)·Δx`, prediction `x′ = x + ẋ`,
+//!   aspect ratio carried over. η = 0.7; the paper observes robustness to a
+//!   wide range. (A constant-velocity Kalman filter and a static model are
+//!   also provided for the ablation benches.)
+//! * **Lifetime** — adaptive confidence: every match adds one (capped),
+//!   every miss subtracts one; below zero the track is discarded. Missed
+//!   tracks coast with constant motion and keep emitting predictions —
+//!   this is what carries objects through occlusion gaps.
+//! * **Output filtering** — predictions narrower than 10 px or largely
+//!   chopped by the frame boundary are suppressed to save refinement work.
+//!
+//! # Example
+//!
+//! ```
+//! use catdet_geom::Box2;
+//! use catdet_track::{Tracker, TrackerConfig, TrackDetection};
+//!
+//! let mut tracker: Tracker<u32> = Tracker::new(TrackerConfig::paper());
+//! // Frame 0: a car-class detection appears.
+//! tracker.update(&[TrackDetection { bbox: Box2::from_xywh(100.0, 100.0, 40.0, 30.0), score: 0.9, class: 0 }]);
+//! // Frame 1: it moved right; the tracker re-associates and learns motion.
+//! tracker.update(&[TrackDetection { bbox: Box2::from_xywh(108.0, 100.0, 40.0, 30.0), score: 0.9, class: 0 }]);
+//! let preds = tracker.predictions(1242.0, 375.0);
+//! assert_eq!(preds.len(), 1);
+//! // The prediction extrapolates the observed motion.
+//! assert!(preds[0].bbox.center().0 > 128.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod kalman;
+pub mod motion;
+pub mod tracker;
+
+pub use config::{MotionModelKind, TrackerConfig};
+pub use kalman::Kalman1d;
+pub use motion::MotionState;
+pub use tracker::{Track, TrackDetection, TrackPrediction, Tracker};

@@ -1,0 +1,451 @@
+//! The tracker: per-class association, state update, prediction output.
+
+use crate::config::TrackerConfig;
+use crate::motion::MotionState;
+use catdet_geom::{hungarian_with_threshold, Box2};
+use std::collections::BTreeMap;
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// A detection handed to the tracker (already thresholded by the system's
+/// T-thresh, or filtered here via
+/// [`TrackerConfig::input_score_threshold`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrackDetection<C> {
+    /// Bounding box in image coordinates.
+    pub bbox: Box2,
+    /// Detector confidence.
+    pub score: f32,
+    /// Object class.
+    pub class: C,
+}
+
+/// A predicted next-frame region of interest.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrackPrediction<C> {
+    /// Track identity.
+    pub track_id: u64,
+    /// Predicted bounding box.
+    pub bbox: Box2,
+    /// Object class.
+    pub class: C,
+    /// Current track confidence (matches minus misses, capped).
+    pub confidence: i32,
+}
+
+/// One tracked object.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Track<C> {
+    /// Stable track identity.
+    pub id: u64,
+    /// Object class.
+    pub class: C,
+    /// Adaptive confidence counter.
+    pub confidence: i32,
+    /// Frames since creation.
+    pub age: usize,
+    /// Total matched detections.
+    pub hits: usize,
+    /// Consecutive frames without a match.
+    pub time_since_update: usize,
+    pub(crate) motion: MotionState,
+}
+
+impl<C: Copy> Track<C> {
+    /// The track's prediction for the next frame.
+    pub fn predicted_box(&self) -> Box2 {
+        self.motion.predicted_box()
+    }
+
+    /// The track's current box estimate.
+    pub fn current_box(&self) -> Box2 {
+        self.motion.current_box()
+    }
+}
+
+/// Multi-object tracker generic over the class label type.
+#[derive(Debug, Clone)]
+pub struct Tracker<C> {
+    cfg: TrackerConfig,
+    tracks: Vec<Track<C>>,
+    next_id: u64,
+}
+
+impl<C: Copy + Eq + Ord + Hash + Debug> Tracker<C> {
+    /// Creates an empty tracker.
+    pub fn new(cfg: TrackerConfig) -> Self {
+        Self {
+            cfg,
+            tracks: Vec::new(),
+            next_id: 0,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &TrackerConfig {
+        &self.cfg
+    }
+
+    /// Live tracks (including coasting ones).
+    pub fn tracks(&self) -> &[Track<C>] {
+        &self.tracks
+    }
+
+    /// Discards all state (sequence boundary).
+    pub fn reset(&mut self) {
+        self.tracks.clear();
+        // Track ids keep increasing across sequences so they stay unique.
+    }
+
+    /// Processes one frame of detections: associates per class, updates
+    /// matched tracks, coasts or discards missed ones, and creates tracks
+    /// for emerging objects.
+    ///
+    /// Detections below the configured input score threshold are ignored.
+    pub fn update(&mut self, detections: &[TrackDetection<C>]) {
+        let admitted: Vec<&TrackDetection<C>> = detections
+            .iter()
+            .filter(|d| d.score >= self.cfg.input_score_threshold && d.bbox.is_valid())
+            .collect();
+
+        // Group detection indices per class ("this process is performed one
+        // time per class", §4.1). BTreeMap keeps iteration deterministic.
+        let mut per_class: BTreeMap<C, Vec<usize>> = BTreeMap::new();
+        for (i, d) in admitted.iter().enumerate() {
+            per_class.entry(d.class).or_default().push(i);
+        }
+
+        let mut matched_track: vec::BitSet = vec::BitSet::new(self.tracks.len());
+        let mut matched_det: vec::BitSet = vec::BitSet::new(admitted.len());
+        let mut assignments: Vec<(usize, usize)> = Vec::new(); // (track_idx, det_idx)
+
+        for (class, det_indices) in &per_class {
+            let track_indices: Vec<usize> = self
+                .tracks
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| t.class == *class)
+                .map(|(i, _)| i)
+                .collect();
+            if track_indices.is_empty() || det_indices.is_empty() {
+                continue;
+            }
+            // Cost matrix of negative IoUs between predictions and boxes.
+            let costs: Vec<Vec<f64>> = track_indices
+                .iter()
+                .map(|&ti| {
+                    let pred = self.tracks[ti].predicted_box();
+                    det_indices
+                        .iter()
+                        .map(|&di| -f64::from(pred.iou(&admitted[di].bbox)))
+                        .collect()
+                })
+                .collect();
+            // Sever pairs with IoU <= gate: cost must be strictly below -gate.
+            let gate = -f64::from(self.cfg.iou_gate) - 1e-9;
+            let assignment = hungarian_with_threshold(&costs, gate);
+            for (r, c) in assignment.pairs() {
+                let ti = track_indices[r];
+                let di = det_indices[c];
+                assignments.push((ti, di));
+                matched_track.set(ti);
+                matched_det.set(di);
+            }
+        }
+
+        // Matched tracks: observe the new box, bump confidence.
+        for (ti, di) in assignments {
+            let t = &mut self.tracks[ti];
+            t.motion.observe(&admitted[di].bbox);
+            t.confidence = (t.confidence + 1).min(self.cfg.max_confidence);
+            t.hits += 1;
+            t.time_since_update = 0;
+        }
+
+        // Missed tracks: coast with constant motion, decay confidence.
+        for (ti, t) in self.tracks.iter_mut().enumerate() {
+            t.age += 1;
+            if !matched_track.get(ti) {
+                t.motion.coast();
+                t.confidence -= 1;
+                t.time_since_update += 1;
+            }
+        }
+        // "Once the confidence value goes below zero, the object is
+        // discarded."
+        self.tracks.retain(|t| t.confidence >= 0);
+
+        // Emerging objects: new tracks with zero initial motion.
+        for (di, d) in admitted.iter().enumerate() {
+            if !matched_det.get(di) {
+                self.tracks.push(Track {
+                    id: self.next_id,
+                    class: d.class,
+                    confidence: self.cfg.initial_confidence,
+                    age: 1,
+                    hits: 1,
+                    time_since_update: 0,
+                    motion: MotionState::new(self.cfg.motion, &d.bbox),
+                });
+                self.next_id += 1;
+            }
+        }
+    }
+
+    /// Predicted next-frame regions of interest, with the paper's output
+    /// filters applied: minimum width and boundary-chop suppression.
+    pub fn predictions(&self, frame_width: f32, frame_height: f32) -> Vec<TrackPrediction<C>> {
+        self.tracks
+            .iter()
+            .filter_map(|t| {
+                let bbox = t.predicted_box();
+                if bbox.width() < self.cfg.min_width {
+                    return None;
+                }
+                let visible = bbox.clip(frame_width, frame_height);
+                if !visible.is_valid()
+                    || visible.area() / bbox.area() < self.cfg.min_visible_fraction
+                {
+                    return None;
+                }
+                Some(TrackPrediction {
+                    track_id: t.id,
+                    bbox,
+                    class: t.class,
+                    confidence: t.confidence,
+                })
+            })
+            .collect()
+    }
+}
+
+/// Minimal growable bit set (avoids a dependency for two call sites).
+mod vec {
+    #[derive(Debug)]
+    pub struct BitSet(Vec<bool>);
+    impl BitSet {
+        pub fn new(n: usize) -> Self {
+            Self(vec![false; n])
+        }
+        pub fn set(&mut self, i: usize) {
+            if i >= self.0.len() {
+                self.0.resize(i + 1, false);
+            }
+            self.0[i] = true;
+        }
+        pub fn get(&self, i: usize) -> bool {
+            self.0.get(i).copied().unwrap_or(false)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MotionModelKind;
+
+    const W: f32 = 1242.0;
+    const H: f32 = 375.0;
+
+    fn det(x: f32, y: f32, w: f32, h: f32, class: u32) -> TrackDetection<u32> {
+        TrackDetection {
+            bbox: Box2::from_xywh(x, y, w, h),
+            score: 0.9,
+            class,
+        }
+    }
+
+    fn tracker() -> Tracker<u32> {
+        Tracker::new(TrackerConfig::paper())
+    }
+
+    #[test]
+    fn empty_tracker_predicts_nothing() {
+        let t = tracker();
+        assert!(t.predictions(W, H).is_empty());
+        assert!(t.tracks().is_empty());
+    }
+
+    #[test]
+    fn detection_creates_track_with_identity() {
+        let mut t = tracker();
+        t.update(&[det(100.0, 100.0, 40.0, 30.0, 0)]);
+        assert_eq!(t.tracks().len(), 1);
+        assert_eq!(t.tracks()[0].id, 0);
+        assert_eq!(t.predictions(W, H).len(), 1);
+    }
+
+    #[test]
+    fn moving_object_keeps_its_id() {
+        let mut t = tracker();
+        for i in 0..10 {
+            t.update(&[det(100.0 + 6.0 * i as f32, 100.0, 40.0, 30.0, 0)]);
+        }
+        assert_eq!(t.tracks().len(), 1);
+        assert_eq!(t.tracks()[0].id, 0);
+        assert_eq!(t.tracks()[0].hits, 10);
+    }
+
+    #[test]
+    fn prediction_leads_the_motion() {
+        let mut t = tracker();
+        for i in 0..10 {
+            t.update(&[det(100.0 + 8.0 * i as f32, 100.0, 40.0, 30.0, 0)]);
+        }
+        let pred = &t.predictions(W, H)[0];
+        let current = t.tracks()[0].current_box();
+        assert!(pred.bbox.center().0 > current.center().0 + 4.0);
+    }
+
+    #[test]
+    fn low_scoring_detections_are_ignored() {
+        let mut t = tracker();
+        t.update(&[TrackDetection {
+            bbox: Box2::from_xywh(10.0, 10.0, 30.0, 30.0),
+            score: 0.1,
+            class: 0u32,
+        }]);
+        assert!(t.tracks().is_empty());
+    }
+
+    #[test]
+    fn classes_never_mix() {
+        let mut t = tracker();
+        t.update(&[det(100.0, 100.0, 40.0, 30.0, 0)]);
+        // Same place, different class: must open a second track, not match.
+        t.update(&[det(100.0, 100.0, 40.0, 30.0, 1)]);
+        assert_eq!(t.tracks().len(), 2);
+        let classes: Vec<u32> = t.tracks().iter().map(|tr| tr.class).collect();
+        assert!(classes.contains(&0) && classes.contains(&1));
+    }
+
+    #[test]
+    fn occlusion_gap_is_bridged_by_coasting() {
+        let mut t = tracker();
+        // Build confidence over several frames.
+        for i in 0..5 {
+            t.update(&[det(100.0 + 5.0 * i as f32, 100.0, 40.0, 30.0, 0)]);
+        }
+        let id = t.tracks()[0].id;
+        // Two missed frames (occlusion): track must survive and keep
+        // predicting.
+        t.update(&[]);
+        t.update(&[]);
+        assert_eq!(t.tracks().len(), 1);
+        assert!(!t.predictions(W, H).is_empty());
+        // Reappears where the constant-motion extrapolation expects it.
+        t.update(&[det(135.0, 100.0, 40.0, 30.0, 0)]);
+        assert_eq!(t.tracks()[0].id, id, "track identity must survive the gap");
+    }
+
+    #[test]
+    fn track_dies_after_enough_misses() {
+        let mut t = tracker();
+        t.update(&[det(100.0, 100.0, 40.0, 30.0, 0)]);
+        // initial confidence 1: survives misses until below zero.
+        t.update(&[]);
+        t.update(&[]);
+        assert!(t.tracks().is_empty());
+    }
+
+    #[test]
+    fn confidence_is_capped() {
+        let mut t = tracker();
+        for i in 0..20 {
+            t.update(&[det(100.0 + 2.0 * i as f32, 100.0, 40.0, 30.0, 0)]);
+        }
+        let cfg = TrackerConfig::paper();
+        assert_eq!(t.tracks()[0].confidence, cfg.max_confidence);
+        // Cap bounds survival: max_confidence+1 misses kill the track.
+        for _ in 0..(cfg.max_confidence + 1) {
+            t.update(&[]);
+        }
+        assert!(t.tracks().is_empty());
+    }
+
+    #[test]
+    fn narrow_predictions_are_suppressed() {
+        let mut t = tracker();
+        t.update(&[det(100.0, 100.0, 6.0, 20.0, 0)]); // width < 10
+        assert_eq!(t.tracks().len(), 1);
+        assert!(t.predictions(W, H).is_empty());
+    }
+
+    #[test]
+    fn boundary_chopped_predictions_are_suppressed() {
+        let mut t = tracker();
+        // Mostly outside the left edge.
+        t.update(&[TrackDetection {
+            bbox: Box2::new(-80.0, 100.0, 20.0, 160.0),
+            score: 0.9,
+            class: 0u32,
+        }]);
+        assert!(t.predictions(W, H).is_empty());
+    }
+
+    #[test]
+    fn two_crossing_objects_swap_free() {
+        let mut t = tracker();
+        // Two objects approaching each other horizontally.
+        for i in 0..8 {
+            let x1 = 100.0 + 10.0 * i as f32;
+            let x2 = 300.0 - 10.0 * i as f32;
+            t.update(&[
+                det(x1, 100.0, 40.0, 30.0, 0),
+                det(x2, 100.0, 40.0, 30.0, 0),
+            ]);
+        }
+        assert_eq!(t.tracks().len(), 2);
+        let ids: Vec<u64> = t.tracks().iter().map(|tr| tr.id).collect();
+        assert_eq!(ids.len(), 2);
+        assert_ne!(ids[0], ids[1]);
+    }
+
+    #[test]
+    fn iou_gate_blocks_distant_matches() {
+        let mut t = tracker();
+        t.update(&[det(100.0, 100.0, 40.0, 30.0, 0)]);
+        // Far away: IoU = 0, gate β=0 requires IoU > 0 → new track.
+        t.update(&[det(600.0, 100.0, 40.0, 30.0, 0)]);
+        assert_eq!(t.tracks().len(), 2);
+    }
+
+    #[test]
+    fn reset_clears_tracks_but_keeps_ids_unique() {
+        let mut t = tracker();
+        t.update(&[det(100.0, 100.0, 40.0, 30.0, 0)]);
+        let first_id = t.tracks()[0].id;
+        t.reset();
+        assert!(t.tracks().is_empty());
+        t.update(&[det(100.0, 100.0, 40.0, 30.0, 0)]);
+        assert_ne!(t.tracks()[0].id, first_id);
+    }
+
+    #[test]
+    fn static_motion_model_predicts_in_place() {
+        let mut t: Tracker<u32> = Tracker::new(
+            TrackerConfig::paper().with_motion(MotionModelKind::Static),
+        );
+        for i in 0..5 {
+            t.update(&[det(100.0 + 10.0 * i as f32, 100.0, 40.0, 30.0, 0)]);
+        }
+        let pred = &t.predictions(W, H)[0];
+        let current = t.tracks()[0].current_box();
+        assert_eq!(pred.bbox, current);
+    }
+
+    #[test]
+    fn greedy_ambiguity_resolved_optimally() {
+        // One track between two detections: Hungarian picks the higher-IoU
+        // one and the other spawns a new track.
+        let mut t = tracker();
+        t.update(&[det(100.0, 100.0, 40.0, 30.0, 0)]);
+        t.update(&[
+            det(104.0, 100.0, 40.0, 30.0, 0), // IoU ~0.82
+            det(130.0, 100.0, 40.0, 30.0, 0), // IoU ~0.1
+        ]);
+        assert_eq!(t.tracks().len(), 2);
+        let old = t.tracks().iter().find(|tr| tr.id == 0).unwrap();
+        assert!((old.current_box().center().0 - 124.0).abs() < 1.0);
+    }
+}

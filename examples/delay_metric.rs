@@ -1,0 +1,59 @@
+//! The mean-Delay metric in isolation: why two detectors with similar mAP
+//! can have very different response times (paper §5, Fig. 5).
+//!
+//! ```text
+//! cargo run --release --example delay_metric
+//! ```
+
+use catdet::core::{evaluate_collected, run_collect, DetectionSystem, SingleModelSystem};
+use catdet::data::{kitti_like, Difficulty};
+use catdet::detector::zoo;
+use catdet::sim::ActorClass;
+
+fn main() {
+    let dataset = kitti_like().sequences(8).frames_per_sequence(250).build();
+
+    for model in [zoo::resnet50(2), zoo::resnet10a(2)] {
+        let name = model.name.clone();
+        let mut system = SingleModelSystem::new(model, dataset.width, dataset.height);
+        let run = run_collect(&mut system, &dataset);
+        let ev = evaluate_collected(&run, &dataset, Difficulty::Hard);
+
+        println!("=== {name} ===");
+        println!("mAP (Hard): {:.3}", ev.map());
+        for beta in [0.7, 0.8, 0.9] {
+            match ev.mean_delay_at_precision(beta) {
+                Some(report) => {
+                    println!(
+                        "mD@{beta}: {:.2} frames (threshold {:.2}; per class: {})",
+                        report.mean,
+                        report.threshold,
+                        report
+                            .per_class
+                            .iter()
+                            .map(|(c, d)| format!("{c} {d:.2}"))
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    );
+                }
+                None => println!("mD@{beta}: precision {beta} not reachable"),
+            }
+        }
+        // The Figure 7 view: recall and delay against precision.
+        let curve = ev.operating_curve(ActorClass::Car, 8);
+        println!("Car operating points (precision / recall / delay):");
+        for p in curve.iter().filter(|p| p.precision >= 0.5) {
+            println!(
+                "  {:>5.2} / {:>5.2} / {:>6.2}",
+                p.precision, p.recall, p.delay
+            );
+        }
+        println!();
+    }
+
+    println!(
+        "Note how the weak model's delay explodes much faster than its mAP \
+         degrades — the paper's argument for treating delay as a first-class \
+         metric in delay-critical systems."
+    );
+}

@@ -1,0 +1,63 @@
+//! The Appendix I GPU model: region merging and the `T = αW + b` estimate.
+//!
+//! ```text
+//! cargo run --release --example gpu_timing
+//! ```
+
+use catdet::core::{CaTDetSystem, DetectionSystem, GpuTimingModel};
+use catdet::data::kitti_like;
+use catdet::geom::Box2;
+use catdet::nn::presets;
+
+fn main() {
+    let model = GpuTimingModel::titan_x_maxwell();
+    let refine = presets::frcnn_resnet50(2);
+
+    // Single-model reference.
+    let single_macs = refine.full_frame_macs(1242, 375, 300).total();
+    let single = model.single_model_frame(single_macs);
+    println!(
+        "single ResNet-50: {:.1} Gops -> {:.3} s GPU, {:.3} s total",
+        single_macs / 1e9,
+        single.gpu_s,
+        single.total_s
+    );
+
+    // Show merging on one real CaTDet frame.
+    let ds = kitti_like().sequences(1).frames_per_sequence(60).build();
+    let mut catdet = CaTDetSystem::catdet_a();
+    let mut last_regions: Vec<Box2> = Vec::new();
+    for frame in ds.sequences()[0].frames() {
+        let out = catdet.process_frame(frame);
+        last_regions = out.detections.iter().map(|d| d.bbox).collect();
+    }
+
+    let trunk = refine.trunk_macs(1242, 375);
+    let per_px = trunk / (1242.0 * 375.0);
+    let (merged, workload, gpu_time) =
+        model.merge_regions(per_px, 1242.0, 375.0, &last_regions, 30.0);
+    println!();
+    println!(
+        "refinement frame: {} regions merged into {} launches",
+        last_regions.len(),
+        merged.len()
+    );
+    println!(
+        "merged trunk workload {:.1} Gops, estimated GPU time {:.1} ms",
+        workload / 1e9,
+        gpu_time * 1e3
+    );
+
+    let prop_macs = presets::frcnn_resnet10a(2)
+        .full_frame_macs(1242, 375, 300)
+        .total();
+    let frame = model.catdet_frame(prop_macs, &refine, 1242.0, 375.0, &last_regions, 30.0);
+    println!(
+        "full CaTDet frame estimate: {:.3} s GPU, {:.3} s total  \
+         ({:.1}x / {:.1}x faster than the single model)",
+        frame.gpu_s,
+        frame.total_s,
+        single.gpu_s / frame.gpu_s,
+        single.total_s / frame.total_s
+    );
+}

@@ -1,0 +1,70 @@
+//! Pedestrian-street scenario (CityPersons-shaped): sparse annotation,
+//! crowd occlusion, and the cascade's failure mode that the tracker fixes.
+//!
+//! ```text
+//! cargo run --release --example pedestrian_surveillance
+//! ```
+
+use catdet::core::{
+    evaluate_collected_with, run_collect, CaTDetSystem, CascadedSystem, DetectionSystem,
+    SingleModelSystem, SystemConfig,
+};
+use catdet::data::{citypersons_like, Difficulty};
+use catdet::detector::zoo;
+use catdet::metrics::ApMethod;
+
+fn main() {
+    // 60 sequences of 30 frames; only frame 19 of each carries labels,
+    // but every frame is processed — the tracker needs the video.
+    let dataset = citypersons_like().sequences(60).build();
+    println!(
+        "dataset: {} frames total, {} labelled, {} Person annotations\n",
+        dataset.total_frames(),
+        dataset.labeled_frames(),
+        dataset.labeled_annotations()
+    );
+
+    let cfg = SystemConfig::paper();
+    let (w, h) = (dataset.width, dataset.height);
+    let mut systems: Vec<Box<dyn DetectionSystem>> = vec![
+        Box::new(SingleModelSystem::new(zoo::resnet50(1), w, h)),
+        Box::new(CascadedSystem::new(
+            zoo::resnet10a(1),
+            zoo::resnet50(1),
+            w,
+            h,
+            cfg,
+        )),
+        Box::new(CaTDetSystem::new(
+            zoo::resnet10a(1),
+            zoo::resnet50(1),
+            w,
+            h,
+            cfg,
+        )),
+    ];
+
+    println!("{:32} {:>9} {:>9}", "system", "ops (G)", "mAP");
+    let mut maps = Vec::new();
+    for system in systems.iter_mut() {
+        let run = run_collect(system.as_mut(), &dataset);
+        let ev = evaluate_collected_with(&run, &dataset, Difficulty::Hard, ApMethod::Continuous);
+        maps.push(ev.map());
+        println!(
+            "{:32} {:>9.1} {:>9.3}",
+            run.system_name,
+            run.mean_ops.total() / 1e9,
+            ev.map()
+        );
+    }
+
+    println!();
+    println!(
+        "Crowded scenes are where the plain cascade breaks (−{:.1}% mAP here): \
+         a proposal miss in a crowd has no second chance. The tracker's \
+         per-object predictions recover {:.1} of those {:.1} points.",
+        (maps[0] - maps[1]) * 100.0,
+        (maps[2] - maps[1]) * 100.0,
+        (maps[0] - maps[1]) * 100.0,
+    );
+}

@@ -1,0 +1,56 @@
+//! Quickstart: run CaTDet on a small synthetic driving clip and see the
+//! operation savings.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use catdet::core::{CaTDetSystem, DetectionSystem, SingleModelSystem};
+use catdet::data::kitti_like;
+
+fn main() {
+    // A 2-sequence synthetic driving dataset (KITTI-shaped frames).
+    let dataset = kitti_like().sequences(2).frames_per_sequence(80).seed(7).build();
+
+    // The paper's baseline (ResNet-50 Faster R-CNN on every frame) and
+    // CaTDet-A (ResNet-10a proposal net + tracker + ResNet-50 refinement).
+    let mut baseline = SingleModelSystem::resnet50_kitti();
+    let mut catdet = CaTDetSystem::catdet_a();
+
+    let mut base_ops = 0.0;
+    let mut catdet_ops = 0.0;
+    let mut frames = 0usize;
+
+    for seq in dataset.sequences() {
+        baseline.reset();
+        catdet.reset();
+        for frame in seq.frames() {
+            let b = baseline.process_frame(frame);
+            let c = catdet.process_frame(frame);
+            base_ops += b.ops.total();
+            catdet_ops += c.ops.total();
+            frames += 1;
+            if frame.index == 40 {
+                println!(
+                    "seq {} frame {}: {} objects in view; baseline found {}, CaTDet found {} \
+                     using {} refinement regions ({:.0}% of the frame)",
+                    seq.id,
+                    frame.index,
+                    frame.ground_truth.len(),
+                    b.detections.iter().filter(|d| d.score > 0.5).count(),
+                    c.detections.iter().filter(|d| d.score > 0.5).count(),
+                    c.num_refinement_regions,
+                    c.refinement_coverage * 100.0
+                );
+            }
+        }
+    }
+
+    let base_g = base_ops / frames as f64 / 1e9;
+    let catdet_g = catdet_ops / frames as f64 / 1e9;
+    println!();
+    println!("mean arithmetic cost per frame:");
+    println!("  single-model ResNet-50 : {base_g:>7.1} Gops");
+    println!("  CaTDet-A               : {catdet_g:>7.1} Gops");
+    println!("  reduction              : {:>7.1}x", base_g / catdet_g);
+}

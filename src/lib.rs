@@ -1,0 +1,53 @@
+//! # CaTDet — Cascaded Tracked Detection for Video
+//!
+//! A from-scratch Rust reproduction of *"CaTDet: Cascaded Tracked Detector
+//! for Efficient Object Detection from Video"* (Mao, Kong & Dally,
+//! MLSYS 2019). This facade crate re-exports the whole workspace:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`geom`] | `catdet-geom` | boxes, IoU, NMS, Hungarian assignment, coverage grids |
+//! | [`nn`] | `catdet-nn` | layer-level op-count models of every network in the paper |
+//! | [`sim`] | `catdet-sim` | 3-D driving/street world simulator |
+//! | [`data`] | `catdet-data` | KITTI-like / CityPersons-like synthetic datasets |
+//! | [`detector`] | `catdet-detector` | simulated CNN detectors with calibrated accuracy |
+//! | [`track`] | `catdet-track` | the CaTDet tracker (SORT-style, decay motion model) |
+//! | [`metrics`] | `catdet-metrics` | mAP and the paper's mean-Delay metric |
+//! | [`core`] | `catdet-core` | the three detection systems + ops/timing accounting |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use catdet::data::kitti_like;
+//! use catdet::core::{CaTDetSystem, DetectionSystem};
+//! use catdet::detector::zoo;
+//!
+//! // A small synthetic driving dataset (2 sequences, 60 frames each).
+//! let dataset = kitti_like().sequences(2).frames_per_sequence(60).seed(7).build();
+//!
+//! // CaTDet-A: ResNet-10a proposal net + ResNet-50 refinement net + tracker.
+//! let mut system = CaTDetSystem::catdet_a();
+//! for seq in dataset.sequences() {
+//!     system.reset();
+//!     for frame in seq.frames() {
+//!         let out = system.process_frame(frame);
+//!         // `out.detections` are the refined detections for this frame,
+//!         // `out.ops` the arithmetic cost actually spent.
+//!         assert!(out.ops.total() > 0.0);
+//!     }
+//! }
+//! ```
+
+pub use catdet_core as core;
+pub use catdet_data as data;
+pub use catdet_detector as detector;
+pub use catdet_geom as geom;
+pub use catdet_metrics as metrics;
+pub use catdet_nn as nn;
+pub use catdet_sim as sim;
+pub use catdet_track as track;
+
+// Convenience re-exports of the most common entry points.
+pub use catdet_core::{CaTDetSystem, CascadedSystem, DetectionSystem, SingleModelSystem};
+pub use catdet_data::kitti_like;
+pub use catdet_geom::Box2;

@@ -32,7 +32,11 @@ fn bench_hungarian(c: &mut Criterion) {
     let mut group = c.benchmark_group("hungarian");
     for n in [5usize, 15, 40] {
         let costs: Vec<Vec<f64>> = (0..n)
-            .map(|r| (0..n).map(|cidx| ((r * 31 + cidx * 17) % 97) as f64 / 97.0).collect())
+            .map(|r| {
+                (0..n)
+                    .map(|cidx| ((r * 31 + cidx * 17) % 97) as f64 / 97.0)
+                    .collect()
+            })
             .collect();
         group.bench_with_input(BenchmarkId::from_parameter(n), &costs, |b, costs| {
             b.iter(|| hungarian(criterion::black_box(costs)))
@@ -62,5 +66,11 @@ fn bench_merge(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_nms, bench_hungarian, bench_coverage, bench_merge);
+criterion_group!(
+    benches,
+    bench_nms,
+    bench_hungarian,
+    bench_coverage,
+    bench_merge
+);
 criterion_main!(benches);

@@ -37,7 +37,12 @@ fn bench_system<S: DetectionSystem + Clone>(
 
 fn bench_pipelines(c: &mut Criterion) {
     let ds = dataset();
-    bench_system(c, "single_resnet50", &ds, SingleModelSystem::resnet50_kitti());
+    bench_system(
+        c,
+        "single_resnet50",
+        &ds,
+        SingleModelSystem::resnet50_kitti(),
+    );
     bench_system(c, "cascade_a", &ds, CascadedSystem::cascade_a());
     bench_system(c, "catdet_a", &ds, CaTDetSystem::catdet_a());
 }

@@ -1,0 +1,51 @@
+//! Serving-scheduler throughput: how modelled frames/s scales with worker
+//! count and with the micro-batch window. The baseline future scaling PRs
+//! (sharding, async backends) are measured against.
+
+use catdet_serve::{kitti_workload, mixed_workload, serve, ServeConfig, SystemKind};
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
+
+const STREAMS: usize = 8;
+const FRAMES: usize = 12;
+
+fn bench_worker_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve_workers");
+    group.throughput(Throughput::Elements((STREAMS * FRAMES) as u64));
+    for workers in [1usize, 2, 4, 8] {
+        let cfg = ServeConfig::new()
+            .with_workers(workers)
+            .with_max_batch(8)
+            .with_queue_capacity(100_000);
+        group.bench_with_input(BenchmarkId::from_parameter(workers), &cfg, |b, cfg| {
+            b.iter_batched(
+                || mixed_workload(STREAMS, FRAMES, 9, SystemKind::CatdetA),
+                |streams| serve(streams, cfg),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_batch_window(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve_batch_window");
+    group.throughput(Throughput::Elements((STREAMS * FRAMES) as u64));
+    for window_ms in [0u64, 2, 5, 20] {
+        let cfg = ServeConfig::new()
+            .with_workers(4)
+            .with_max_batch(8)
+            .with_batch_window_s(window_ms as f64 / 1e3)
+            .with_queue_capacity(100_000);
+        group.bench_with_input(BenchmarkId::from_parameter(window_ms), &cfg, |b, cfg| {
+            b.iter_batched(
+                || kitti_workload(STREAMS, FRAMES, 9, SystemKind::CatdetA),
+                |streams| serve(streams, cfg),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_worker_scaling, bench_batch_window);
+criterion_main!(benches);

@@ -8,7 +8,10 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughpu
 
 /// Pre-computes a realistic detection stream from the simulator.
 fn detection_stream(frames: usize) -> Vec<Vec<TrackDetection<u8>>> {
-    let ds = kitti_like().sequences(1).frames_per_sequence(frames).build();
+    let ds = kitti_like()
+        .sequences(1)
+        .frames_per_sequence(frames)
+        .build();
     ds.sequences()[0]
         .frames()
         .iter()

@@ -8,8 +8,7 @@
 
 use catdet_bench::{tables, Scale};
 use catdet_core::{
-    evaluate_collected, run_collect, CaTDetSystem, DetectionSystem, GpuTimingModel,
-    SystemConfig,
+    evaluate_collected, run_collect, CaTDetSystem, DetectionSystem, GpuTimingModel, SystemConfig,
 };
 use catdet_data::Difficulty;
 use catdet_detector::zoo;
@@ -94,8 +93,7 @@ fn main() {
     for margin in [0.0f32, 10.0, 30.0, 60.0] {
         let mut cfg = SystemConfig::paper();
         cfg.margin = margin;
-        let mut system =
-            CaTDetSystem::new(zoo::resnet10a(2), zoo::resnet50(2), 1242.0, 375.0, cfg);
+        let mut system = CaTDetSystem::new(zoo::resnet10a(2), zoo::resnet50(2), 1242.0, 375.0, cfg);
         rows.push((format!("margin {margin} px"), measure(&mut system, &ds)));
     }
     print_rows("refinement context margin (paper: 30 px)", &rows);
@@ -103,9 +101,11 @@ fn main() {
 
     // 3. Track lifetime: adaptive confidence (paper) vs. one-strike.
     let mut rows = Vec::new();
-    for (name, max_conf, initial) in
-        [("adaptive, cap 4 (paper)", 4, 1), ("one-strike", 0, 0), ("long memory, cap 12", 12, 1)]
-    {
+    for (name, max_conf, initial) in [
+        ("adaptive, cap 4 (paper)", 4, 1),
+        ("one-strike", 0, 0),
+        ("long memory, cap 12", 12, 1),
+    ] {
         let mut tracker_cfg = TrackerConfig::paper();
         tracker_cfg.max_confidence = max_conf;
         tracker_cfg.initial_confidence = initial;

@@ -7,7 +7,17 @@ fn main() {
     tables::heading("Table 2", "KITTI main results (Moderate and Hard)");
     println!(
         "{:28} {:>7} {:>7} | {:>7} {:>7} | {:>7} {:>7} | {:>8} {:>8} | {:>8} {:>8}",
-        "system", "ops", "paper", "mAP(M)", "paper", "mAP(H)", "paper", "mD.8(M)", "paper", "mD.8(H)", "paper"
+        "system",
+        "ops",
+        "paper",
+        "mAP(M)",
+        "paper",
+        "mAP(H)",
+        "paper",
+        "mD.8(M)",
+        "paper",
+        "mD.8(H)",
+        "paper"
     );
     let rows = experiments::table2(scale);
     for r in &rows {

@@ -7,11 +7,24 @@ fn main() {
     tables::heading("Table 3", "operation break-down (Gops; sources overlap)");
     println!(
         "{:28} {:>7} {:>7} | {:>7} {:>7} | {:>7} {:>7} | {:>8} {:>8} | {:>8} {:>8}",
-        "system", "total", "paper", "prop", "paper", "refine", "paper", "from-trk", "paper", "from-prop", "paper"
+        "system",
+        "total",
+        "paper",
+        "prop",
+        "paper",
+        "refine",
+        "paper",
+        "from-trk",
+        "paper",
+        "from-prop",
+        "paper"
     );
     let rows = experiments::table3(scale);
     for r in &rows {
-        let fmt_opt = |v: Option<f64>| v.map(|x| format!("{x:>8.1}")).unwrap_or_else(|| format!("{:>8}", "/"));
+        let fmt_opt = |v: Option<f64>| {
+            v.map(|x| format!("{x:>8.1}"))
+                .unwrap_or_else(|| format!("{:>8}", "/"))
+        };
         println!(
             "{:28} {:>7.1} {:>7.1} | {:>7.1} {:>7.1} | {:>7.1} {:>7.1} | {} {} | {} {}",
             r.system,

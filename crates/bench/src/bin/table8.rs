@@ -4,7 +4,10 @@ use catdet_bench::{experiments, tables, Scale};
 
 fn main() {
     let scale = Scale::from_env();
-    tables::heading("Table 8", "RetinaNet single model vs RetinaNet CaTDet (Moderate)");
+    tables::heading(
+        "Table 8",
+        "RetinaNet single model vs RetinaNet CaTDet (Moderate)",
+    );
     println!(
         "{:32} {:>8} {:>8} | {:>8} {:>8} | {:>8} {:>8}",
         "system", "ops (G)", "paper", "mAP", "paper", "mD@0.8", "paper"

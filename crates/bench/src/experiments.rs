@@ -10,9 +10,9 @@ use catdet_core::{
     evaluate_collected, evaluate_collected_with, run_collect, CaTDetSystem, CascadedSystem,
     CollectedRun, DetectionSystem, GpuTimingModel, SingleModelSystem, SystemConfig,
 };
-use catdet_metrics::ApMethod;
 use catdet_data::{Difficulty, VideoDataset};
 use catdet_detector::{zoo, DetectorModel};
+use catdet_metrics::ApMethod;
 use catdet_metrics::OperatingPoint;
 use catdet_nn::{gops, presets};
 use catdet_sim::ActorClass;
@@ -204,11 +204,15 @@ pub struct Table3Row {
     pub paper: (f64, f64, f64, Option<f64>, Option<f64>),
 }
 
+/// Paper reference values of one Table 3 row:
+/// `(total, proposal, refinement, from_tracker, from_proposal)`.
+type Table3Paper = (f64, f64, f64, Option<f64>, Option<f64>);
+
 /// Regenerates Table 3: where the operations go.
 pub fn table3(scale: Scale) -> Vec<Table3Row> {
     let ds = scale.kitti();
     let mut rows = Vec::new();
-    let cases: Vec<(Box<dyn DetectionSystem>, (f64, f64, f64, Option<f64>, Option<f64>))> = vec![
+    let cases: Vec<(Box<dyn DetectionSystem>, Table3Paper)> = vec![
         (
             Box::new(CascadedSystem::cascade_a()),
             (43.2, 20.7, 22.5, None, None),
@@ -284,10 +288,14 @@ fn role_row(
 
 /// Regenerates Table 4: the proposal network's role. Each candidate is
 /// measured as (a) a single-model detector, (b) the proposal net of a
+/// One Table 4/5 case: the swept model plus the paper's
+/// `(mAP, delay, Gops)` for it alone and inside CaTDet.
+type RoleCase = (DetectorModel, (f64, f64, f64), (f64, f64, f64));
+
 /// CaTDet with ResNet-50 refinement.
 pub fn table4(scale: Scale) -> Vec<RoleRow> {
     let ds = scale.kitti();
-    let cases: Vec<(DetectorModel, (f64, f64, f64), (f64, f64, f64))> = vec![
+    let cases: Vec<RoleCase> = vec![
         (zoo::resnet18(2), (0.687, 5.9, 138.0), (0.742, 3.5, 163.0)),
         (zoo::resnet10a(2), (0.606, 10.9, 20.7), (0.740, 3.7, 49.3)),
         (zoo::resnet10b(2), (0.564, 13.4, 7.5), (0.741, 4.0, 29.3)),
@@ -315,7 +323,7 @@ pub fn table4(scale: Scale) -> Vec<RoleRow> {
 /// CaTDet with ResNet-10b proposals.
 pub fn table5(scale: Scale) -> Vec<RoleRow> {
     let ds = scale.kitti();
-    let cases: Vec<(DetectorModel, (f64, f64, f64), (f64, f64, f64))> = vec![
+    let cases: Vec<RoleCase> = vec![
         (zoo::resnet18(2), (0.687, 5.9, 138.0), (0.696, 6.0, 24.4)),
         (zoo::resnet50(2), (0.740, 3.3, 254.0), (0.741, 4.0, 39.8)),
         (zoo::vgg16(2), (0.742, 4.2, 179.0), (0.743, 4.4, 63.9)),
@@ -461,8 +469,7 @@ pub fn table7(scale: Scale) -> Vec<Table7Row> {
         system.reset();
         for frame in seq.frames() {
             let out = system.process_frame(frame);
-            let regions: Vec<catdet_geom::Box2> =
-                out.detections.iter().map(|d| d.bbox).collect();
+            let regions: Vec<catdet_geom::Box2> = out.detections.iter().map(|d| d.bbox).collect();
             // Regions for timing = what refinement actually processed;
             // approximate with the frame's refinement inputs by re-deriving
             // from coverage is lossy, so use the union count recorded.
@@ -530,10 +537,13 @@ pub struct Table8Row {
     pub paper: (f64, f64, f64),
 }
 
+/// One Table 8 case: a system plus the paper's `(ops, mAP, mD)`.
+type Table8Case = (Box<dyn DetectionSystem>, (f64, f64, f64));
+
 /// Regenerates Table 8: RetinaNet as the refinement network.
 pub fn table8(scale: Scale) -> Vec<Table8Row> {
     let ds = scale.kitti();
-    let cases: Vec<(Box<dyn DetectionSystem>, (f64, f64, f64))> = vec![
+    let cases: Vec<Table8Case> = vec![
         (
             Box::new(SingleModelSystem::retinanet_kitti()),
             (96.7, 0.773, 6.53),
@@ -658,7 +668,13 @@ mod tests {
     fn table1_matches_paper_within_tolerance() {
         for row in table1() {
             let rel = (row.gops - row.paper_gops).abs() / row.paper_gops;
-            assert!(rel < 0.15, "{}: {} vs {}", row.model, row.gops, row.paper_gops);
+            assert!(
+                rel < 0.15,
+                "{}: {} vs {}",
+                row.model,
+                row.gops,
+                row.paper_gops
+            );
         }
     }
 

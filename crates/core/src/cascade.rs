@@ -89,11 +89,9 @@ impl DetectionSystem for CascadedSystem {
 
     fn process_frame(&mut self, frame: &Frame) -> FrameOutput {
         // 1. Proposal network scans the whole frame; C-thresh + NMS.
-        let raw_props = self.proposal.detect_full_frame(
-            frame.sequence_id,
-            frame.index,
-            &frame.ground_truth,
-        );
+        let raw_props =
+            self.proposal
+                .detect_full_frame(frame.sequence_id, frame.index, &frame.ground_truth);
         let props: Vec<_> = raw_props
             .into_iter()
             .filter(|d| d.score >= self.cfg.c_thresh)

@@ -128,11 +128,9 @@ impl DetectionSystem for CaTDetSystem {
         let tracker_regions: Vec<Box2> = predictions.iter().map(|p| p.bbox).collect();
 
         // (c) Proposal network adds candidate locations for new objects.
-        let raw_props = self.proposal.detect_full_frame(
-            frame.sequence_id,
-            frame.index,
-            &frame.ground_truth,
-        );
+        let raw_props =
+            self.proposal
+                .detect_full_frame(frame.sequence_id, frame.index, &frame.ground_truth);
         let props: Vec<Detection> = raw_props
             .into_iter()
             .filter(|d| d.score >= self.cfg.c_thresh)
@@ -284,14 +282,16 @@ mod tests {
                 let b = cascade.process_frame(f);
                 for gt in f.ground_truth.iter().filter(|g| g.height_px() >= 25.0) {
                     total += 1;
-                    if a.detections.iter().any(|d| {
-                        d.class == gt.class && d.bbox.iou(&gt.bbox) > 0.5 && d.score > 0.3
-                    }) {
+                    if a.detections
+                        .iter()
+                        .any(|d| d.class == gt.class && d.bbox.iou(&gt.bbox) > 0.5 && d.score > 0.3)
+                    {
                         cat_hits += 1;
                     }
-                    if b.detections.iter().any(|d| {
-                        d.class == gt.class && d.bbox.iou(&gt.bbox) > 0.5 && d.score > 0.3
-                    }) {
+                    if b.detections
+                        .iter()
+                        .any(|d| d.class == gt.class && d.bbox.iou(&gt.bbox) > 0.5 && d.score > 0.3)
+                    {
                         cas_hits += 1;
                     }
                 }

@@ -37,6 +37,7 @@
 
 pub mod cascade;
 pub mod catdet;
+pub mod factory;
 pub mod ops;
 pub mod runner;
 pub mod single;
@@ -45,8 +46,12 @@ pub mod timing;
 
 pub use cascade::CascadedSystem;
 pub use catdet::CaTDetSystem;
+pub use factory::{PresetFactory, SystemFactory, SystemKind};
 pub use ops::OpsBreakdown;
-pub use runner::{evaluate_collected, evaluate_collected_with, run_collect, run_on_dataset, CollectedRun, RunReport};
+pub use runner::{
+    evaluate_collected, evaluate_collected_with, run_collect, run_on_dataset, CollectedRun,
+    RunReport,
+};
 pub use single::SingleModelSystem;
 pub use system::{nms_per_class, DetectionSystem, FrameOutput, SystemConfig};
 pub use timing::{FrameTiming, GpuTimingModel};

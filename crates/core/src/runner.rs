@@ -118,7 +118,13 @@ pub fn evaluate_collected_with(
                 (seq.id, frame.index),
                 "run does not match dataset"
             );
-            evaluator.add_frame(seq.id, frame.index, &frame.ground_truth, dets, frame.labeled);
+            evaluator.add_frame(
+                seq.id,
+                frame.index,
+                &frame.ground_truth,
+                dets,
+                frame.labeled,
+            );
         }
     }
     evaluator

@@ -53,11 +53,9 @@ impl DetectionSystem for SingleModelSystem {
     }
 
     fn process_frame(&mut self, frame: &Frame) -> FrameOutput {
-        let raw = self.detector.detect_full_frame(
-            frame.sequence_id,
-            frame.index,
-            &frame.ground_truth,
-        );
+        let raw =
+            self.detector
+                .detect_full_frame(frame.sequence_id, frame.index, &frame.ground_truth);
         let detections = nms_per_class(&raw, self.nms_iou);
         let macs = self
             .detector

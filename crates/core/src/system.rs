@@ -71,7 +71,10 @@ pub struct FrameOutput {
 }
 
 /// A video detection system: single-model, cascaded, or CaTDet.
-pub trait DetectionSystem {
+///
+/// Systems are `Send` so a serving layer can move per-stream pipelines
+/// across worker threads; all temporal state must be owned, not shared.
+pub trait DetectionSystem: Send {
     /// Human-readable system name (used in experiment tables).
     fn name(&self) -> String;
 
@@ -97,7 +100,10 @@ pub fn nms_per_class(detections: &[Detection], iou: f32) -> Vec<Detection> {
             kept.push(detections[of_class[idx].2]);
         }
     }
-    kept.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+    // `total_cmp` gives NaN scores a well-defined position in the ordering
+    // instead of the stable-but-arbitrary placement that
+    // `partial_cmp(..).unwrap_or(Equal)` used to produce.
+    kept.sort_by(|a, b| b.score.total_cmp(&a.score));
     kept
 }
 
@@ -121,9 +127,7 @@ pub fn refinement_macs(
             s.masked_macs(width as usize, height as usize, coverage, regions.len())
                 .total()
         }
-        OpsSpec::RetinaNet(r) => {
-            r.masked_macs(width as usize, height as usize, regions, margin)
-        }
+        OpsSpec::RetinaNet(r) => r.masked_macs(width as usize, height as usize, regions, margin),
     }
 }
 

@@ -108,8 +108,7 @@ impl GpuTimingModel {
         if !regions.is_empty() {
             let trunk = refinement.trunk_macs(width as usize, height as usize);
             let per_px = trunk / (width as f64 * height as f64);
-            let (_, _, merge_time) =
-                self.merge_regions(per_px, width, height, regions, margin);
+            let (_, _, merge_time) = self.merge_regions(per_px, width, height, regions, margin);
             gpu += merge_time;
             gpu += self.launch_time(refinement.head_macs_per_roi() * regions.len() as f64);
         }
@@ -169,15 +168,12 @@ mod tests {
         let regions: Vec<Box2> = (0..10)
             .map(|i| Box2::from_xywh(80.0 * i as f32, 100.0, 70.0, 50.0))
             .collect();
-        let (merged, workload, time) =
-            model.merge_regions(per_px, 1242.0, 375.0, &regions, 30.0);
+        let (merged, workload, time) = model.merge_regions(per_px, 1242.0, 375.0, &regions, 30.0);
         assert!(merged.len() < regions.len());
         // Unmerged baseline: each dilated region its own launch.
         let unmerged_time: f64 = regions
             .iter()
-            .map(|r| {
-                model.launch_time(per_px * r.dilate(30.0).clip(1242.0, 375.0).area() as f64)
-            })
+            .map(|r| model.launch_time(per_px * r.dilate(30.0).clip(1242.0, 375.0).area() as f64))
             .sum();
         assert!(time <= unmerged_time + 1e-12);
         assert!(workload > 0.0);

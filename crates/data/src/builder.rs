@@ -135,8 +135,16 @@ mod tests {
 
     #[test]
     fn seeds_change_content() {
-        let a = kitti_like().sequences(1).frames_per_sequence(30).seed(1).build();
-        let b = kitti_like().sequences(1).frames_per_sequence(30).seed(2).build();
+        let a = kitti_like()
+            .sequences(1)
+            .frames_per_sequence(30)
+            .seed(1)
+            .build();
+        let b = kitti_like()
+            .sequences(1)
+            .frames_per_sequence(30)
+            .seed(2)
+            .build();
         assert_ne!(a, b);
     }
 

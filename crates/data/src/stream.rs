@@ -1,0 +1,195 @@
+//! Stream adapters: datasets as live per-camera frame feeds.
+//!
+//! A serving system does not see a dataset — it sees N cameras, each
+//! pushing frames at its own frame rate. [`StreamSource`] turns one
+//! [`Sequence`] of a [`VideoDataset`] into exactly that: an iterator of
+//! [`StreamFrame`]s carrying simulated arrival timestamps derived from the
+//! sequence's fps (plus an optional start offset so cameras do not tick in
+//! lock-step).
+
+use crate::dataset::{Frame, Sequence, VideoDataset};
+
+/// One frame as it arrives from a camera stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamFrame {
+    /// Simulated arrival time in seconds since serving start.
+    pub arrival_s: f64,
+    /// The frame itself (annotations travel with it for evaluation).
+    pub frame: Frame,
+}
+
+/// A single camera stream: frames plus deterministic arrival times.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamSource {
+    /// Stream identity (unique within one serving run).
+    pub stream_id: usize,
+    /// Camera frame rate in frames per second.
+    pub fps: f32,
+    /// Frame width in pixels.
+    pub width: f32,
+    /// Frame height in pixels.
+    pub height: f32,
+    frames: Vec<StreamFrame>,
+}
+
+impl StreamSource {
+    /// Wraps one sequence as a stream; frame `i` arrives at
+    /// `start_offset_s + i / fps`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sequence frame rate is not positive.
+    pub fn from_sequence(stream_id: usize, sequence: &Sequence, start_offset_s: f64) -> Self {
+        Self::from_sequence_with_geometry(stream_id, sequence, start_offset_s, 0.0, 0.0)
+    }
+
+    /// Like [`StreamSource::from_sequence`], recording the camera geometry
+    /// of the owning dataset (useful when mixing heterogeneous workloads).
+    pub fn from_sequence_with_geometry(
+        stream_id: usize,
+        sequence: &Sequence,
+        start_offset_s: f64,
+        width: f32,
+        height: f32,
+    ) -> Self {
+        assert!(
+            sequence.fps > 0.0,
+            "stream {stream_id}: fps must be positive"
+        );
+        let period = 1.0 / sequence.fps as f64;
+        let frames = sequence
+            .frames()
+            .iter()
+            .map(|f| StreamFrame {
+                arrival_s: start_offset_s + f.index as f64 * period,
+                frame: f.clone(),
+            })
+            .collect();
+        Self {
+            stream_id,
+            fps: sequence.fps,
+            width,
+            height,
+            frames,
+        }
+    }
+
+    /// Turns every sequence of a dataset into a stream.
+    ///
+    /// Stream `i` starts at `i * stagger_s`, staggering camera phases so
+    /// arrivals interleave rather than stampede (pass `0.0` for lock-step
+    /// cameras).
+    pub fn from_dataset(dataset: &VideoDataset, stagger_s: f64) -> Vec<StreamSource> {
+        dataset
+            .sequences()
+            .iter()
+            .enumerate()
+            .map(|(i, seq)| {
+                Self::from_sequence_with_geometry(
+                    i,
+                    seq,
+                    i as f64 * stagger_s,
+                    dataset.width,
+                    dataset.height,
+                )
+            })
+            .collect()
+    }
+
+    /// The frames with their arrival times, in arrival order.
+    pub fn frames(&self) -> &[StreamFrame] {
+        &self.frames
+    }
+
+    /// Number of frames in the stream.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Whether the stream carries no frames.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Arrival time of the last frame (serving must run at least this
+    /// long), or `0.0` for an empty stream.
+    pub fn last_arrival_s(&self) -> f64 {
+        self.frames.last().map_or(0.0, |f| f.arrival_s)
+    }
+
+    /// Reassigns the stream id (used when merging streams from several
+    /// datasets into one serving run).
+    pub fn with_stream_id(mut self, stream_id: usize) -> Self {
+        self.stream_id = stream_id;
+        self
+    }
+}
+
+impl IntoIterator for StreamSource {
+    type Item = StreamFrame;
+    type IntoIter = std::vec::IntoIter<StreamFrame>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.frames.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a StreamSource {
+    type Item = &'a StreamFrame;
+    type IntoIter = std::slice::Iter<'a, StreamFrame>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.frames.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::kitti_like;
+
+    #[test]
+    fn arrival_times_follow_fps() {
+        let ds = kitti_like().sequences(1).frames_per_sequence(5).build();
+        let s = StreamSource::from_sequence(0, &ds.sequences()[0], 0.0);
+        // KITTI-like runs at 10 fps → 100 ms period.
+        let times: Vec<f64> = s.frames().iter().map(|f| f.arrival_s).collect();
+        assert_eq!(times.len(), 5);
+        for (i, t) in times.iter().enumerate() {
+            assert!((t - i as f64 * 0.1).abs() < 1e-9);
+        }
+        assert!((s.last_arrival_s() - 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stagger_offsets_streams() {
+        let ds = kitti_like().sequences(3).frames_per_sequence(4).build();
+        let streams = StreamSource::from_dataset(&ds, 0.03);
+        assert_eq!(streams.len(), 3);
+        for (i, s) in streams.iter().enumerate() {
+            assert_eq!(s.stream_id, i);
+            assert!((s.frames()[0].arrival_s - i as f64 * 0.03).abs() < 1e-9);
+            assert_eq!(s.width, 1242.0);
+        }
+    }
+
+    #[test]
+    fn frames_round_trip_unchanged() {
+        let ds = kitti_like().sequences(1).frames_per_sequence(6).build();
+        let s = StreamSource::from_sequence(0, &ds.sequences()[0], 0.0);
+        let originals = ds.sequences()[0].frames();
+        for (sf, f) in s.frames().iter().zip(originals) {
+            assert_eq!(&sf.frame, f);
+        }
+        // Owning iteration yields the same frames.
+        let collected: Vec<StreamFrame> = s.clone().into_iter().collect();
+        assert_eq!(collected.len(), 6);
+    }
+
+    #[test]
+    fn stream_id_can_be_reassigned() {
+        let ds = kitti_like().sequences(1).frames_per_sequence(2).build();
+        let s = StreamSource::from_sequence(0, &ds.sequences()[0], 0.0).with_stream_id(7);
+        assert_eq!(s.stream_id, 7);
+    }
+}

@@ -46,7 +46,7 @@ impl SimulatedDetector {
     /// Creates a detector for frames of the given size with the default
     /// experiment seed.
     pub fn new(model: DetectorModel, frame_w: f32, frame_h: f32) -> Self {
-        Self::with_seed(model, frame_w, frame_h, 0xCA7D_E7)
+        Self::with_seed(model, frame_w, frame_h, 0x00CA_7DE7)
     }
 
     /// Creates a detector with an explicit experiment seed.
@@ -150,7 +150,8 @@ impl SimulatedDetector {
         rng: &mut R,
     ) -> Detection {
         let p = &self.model.profile;
-        let score_logit = p.score_offset + p.score_gain * margin + p.score_noise * sample_normal(rng);
+        let score_logit =
+            p.score_offset + p.score_gain * margin + p.score_noise * sample_normal(rng);
         let score = sigmoid(score_logit).clamp(1e-4, 1.0 - 1e-4);
         let b = &gt.bbox;
         let (w, h) = (b.width(), b.height());
@@ -487,7 +488,10 @@ mod tests {
             let gts = [gt(track, 400.0, 28.0)];
             let mut prev_miss = false;
             for f in 0..12 {
-                let hit = !d.detect_full_frame(track as usize, f, &gts).iter().any(|x| x.bbox.iou(&gts[0].bbox) > 0.3);
+                let hit = !d
+                    .detect_full_frame(track as usize, f, &gts)
+                    .iter()
+                    .any(|x| x.bbox.iou(&gts[0].bbox) > 0.3);
                 let miss = hit;
                 frames += 1;
                 if miss {
@@ -516,7 +520,10 @@ mod tests {
         let mut big_scores = Vec::new();
         let mut small_scores = Vec::new();
         for f in 0..200 {
-            let gts = [gt(2 * f as u64, 200.0, 100.0), gt(2 * f as u64 + 1, 700.0, 26.0)];
+            let gts = [
+                gt(2 * f as u64, 200.0, 100.0),
+                gt(2 * f as u64 + 1, 700.0, 26.0),
+            ];
             for det in d.detect_full_frame(0, f as usize, &gts) {
                 if det.bbox.height() > 60.0 {
                     big_scores.push(det.score);
@@ -566,7 +573,10 @@ mod tests {
         let mut far_hits = 0;
         for f in 1..100 {
             let dets = d.detect_regions(0, f, &gts, &proposals, 30.0);
-            far_hits += dets.iter().filter(|x| x.bbox.iou(&gts[1].bbox) > 0.3).count();
+            far_hits += dets
+                .iter()
+                .filter(|x| x.bbox.iou(&gts[1].bbox) > 0.3)
+                .count();
         }
         assert_eq!(far_hits, 0);
     }
@@ -627,7 +637,10 @@ mod tests {
     fn region_specificity() {
         let t = Box2::from_xywh(100.0, 100.0, 40.0, 40.0);
         // The object's own (slightly jittered) box matches.
-        assert!(region_matches(&t, &[Box2::from_xywh(95.0, 97.0, 42.0, 40.0)]));
+        assert!(region_matches(
+            &t,
+            &[Box2::from_xywh(95.0, 97.0, 42.0, 40.0)]
+        ));
         // No regions: no match.
         assert!(!region_matches(&t, &[]));
         // A huge blanket region covering the centre does NOT match.

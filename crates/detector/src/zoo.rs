@@ -256,8 +256,6 @@ mod tests {
     fn retinanet_is_cheaper_than_frcnn_resnet50() {
         let retina = retinanet_resnet50(2);
         let frcnn = resnet50(2);
-        assert!(
-            retina.ops.full_frame_macs(1242, 375) < frcnn.ops.full_frame_macs(1242, 375) * 0.5
-        );
+        assert!(retina.ops.full_frame_macs(1242, 375) < frcnn.ops.full_frame_macs(1242, 375) * 0.5);
     }
 }

@@ -131,10 +131,10 @@ pub fn hungarian(costs: &[Vec<f64>]) -> Assignment {
 pub fn hungarian_with_threshold(costs: &[Vec<f64>], max_cost: f64) -> Assignment {
     let mut a = hungarian(costs);
     let mut total = 0.0;
-    for r in 0..a.row_to_col.len() {
-        if let Some(c) = a.row_to_col[r] {
+    for (r, slot) in a.row_to_col.iter_mut().enumerate() {
+        if let Some(c) = *slot {
             if costs[r][c] > max_cost {
-                a.row_to_col[r] = None;
+                *slot = None;
                 a.col_to_row[c] = None;
             } else {
                 total += costs[r][c];
@@ -150,7 +150,11 @@ pub fn hungarian_with_threshold(costs: &[Vec<f64>], max_cost: f64) -> Assignment
 /// Returns, for each row, the matched column. All rows are matched.
 /// Based on the classic potentials formulation (see e.g. e-maxx /
 /// "Algorithms for Competitive Programming", assignment problem).
-fn solve_min_cost(cost: &dyn Fn(usize, usize) -> f64, rows: usize, cols: usize) -> Vec<Option<usize>> {
+fn solve_min_cost(
+    cost: &dyn Fn(usize, usize) -> f64,
+    rows: usize,
+    cols: usize,
+) -> Vec<Option<usize>> {
     debug_assert!(rows <= cols);
     const INF: f64 = f64::INFINITY;
     // 1-indexed potentials and matching arrays; index 0 is a sentinel.
@@ -385,7 +389,7 @@ mod tests {
                 prop_assert!(seen_cols.insert(c));
                 prop_assert_eq!(a.col_to_row[c], Some(r));
             }
-            prop_assert_eq!(a.len(), 5.min(6));
+            prop_assert_eq!(a.len(), 5);
         }
     }
 }

@@ -195,7 +195,7 @@ mod tests {
                 .map(|&(x, y, w, h)| Box2::from_xywh(x, y, w, h))
                 .collect();
             let model = overhead_cost(fixed);
-            let before: f64 = bs.iter().map(|b| model(b)).sum();
+            let before: f64 = bs.iter().map(&model).sum();
             let (_, after) = greedy_merge(&bs, &model);
             prop_assert!(after <= before + 1e-6);
         }

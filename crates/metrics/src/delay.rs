@@ -194,7 +194,11 @@ mod tests {
     fn late_detection_counts_frames() {
         let mut acc = DelayAccumulator::new();
         for f in 0..5 {
-            let dets = if f >= 3 { vec![det(big(), 0.9)] } else { vec![] };
+            let dets = if f >= 3 {
+                vec![det(big(), 0.9)]
+            } else {
+                vec![]
+            };
             acc.add_frame(0, f, &[gt(1, big())], &dets, Difficulty::Hard);
         }
         assert_eq!(acc.instances_of(CAR)[0].delay_at(0.5), 3);

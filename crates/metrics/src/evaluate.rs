@@ -130,10 +130,16 @@ impl Evaluator {
                 }
                 match outcome {
                     DetectionOutcome::TruePositive(_) => {
-                        self.records.get_mut(&det.class).unwrap().push((det.score, true));
+                        self.records
+                            .get_mut(&det.class)
+                            .unwrap()
+                            .push((det.score, true));
                     }
                     DetectionOutcome::FalsePositive => {
-                        self.records.get_mut(&det.class).unwrap().push((det.score, false));
+                        self.records
+                            .get_mut(&det.class)
+                            .unwrap()
+                            .push((det.score, false));
                     }
                     DetectionOutcome::Ignored => {}
                 }

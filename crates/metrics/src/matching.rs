@@ -77,7 +77,7 @@ pub fn match_frame(
             } else {
                 &mut best_ignored
             };
-            if slot.map_or(true, |(_, b)| iou > b) {
+            if slot.is_none_or(|(_, b)| iou > b) {
                 *slot = Some((gi, iou));
             }
         }

@@ -231,27 +231,52 @@ mod tests {
 
     #[test]
     fn table1_resnet18_ops() {
-        assert_close(gops(&frcnn_resnet18(KITTI_CLASSES)), 138.3, 0.10, "ResNet-18");
+        assert_close(
+            gops(&frcnn_resnet18(KITTI_CLASSES)),
+            138.3,
+            0.10,
+            "ResNet-18",
+        );
     }
 
     #[test]
     fn table1_resnet10a_ops() {
-        assert_close(gops(&frcnn_resnet10a(KITTI_CLASSES)), 20.7, 0.10, "ResNet-10a");
+        assert_close(
+            gops(&frcnn_resnet10a(KITTI_CLASSES)),
+            20.7,
+            0.10,
+            "ResNet-10a",
+        );
     }
 
     #[test]
     fn table1_resnet10b_ops() {
-        assert_close(gops(&frcnn_resnet10b(KITTI_CLASSES)), 7.5, 0.10, "ResNet-10b");
+        assert_close(
+            gops(&frcnn_resnet10b(KITTI_CLASSES)),
+            7.5,
+            0.10,
+            "ResNet-10b",
+        );
     }
 
     #[test]
     fn table1_resnet10c_ops() {
-        assert_close(gops(&frcnn_resnet10c(KITTI_CLASSES)), 4.5, 0.10, "ResNet-10c");
+        assert_close(
+            gops(&frcnn_resnet10c(KITTI_CLASSES)),
+            4.5,
+            0.10,
+            "ResNet-10c",
+        );
     }
 
     #[test]
     fn table2_resnet50_ops() {
-        assert_close(gops(&frcnn_resnet50(KITTI_CLASSES)), 254.3, 0.15, "ResNet-50");
+        assert_close(
+            gops(&frcnn_resnet50(KITTI_CLASSES)),
+            254.3,
+            0.15,
+            "ResNet-50",
+        );
     }
 
     #[test]

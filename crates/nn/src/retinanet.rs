@@ -122,13 +122,7 @@ impl RetinaNetSpec {
     /// dilated regions (deeper features depend on everything beneath
     /// them), while the FPN and subnets at each level pay only for the
     /// regions assigned to that level by scale.
-    pub fn masked_macs(
-        &self,
-        width: usize,
-        height: usize,
-        regions: &[Box2],
-        margin: f32,
-    ) -> f64 {
+    pub fn masked_macs(&self, width: usize, height: usize, regions: &[Box2], margin: f32) -> f64 {
         // Trunk: union coverage at the trunk's dominant stride (16).
         let mut trunk_grid = CoverageGrid::new(width as f32, height as f32, 16);
         for r in regions {

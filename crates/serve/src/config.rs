@@ -1,0 +1,198 @@
+//! Serving configuration: scheduling policy, batching, backpressure.
+
+use catdet_core::GpuTimingModel;
+use serde::{Deserialize, Serialize};
+
+/// Which stream a free worker serves next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SchedulePolicy {
+    /// Streams are served in ring order from a rotating cursor: every
+    /// camera gets an equal share of worker time regardless of backlog.
+    RoundRobin,
+    /// Streams with the smallest backlog are served first: well-behaved
+    /// cameras stay snappy, and sustained overload is concentrated (and
+    /// shed via the drop policy) on the cameras causing it.
+    LeastBacklog,
+}
+
+impl SchedulePolicy {
+    /// Stable CLI name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SchedulePolicy::RoundRobin => "round-robin",
+            SchedulePolicy::LeastBacklog => "least-backlog",
+        }
+    }
+
+    /// Parses a CLI name.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "round-robin" => Some(SchedulePolicy::RoundRobin),
+            "least-backlog" => Some(SchedulePolicy::LeastBacklog),
+            _ => None,
+        }
+    }
+}
+
+/// What happens when a frame arrives at a full per-stream queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DropPolicy {
+    /// The arriving frame is skipped (the queue keeps its older frames).
+    Newest,
+    /// The oldest queued frame is dropped to admit the arriving one —
+    /// freshest-data-wins, the usual choice for live monitoring.
+    Oldest,
+}
+
+impl DropPolicy {
+    /// Stable CLI name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DropPolicy::Newest => "newest",
+            DropPolicy::Oldest => "oldest",
+        }
+    }
+
+    /// Parses a CLI name.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "newest" => Some(DropPolicy::Newest),
+            "oldest" => Some(DropPolicy::Oldest),
+            _ => None,
+        }
+    }
+}
+
+/// Configuration of one serving run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServeConfig {
+    /// Worker count: both the modelled executor count in virtual time and
+    /// the real thread-pool size running the detector compute.
+    pub workers: usize,
+    /// Maximum frames (one per stream) fused into a proposal micro-batch.
+    pub max_batch: usize,
+    /// How long a worker may wait (virtual seconds) for more streams to
+    /// contribute frames before closing an under-full batch. `0.0`
+    /// dispatches immediately.
+    pub batch_window_s: f64,
+    /// Bounded per-stream queue length; arrivals beyond it invoke the
+    /// [`DropPolicy`].
+    pub queue_capacity: usize,
+    /// Stream selection policy.
+    pub policy: SchedulePolicy,
+    /// Backpressure behaviour on a full queue.
+    pub drop_policy: DropPolicy,
+    /// GPU/CPU execution-time model used for all virtual-time accounting.
+    pub timing: GpuTimingModel,
+}
+
+impl ServeConfig {
+    /// Sensible single-GPU defaults: 4 workers, batches of up to 4 with no
+    /// added wait, 64-frame queues, round-robin, drop-newest.
+    pub fn new() -> Self {
+        Self {
+            workers: 4,
+            max_batch: 4,
+            batch_window_s: 0.0,
+            queue_capacity: 64,
+            policy: SchedulePolicy::RoundRobin,
+            drop_policy: DropPolicy::Newest,
+            timing: GpuTimingModel::titan_x_maxwell(),
+        }
+    }
+
+    /// Returns a copy with a different worker count.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Returns a copy with a different micro-batch limit.
+    pub fn with_max_batch(mut self, max_batch: usize) -> Self {
+        self.max_batch = max_batch;
+        self
+    }
+
+    /// Returns a copy with a different batch window.
+    pub fn with_batch_window_s(mut self, batch_window_s: f64) -> Self {
+        self.batch_window_s = batch_window_s;
+        self
+    }
+
+    /// Returns a copy with a different queue capacity.
+    pub fn with_queue_capacity(mut self, queue_capacity: usize) -> Self {
+        self.queue_capacity = queue_capacity;
+        self
+    }
+
+    /// Returns a copy with a different scheduling policy.
+    pub fn with_policy(mut self, policy: SchedulePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Returns a copy with a different drop policy.
+    pub fn with_drop_policy(mut self, drop_policy: DropPolicy) -> Self {
+        self.drop_policy = drop_policy;
+        self
+    }
+
+    /// Panics if the configuration is unusable.
+    pub fn validate(&self) {
+        assert!(self.workers >= 1, "need at least one worker");
+        assert!(self.max_batch >= 1, "need a batch size of at least one");
+        assert!(
+            self.queue_capacity >= 1,
+            "need queue capacity of at least one"
+        );
+        assert!(
+            self.batch_window_s >= 0.0 && self.batch_window_s.is_finite(),
+            "batch window must be finite and non-negative"
+        );
+    }
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chain_applies_every_knob() {
+        let cfg = ServeConfig::new()
+            .with_workers(8)
+            .with_max_batch(16)
+            .with_batch_window_s(0.01)
+            .with_queue_capacity(2)
+            .with_policy(SchedulePolicy::LeastBacklog)
+            .with_drop_policy(DropPolicy::Oldest);
+        cfg.validate();
+        assert_eq!(cfg.workers, 8);
+        assert_eq!(cfg.max_batch, 16);
+        assert_eq!(cfg.queue_capacity, 2);
+        assert_eq!(cfg.policy, SchedulePolicy::LeastBacklog);
+        assert_eq!(cfg.drop_policy, DropPolicy::Oldest);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_is_rejected() {
+        ServeConfig::new().with_workers(0).validate();
+    }
+
+    #[test]
+    fn policy_names_round_trip() {
+        for p in [SchedulePolicy::RoundRobin, SchedulePolicy::LeastBacklog] {
+            assert_eq!(SchedulePolicy::from_name(p.name()), Some(p));
+        }
+        for d in [DropPolicy::Newest, DropPolicy::Oldest] {
+            assert_eq!(DropPolicy::from_name(d.name()), Some(d));
+        }
+        assert_eq!(SchedulePolicy::from_name("x"), None);
+    }
+}

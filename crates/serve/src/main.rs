@@ -1,0 +1,160 @@
+//! `catdet-serve`: run a mixed multi-camera workload through the serving
+//! subsystem and print the throughput/latency report.
+//!
+//! ```text
+//! catdet-serve --streams 32 --workers 8 --frames 60 --batch 8 \
+//!              --window-ms 5 --queue 64 --policy round-robin --drop newest \
+//!              --system catdet-a
+//! ```
+
+use catdet_serve::{mixed_workload, serve, DropPolicy, SchedulePolicy, ServeConfig, SystemKind};
+
+struct Args {
+    streams: usize,
+    workers: usize,
+    frames: usize,
+    max_batch: usize,
+    window_ms: f64,
+    queue: usize,
+    policy: SchedulePolicy,
+    drop: DropPolicy,
+    system: SystemKind,
+    seed: u64,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Self {
+            streams: 8,
+            workers: 4,
+            frames: 60,
+            max_batch: 4,
+            window_ms: 0.0,
+            queue: 64,
+            policy: SchedulePolicy::RoundRobin,
+            drop: DropPolicy::Newest,
+            system: SystemKind::CatdetA,
+            seed: 2019,
+        }
+    }
+}
+
+const USAGE: &str = "catdet-serve — concurrent multi-camera CaTDet serving
+
+USAGE:
+    catdet-serve [OPTIONS]
+
+OPTIONS:
+    --streams <N>       camera count, mixed KITTI/CityPersons workload [8]
+    --workers <N>       worker threads / modelled executors [4]
+    --frames <N>        frames per camera [60]
+    --batch <N>         max frames fused per proposal micro-batch [4]
+    --window-ms <MS>    batch window in milliseconds [0]
+    --queue <N>         bounded per-stream queue capacity [64]
+    --policy <P>        round-robin | least-backlog [round-robin]
+    --drop <P>          newest | oldest (backpressure policy) [newest]
+    --system <S>        catdet-a | catdet-b | cascade-a | cascade-b |
+                        single-resnet50 [catdet-a]
+    --seed <N>          workload seed [2019]
+    -h, --help          print this help
+";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        if flag == "-h" || flag == "--help" {
+            print!("{USAGE}");
+            std::process::exit(0);
+        }
+        let value = it
+            .next()
+            .ok_or_else(|| format!("flag {flag} needs a value"))?;
+        match flag.as_str() {
+            "--streams" => args.streams = parse_num(&flag, &value)?,
+            "--workers" => args.workers = parse_num(&flag, &value)?,
+            "--frames" => args.frames = parse_num(&flag, &value)?,
+            "--batch" => args.max_batch = parse_num(&flag, &value)?,
+            "--queue" => args.queue = parse_num(&flag, &value)?,
+            "--seed" => args.seed = parse_num(&flag, &value)?,
+            "--window-ms" => {
+                args.window_ms = value
+                    .parse::<f64>()
+                    .map_err(|_| format!("--window-ms: not a number: {value}"))?
+            }
+            "--policy" => {
+                args.policy = SchedulePolicy::from_name(&value)
+                    .ok_or_else(|| format!("--policy: unknown policy {value}"))?
+            }
+            "--drop" => {
+                args.drop = DropPolicy::from_name(&value)
+                    .ok_or_else(|| format!("--drop: unknown policy {value}"))?
+            }
+            "--system" => {
+                args.system = SystemKind::from_name(&value).ok_or_else(|| {
+                    format!(
+                        "--system: unknown system {value} (expected one of: {})",
+                        SystemKind::ALL
+                            .iter()
+                            .map(|k| k.name())
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    )
+                })?
+            }
+            other => return Err(format!("unknown flag {other} (try --help)")),
+        }
+    }
+    if args.workers == 0 {
+        return Err("--workers must be at least 1".into());
+    }
+    if args.max_batch == 0 {
+        return Err("--batch must be at least 1".into());
+    }
+    if args.queue == 0 {
+        return Err("--queue must be at least 1".into());
+    }
+    if !args.window_ms.is_finite() || args.window_ms < 0.0 {
+        return Err(format!(
+            "--window-ms must be a finite, non-negative number (got {})",
+            args.window_ms
+        ));
+    }
+    Ok(args)
+}
+
+fn parse_num<T: std::str::FromStr>(flag: &str, value: &str) -> Result<T, String> {
+    value
+        .parse()
+        .map_err(|_| format!("{flag}: not a number: {value}"))
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let cfg = ServeConfig::new()
+        .with_workers(args.workers)
+        .with_max_batch(args.max_batch)
+        .with_batch_window_s(args.window_ms / 1e3)
+        .with_queue_capacity(args.queue)
+        .with_policy(args.policy)
+        .with_drop_policy(args.drop);
+
+    println!(
+        "spinning up {} streams ({} frames each, mixed KITTI/CityPersons), {} workers, {} scheduling, system {}",
+        args.streams,
+        args.frames,
+        args.workers,
+        args.policy.name(),
+        args.system.name(),
+    );
+    let streams = mixed_workload(args.streams, args.frames, args.seed, args.system);
+    let report = serve(streams, &cfg);
+    print!("{}", report.summary());
+}

@@ -1,0 +1,268 @@
+//! Serving reports: per-stream latency percentiles and aggregate throughput.
+
+use catdet_core::OpsBreakdown;
+use catdet_metrics::Detection;
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// Latency distribution of one stream, in modelled (virtual) seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencyStats {
+    /// Mean latency.
+    pub mean_s: f64,
+    /// Median.
+    pub p50_s: f64,
+    /// 95th percentile.
+    pub p95_s: f64,
+    /// 99th percentile.
+    pub p99_s: f64,
+    /// Worst observed.
+    pub max_s: f64,
+}
+
+impl LatencyStats {
+    /// Nearest-rank percentiles over a sample set; all-zero when empty.
+    pub fn from_samples(samples: &[f64]) -> Self {
+        if samples.is_empty() {
+            return Self {
+                mean_s: 0.0,
+                p50_s: 0.0,
+                p95_s: 0.0,
+                p99_s: 0.0,
+                max_s: 0.0,
+            };
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let pick = |p: f64| {
+            let rank = (p * sorted.len() as f64).ceil() as usize;
+            sorted[rank.clamp(1, sorted.len()) - 1]
+        };
+        Self {
+            mean_s: sorted.iter().sum::<f64>() / sorted.len() as f64,
+            p50_s: pick(0.50),
+            p95_s: pick(0.95),
+            p99_s: pick(0.99),
+            max_s: *sorted.last().expect("non-empty"),
+        }
+    }
+}
+
+/// Micro-batching statistics of one run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct BatchStats {
+    /// Dispatched batches.
+    pub batches: usize,
+    /// Frames carried by those batches.
+    pub batched_frames: usize,
+    /// Largest batch observed.
+    pub max_batch_seen: usize,
+    /// Proposal-network launches avoided by fusion: `Σ (batch_size − 1)`.
+    pub proposal_launches_saved: usize,
+}
+
+impl BatchStats {
+    /// Mean frames per batch.
+    pub fn mean_batch(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.batched_frames as f64 / self.batches as f64
+        }
+    }
+}
+
+/// Everything measured for one stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamReport {
+    /// Stream identity.
+    pub stream_id: usize,
+    /// Name of the detection system serving the stream.
+    pub system_name: String,
+    /// Frames that arrived from the camera.
+    pub arrived: usize,
+    /// Frames processed to completion.
+    pub processed: usize,
+    /// Frames shed by backpressure.
+    pub dropped: usize,
+    /// Mean per-frame ops actually spent.
+    pub mean_ops: OpsBreakdown,
+    /// Latency distribution (completion − arrival, virtual seconds).
+    pub latency: LatencyStats,
+    /// Per-frame detections `(frame_index, detections)` in processing
+    /// order — the stream's system output, used for evaluation and for
+    /// state-isolation checks.
+    pub outputs: Vec<(usize, Vec<Detection>)>,
+}
+
+/// Aggregate result of a serving run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeReport {
+    /// Virtual time from start until the last frame completed.
+    pub makespan_s: f64,
+    /// Total frames that arrived across streams.
+    pub frames_arrived: usize,
+    /// Total frames processed.
+    pub frames_processed: usize,
+    /// Total frames shed by backpressure.
+    pub frames_dropped: usize,
+    /// Aggregate modelled throughput: processed frames / makespan.
+    pub throughput_fps: f64,
+    /// Summed ops across all processed frames.
+    pub total_ops: OpsBreakdown,
+    /// Micro-batching statistics.
+    pub batch: BatchStats,
+    /// Per-stream breakdowns, ordered by stream id.
+    pub streams: Vec<StreamReport>,
+}
+
+impl ServeReport {
+    /// Drop rate over arrived frames.
+    pub fn drop_rate(&self) -> f64 {
+        if self.frames_arrived == 0 {
+            0.0
+        } else {
+            self.frames_dropped as f64 / self.frames_arrived as f64
+        }
+    }
+
+    /// Worst per-stream p99 latency.
+    pub fn worst_p99_s(&self) -> f64 {
+        self.streams
+            .iter()
+            .map(|s| s.latency.p99_s)
+            .fold(0.0, f64::max)
+    }
+
+    /// Human-readable multi-line summary (what the `catdet-serve` binary
+    /// prints).
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "serve: {} streams | {:.1} virtual s | {} processed / {} arrived ({} dropped, {:.1}%)",
+            self.streams.len(),
+            self.makespan_s,
+            self.frames_processed,
+            self.frames_arrived,
+            self.frames_dropped,
+            100.0 * self.drop_rate(),
+        );
+        let _ = writeln!(
+            out,
+            "throughput: {:.2} frames/s | mean ops/frame: {:.1} G | batches: {} (mean {:.2}, max {}, {} launches saved)",
+            self.throughput_fps,
+            self.total_ops.total() / self.frames_processed.max(1) as f64 / 1e9,
+            self.batch.batches,
+            self.batch.mean_batch(),
+            self.batch.max_batch_seen,
+            self.batch.proposal_launches_saved,
+        );
+        let _ = writeln!(
+            out,
+            "{:>6} {:>28} {:>8} {:>8} {:>9} {:>9} {:>9} {:>9}",
+            "stream", "system", "proc", "drop", "p50 ms", "p95 ms", "p99 ms", "ops G"
+        );
+        for s in &self.streams {
+            let _ = writeln!(
+                out,
+                "{:>6} {:>28} {:>8} {:>8} {:>9.1} {:>9.1} {:>9.1} {:>9.1}",
+                s.stream_id,
+                truncate(&s.system_name, 28),
+                s.processed,
+                s.dropped,
+                s.latency.p50_s * 1e3,
+                s.latency.p95_s * 1e3,
+                s.latency.p99_s * 1e3,
+                s.mean_ops.total() / 1e9,
+            );
+        }
+        out
+    }
+}
+
+fn truncate(s: &str, width: usize) -> String {
+    if s.chars().count() <= width {
+        s.to_string()
+    } else {
+        let tail: String = s
+            .chars()
+            .rev()
+            .take(width.saturating_sub(1))
+            .collect::<Vec<_>>()
+            .into_iter()
+            .rev()
+            .collect();
+        format!("…{tail}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let samples: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let l = LatencyStats::from_samples(&samples);
+        assert_eq!(l.p50_s, 50.0);
+        assert_eq!(l.p95_s, 95.0);
+        assert_eq!(l.p99_s, 99.0);
+        assert_eq!(l.max_s, 100.0);
+        assert!((l.mean_s - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_sample_is_every_percentile() {
+        let l = LatencyStats::from_samples(&[0.25]);
+        assert_eq!(l.p50_s, 0.25);
+        assert_eq!(l.p99_s, 0.25);
+        assert_eq!(l.max_s, 0.25);
+    }
+
+    #[test]
+    fn empty_samples_are_zero() {
+        let l = LatencyStats::from_samples(&[]);
+        assert_eq!(l.max_s, 0.0);
+        assert_eq!(l.mean_s, 0.0);
+    }
+
+    #[test]
+    fn batch_stats_mean() {
+        let b = BatchStats {
+            batches: 4,
+            batched_frames: 10,
+            max_batch_seen: 4,
+            proposal_launches_saved: 6,
+        };
+        assert!((b.mean_batch() - 2.5).abs() < 1e-12);
+        assert_eq!(BatchStats::default().mean_batch(), 0.0);
+    }
+
+    #[test]
+    fn summary_mentions_key_figures() {
+        let report = ServeReport {
+            makespan_s: 2.0,
+            frames_arrived: 10,
+            frames_processed: 8,
+            frames_dropped: 2,
+            throughput_fps: 4.0,
+            total_ops: OpsBreakdown::default(),
+            batch: BatchStats::default(),
+            streams: vec![StreamReport {
+                stream_id: 0,
+                system_name: "test-system".into(),
+                arrived: 10,
+                processed: 8,
+                dropped: 2,
+                mean_ops: OpsBreakdown::default(),
+                latency: LatencyStats::from_samples(&[0.1, 0.2]),
+                outputs: vec![],
+            }],
+        };
+        let s = report.summary();
+        assert!(s.contains("8 processed / 10 arrived"));
+        assert!(s.contains("test-system"));
+        assert!((report.drop_rate() - 0.2).abs() < 1e-12);
+    }
+}

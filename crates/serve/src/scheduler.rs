@@ -1,0 +1,560 @@
+//! The frame scheduler: virtual-time discrete events over a real worker pool.
+//!
+//! # Execution model
+//!
+//! Serving is simulated in **virtual time** (the [`GpuTimingModel`] from
+//! `catdet-core` prices every launch), while the detector *compute* — the
+//! actual per-frame simulation, NMS and tracker updates — runs for real on
+//! a pool of OS worker threads. The event loop:
+//!
+//! 1. ingests camera arrivals up to the current virtual time `t`, applying
+//!    the bounded-queue drop policy;
+//! 2. lets every worker free at `t` form a micro-batch: up to
+//!    `max_batch` frames from *distinct* streams chosen by the schedule
+//!    policy (a worker may instead wait up to `batch_window_s` for more
+//!    streams to contribute);
+//! 3. executes all formed batches on the thread pool, then prices them:
+//!    the proposal-network launches of a batch are fused into one GPU
+//!    dispatch (`αΣW + b` instead of `Σ(αW + b)`), refinement launches
+//!    and CPU overheads stay per-frame;
+//! 4. advances `t` to the next arrival, batch completion, or window
+//!    deadline.
+//!
+//! Scheduling decisions depend only on virtual quantities, never on
+//! wall-clock thread timing, so a run is **bit-deterministic** for a given
+//! configuration regardless of worker count or machine load — which is what
+//! makes the cross-stream state-isolation tests possible.
+//!
+//! [`GpuTimingModel`]: catdet_core::GpuTimingModel
+
+use crate::config::{DropPolicy, SchedulePolicy, ServeConfig};
+use crate::report::{BatchStats, LatencyStats, ServeReport, StreamReport};
+use catdet_core::{DetectionSystem, FrameOutput, OpsBreakdown, SystemFactory};
+use catdet_data::{Frame, StreamSource};
+use std::collections::VecDeque;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread;
+
+/// One camera stream plus the recipe for its private detection pipeline.
+pub struct StreamSpec {
+    /// The frame feed.
+    pub source: StreamSource,
+    /// Factory building this stream's own `DetectionSystem` instance.
+    pub factory: Arc<dyn SystemFactory>,
+}
+
+impl StreamSpec {
+    /// Pairs a stream with its pipeline factory.
+    pub fn new(source: StreamSource, factory: Arc<dyn SystemFactory>) -> Self {
+        Self { source, factory }
+    }
+}
+
+/// Runs the serving loop to completion and reports.
+///
+/// Every stream gets a freshly built system (no state is ever shared), all
+/// frames are processed in per-stream arrival order, and backpressure drops
+/// are counted exactly: for each stream,
+/// `arrived == processed + dropped + still-queued(0 at exit)`.
+///
+/// # Panics
+///
+/// Panics on an invalid configuration (see [`ServeConfig::validate`]) or if
+/// a detection system panics on a worker thread.
+pub fn serve(streams: Vec<StreamSpec>, cfg: &ServeConfig) -> ServeReport {
+    cfg.validate();
+    let mut engine = Engine::new(streams, cfg);
+    let report = engine.run();
+    engine.shutdown();
+    report
+}
+
+/// A unit of work shipped to the thread pool: the stream's system travels
+/// with the frame and comes back with the result.
+struct Job {
+    stream: usize,
+    frame: Frame,
+    system: Box<dyn DetectionSystem>,
+}
+
+struct JobResult {
+    stream: usize,
+    system: Box<dyn DetectionSystem>,
+    output: Result<FrameOutput, String>,
+}
+
+enum WorkerState {
+    Idle,
+    /// Holding an under-full batch open until `deadline`.
+    Waiting {
+        deadline: f64,
+    },
+    Busy {
+        until: f64,
+    },
+}
+
+struct StreamRt {
+    frames: Vec<(f64, Frame)>,
+    /// Next frame (index into `frames`) that has not yet arrived.
+    next_arrival: usize,
+    /// Arrived, not yet scheduled frames (indices into `frames`).
+    queue: VecDeque<usize>,
+    /// The stream's pipeline; `None` while a frame is on the thread pool.
+    system: Option<Box<dyn DetectionSystem>>,
+    /// Virtual time until which the stream's pipeline is occupied.
+    busy_until: f64,
+    system_name: String,
+    arrived: usize,
+    processed: usize,
+    dropped: usize,
+    latencies: Vec<f64>,
+    ops: OpsBreakdown,
+    outputs: Vec<(usize, Vec<catdet_metrics::Detection>)>,
+}
+
+struct PlannedBatch {
+    worker: usize,
+    start: f64,
+    /// `(stream, frame_idx, arrival_s)` in schedule order.
+    items: Vec<(usize, usize, f64)>,
+}
+
+struct Engine {
+    cfg: ServeConfig,
+    streams: Vec<StreamRt>,
+    workers: Vec<WorkerState>,
+    rr_cursor: usize,
+    batch_stats: BatchStats,
+    last_completion: f64,
+    job_tx: Option<Sender<Job>>,
+    result_rx: Receiver<JobResult>,
+    pool: Vec<thread::JoinHandle<()>>,
+}
+
+const EPS: f64 = 1e-9;
+
+impl Engine {
+    fn new(specs: Vec<StreamSpec>, cfg: &ServeConfig) -> Self {
+        let streams = specs
+            .into_iter()
+            .map(|spec| {
+                let system = spec.factory.build();
+                StreamRt {
+                    system_name: system.name(),
+                    frames: spec
+                        .source
+                        .into_iter()
+                        .map(|sf| (sf.arrival_s, sf.frame))
+                        .collect(),
+                    next_arrival: 0,
+                    queue: VecDeque::new(),
+                    system: Some(system),
+                    busy_until: 0.0,
+                    arrived: 0,
+                    processed: 0,
+                    dropped: 0,
+                    latencies: Vec::new(),
+                    ops: OpsBreakdown::default(),
+                    outputs: Vec::new(),
+                }
+            })
+            .collect();
+
+        let (job_tx, job_rx) = channel::<Job>();
+        let (result_tx, result_rx) = channel::<JobResult>();
+        let job_rx = Arc::new(Mutex::new(job_rx));
+        let pool = (0..cfg.workers)
+            .map(|_| {
+                let job_rx = Arc::clone(&job_rx);
+                let result_tx = result_tx.clone();
+                thread::spawn(move || loop {
+                    let job = match job_rx.lock().expect("job queue poisoned").recv() {
+                        Ok(job) => job,
+                        Err(_) => return, // serving finished
+                    };
+                    let Job {
+                        stream,
+                        frame,
+                        mut system,
+                    } = job;
+                    let output = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        system.process_frame(&frame)
+                    }))
+                    .map_err(|e| panic_message(&e));
+                    if result_tx
+                        .send(JobResult {
+                            stream,
+                            system,
+                            output,
+                        })
+                        .is_err()
+                    {
+                        return;
+                    }
+                })
+            })
+            .collect();
+
+        Self {
+            streams,
+            workers: (0..cfg.workers).map(|_| WorkerState::Idle).collect(),
+            rr_cursor: 0,
+            batch_stats: BatchStats::default(),
+            last_completion: 0.0,
+            job_tx: Some(job_tx),
+            result_rx,
+            pool,
+            cfg: *cfg,
+        }
+    }
+
+    fn run(&mut self) -> ServeReport {
+        let mut now = 0.0_f64;
+        loop {
+            self.ingest_arrivals(now);
+            self.step_workers(now);
+            match self.next_event(now) {
+                Some(t) => now = t,
+                None => break,
+            }
+        }
+        self.finish_report()
+    }
+
+    /// Pushes every frame with `arrival ≤ now` into its stream queue,
+    /// applying the drop policy at capacity.
+    fn ingest_arrivals(&mut self, now: f64) {
+        for s in &mut self.streams {
+            while s.next_arrival < s.frames.len() && s.frames[s.next_arrival].0 <= now + EPS {
+                let idx = s.next_arrival;
+                s.next_arrival += 1;
+                s.arrived += 1;
+                if s.queue.len() >= self.cfg.queue_capacity {
+                    match self.cfg.drop_policy {
+                        DropPolicy::Newest => {
+                            s.dropped += 1;
+                            continue;
+                        }
+                        DropPolicy::Oldest => {
+                            s.queue.pop_front();
+                            s.dropped += 1;
+                        }
+                    }
+                }
+                s.queue.push_back(idx);
+            }
+        }
+    }
+
+    /// Releases finished workers, closes batch windows, dispatches work.
+    fn step_workers(&mut self, now: f64) {
+        for w in 0..self.workers.len() {
+            if let WorkerState::Busy { until } = self.workers[w] {
+                if until <= now + EPS {
+                    self.workers[w] = WorkerState::Idle;
+                }
+            }
+        }
+
+        // Plan batches for every worker able to dispatch at `now`; mutate
+        // queue state eagerly so later workers see earlier claims.
+        let mut planned: Vec<PlannedBatch> = Vec::new();
+        for w in 0..self.workers.len() {
+            let eligible = self.eligible_stream_count(now);
+            // A batch takes at most one frame per live stream, so waiting
+            // for more than that is futile (e.g. 4 streams, max_batch 8).
+            let batch_target = self.cfg.max_batch.min(self.live_stream_count());
+            match self.workers[w] {
+                WorkerState::Busy { .. } => continue,
+                WorkerState::Idle => {
+                    if eligible == 0 {
+                        continue;
+                    }
+                    // Open a window if it could grow an under-full batch.
+                    if self.cfg.batch_window_s > 0.0
+                        && eligible < batch_target
+                        && self.more_frames_coming(now)
+                    {
+                        self.workers[w] = WorkerState::Waiting {
+                            deadline: now + self.cfg.batch_window_s,
+                        };
+                        continue;
+                    }
+                }
+                WorkerState::Waiting { deadline } => {
+                    if eligible == 0 {
+                        self.workers[w] = WorkerState::Idle;
+                        continue;
+                    }
+                    if deadline > now + EPS && eligible < batch_target {
+                        continue; // keep waiting
+                    }
+                }
+            }
+            let items = self.pick_batch(now);
+            if items.is_empty() {
+                self.workers[w] = WorkerState::Idle;
+                continue;
+            }
+            planned.push(PlannedBatch {
+                worker: w,
+                start: now,
+                items,
+            });
+        }
+
+        if planned.is_empty() {
+            return;
+        }
+
+        // Real execution: ship every frame of every planned batch to the
+        // pool at once, then collect results. Scheduling already fixed the
+        // virtual-time story, so completion order on the pool is free to
+        // vary without affecting determinism.
+        let mut in_flight = 0usize;
+        let job_tx = self.job_tx.as_ref().expect("pool alive");
+        for batch in &planned {
+            for &(stream, frame_idx, _) in &batch.items {
+                let s = &mut self.streams[stream];
+                let job = Job {
+                    stream,
+                    frame: s.frames[frame_idx].1.clone(),
+                    system: s.system.take().expect("stream system in flight"),
+                };
+                job_tx.send(job).expect("worker pool hung up");
+                in_flight += 1;
+            }
+        }
+        let mut results: Vec<Option<JobResult>> = (0..self.streams.len()).map(|_| None).collect();
+        for _ in 0..in_flight {
+            let r = self.result_rx.recv().expect("worker pool hung up");
+            let slot = r.stream;
+            results[slot] = Some(r);
+        }
+
+        // Price each batch in virtual time.
+        for batch in planned {
+            let mut shared_prop_macs = 0.0;
+            for &(stream, _, _) in &batch.items {
+                let r = results[stream].as_ref().expect("result collected");
+                match &r.output {
+                    Ok(out) => shared_prop_macs += out.ops.proposal,
+                    Err(msg) => panic!("stream {stream} system panicked: {msg}"),
+                }
+            }
+            // One fused proposal launch + one stage dispatch for the batch.
+            let shared = if shared_prop_macs > 0.0 {
+                self.cfg.timing.launch_time(shared_prop_macs) + self.cfg.timing.stage_overhead_s
+            } else {
+                0.0
+            };
+            let mut cursor = batch.start + shared;
+            for &(stream, frame_idx, arrival) in &batch.items {
+                let r = results[stream].take().expect("result collected");
+                let out = r.output.expect("checked above");
+                let t = &self.cfg.timing;
+                // Per-frame cost: merged refinement launch + its stage
+                // dispatch, fixed frame handling, and tracker CPU.
+                let mut frame_time = t.frame_overhead_s + t.tracker_overhead_s;
+                if out.ops.refinement > 0.0 {
+                    frame_time += t.launch_time(out.ops.refinement) + t.stage_overhead_s;
+                }
+                cursor += frame_time;
+                let s = &mut self.streams[stream];
+                s.system = Some(r.system);
+                s.busy_until = cursor;
+                s.processed += 1;
+                s.latencies.push(cursor - arrival);
+                s.ops.accumulate(&out.ops);
+                s.outputs
+                    .push((s.frames[frame_idx].1.index, out.detections));
+                self.last_completion = self.last_completion.max(cursor);
+            }
+            let size = batch.items.len();
+            self.batch_stats.batches += 1;
+            self.batch_stats.batched_frames += size;
+            self.batch_stats.max_batch_seen = self.batch_stats.max_batch_seen.max(size);
+            // Only count launches actually fused away: proposal-free
+            // systems (e.g. single-model) get no amortisation from a batch.
+            if shared_prop_macs > 0.0 {
+                self.batch_stats.proposal_launches_saved += size - 1;
+            }
+            self.workers[batch.worker] = WorkerState::Busy { until: cursor };
+        }
+    }
+
+    /// Streams that could contribute a frame to a batch right now.
+    fn eligible_stream_count(&self, now: f64) -> usize {
+        self.streams
+            .iter()
+            .filter(|s| !s.queue.is_empty() && s.system.is_some() && s.busy_until <= now + EPS)
+            .count()
+    }
+
+    /// Whether any stream still has frames that have not yet arrived.
+    fn more_frames_coming(&self, _now: f64) -> bool {
+        self.streams.iter().any(|s| s.next_arrival < s.frames.len())
+    }
+
+    /// Streams that could still contribute a frame to some batch: frames
+    /// queued, frames yet to arrive, or a frame in flight on the pool.
+    fn live_stream_count(&self) -> usize {
+        self.streams
+            .iter()
+            .filter(|s| {
+                !s.queue.is_empty() || s.next_arrival < s.frames.len() || s.system.is_none()
+            })
+            .count()
+    }
+
+    /// Selects up to `max_batch` streams by policy and claims one queued
+    /// frame from each.
+    fn pick_batch(&mut self, now: f64) -> Vec<(usize, usize, f64)> {
+        let eligible: Vec<usize> = (0..self.streams.len())
+            .filter(|&i| {
+                let s = &self.streams[i];
+                !s.queue.is_empty() && s.system.is_some() && s.busy_until <= now + EPS
+            })
+            .collect();
+        if eligible.is_empty() {
+            return Vec::new();
+        }
+        let chosen: Vec<usize> = match self.cfg.policy {
+            SchedulePolicy::RoundRobin => {
+                let n = self.streams.len();
+                let mut picked = Vec::new();
+                for off in 0..n {
+                    let i = (self.rr_cursor + off) % n;
+                    if eligible.contains(&i) {
+                        picked.push(i);
+                        if picked.len() == self.cfg.max_batch {
+                            break;
+                        }
+                    }
+                }
+                if let Some(&last) = picked.last() {
+                    self.rr_cursor = (last + 1) % n;
+                }
+                picked
+            }
+            SchedulePolicy::LeastBacklog => {
+                let mut sorted = eligible;
+                sorted.sort_by_key(|&i| (self.streams[i].queue.len(), i));
+                sorted.truncate(self.cfg.max_batch);
+                sorted
+            }
+        };
+        chosen
+            .into_iter()
+            .map(|i| {
+                let s = &mut self.streams[i];
+                let frame_idx = s.queue.pop_front().expect("eligible stream has frames");
+                // Claim the pipeline until the batch is priced.
+                s.busy_until = f64::INFINITY;
+                (i, frame_idx, s.frames[frame_idx].0)
+            })
+            .collect()
+    }
+
+    /// The next virtual time anything can happen, or `None` when drained.
+    fn next_event(&self, now: f64) -> Option<f64> {
+        let mut next = f64::INFINITY;
+        for s in &self.streams {
+            if s.next_arrival < s.frames.len() {
+                next = next.min(s.frames[s.next_arrival].0);
+            }
+            // A stream's pipeline can free up mid-batch (its frame finished
+            // but the worker is still pricing later frames of the batch);
+            // idle workers may serve it then.
+            if !s.queue.is_empty() && s.system.is_some() && s.busy_until > now + EPS {
+                next = next.min(s.busy_until);
+            }
+        }
+        for w in &self.workers {
+            match w {
+                WorkerState::Busy { until } => next = next.min(*until),
+                WorkerState::Waiting { deadline } => next = next.min(*deadline),
+                WorkerState::Idle => {}
+            }
+        }
+        let work_left =
+            self.streams.iter().any(|s| {
+                s.next_arrival < s.frames.len() || !s.queue.is_empty() || s.system.is_none()
+            }) || self
+                .workers
+                .iter()
+                .any(|w| matches!(w, WorkerState::Busy { .. }));
+        if !work_left {
+            return None;
+        }
+        assert!(
+            next.is_finite(),
+            "scheduler stalled: frames queued but no future event"
+        );
+        // Guarantee forward progress even with coincident event times.
+        Some(next.max(now + EPS))
+    }
+
+    fn finish_report(&mut self) -> ServeReport {
+        let mut total_ops = OpsBreakdown::default();
+        let mut arrived = 0;
+        let mut processed = 0;
+        let mut dropped = 0;
+        let streams: Vec<StreamReport> = self
+            .streams
+            .iter_mut()
+            .enumerate()
+            .map(|(id, s)| {
+                assert!(s.queue.is_empty(), "stream {id} exited with queued frames");
+                total_ops.accumulate(&s.ops);
+                arrived += s.arrived;
+                processed += s.processed;
+                dropped += s.dropped;
+                StreamReport {
+                    stream_id: id,
+                    system_name: s.system_name.clone(),
+                    arrived: s.arrived,
+                    processed: s.processed,
+                    dropped: s.dropped,
+                    mean_ops: s.ops.scaled(s.processed.max(1) as f64),
+                    latency: LatencyStats::from_samples(&s.latencies),
+                    outputs: std::mem::take(&mut s.outputs),
+                }
+            })
+            .collect();
+        let makespan_s = self.last_completion;
+        ServeReport {
+            makespan_s,
+            frames_arrived: arrived,
+            frames_processed: processed,
+            frames_dropped: dropped,
+            throughput_fps: if makespan_s > 0.0 {
+                processed as f64 / makespan_s
+            } else {
+                0.0
+            },
+            total_ops,
+            batch: self.batch_stats,
+            streams,
+        }
+    }
+
+    fn shutdown(&mut self) {
+        drop(self.job_tx.take());
+        for handle in self.pool.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn panic_message(e: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = e.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = e.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "unknown panic".to_string()
+    }
+}

@@ -1,0 +1,127 @@
+//! Ready-made multi-camera workloads for benches, tests and the CLI.
+
+use crate::scheduler::StreamSpec;
+use catdet_core::{PresetFactory, SystemFactory, SystemKind};
+use catdet_data::{citypersons_like, kitti_like, StreamSource};
+use std::sync::Arc;
+
+/// Phase stagger between cameras, so arrivals interleave instead of
+/// stampeding on the same tick.
+const STAGGER_S: f64 = 0.013;
+
+/// Builds a mixed fleet of `streams` cameras: even slots are KITTI-like
+/// driving scenes (10 fps, 1242×375), odd slots CityPersons-like street
+/// scenes (30 fps, 2048×1024). Every camera gets its own pipeline of the
+/// given kind at the correct geometry.
+///
+/// The workload is deterministic in `seed`.
+pub fn mixed_workload(
+    streams: usize,
+    frames_per_stream: usize,
+    seed: u64,
+    kind: SystemKind,
+) -> Vec<StreamSpec> {
+    let kitti = kitti_like()
+        .sequences(streams.div_ceil(2))
+        .frames_per_sequence(frames_per_stream)
+        .seed(seed)
+        .build();
+    let city = citypersons_like()
+        .sequences(streams / 2)
+        .frames_per_sequence(frames_per_stream)
+        .seed(seed.wrapping_add(1))
+        .build();
+
+    let kitti_factory: Arc<dyn SystemFactory> = Arc::new(PresetFactory::kitti(kind));
+    let city_factory: Arc<dyn SystemFactory> = Arc::new(PresetFactory::citypersons(kind));
+
+    let mut kitti_seqs = kitti.sequences().iter();
+    let mut city_seqs = city.sequences().iter();
+
+    (0..streams)
+        .map(|slot| {
+            let (dataset, seq, factory) = if slot % 2 == 0 {
+                (
+                    &kitti,
+                    kitti_seqs.next().expect("kitti stream"),
+                    &kitti_factory,
+                )
+            } else {
+                (&city, city_seqs.next().expect("city stream"), &city_factory)
+            };
+            let source = StreamSource::from_sequence_with_geometry(
+                slot,
+                seq,
+                slot as f64 * STAGGER_S,
+                dataset.width,
+                dataset.height,
+            );
+            StreamSpec::new(source, Arc::clone(factory))
+        })
+        .collect()
+}
+
+/// Builds a homogeneous KITTI-like workload (used by benches that want a
+/// single-variable sweep).
+pub fn kitti_workload(
+    streams: usize,
+    frames_per_stream: usize,
+    seed: u64,
+    kind: SystemKind,
+) -> Vec<StreamSpec> {
+    let ds = kitti_like()
+        .sequences(streams)
+        .frames_per_sequence(frames_per_stream)
+        .seed(seed)
+        .build();
+    let factory: Arc<dyn SystemFactory> = Arc::new(PresetFactory::kitti(kind));
+    StreamSource::from_dataset(&ds, STAGGER_S)
+        .into_iter()
+        .map(|source| StreamSpec::new(source, Arc::clone(&factory)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mixed_workload_alternates_geometries() {
+        let specs = mixed_workload(4, 6, 7, SystemKind::CatdetA);
+        assert_eq!(specs.len(), 4);
+        assert_eq!(specs[0].source.width, 1242.0);
+        assert_eq!(specs[1].source.width, 2048.0);
+        assert_eq!(specs[2].source.width, 1242.0);
+        for (i, s) in specs.iter().enumerate() {
+            assert_eq!(s.source.stream_id, i);
+            assert_eq!(s.source.len(), 6);
+        }
+    }
+
+    #[test]
+    fn mixed_workload_staggers_phases() {
+        let specs = mixed_workload(3, 4, 7, SystemKind::CascadeA);
+        let first_arrivals: Vec<f64> = specs
+            .iter()
+            .map(|s| s.source.frames()[0].arrival_s)
+            .collect();
+        assert!(first_arrivals[0] < first_arrivals[1]);
+        assert!(first_arrivals[1] < first_arrivals[2]);
+    }
+
+    #[test]
+    fn mixed_workload_is_deterministic() {
+        let a = mixed_workload(4, 5, 3, SystemKind::CatdetA);
+        let b = mixed_workload(4, 5, 3, SystemKind::CatdetA);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.source, y.source);
+        }
+    }
+
+    #[test]
+    fn kitti_workload_is_homogeneous() {
+        let specs = kitti_workload(3, 5, 1, SystemKind::SingleResnet50);
+        assert!(specs.iter().all(|s| s.source.width == 1242.0));
+        assert!(specs.iter().all(|s| (s.source.fps - 10.0).abs() < 1e-6));
+    }
+}

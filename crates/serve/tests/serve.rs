@@ -1,0 +1,246 @@
+//! Integration tests for the serving subsystem: cross-stream state
+//! isolation under concurrency, exact backpressure accounting, and
+//! worker-count scaling.
+
+use catdet_core::{run_collect, PresetFactory, SystemFactory, SystemKind};
+use catdet_data::{citypersons_like, kitti_like, StreamSource, VideoDataset};
+use catdet_serve::{
+    mixed_workload, serve, DropPolicy, SchedulePolicy, ServeConfig, ServeReport, StreamSpec,
+};
+use std::sync::Arc;
+
+/// Builds an 8-stream mixed workload with full control over the pieces, so
+/// the test can replay each stream sequentially.
+fn eight_streams() -> (Vec<StreamSpec>, Vec<(VideoDataset, PresetFactory)>) {
+    let kitti = kitti_like()
+        .sequences(4)
+        .frames_per_sequence(30)
+        .seed(5)
+        .build();
+    let city = citypersons_like()
+        .sequences(4)
+        .frames_per_sequence(30)
+        .seed(6)
+        .build();
+    let mut specs = Vec::new();
+    let mut references = Vec::new();
+    for slot in 0..8 {
+        let (ds, seq_idx, factory) = if slot % 2 == 0 {
+            (&kitti, slot / 2, PresetFactory::kitti(SystemKind::CatdetA))
+        } else {
+            (
+                &city,
+                slot / 2,
+                PresetFactory::citypersons(SystemKind::CatdetA),
+            )
+        };
+        let seq = &ds.sequences()[seq_idx];
+        let source = StreamSource::from_sequence_with_geometry(
+            slot,
+            seq,
+            slot as f64 * 0.007,
+            ds.width,
+            ds.height,
+        );
+        specs.push(StreamSpec::new(source, Arc::new(factory)));
+        // A single-sequence dataset replaying exactly this stream.
+        let single = VideoDataset::new(
+            format!("stream-{slot}"),
+            ds.width,
+            ds.height,
+            ds.classes.clone(),
+            vec![seq.clone()],
+        );
+        references.push((single, factory));
+    }
+    (specs, references)
+}
+
+fn no_drop_config() -> ServeConfig {
+    ServeConfig::new().with_queue_capacity(100_000)
+}
+
+#[test]
+fn concurrent_streams_match_sequential_run_collect() {
+    let (specs, references) = eight_streams();
+    let report = serve(specs, &no_drop_config().with_workers(4).with_max_batch(4));
+    assert_eq!(report.frames_dropped, 0);
+    assert_eq!(report.streams.len(), 8);
+
+    for (stream, (dataset, factory)) in report.streams.iter().zip(&references) {
+        let mut system = factory.build();
+        let sequential = run_collect(&mut *system, dataset);
+        assert_eq!(
+            stream.processed,
+            sequential.outputs.len(),
+            "stream {} processed a different frame count",
+            stream.stream_id
+        );
+        for ((frame_index, served), (_, seq_frame_index, reference)) in
+            stream.outputs.iter().zip(&sequential.outputs)
+        {
+            assert_eq!(frame_index, seq_frame_index);
+            assert_eq!(
+                served, reference,
+                "stream {} frame {} diverged between concurrent serving and \
+                 sequential run_collect — cross-stream state leakage",
+                stream.stream_id, frame_index
+            );
+        }
+    }
+}
+
+#[test]
+fn detections_are_identical_at_any_worker_count() {
+    let run_with = |workers: usize, policy: SchedulePolicy| -> ServeReport {
+        let (specs, _) = eight_streams();
+        serve(
+            specs,
+            &no_drop_config()
+                .with_workers(workers)
+                .with_max_batch(4)
+                .with_policy(policy),
+        )
+    };
+    let one = run_with(1, SchedulePolicy::RoundRobin);
+    for (workers, policy) in [
+        (4, SchedulePolicy::RoundRobin),
+        (8, SchedulePolicy::RoundRobin),
+        (4, SchedulePolicy::LeastBacklog),
+    ] {
+        let other = run_with(workers, policy);
+        for (a, b) in one.streams.iter().zip(&other.streams) {
+            assert_eq!(
+                a.outputs,
+                b.outputs,
+                "stream {} detections changed with {workers} workers ({})",
+                a.stream_id,
+                policy.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn backpressure_drops_are_counted_exactly() {
+    for drop_policy in [DropPolicy::Newest, DropPolicy::Oldest] {
+        let specs = mixed_workload(6, 40, 11, SystemKind::CatdetA);
+        let total_frames: usize = specs.iter().map(|s| s.source.len()).sum();
+        // One worker, tiny queues: the cameras outrun the service rate and
+        // must shed load.
+        let cfg = ServeConfig::new()
+            .with_workers(1)
+            .with_queue_capacity(2)
+            .with_drop_policy(drop_policy);
+        let report = serve(specs, &cfg);
+        assert_eq!(
+            report.frames_arrived, total_frames,
+            "every generated frame must be accounted as arrived"
+        );
+        assert!(
+            report.frames_dropped > 0,
+            "overload config must actually shed frames ({})",
+            drop_policy.name()
+        );
+        assert_eq!(
+            report.frames_processed + report.frames_dropped,
+            report.frames_arrived,
+            "processed + dropped must equal arrived ({})",
+            drop_policy.name()
+        );
+        for s in &report.streams {
+            assert_eq!(
+                s.processed + s.dropped,
+                s.arrived,
+                "stream {} accounting leak ({})",
+                s.stream_id,
+                drop_policy.name()
+            );
+            assert_eq!(s.outputs.len(), s.processed);
+        }
+    }
+}
+
+#[test]
+fn drop_accounting_is_deterministic() {
+    let run = || {
+        let specs = mixed_workload(4, 30, 3, SystemKind::CascadeA);
+        serve(
+            specs,
+            &ServeConfig::new()
+                .with_workers(2)
+                .with_queue_capacity(3)
+                .with_drop_policy(DropPolicy::Oldest),
+        )
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.frames_dropped, b.frames_dropped);
+    for (x, y) in a.streams.iter().zip(&b.streams) {
+        assert_eq!(x.dropped, y.dropped);
+        assert_eq!(x.outputs, y.outputs);
+    }
+}
+
+#[test]
+fn modeled_throughput_improves_with_workers() {
+    let mut last_fps = 0.0;
+    for workers in [1, 2, 4, 8] {
+        let specs = mixed_workload(8, 15, 9, SystemKind::CatdetA);
+        let report = serve(
+            specs,
+            &no_drop_config().with_workers(workers).with_max_batch(8),
+        );
+        assert_eq!(report.frames_processed, 8 * 15);
+        assert!(
+            report.throughput_fps > last_fps,
+            "throughput must improve with workers: {} fps at {workers} \
+             workers vs {last_fps} fps before",
+            report.throughput_fps
+        );
+        last_fps = report.throughput_fps;
+    }
+}
+
+#[test]
+fn batching_amortises_proposal_launches() {
+    let specs = mixed_workload(8, 12, 21, SystemKind::CatdetA);
+    let batched = serve(specs, &no_drop_config().with_workers(2).with_max_batch(8));
+    let specs = mixed_workload(8, 12, 21, SystemKind::CatdetA);
+    let unbatched = serve(specs, &no_drop_config().with_workers(2).with_max_batch(1));
+    assert_eq!(unbatched.batch.proposal_launches_saved, 0);
+    assert!(batched.batch.proposal_launches_saved > 0);
+    assert!(batched.batch.mean_batch() > 1.0);
+    // Fused launches shave modelled time off a backlogged run.
+    assert!(
+        batched.makespan_s < unbatched.makespan_s,
+        "batched {} s vs unbatched {} s",
+        batched.makespan_s,
+        unbatched.makespan_s
+    );
+    // Same frames processed either way.
+    assert_eq!(batched.frames_processed, unbatched.frames_processed);
+}
+
+#[test]
+fn batch_window_waits_to_fill_batches() {
+    // Light load (few streams, spread arrivals): without a window batches
+    // stay small; a window lets workers gather more streams per dispatch.
+    let specs = mixed_workload(6, 10, 13, SystemKind::CatdetA);
+    let eager = serve(specs, &no_drop_config().with_workers(6).with_max_batch(6));
+    let specs = mixed_workload(6, 10, 13, SystemKind::CatdetA);
+    let windowed = serve(
+        specs,
+        &no_drop_config()
+            .with_workers(6)
+            .with_max_batch(6)
+            .with_batch_window_s(0.050),
+    );
+    assert!(
+        windowed.batch.mean_batch() >= eager.batch.mean_batch(),
+        "window should not shrink batches: {} vs {}",
+        windowed.batch.mean_batch(),
+        eager.batch.mean_batch()
+    );
+    assert_eq!(windowed.frames_processed, eager.frames_processed);
+}

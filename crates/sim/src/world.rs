@@ -220,7 +220,8 @@ impl WorldSim {
         for a in &self.actors {
             let rel_x = a.x - self.ego_x;
             let rel_z = a.z - self.ego_z;
-            if let Some(full) = cam.project_cuboid(rel_x, rel_z, a.yaw, a.dims.0, a.dims.1, a.dims.2)
+            if let Some(full) =
+                cam.project_cuboid(rel_x, rel_z, a.yaw, a.dims.0, a.dims.1, a.dims.2)
             {
                 let clipped = full.clip(cam.width, cam.height);
                 if clipped.is_valid() && clipped.height() >= self.cfg.min_box_height {
@@ -262,7 +263,10 @@ impl WorldSim {
         let z = if initial {
             self.ego_z + self.rng.gen_range(8.0..self.cfg.spawn_depth.1)
         } else {
-            self.ego_z + self.rng.gen_range(self.cfg.spawn_depth.0..self.cfg.spawn_depth.1)
+            self.ego_z
+                + self
+                    .rng
+                    .gen_range(self.cfg.spawn_depth.0..self.cfg.spawn_depth.1)
         };
         let dims = (
             self.rng.gen_range(1.6..1.95),
@@ -295,7 +299,11 @@ impl WorldSim {
                 motion: Motion::Cruise,
             }
         } else {
-            let lane = if self.rng.gen::<f32>() < 0.6 { 0.0 } else { 3.5 };
+            let lane = if self.rng.gen::<f32>() < 0.6 {
+                0.0
+            } else {
+                3.5
+            };
             Actor {
                 id,
                 class: ActorClass::Car,
@@ -319,10 +327,7 @@ impl WorldSim {
         let (lo, hi) = match self.cfg.ped_depth {
             Some(band) => band,
             None if initial => (8.0, self.cfg.spawn_depth.1 * 0.8),
-            None => (
-                self.cfg.spawn_depth.0 * 0.5,
-                self.cfg.spawn_depth.1 * 0.8,
-            ),
+            None => (self.cfg.spawn_depth.0 * 0.5, self.cfg.spawn_depth.1 * 0.8),
         };
         let z = self.ego_z + self.rng.gen_range(lo..hi);
         let (vx, vz) = if self.rng.gen::<f32>() < self.cfg.crossing_fraction {
@@ -351,10 +356,7 @@ impl WorldSim {
             let (dx, dz) = if k == 0 {
                 (0.0, 0.0)
             } else {
-                (
-                    self.rng.gen_range(-1.0..1.0),
-                    self.rng.gen_range(-1.4..1.4),
-                )
+                (self.rng.gen_range(-1.0..1.0), self.rng.gen_range(-1.4..1.4))
             };
             let actor = Actor {
                 id,
@@ -462,8 +464,11 @@ mod tests {
         let frames = kitti_frames(13, 150);
         let mut ious = Vec::new();
         for pair in frames.windows(2) {
-            let prev: HashMap<u64, Box2> =
-                pair[0].objects.iter().map(|o| (o.track_id, o.bbox)).collect();
+            let prev: HashMap<u64, Box2> = pair[0]
+                .objects
+                .iter()
+                .map(|o| (o.track_id, o.bbox))
+                .collect();
             for o in &pair[1].objects {
                 if let Some(pb) = prev.get(&o.track_id) {
                     ious.push(pb.iou(&o.bbox));

@@ -125,7 +125,12 @@ mod tests {
         run(&mut smooth, &[0.0, 0.0, 0.0, 0.0, 10.0]);
         run(&mut jumpy, &[0.0, 0.0, 0.0, 0.0, 10.0]);
         // The low-noise filter chases the outlier much harder.
-        assert!(jumpy.pos > smooth.pos + 2.0, "jumpy {} smooth {}", jumpy.pos, smooth.pos);
+        assert!(
+            jumpy.pos > smooth.pos + 2.0,
+            "jumpy {} smooth {}",
+            jumpy.pos,
+            smooth.pos
+        );
         assert!(jumpy.pos > 3.0);
     }
 }

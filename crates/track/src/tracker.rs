@@ -390,10 +390,7 @@ mod tests {
         for i in 0..8 {
             let x1 = 100.0 + 10.0 * i as f32;
             let x2 = 300.0 - 10.0 * i as f32;
-            t.update(&[
-                det(x1, 100.0, 40.0, 30.0, 0),
-                det(x2, 100.0, 40.0, 30.0, 0),
-            ]);
+            t.update(&[det(x1, 100.0, 40.0, 30.0, 0), det(x2, 100.0, 40.0, 30.0, 0)]);
         }
         assert_eq!(t.tracks().len(), 2);
         let ids: Vec<u64> = t.tracks().iter().map(|tr| tr.id).collect();
@@ -423,9 +420,8 @@ mod tests {
 
     #[test]
     fn static_motion_model_predicts_in_place() {
-        let mut t: Tracker<u32> = Tracker::new(
-            TrackerConfig::paper().with_motion(MotionModelKind::Static),
-        );
+        let mut t: Tracker<u32> =
+            Tracker::new(TrackerConfig::paper().with_motion(MotionModelKind::Static));
         for i in 0..5 {
             t.update(&[det(100.0 + 10.0 * i as f32, 100.0, 40.0, 30.0, 0)]);
         }

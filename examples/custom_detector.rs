@@ -7,10 +7,10 @@
 
 use catdet::core::{run_on_dataset, CaTDetSystem, SystemConfig};
 use catdet::data::{kitti_like, Difficulty};
-use catdet::detector::{AccuracyProfile, DetectorModel, OpsSpec};
 use catdet::detector::zoo;
-use catdet::nn::{BlockKind, FasterRcnnSpec, ResNetConfig};
+use catdet::detector::{AccuracyProfile, DetectorModel, OpsSpec};
 use catdet::nn::faster_rcnn::Backbone;
+use catdet::nn::{BlockKind, FasterRcnnSpec, ResNetConfig};
 
 fn main() {
     // A hypothetical "ResNet-14" proposal backbone: between the paper's

@@ -5,7 +5,7 @@
 //! cargo run --release --example delay_metric
 //! ```
 
-use catdet::core::{evaluate_collected, run_collect, DetectionSystem, SingleModelSystem};
+use catdet::core::{evaluate_collected, run_collect, SingleModelSystem};
 use catdet::data::{kitti_like, Difficulty};
 use catdet::detector::zoo;
 use catdet::sim::ActorClass;

@@ -10,7 +10,11 @@ use catdet::data::kitti_like;
 
 fn main() {
     // A 2-sequence synthetic driving dataset (KITTI-shaped frames).
-    let dataset = kitti_like().sequences(2).frames_per_sequence(80).seed(7).build();
+    let dataset = kitti_like()
+        .sequences(2)
+        .frames_per_sequence(80)
+        .seed(7)
+        .build();
 
     // The paper's baseline (ResNet-50 Faster R-CNN on every frame) and
     // CaTDet-A (ResNet-10a proposal net + tracker + ResNet-50 refinement).

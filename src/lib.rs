@@ -14,6 +14,7 @@
 //! | [`track`] | `catdet-track` | the CaTDet tracker (SORT-style, decay motion model) |
 //! | [`metrics`] | `catdet-metrics` | mAP and the paper's mean-Delay metric |
 //! | [`core`] | `catdet-core` | the three detection systems + ops/timing accounting |
+//! | [`serve`] | `catdet-serve` | multi-stream serving: scheduler, micro-batching, backpressure |
 //!
 //! # Quickstart
 //!
@@ -44,10 +45,14 @@ pub use catdet_detector as detector;
 pub use catdet_geom as geom;
 pub use catdet_metrics as metrics;
 pub use catdet_nn as nn;
+pub use catdet_serve as serve;
 pub use catdet_sim as sim;
 pub use catdet_track as track;
 
 // Convenience re-exports of the most common entry points.
-pub use catdet_core::{CaTDetSystem, CascadedSystem, DetectionSystem, SingleModelSystem};
+pub use catdet_core::{
+    CaTDetSystem, CascadedSystem, DetectionSystem, SingleModelSystem, SystemFactory, SystemKind,
+};
 pub use catdet_data::kitti_like;
 pub use catdet_geom::Box2;
+pub use catdet_serve::{ServeConfig, ServeReport};

@@ -21,14 +21,22 @@ fn oracle_detector_gets_perfect_scores() {
                     class: o.class,
                 })
                 .collect();
-            ev.add_frame(seq.id, frame.index, &frame.ground_truth, &dets, frame.labeled);
+            ev.add_frame(
+                seq.id,
+                frame.index,
+                &frame.ground_truth,
+                &dets,
+                frame.labeled,
+            );
         }
     }
     // Greedy matching can mis-assign between heavily overlapping objects
     // (an ignored object's detection stealing a valid one), so "perfect"
     // is asymptotic rather than exact.
     assert!(ev.map() > 0.995, "oracle mAP {}", ev.map());
-    let delay = ev.mean_delay_at_precision(0.8).expect("precision reachable");
+    let delay = ev
+        .mean_delay_at_precision(0.8)
+        .expect("precision reachable");
     assert!(delay.mean.abs() < 1e-9, "oracle delay {}", delay.mean);
 }
 
@@ -58,7 +66,13 @@ fn pure_noise_detector_has_zero_map_but_nonzero_fp_count() {
                 score: 0.9,
                 class: ActorClass::Car,
             }];
-            ev.add_frame(seq.id, frame.index, &frame.ground_truth, &dets, frame.labeled);
+            ev.add_frame(
+                seq.id,
+                frame.index,
+                &frame.ground_truth,
+                &dets,
+                frame.labeled,
+            );
         }
     }
     assert!(ev.map() < 0.05, "noise mAP {}", ev.map());
@@ -95,7 +109,13 @@ fn delayed_oracle_delay_matches_construction() {
                     class: o.class,
                 })
                 .collect();
-            ev.add_frame(seq.id, frame.index, &frame.ground_truth, &dets, frame.labeled);
+            ev.add_frame(
+                seq.id,
+                frame.index,
+                &frame.ground_truth,
+                &dets,
+                frame.labeled,
+            );
         }
     }
     let report = ev.mean_delay_at_precision(0.8).expect("reachable");
@@ -132,7 +152,13 @@ fn score_ranking_drives_precision_matched_threshold() {
                 score: 0.35,
                 class: ActorClass::Car,
             });
-            ev.add_frame(seq.id, frame.index, &frame.ground_truth, &dets, frame.labeled);
+            ev.add_frame(
+                seq.id,
+                frame.index,
+                &frame.ground_truth,
+                &dets,
+                frame.labeled,
+            );
         }
     }
     let t_low = ev.threshold_for_precision(0.6).unwrap();

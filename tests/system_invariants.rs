@@ -2,8 +2,8 @@
 //! small (fast) datasets.
 
 use catdet::core::{
-    evaluate_collected, run_collect, CaTDetSystem, CascadedSystem, CollectedRun,
-    DetectionSystem, SingleModelSystem, SystemConfig,
+    evaluate_collected, run_collect, CaTDetSystem, CascadedSystem, CollectedRun, DetectionSystem,
+    SingleModelSystem, SystemConfig,
 };
 use catdet::data::{kitti_like, Difficulty, VideoDataset};
 use catdet::detector::zoo;
@@ -132,5 +132,8 @@ fn moderate_is_never_harder_than_it_looks() {
     let single = run(&mut SingleModelSystem::resnet50_kitti(), &ds);
     let m = evaluate_collected(&single, &ds, Difficulty::Moderate).map();
     let h = evaluate_collected(&single, &ds, Difficulty::Hard).map();
-    assert!(h <= m + 0.01, "Hard {h:.3} should not exceed Moderate {m:.3}");
+    assert!(
+        h <= m + 0.01,
+        "Hard {h:.3} should not exceed Moderate {m:.3}"
+    );
 }

@@ -95,16 +95,12 @@ fn tracker_identity_follows_objects_through_sim() {
     for frame in ds.sequences()[0].frames() {
         let preds = tracker.predictions(ds.width, ds.height);
         for gt in &frame.ground_truth {
-            if let Some(best) = preds
-                .iter()
-                .filter(|p| p.class == gt.class)
-                .max_by(|a, b| {
-                    gt.bbox
-                        .iou(&a.bbox)
-                        .partial_cmp(&gt.bbox.iou(&b.bbox))
-                        .unwrap()
-                })
-            {
+            if let Some(best) = preds.iter().filter(|p| p.class == gt.class).max_by(|a, b| {
+                gt.bbox
+                    .iou(&a.bbox)
+                    .partial_cmp(&gt.bbox.iou(&b.bbox))
+                    .unwrap()
+            }) {
                 if gt.bbox.iou(&best.bbox) > 0.5 {
                     matches += 1;
                     if let Some(&prev) = seen.get(&gt.track_id) {

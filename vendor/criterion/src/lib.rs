@@ -1,0 +1,278 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the API subset this workspace's benches use — `Criterion`,
+//! benchmark groups, `BenchmarkId`, `Throughput`, `iter`/`iter_batched`,
+//! and the `criterion_group!`/`criterion_main!` macros — with a simple
+//! wall-clock measurement loop (fixed warm-up, then timed iterations) and
+//! plain-text reporting. No statistics, plots, or baselines.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimiser from deleting work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How batched inputs are sized in [`Bencher::iter_batched`]; accepted for
+/// API compatibility, measurement ignores it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Work performed per iteration, reported as a rate next to the time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only id (used inside a named group).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { id: s }
+    }
+}
+
+/// Drives the measurement of one benchmark.
+pub struct Bencher<'a> {
+    /// Mean time per iteration, filled in by `iter*`.
+    mean: &'a mut Duration,
+}
+
+const WARMUP_ITERS: u64 = 3;
+const TARGET_TIME: Duration = Duration::from_millis(200);
+const MAX_ITERS: u64 = 100_000;
+
+impl Bencher<'_> {
+    /// Times `routine` over repeated calls.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        for _ in 0..WARMUP_ITERS {
+            black_box(routine());
+        }
+        let mut iters = 0u64;
+        let start = Instant::now();
+        while start.elapsed() < TARGET_TIME && iters < MAX_ITERS {
+            black_box(routine());
+            iters += 1;
+        }
+        *self.mean = start.elapsed() / iters.max(1) as u32;
+    }
+
+    /// Times `routine` over inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        for _ in 0..WARMUP_ITERS {
+            let input = setup();
+            black_box(routine(input));
+        }
+        let mut iters = 0u64;
+        let mut busy = Duration::ZERO;
+        while busy < TARGET_TIME && iters < MAX_ITERS {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            busy += t.elapsed();
+            iters += 1;
+        }
+        *self.mean = busy / iters.max(1) as u32;
+    }
+}
+
+fn human_time(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+fn report(name: &str, mean: Duration, throughput: Option<Throughput>) {
+    let mut line = format!("{name:<50} time: {:>12}", human_time(mean));
+    if let Some(t) = throughput {
+        let secs = mean.as_secs_f64().max(1e-12);
+        match t {
+            Throughput::Elements(n) => {
+                let _ = write!(line, "   thrpt: {:>12.1} elem/s", n as f64 / secs);
+            }
+            Throughput::Bytes(n) => {
+                let _ = write!(line, "   thrpt: {:>12.1} B/s", n as f64 / secs);
+            }
+        }
+    }
+    println!("{line}");
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut mean = Duration::ZERO;
+        f(&mut Bencher { mean: &mut mean });
+        report(&id.id, mean, None);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used in reports.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut mean = Duration::ZERO;
+        f(&mut Bencher { mean: &mut mean });
+        report(&format!("{}/{}", self.name, id.id), mean, self.throughput);
+        self
+    }
+
+    /// Runs one parameterised benchmark in the group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut mean = Duration::ZERO;
+        f(&mut Bencher { mean: &mut mean }, input);
+        report(&format!("{}/{}", self.name, id.id), mean, self.throughput);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into a callable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes harness flags (e.g. `--bench`); this
+            // stand-in has no filtering, so they are ignored.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_something() {
+        let mut c = Criterion::default();
+        // Must not panic and must complete quickly.
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    #[test]
+    fn group_api_shape() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Elements(10));
+        g.bench_function(BenchmarkId::from_parameter(4), |b| {
+            b.iter_batched(|| vec![0u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.bench_with_input(BenchmarkId::new("param", 2), &2usize, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn human_time_units() {
+        assert!(human_time(Duration::from_nanos(10)).contains("ns"));
+        assert!(human_time(Duration::from_micros(10)).contains("µs"));
+        assert!(human_time(Duration::from_millis(10)).contains("ms"));
+    }
+}

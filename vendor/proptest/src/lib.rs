@@ -1,0 +1,251 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Supports the subset this workspace uses: the [`proptest!`] macro with
+//! `name in strategy` bindings, range strategies over numeric types, tuple
+//! strategies, [`collection::vec`], [`bool::ANY`], and the
+//! `prop_assert!`/`prop_assert_eq!` assertions.
+//!
+//! Differences from the real crate: a fixed number of cases
+//! ([`CASES`]) per property, no shrinking (a failing case panics with the
+//! assertion message directly), and a deterministic per-test seed derived
+//! from the property name, so failures are reproducible run-to-run.
+
+use rand_chacha::ChaCha8Rng;
+
+pub use rand::Rng as _;
+
+/// Number of random cases run per property.
+pub const CASES: usize = 128;
+
+/// Deterministic generator for a named property test.
+pub fn test_rng(name: &str) -> ChaCha8Rng {
+    // FNV-1a over the property name: stable across runs and platforms.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    rand::SeedableRng::seed_from_u64(h)
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and its implementations.
+
+    use rand::{RngCore, SampleRange};
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating random values.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+        /// Draws one value.
+        fn generate<R: RngCore>(&self, rng: &mut R) -> Self::Value;
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate<R: RngCore>(&self, rng: &mut R) -> $t {
+                    self.clone().sample_range(rng)
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate<R: RngCore>(&self, rng: &mut R) -> $t {
+                    self.clone().sample_range(rng)
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(f32, f64, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate<R: RngCore>(&self, rng: &mut R) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($n:tt $t:ident),+))*) => {$(
+            impl<$($t: Strategy),+> Strategy for ($($t,)+) {
+                type Value = ($($t::Value,)+);
+                fn generate<R: RngCore>(&self, rng: &mut R) -> Self::Value {
+                    ($(self.$n.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (0 A)
+        (0 A, 1 B)
+        (0 A, 1 B, 2 C)
+        (0 A, 1 B, 2 C, 3 D)
+        (0 A, 1 B, 2 C, 3 D, 4 E)
+        (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+        (0 A, 1 B, 2 C, 3 D, 4 E, 5 F, 6 G)
+        (0 A, 1 B, 2 C, 3 D, 4 E, 5 F, 6 G, 7 H)
+    }
+}
+
+pub mod bool {
+    //! Boolean strategies.
+
+    use rand::RngCore;
+
+    /// Strategy yielding uniformly random booleans.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// The uniform boolean strategy.
+    pub const ANY: Any = Any;
+
+    impl crate::strategy::Strategy for Any {
+        type Value = bool;
+        fn generate<R: RngCore>(&self, rng: &mut R) -> bool {
+            rng.next_u32() & 1 == 1
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use rand::{RngCore, SampleRange};
+    use std::ops::Range;
+
+    /// Size specification for [`vec`]: an exact length or a half-open range.
+    #[derive(Debug, Clone)]
+    pub enum SizeRange {
+        /// Exactly this many elements.
+        Exact(usize),
+        /// A length drawn uniformly from the range.
+        Between(Range<usize>),
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange::Exact(n)
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            SizeRange::Between(r)
+        }
+    }
+
+    /// Strategy yielding vectors of values from an element strategy.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates `Vec`s whose elements come from `element` and whose length
+    /// follows `size` (an exact `usize` or a `Range<usize>`).
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate<R: RngCore>(&self, rng: &mut R) -> Self::Value {
+            let len = match &self.size {
+                SizeRange::Exact(n) => *n,
+                SizeRange::Between(r) if r.is_empty() => 0,
+                SizeRange::Between(r) => r.clone().sample_range(rng),
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop import for property tests.
+    pub use crate::bool::ANY as ANY_BOOL;
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+/// Defines property tests: `proptest! { #[test] fn name(x in strategy) { … } }`.
+///
+/// Each property runs [`CASES`] random cases from a deterministic,
+/// name-derived seed. There is no shrinking: the first failing case panics.
+#[macro_export]
+macro_rules! proptest {
+    () => {};
+    ($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let mut proptest_rng = $crate::test_rng(stringify!($name));
+            for _ in 0..$crate::CASES {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut proptest_rng);)+
+                $body
+            }
+        }
+        $crate::proptest! { $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a property (plain `assert!` here).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property (plain `assert_eq!` here).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+
+    use crate::strategy::Strategy;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in -3.0f32..3.0, n in 1usize..10) {
+            prop_assert!((-3.0..3.0).contains(&x));
+            prop_assert!((1..10).contains(&n));
+        }
+
+        #[test]
+        fn vec_of_tuples_has_requested_len(
+            items in crate::collection::vec((0.0f32..1.0, 0usize..5), 4),
+        ) {
+            prop_assert_eq!(items.len(), 4);
+            for (f, n) in items {
+                prop_assert!((0.0..1.0).contains(&f));
+                prop_assert!(n < 5);
+            }
+        }
+    }
+
+    #[test]
+    fn bool_any_hits_both_values() {
+        let mut rng = crate::test_rng("bool_any");
+        let draws: Vec<bool> = (0..64)
+            .map(|_| crate::bool::ANY.generate(&mut rng))
+            .collect();
+        assert!(draws.iter().any(|&b| b) && draws.iter().any(|&b| !b));
+    }
+
+    #[test]
+    fn ranged_vec_len_varies_within_bounds() {
+        let mut rng = crate::test_rng("vec_len");
+        let strat = crate::collection::vec(0.0f64..1.0, 0..7);
+        let lens: Vec<usize> = (0..64).map(|_| strat.generate(&mut rng).len()).collect();
+        assert!(lens.iter().all(|&l| l < 7));
+        assert!(lens.iter().collect::<std::collections::HashSet<_>>().len() > 2);
+    }
+}

@@ -1,0 +1,322 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment has no network access and no registry cache, so
+//! the real serde cannot be used. This crate implements `#[derive(Serialize)]`
+//! and `#[derive(Deserialize)]` against the sibling stand-in `serde` crate,
+//! whose `Serialize` trait is value-based (`fn to_value(&self) -> Value`).
+//!
+//! The parser is deliberately minimal — no `syn`, no `quote` — and supports
+//! exactly the shapes this workspace derives on: non-generic named structs,
+//! tuple structs, and enums with unit / tuple / struct variants. Anything
+//! else panics with a clear message at compile time.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Fields {
+    /// Named fields, in declaration order.
+    Named(Vec<String>),
+    /// Tuple fields (arity).
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Skips attribute pairs (`#` followed by a bracket group) and returns the
+/// next significant token.
+fn next_significant(
+    iter: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>,
+) -> Option<TokenTree> {
+    while let Some(tt) = iter.next() {
+        if let TokenTree::Punct(p) = &tt {
+            if p.as_char() == '#' {
+                // Swallow the following [...] (or ![...]) group.
+                if let Some(TokenTree::Punct(bang)) = iter.peek() {
+                    if bang.as_char() == '!' {
+                        iter.next();
+                    }
+                }
+                iter.next();
+                continue;
+            }
+        }
+        if let TokenTree::Ident(id) = &tt {
+            if id.to_string() == "pub" {
+                // Swallow a possible restriction group: pub(crate) etc.
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next();
+                    }
+                }
+                continue;
+            }
+        }
+        return Some(tt);
+    }
+    None
+}
+
+/// Parses the field names of a named-fields brace group.
+fn parse_named_fields(group: TokenStream) -> Vec<String> {
+    let mut names = Vec::new();
+    let mut iter = group.into_iter().peekable();
+    loop {
+        let name = match next_significant(&mut iter) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => panic!("serde stand-in derive: unexpected token in fields: {other}"),
+            None => break,
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => {
+                panic!("serde stand-in derive: expected `:` after field `{name}`, got {other:?}")
+            }
+        }
+        names.push(name);
+        // Consume the type up to the next top-level comma.
+        let mut depth = 0i32;
+        for tt in iter.by_ref() {
+            match &tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    names
+}
+
+/// Counts the fields of a tuple group (top-level comma count).
+fn parse_tuple_arity(group: TokenStream) -> usize {
+    let mut arity = 0usize;
+    let mut depth = 0i32;
+    let mut saw_token = false;
+    for tt in group {
+        saw_token = true;
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => arity += 1,
+            _ => {}
+        }
+    }
+    if saw_token {
+        arity + 1
+    } else {
+        0
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut iter = input.into_iter().peekable();
+    let kind = loop {
+        match next_significant(&mut iter) {
+            Some(TokenTree::Ident(id)) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    break s;
+                }
+                // e.g. `union` or stray idents — keep scanning.
+            }
+            Some(_) => {}
+            None => panic!("serde stand-in derive: no struct/enum found"),
+        }
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde stand-in derive: expected type name, got {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() == '<' {
+            panic!("serde stand-in derive: generic type `{name}` is not supported");
+        }
+    }
+    if kind == "struct" {
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Struct {
+                name,
+                fields: Fields::Named(parse_named_fields(g.stream())),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Item::Struct {
+                name,
+                fields: Fields::Tuple(parse_tuple_arity(g.stream())),
+            },
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item::Struct {
+                name,
+                fields: Fields::Unit,
+            },
+            other => panic!("serde stand-in derive: malformed struct `{name}`: {other:?}"),
+        }
+    } else {
+        let body = match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+            other => panic!("serde stand-in derive: malformed enum `{name}`: {other:?}"),
+        };
+        let mut variants = Vec::new();
+        let mut viter = body.into_iter().peekable();
+        loop {
+            let vname = match next_significant(&mut viter) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                Some(other) => {
+                    panic!("serde stand-in derive: unexpected token in enum `{name}`: {other}")
+                }
+                None => break,
+            };
+            let fields = match viter.peek() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    let arity = parse_tuple_arity(g.stream());
+                    viter.next();
+                    Fields::Tuple(arity)
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    let names = parse_named_fields(g.stream());
+                    viter.next();
+                    Fields::Named(names)
+                }
+                _ => Fields::Unit,
+            };
+            // Consume an optional discriminant and the trailing comma.
+            let mut depth = 0i32;
+            while let Some(tt) = viter.peek() {
+                match tt {
+                    TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                        viter.next();
+                        break;
+                    }
+                    TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                    TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                    _ => {}
+                }
+                viter.next();
+            }
+            variants.push(Variant {
+                name: vname,
+                fields,
+            });
+        }
+        Item::Enum { name, variants }
+    }
+}
+
+/// `#[derive(Serialize)]`: implements the stand-in `serde::Serialize`
+/// (`fn to_value(&self) -> serde::Value`).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let src = match &item {
+        Item::Struct { name, fields } => match fields {
+            Fields::Named(names) => {
+                let entries: Vec<String> = names
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f}))"
+                        )
+                    })
+                    .collect();
+                format!(
+                    "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                     ::serde::Value::Object(::std::vec![{}])\n}}\n}}",
+                    entries.join(", ")
+                )
+            }
+            Fields::Tuple(n) => {
+                let entries: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                    .collect();
+                format!(
+                    "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                     ::serde::Value::Array(::std::vec![{}])\n}}\n}}",
+                    entries.join(", ")
+                )
+            }
+            Fields::Unit => format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{ ::serde::Value::Null }}\n}}"
+            ),
+        },
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.fields {
+                        Fields::Unit => format!(
+                            "{name}::{vname} => ::serde::Value::String(::std::string::String::from(\"{vname}\"))"
+                        ),
+                        Fields::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                            let inner = if *n == 1 {
+                                "::serde::Serialize::to_value(f0)".to_string()
+                            } else {
+                                let vals: Vec<String> = binds
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                    .collect();
+                                format!("::serde::Value::Array(::std::vec![{}])", vals.join(", "))
+                            };
+                            format!(
+                                "{name}::{vname}({}) => ::serde::Value::Object(::std::vec![(::std::string::String::from(\"{vname}\"), {inner})])",
+                                binds.join(", ")
+                            )
+                        }
+                        Fields::Named(fields) => {
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {} }} => ::serde::Value::Object(::std::vec![(::std::string::String::from(\"{vname}\"), ::serde::Value::Object(::std::vec![{}]))])",
+                                fields.join(", "),
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                 match self {{ {} }}\n}}\n}}",
+                arms.join(",\n")
+            )
+        }
+    };
+    src.parse()
+        .expect("serde stand-in derive: generated impl failed to parse")
+}
+
+/// `#[derive(Deserialize)]`: the stand-in `serde::Deserialize` is a marker
+/// trait (nothing in this workspace actually deserialises), so the derive
+/// just emits the marker impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = match &item {
+        Item::Struct { name, .. } | Item::Enum { name, .. } => name.clone(),
+    };
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("serde stand-in derive: generated impl failed to parse")
+}

@@ -2,7 +2,10 @@
 //! count and with the micro-batch window. The baseline future scaling PRs
 //! (sharding, async backends) are measured against.
 
-use catdet_serve::{kitti_workload, mixed_workload, serve, ServeConfig, SystemKind};
+use catdet_serve::{
+    bursty_workload, kitti_workload, mixed_workload, serve, AdmissionConfig, AutoscaleConfig,
+    BurstProfile, ServeConfig, SystemKind,
+};
 use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
 
 const STREAMS: usize = 8;
@@ -47,5 +50,63 @@ fn bench_batch_window(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_worker_scaling, bench_batch_window);
+/// Control-plane overhead: the same bursty fleet with the control loop
+/// off, with hysteresis autoscaling, and with autoscaling plus admission
+/// control. The spread between the bars is the price of the feedback
+/// machinery itself.
+fn bench_control_plane(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve_control_plane");
+    group.throughput(Throughput::Elements((STREAMS * FRAMES) as u64));
+    let base = ServeConfig::new()
+        .with_workers(2)
+        .with_max_batch(4)
+        .with_queue_capacity(8);
+    let configs = [
+        ("fixed", base),
+        (
+            "hysteresis",
+            base.with_autoscale(
+                AutoscaleConfig::hysteresis(1, 8)
+                    .with_cooldown_ticks(0)
+                    .with_scale_step(4)
+                    .with_control_interval_s(0.1),
+            ),
+        ),
+        (
+            "hysteresis+token-bucket",
+            base.with_autoscale(
+                AutoscaleConfig::hysteresis(1, 8)
+                    .with_cooldown_ticks(0)
+                    .with_scale_step(4)
+                    .with_control_interval_s(0.1),
+            )
+            .with_admission(AdmissionConfig::token_bucket(20.0, 8.0)),
+        ),
+    ];
+    for (name, cfg) in configs {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
+            b.iter_batched(
+                || {
+                    bursty_workload(
+                        STREAMS,
+                        FRAMES,
+                        9,
+                        SystemKind::CatdetA,
+                        BurstProfile::demo(),
+                    )
+                },
+                |streams| serve(streams, cfg),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_worker_scaling,
+    bench_batch_window,
+    bench_control_plane
+);
 criterion_main!(benches);

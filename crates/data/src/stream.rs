@@ -74,6 +74,41 @@ impl StreamSource {
         }
     }
 
+    /// Builds a stream from explicit frames and arrival times, for
+    /// workload generators whose arrival process is not a fixed frame
+    /// rate (bursts, load steps, replayed traces).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fps` is not positive or the arrival times are not
+    /// finite and non-decreasing.
+    pub fn from_frames(
+        stream_id: usize,
+        fps: f32,
+        width: f32,
+        height: f32,
+        frames: Vec<StreamFrame>,
+    ) -> Self {
+        assert!(fps > 0.0, "stream {stream_id}: fps must be positive");
+        for pair in frames.windows(2) {
+            assert!(
+                pair[0].arrival_s <= pair[1].arrival_s,
+                "stream {stream_id}: arrival times must be non-decreasing"
+            );
+        }
+        assert!(
+            frames.iter().all(|f| f.arrival_s.is_finite()),
+            "stream {stream_id}: arrival times must be finite"
+        );
+        Self {
+            stream_id,
+            fps,
+            width,
+            height,
+            frames,
+        }
+    }
+
     /// Turns every sequence of a dataset into a stream.
     ///
     /// Stream `i` starts at `i * stagger_s`, staggering camera phases so

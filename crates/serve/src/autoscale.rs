@@ -1,0 +1,326 @@
+//! Feedback-driven autoscaling: worker-count control from serving signals.
+//!
+//! CaTDet spends detector compute only where the tracker says it pays off;
+//! this module applies the same idea at fleet level — workers are added
+//! only where drop-rate and tail latency say they are needed, and returned
+//! when the fleet is idle. The scheduler samples a [`ControlSample`] every
+//! [`control interval`](crate::config::AutoscaleConfig::control_interval_s)
+//! of *virtual* time and asks a [`ScalePolicy`] for the desired worker
+//! count. Every input to the policy is derived from virtual-time counters,
+//! so a controller run is bit-reproducible at any host parallelism — the
+//! exact [`ScaleEvent`] timeline can be locked in by a golden test.
+
+use crate::config::AutoscaleConfig;
+use crate::report::LatencyStats;
+use serde::{Deserialize, Serialize};
+
+/// What the scheduler measured over one control window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ControlSample {
+    /// Virtual time of the control tick.
+    pub now_s: f64,
+    /// Workers currently eligible for scheduling.
+    pub active_workers: usize,
+    /// Of those, workers busy with a batch right now.
+    pub busy_workers: usize,
+    /// Frames queued across all streams right now.
+    pub backlog: usize,
+    /// Frames that arrived during the window.
+    pub window_arrived: usize,
+    /// Frames shed during the window (queue drops + admission rejects).
+    pub window_shed: usize,
+    /// Nearest-rank p99 of latencies completed during the window, if any
+    /// frame completed.
+    pub window_p99_s: Option<f64>,
+}
+
+impl ControlSample {
+    /// Fraction of window arrivals that were shed.
+    pub fn window_shed_rate(&self) -> f64 {
+        if self.window_arrived == 0 {
+            0.0
+        } else {
+            self.window_shed as f64 / self.window_arrived as f64
+        }
+    }
+}
+
+/// Why a scale decision was taken (recorded on every [`ScaleEvent`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ScaleReason {
+    /// The window shed rate exceeded the scale-up threshold.
+    DropRate,
+    /// The window p99 latency exceeded the scale-up threshold.
+    TailLatency,
+    /// The fleet was calm and under-utilised; a worker was returned.
+    Idle,
+    /// A load-tracking policy re-targeted the fleet to the arrival rate.
+    LoadTracking,
+}
+
+impl ScaleReason {
+    /// Short label used in timeline printouts.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ScaleReason::DropRate => "drop-rate",
+            ScaleReason::TailLatency => "tail-latency",
+            ScaleReason::Idle => "idle",
+            ScaleReason::LoadTracking => "load-tracking",
+        }
+    }
+}
+
+/// One worker-count change, stamped in virtual time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScaleEvent {
+    /// Virtual time of the control tick that decided the change.
+    pub t_s: f64,
+    /// Active workers before.
+    pub from_workers: usize,
+    /// Active workers after.
+    pub to_workers: usize,
+    /// What triggered it.
+    pub reason: ScaleReason,
+}
+
+/// A worker-count controller consulted at every control tick.
+///
+/// Implementations must be deterministic functions of the sample history:
+/// no wall-clock, no ambient randomness. Returning `None` keeps the
+/// current worker count.
+pub trait ScalePolicy: Send {
+    /// Stable policy name (reports, CLI).
+    fn name(&self) -> &'static str;
+
+    /// Desired worker count and the reason, or `None` to hold steady. The
+    /// scheduler clamps the result to the configured `[min, max]` range.
+    fn desired_workers(&mut self, sample: &ControlSample) -> Option<(usize, ScaleReason)>;
+}
+
+/// Never changes the worker count (the no-autoscaling baseline).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FixedScale;
+
+impl ScalePolicy for FixedScale {
+    fn name(&self) -> &'static str {
+        "fixed"
+    }
+
+    fn desired_workers(&mut self, _sample: &ControlSample) -> Option<(usize, ScaleReason)> {
+        None
+    }
+}
+
+/// Hysteresis controller on window shed-rate and window p99.
+///
+/// Scales up by `step` when the shed rate or the window p99 cross their
+/// *up* thresholds; scales down by `step` only when the window is
+/// completely calm (nothing shed, no backlog, p99 below the *down*
+/// threshold, at least one worker idle). The gap between the up and down
+/// thresholds plus a cooldown of `cooldown_ticks` control ticks after any
+/// change is what prevents oscillation on a steady workload.
+#[derive(Debug, Clone, Copy)]
+pub struct HysteresisScale {
+    min: usize,
+    max: usize,
+    step: usize,
+    up_shed_rate: f64,
+    up_p99_s: f64,
+    down_p99_s: f64,
+    cooldown_ticks: usize,
+    ticks_since_change: usize,
+}
+
+impl HysteresisScale {
+    /// Builds the controller from its configuration.
+    pub fn from_config(cfg: &AutoscaleConfig) -> Self {
+        Self {
+            min: cfg.min_workers,
+            max: cfg.max_workers,
+            step: cfg.scale_step,
+            up_shed_rate: cfg.up_shed_rate,
+            up_p99_s: cfg.up_p99_s,
+            down_p99_s: cfg.down_p99_s,
+            cooldown_ticks: cfg.cooldown_ticks,
+            // The first tick is allowed to act immediately.
+            ticks_since_change: cfg.cooldown_ticks,
+        }
+    }
+}
+
+impl ScalePolicy for HysteresisScale {
+    fn name(&self) -> &'static str {
+        "hysteresis"
+    }
+
+    fn desired_workers(&mut self, s: &ControlSample) -> Option<(usize, ScaleReason)> {
+        if self.ticks_since_change < self.cooldown_ticks {
+            self.ticks_since_change += 1;
+            return None;
+        }
+        let shedding = s.window_shed_rate() > self.up_shed_rate;
+        let slow = s.window_p99_s.is_some_and(|p| p > self.up_p99_s);
+        if (shedding || slow) && s.active_workers < self.max {
+            self.ticks_since_change = 0;
+            let reason = if shedding {
+                ScaleReason::DropRate
+            } else {
+                ScaleReason::TailLatency
+            };
+            return Some(((s.active_workers + self.step).min(self.max), reason));
+        }
+        let calm = s.window_shed == 0
+            && s.backlog == 0
+            && s.window_p99_s.is_none_or(|p| p < self.down_p99_s)
+            && s.busy_workers < s.active_workers;
+        if calm && s.active_workers > self.min {
+            self.ticks_since_change = 0;
+            let target = s.active_workers.saturating_sub(self.step).max(self.min);
+            return Some((target, ScaleReason::Idle));
+        }
+        self.ticks_since_change += 1;
+        None
+    }
+}
+
+/// Step-load-aware proportional controller.
+///
+/// Estimates the required fleet directly from the window arrival rate and
+/// a configured per-frame service-time estimate:
+/// `workers = ceil(arrival_rate × service_s_per_frame)`. Reacts to a load
+/// step within one control interval instead of climbing one hysteresis
+/// step at a time, at the cost of trusting the service-time estimate.
+#[derive(Debug, Clone, Copy)]
+pub struct ProportionalScale {
+    min: usize,
+    max: usize,
+    control_interval_s: f64,
+    service_s_per_frame: f64,
+}
+
+impl ProportionalScale {
+    /// Builds the controller from its configuration.
+    pub fn from_config(cfg: &AutoscaleConfig) -> Self {
+        Self {
+            min: cfg.min_workers,
+            max: cfg.max_workers,
+            control_interval_s: cfg.control_interval_s,
+            service_s_per_frame: cfg.service_s_per_frame,
+        }
+    }
+}
+
+impl ScalePolicy for ProportionalScale {
+    fn name(&self) -> &'static str {
+        "proportional"
+    }
+
+    fn desired_workers(&mut self, s: &ControlSample) -> Option<(usize, ScaleReason)> {
+        let rate = s.window_arrived as f64 / self.control_interval_s;
+        let target = ((rate * self.service_s_per_frame).ceil() as usize).clamp(self.min, self.max);
+        if target != s.active_workers {
+            Some((target, ScaleReason::LoadTracking))
+        } else {
+            None
+        }
+    }
+}
+
+/// Nearest-rank p99 over one control window's completed latencies.
+pub(crate) fn window_p99(latencies: &[f64]) -> Option<f64> {
+    if latencies.is_empty() {
+        None
+    } else {
+        Some(LatencyStats::from_samples(latencies).p99_s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn calm_sample(active: usize) -> ControlSample {
+        ControlSample {
+            now_s: 1.0,
+            active_workers: active,
+            busy_workers: 0,
+            backlog: 0,
+            window_arrived: 10,
+            window_shed: 0,
+            window_p99_s: Some(0.01),
+        }
+    }
+
+    #[test]
+    fn fixed_never_moves() {
+        let mut p = FixedScale;
+        let mut s = calm_sample(4);
+        s.window_shed = 10;
+        assert_eq!(p.desired_workers(&s), None);
+    }
+
+    #[test]
+    fn hysteresis_scales_up_on_shedding_and_down_when_calm() {
+        let cfg = AutoscaleConfig::hysteresis(1, 8).with_cooldown_ticks(0);
+        let mut p = HysteresisScale::from_config(&cfg);
+        let mut overload = calm_sample(2);
+        overload.window_shed = 5;
+        assert_eq!(
+            p.desired_workers(&overload),
+            Some((3, ScaleReason::DropRate))
+        );
+        assert_eq!(
+            p.desired_workers(&calm_sample(3)),
+            Some((2, ScaleReason::Idle))
+        );
+    }
+
+    #[test]
+    fn hysteresis_holds_inside_the_band() {
+        let cfg = AutoscaleConfig::hysteresis(1, 8).with_cooldown_ticks(0);
+        let mut p = HysteresisScale::from_config(&cfg);
+        // Busy but neither shedding nor calm (a worker is occupied).
+        let mut s = calm_sample(2);
+        s.busy_workers = 2;
+        assert_eq!(p.desired_workers(&s), None);
+    }
+
+    #[test]
+    fn hysteresis_cooldown_delays_consecutive_changes() {
+        let cfg = AutoscaleConfig::hysteresis(1, 8).with_cooldown_ticks(2);
+        let mut p = HysteresisScale::from_config(&cfg);
+        let mut overload = calm_sample(1);
+        overload.window_shed = 10;
+        assert!(p.desired_workers(&overload).is_some());
+        let mut next = overload;
+        next.active_workers = 2;
+        assert_eq!(p.desired_workers(&next), None, "cooldown tick 1");
+        assert_eq!(p.desired_workers(&next), None, "cooldown tick 2");
+        assert!(p.desired_workers(&next).is_some(), "cooldown expired");
+    }
+
+    #[test]
+    fn proportional_tracks_arrival_rate() {
+        let cfg = AutoscaleConfig::proportional(1, 16, 0.1);
+        let mut p = ProportionalScale::from_config(&cfg);
+        let mut s = calm_sample(1);
+        // 40 arrivals per 0.25 s window = 160 fps; at 0.1 s/frame that
+        // needs 16 workers.
+        s.window_arrived = 40;
+        assert_eq!(p.desired_workers(&s), Some((16, ScaleReason::LoadTracking)));
+        // Quiet window falls back to the floor…
+        s.active_workers = 16;
+        s.window_arrived = 0;
+        assert_eq!(p.desired_workers(&s), Some((1, ScaleReason::LoadTracking)));
+        // …and holds there without re-deciding.
+        s.active_workers = 1;
+        assert_eq!(p.desired_workers(&s), None);
+    }
+
+    #[test]
+    fn window_p99_matches_latency_stats() {
+        assert_eq!(window_p99(&[]), None);
+        let samples: Vec<f64> = (1..=200).map(|i| i as f64).collect();
+        assert_eq!(window_p99(&samples), Some(198.0));
+    }
+}

@@ -63,6 +63,265 @@ impl DropPolicy {
     }
 }
 
+/// Which [`ScalePolicy`](crate::autoscale::ScalePolicy) the control loop
+/// runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ScalePolicyKind {
+    /// No autoscaling: the worker count never changes and no control
+    /// ticks are scheduled (bit-identical to pre-autoscale behaviour).
+    Fixed,
+    /// Hysteresis on window shed-rate and p99 with a cooldown.
+    Hysteresis,
+    /// Step-load-aware proportional tracking of the arrival rate.
+    Proportional,
+}
+
+impl ScalePolicyKind {
+    /// Stable CLI name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ScalePolicyKind::Fixed => "fixed",
+            ScalePolicyKind::Hysteresis => "hysteresis",
+            ScalePolicyKind::Proportional => "proportional",
+        }
+    }
+
+    /// Parses a CLI name.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "fixed" => Some(ScalePolicyKind::Fixed),
+            "hysteresis" => Some(ScalePolicyKind::Hysteresis),
+            "proportional" => Some(ScalePolicyKind::Proportional),
+            _ => None,
+        }
+    }
+}
+
+/// Autoscaling control-loop configuration.
+///
+/// With [`ScalePolicyKind::Fixed`] the remaining knobs are inert. All
+/// times are virtual seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AutoscaleConfig {
+    /// The controller to run.
+    pub policy: ScalePolicyKind,
+    /// Spacing of control ticks on the virtual clock.
+    pub control_interval_s: f64,
+    /// Lower bound on active workers.
+    pub min_workers: usize,
+    /// Upper bound on active workers (also sizes the real thread pool).
+    pub max_workers: usize,
+    /// Hysteresis: scale up when the window shed rate exceeds this.
+    pub up_shed_rate: f64,
+    /// Hysteresis: scale up when the window p99 exceeds this.
+    pub up_p99_s: f64,
+    /// Hysteresis: scaling down requires the window p99 below this.
+    pub down_p99_s: f64,
+    /// Hysteresis: control ticks to hold after any change.
+    pub cooldown_ticks: usize,
+    /// Hysteresis: workers added/removed per decision.
+    pub scale_step: usize,
+    /// Proportional: assumed service time per frame.
+    pub service_s_per_frame: f64,
+}
+
+impl AutoscaleConfig {
+    /// Autoscaling off (the default): fixed worker count, no ticks.
+    pub fn fixed() -> Self {
+        Self {
+            policy: ScalePolicyKind::Fixed,
+            control_interval_s: 0.25,
+            min_workers: 1,
+            max_workers: 8,
+            up_shed_rate: 0.02,
+            up_p99_s: 0.5,
+            down_p99_s: 0.15,
+            cooldown_ticks: 1,
+            scale_step: 1,
+            service_s_per_frame: 0.05,
+        }
+    }
+
+    /// Hysteresis controller bounded to `[min_workers, max_workers]`.
+    pub fn hysteresis(min_workers: usize, max_workers: usize) -> Self {
+        Self {
+            policy: ScalePolicyKind::Hysteresis,
+            min_workers,
+            max_workers,
+            ..Self::fixed()
+        }
+    }
+
+    /// Proportional controller with a per-frame service-time estimate.
+    pub fn proportional(min_workers: usize, max_workers: usize, service_s_per_frame: f64) -> Self {
+        Self {
+            policy: ScalePolicyKind::Proportional,
+            min_workers,
+            max_workers,
+            service_s_per_frame,
+            ..Self::fixed()
+        }
+    }
+
+    /// Returns a copy with a different control interval.
+    pub fn with_control_interval_s(mut self, control_interval_s: f64) -> Self {
+        self.control_interval_s = control_interval_s;
+        self
+    }
+
+    /// Returns a copy with a different cooldown.
+    pub fn with_cooldown_ticks(mut self, cooldown_ticks: usize) -> Self {
+        self.cooldown_ticks = cooldown_ticks;
+        self
+    }
+
+    /// Returns a copy with a different scale step.
+    pub fn with_scale_step(mut self, scale_step: usize) -> Self {
+        self.scale_step = scale_step;
+        self
+    }
+
+    /// Returns a copy with different scale-up thresholds.
+    pub fn with_up_thresholds(mut self, up_shed_rate: f64, up_p99_s: f64) -> Self {
+        self.up_shed_rate = up_shed_rate;
+        self.up_p99_s = up_p99_s;
+        self
+    }
+
+    /// Whether the control loop actually runs.
+    pub fn enabled(&self) -> bool {
+        self.policy != ScalePolicyKind::Fixed
+    }
+
+    /// Panics if the configuration is unusable.
+    pub fn validate(&self) {
+        assert!(self.min_workers >= 1, "autoscale floor must be at least 1");
+        assert!(
+            self.max_workers >= self.min_workers,
+            "autoscale ceiling must be at least the floor"
+        );
+        assert!(
+            self.control_interval_s > 0.0 && self.control_interval_s.is_finite(),
+            "control interval must be finite and positive"
+        );
+        assert!(self.scale_step >= 1, "scale step must be at least 1");
+        assert!(
+            self.service_s_per_frame > 0.0 && self.service_s_per_frame.is_finite(),
+            "service time estimate must be finite and positive"
+        );
+        assert!(
+            self.up_shed_rate >= 0.0 && self.up_p99_s >= 0.0 && self.down_p99_s >= 0.0,
+            "thresholds must be non-negative"
+        );
+    }
+}
+
+impl Default for AutoscaleConfig {
+    fn default() -> Self {
+        Self::fixed()
+    }
+}
+
+/// Which [`AdmissionPolicy`](crate::admission::AdmissionPolicy) gates
+/// arrivals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AdmissionKind {
+    /// Every frame is admitted (the default).
+    AdmitAll,
+    /// Per-stream token-bucket rate limiting.
+    TokenBucket,
+    /// Priority classes shed lowest-first under overload.
+    Priority,
+}
+
+impl AdmissionKind {
+    /// Stable CLI name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AdmissionKind::AdmitAll => "admit-all",
+            AdmissionKind::TokenBucket => "token-bucket",
+            AdmissionKind::Priority => "priority",
+        }
+    }
+
+    /// Parses a CLI name.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "admit-all" => Some(AdmissionKind::AdmitAll),
+            "token-bucket" => Some(AdmissionKind::TokenBucket),
+            "priority" => Some(AdmissionKind::Priority),
+            _ => None,
+        }
+    }
+}
+
+/// Admission-control configuration; knobs not used by the selected kind
+/// are inert.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdmissionConfig {
+    /// The policy gating arrivals.
+    pub kind: AdmissionKind,
+    /// Token bucket: sustained admitted rate per stream (frames/s).
+    pub rate_fps: f64,
+    /// Token bucket: burst capacity per stream (frames).
+    pub burst: f64,
+    /// Priority: backlog (queued frames fleet-wide) per overload level.
+    pub backlog_watermark: usize,
+}
+
+impl AdmissionConfig {
+    /// No admission control (the default).
+    pub fn admit_all() -> Self {
+        Self {
+            kind: AdmissionKind::AdmitAll,
+            rate_fps: 30.0,
+            burst: 10.0,
+            backlog_watermark: 32,
+        }
+    }
+
+    /// Token-bucket rate limiting per stream.
+    pub fn token_bucket(rate_fps: f64, burst: f64) -> Self {
+        Self {
+            kind: AdmissionKind::TokenBucket,
+            rate_fps,
+            burst,
+            ..Self::admit_all()
+        }
+    }
+
+    /// Priority shedding with the given backlog watermark.
+    pub fn priority(backlog_watermark: usize) -> Self {
+        Self {
+            kind: AdmissionKind::Priority,
+            backlog_watermark,
+            ..Self::admit_all()
+        }
+    }
+
+    /// Panics if the configuration is unusable.
+    pub fn validate(&self) {
+        assert!(
+            self.rate_fps > 0.0 && self.rate_fps.is_finite(),
+            "admission rate must be finite and positive"
+        );
+        assert!(
+            self.burst >= 1.0 && self.burst.is_finite(),
+            "admission burst must be at least one frame"
+        );
+        assert!(
+            self.backlog_watermark >= 1,
+            "backlog watermark must be at least 1"
+        );
+    }
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        Self::admit_all()
+    }
+}
+
 /// Configuration of one serving run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ServeConfig {
@@ -84,6 +343,10 @@ pub struct ServeConfig {
     pub drop_policy: DropPolicy,
     /// GPU/CPU execution-time model used for all virtual-time accounting.
     pub timing: GpuTimingModel,
+    /// Worker-count control loop; [`AutoscaleConfig::fixed`] disables it.
+    pub autoscale: AutoscaleConfig,
+    /// Arrival gating; [`AdmissionConfig::admit_all`] disables it.
+    pub admission: AdmissionConfig,
 }
 
 impl ServeConfig {
@@ -98,6 +361,8 @@ impl ServeConfig {
             policy: SchedulePolicy::RoundRobin,
             drop_policy: DropPolicy::Newest,
             timing: GpuTimingModel::titan_x_maxwell(),
+            autoscale: AutoscaleConfig::fixed(),
+            admission: AdmissionConfig::admit_all(),
         }
     }
 
@@ -137,6 +402,18 @@ impl ServeConfig {
         self
     }
 
+    /// Returns a copy with a different autoscaling configuration.
+    pub fn with_autoscale(mut self, autoscale: AutoscaleConfig) -> Self {
+        self.autoscale = autoscale;
+        self
+    }
+
+    /// Returns a copy with a different admission configuration.
+    pub fn with_admission(mut self, admission: AdmissionConfig) -> Self {
+        self.admission = admission;
+        self
+    }
+
     /// Panics if the configuration is unusable.
     pub fn validate(&self) {
         assert!(self.workers >= 1, "need at least one worker");
@@ -149,6 +426,8 @@ impl ServeConfig {
             self.batch_window_s >= 0.0 && self.batch_window_s.is_finite(),
             "batch window must be finite and non-negative"
         );
+        self.autoscale.validate();
+        self.admission.validate();
     }
 }
 
@@ -194,5 +473,48 @@ mod tests {
             assert_eq!(DropPolicy::from_name(d.name()), Some(d));
         }
         assert_eq!(SchedulePolicy::from_name("x"), None);
+        for k in [
+            ScalePolicyKind::Fixed,
+            ScalePolicyKind::Hysteresis,
+            ScalePolicyKind::Proportional,
+        ] {
+            assert_eq!(ScalePolicyKind::from_name(k.name()), Some(k));
+        }
+        for k in [
+            AdmissionKind::AdmitAll,
+            AdmissionKind::TokenBucket,
+            AdmissionKind::Priority,
+        ] {
+            assert_eq!(AdmissionKind::from_name(k.name()), Some(k));
+        }
+    }
+
+    #[test]
+    fn autoscale_and_admission_ride_the_builder() {
+        let cfg = ServeConfig::new()
+            .with_autoscale(AutoscaleConfig::hysteresis(2, 6))
+            .with_admission(AdmissionConfig::token_bucket(15.0, 4.0));
+        cfg.validate();
+        assert!(cfg.autoscale.enabled());
+        assert_eq!(cfg.autoscale.min_workers, 2);
+        assert_eq!(cfg.autoscale.max_workers, 6);
+        assert_eq!(cfg.admission.kind, AdmissionKind::TokenBucket);
+        assert!(!AutoscaleConfig::fixed().enabled());
+    }
+
+    #[test]
+    #[should_panic(expected = "ceiling")]
+    fn inverted_autoscale_bounds_are_rejected() {
+        ServeConfig::new()
+            .with_autoscale(AutoscaleConfig::hysteresis(4, 2))
+            .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "control interval")]
+    fn zero_control_interval_is_rejected() {
+        ServeConfig::new()
+            .with_autoscale(AutoscaleConfig::hysteresis(1, 4).with_control_interval_s(0.0))
+            .validate();
     }
 }

@@ -18,9 +18,17 @@
 //!   amortising the per-launch overhead of the `core::timing` model.
 //! * **Backpressure** — every stream has a bounded queue with an explicit
 //!   [`DropPolicy`]; shed frames are counted exactly, never silently lost.
+//! * **Admission control** — arrivals pass an [`AdmissionPolicy`] before
+//!   entering their queue: per-stream token-bucket rate limiting, or
+//!   priority classes shed lowest-first under fleet-wide overload.
+//! * **Autoscaling** — a [`ScalePolicy`] control loop (hysteresis on
+//!   drop-rate + window p99, or step-load-aware proportional tracking)
+//!   grows and shrinks the active worker set at a configurable control
+//!   interval, on the virtual clock.
 //! * **Reporting** — [`ServeReport`] carries aggregate throughput
 //!   (frames/s of virtual time), per-stream latency percentiles
-//!   (p50/p95/p99), ops totals and drop counts.
+//!   (p50/p95/p99), ops totals, drop/reject counts, worker-seconds, and
+//!   the exact [`ScaleEvent`]/[`AdmissionEvent`] timelines.
 //!
 //! Scheduling runs in deterministic virtual time while detector compute
 //! runs for real on the pool, so results are reproducible bit-for-bit at
@@ -43,15 +51,28 @@
 
 #![warn(missing_docs)]
 
+pub mod admission;
+pub mod autoscale;
 pub mod config;
 pub mod report;
 pub mod scheduler;
 pub mod workload;
 
-pub use config::{DropPolicy, SchedulePolicy, ServeConfig};
-pub use report::{BatchStats, LatencyStats, ServeReport, StreamReport};
+pub use admission::{
+    AdmissionContext, AdmissionEvent, AdmissionPolicy, AdmissionReason, AdmitAll, PriorityShed,
+    TokenBucket,
+};
+pub use autoscale::{
+    ControlSample, FixedScale, HysteresisScale, ProportionalScale, ScaleEvent, ScalePolicy,
+    ScaleReason,
+};
+pub use config::{
+    AdmissionConfig, AdmissionKind, AutoscaleConfig, DropPolicy, ScalePolicyKind, SchedulePolicy,
+    ServeConfig,
+};
+pub use report::{BatchRecord, BatchStats, LatencyStats, ServeReport, StreamReport};
 pub use scheduler::{serve, StreamSpec};
-pub use workload::{kitti_workload, mixed_workload};
+pub use workload::{bursty_workload, kitti_workload, mixed_workload, step_workload, BurstProfile};
 
 // Re-export the pieces callers almost always need alongside.
 pub use catdet_core::{PresetFactory, SystemFactory, SystemKind};

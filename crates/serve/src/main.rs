@@ -1,13 +1,42 @@
-//! `catdet-serve`: run a mixed multi-camera workload through the serving
-//! subsystem and print the throughput/latency report.
+//! `catdet-serve`: run a multi-camera workload through the serving
+//! subsystem and print the throughput/latency report, optionally with
+//! feedback-driven autoscaling and admission control.
 //!
 //! ```text
 //! catdet-serve --streams 32 --workers 8 --frames 60 --batch 8 \
 //!              --window-ms 5 --queue 64 --policy round-robin --drop newest \
-//!              --system catdet-a
+//!              --system catdet-a --workload bursty \
+//!              --autoscale hysteresis --min-workers 1 --max-workers 8 \
+//!              --admission priority --watermark 32
 //! ```
 
-use catdet_serve::{mixed_workload, serve, DropPolicy, SchedulePolicy, ServeConfig, SystemKind};
+use catdet_serve::{
+    bursty_workload, mixed_workload, serve, AdmissionConfig, AdmissionKind, AutoscaleConfig,
+    BurstProfile, DropPolicy, ScalePolicyKind, SchedulePolicy, ServeConfig, StreamSpec, SystemKind,
+};
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum WorkloadKind {
+    Mixed,
+    Bursty,
+}
+
+impl WorkloadKind {
+    fn name(&self) -> &'static str {
+        match self {
+            WorkloadKind::Mixed => "mixed",
+            WorkloadKind::Bursty => "bursty",
+        }
+    }
+
+    fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "mixed" => Some(WorkloadKind::Mixed),
+            "bursty" => Some(WorkloadKind::Bursty),
+            _ => None,
+        }
+    }
+}
 
 struct Args {
     streams: usize,
@@ -20,6 +49,15 @@ struct Args {
     drop: DropPolicy,
     system: SystemKind,
     seed: u64,
+    workload: WorkloadKind,
+    autoscale: ScalePolicyKind,
+    min_workers: usize,
+    max_workers: usize,
+    interval_ms: f64,
+    admission: AdmissionKind,
+    admit_rate: f64,
+    admit_burst: f64,
+    watermark: usize,
 }
 
 impl Default for Args {
@@ -35,6 +73,15 @@ impl Default for Args {
             drop: DropPolicy::Newest,
             system: SystemKind::CatdetA,
             seed: 2019,
+            workload: WorkloadKind::Mixed,
+            autoscale: ScalePolicyKind::Fixed,
+            min_workers: 1,
+            max_workers: 8,
+            interval_ms: 250.0,
+            admission: AdmissionKind::AdmitAll,
+            admit_rate: 30.0,
+            admit_burst: 10.0,
+            watermark: 32,
         }
     }
 }
@@ -45,8 +92,8 @@ USAGE:
     catdet-serve [OPTIONS]
 
 OPTIONS:
-    --streams <N>       camera count, mixed KITTI/CityPersons workload [8]
-    --workers <N>       worker threads / modelled executors [4]
+    --streams <N>       camera count [8]
+    --workers <N>       initial worker threads / modelled executors [4]
     --frames <N>        frames per camera [60]
     --batch <N>         max frames fused per proposal micro-batch [4]
     --window-ms <MS>    batch window in milliseconds [0]
@@ -56,6 +103,21 @@ OPTIONS:
     --system <S>        catdet-a | catdet-b | cascade-a | cascade-b |
                         single-resnet50 [catdet-a]
     --seed <N>          workload seed [2019]
+    --workload <W>      mixed (KITTI/CityPersons fleet) | bursty
+                        (quiet/stampede arrival cycles) [mixed]
+
+  autoscaling (feedback control on drop-rate + window p99):
+    --autoscale <P>     fixed | hysteresis | proportional [fixed]
+    --min-workers <N>   autoscale floor [1]
+    --max-workers <N>   autoscale ceiling [8]
+    --interval-ms <MS>  control-loop interval, virtual time [250]
+
+  admission control (gates arrivals before queueing):
+    --admission <P>     admit-all | token-bucket | priority [admit-all]
+    --admit-rate <FPS>  token-bucket sustained rate per stream [30]
+    --admit-burst <N>   token-bucket burst capacity per stream [10]
+    --watermark <N>     priority: fleet backlog per shed level [32]
+
     -h, --help          print this help
 ";
 
@@ -77,11 +139,13 @@ fn parse_args() -> Result<Args, String> {
             "--batch" => args.max_batch = parse_num(&flag, &value)?,
             "--queue" => args.queue = parse_num(&flag, &value)?,
             "--seed" => args.seed = parse_num(&flag, &value)?,
-            "--window-ms" => {
-                args.window_ms = value
-                    .parse::<f64>()
-                    .map_err(|_| format!("--window-ms: not a number: {value}"))?
-            }
+            "--window-ms" => args.window_ms = parse_num(&flag, &value)?,
+            "--min-workers" => args.min_workers = parse_num(&flag, &value)?,
+            "--max-workers" => args.max_workers = parse_num(&flag, &value)?,
+            "--interval-ms" => args.interval_ms = parse_num(&flag, &value)?,
+            "--admit-rate" => args.admit_rate = parse_num(&flag, &value)?,
+            "--admit-burst" => args.admit_burst = parse_num(&flag, &value)?,
+            "--watermark" => args.watermark = parse_num(&flag, &value)?,
             "--policy" => {
                 args.policy = SchedulePolicy::from_name(&value)
                     .ok_or_else(|| format!("--policy: unknown policy {value}"))?
@@ -89,6 +153,18 @@ fn parse_args() -> Result<Args, String> {
             "--drop" => {
                 args.drop = DropPolicy::from_name(&value)
                     .ok_or_else(|| format!("--drop: unknown policy {value}"))?
+            }
+            "--workload" => {
+                args.workload = WorkloadKind::from_name(&value)
+                    .ok_or_else(|| format!("--workload: unknown workload {value}"))?
+            }
+            "--autoscale" => {
+                args.autoscale = ScalePolicyKind::from_name(&value)
+                    .ok_or_else(|| format!("--autoscale: unknown policy {value}"))?
+            }
+            "--admission" => {
+                args.admission = AdmissionKind::from_name(&value)
+                    .ok_or_else(|| format!("--admission: unknown policy {value}"))?
             }
             "--system" => {
                 args.system = SystemKind::from_name(&value).ok_or_else(|| {
@@ -120,6 +196,21 @@ fn parse_args() -> Result<Args, String> {
             args.window_ms
         ));
     }
+    if args.min_workers == 0 || args.max_workers < args.min_workers {
+        return Err("--min-workers must be >= 1 and <= --max-workers".into());
+    }
+    if !args.interval_ms.is_finite() || args.interval_ms <= 0.0 {
+        return Err("--interval-ms must be a finite, positive number".into());
+    }
+    if !args.admit_rate.is_finite() || args.admit_rate <= 0.0 {
+        return Err("--admit-rate must be a finite, positive number".into());
+    }
+    if !args.admit_burst.is_finite() || args.admit_burst < 1.0 {
+        return Err("--admit-burst must be at least 1".into());
+    }
+    if args.watermark == 0 {
+        return Err("--watermark must be at least 1".into());
+    }
     Ok(args)
 }
 
@@ -138,23 +229,59 @@ fn main() {
         }
     };
 
+    let mut autoscale = match args.autoscale {
+        ScalePolicyKind::Fixed => AutoscaleConfig::fixed(),
+        ScalePolicyKind::Hysteresis => {
+            AutoscaleConfig::hysteresis(args.min_workers, args.max_workers)
+        }
+        ScalePolicyKind::Proportional => {
+            AutoscaleConfig::proportional(args.min_workers, args.max_workers, 0.05)
+        }
+    };
+    autoscale = autoscale.with_control_interval_s(args.interval_ms / 1e3);
+    let admission = match args.admission {
+        AdmissionKind::AdmitAll => AdmissionConfig::admit_all(),
+        AdmissionKind::TokenBucket => {
+            AdmissionConfig::token_bucket(args.admit_rate, args.admit_burst)
+        }
+        AdmissionKind::Priority => AdmissionConfig::priority(args.watermark),
+    };
     let cfg = ServeConfig::new()
         .with_workers(args.workers)
         .with_max_batch(args.max_batch)
         .with_batch_window_s(args.window_ms / 1e3)
         .with_queue_capacity(args.queue)
         .with_policy(args.policy)
-        .with_drop_policy(args.drop);
+        .with_drop_policy(args.drop)
+        .with_autoscale(autoscale)
+        .with_admission(admission);
 
     println!(
-        "spinning up {} streams ({} frames each, mixed KITTI/CityPersons), {} workers, {} scheduling, system {}",
+        "spinning up {} streams ({} frames each, {} workload), {} workers, {} scheduling, \
+         autoscale {}, admission {}, system {}",
         args.streams,
         args.frames,
+        args.workload.name(),
         args.workers,
         args.policy.name(),
+        args.autoscale.name(),
+        args.admission.name(),
         args.system.name(),
     );
-    let streams = mixed_workload(args.streams, args.frames, args.seed, args.system);
+    let streams: Vec<StreamSpec> = match args.workload {
+        WorkloadKind::Mixed => mixed_workload(args.streams, args.frames, args.seed, args.system),
+        WorkloadKind::Bursty => bursty_workload(
+            args.streams,
+            args.frames,
+            args.seed,
+            args.system,
+            BurstProfile::demo(),
+        ),
+    };
     let report = serve(streams, &cfg);
     print!("{}", report.summary());
+    if !report.scale_events.is_empty() {
+        println!("scale-event timeline:");
+        print!("{}", report.scale_timeline());
+    }
 }

@@ -1,5 +1,8 @@
-//! Serving reports: per-stream latency percentiles and aggregate throughput.
+//! Serving reports: per-stream latency percentiles, aggregate throughput,
+//! and the control-plane timelines (scale and admission events).
 
+use crate::admission::AdmissionEvent;
+use crate::autoscale::ScaleEvent;
 use catdet_core::OpsBreakdown;
 use catdet_metrics::Detection;
 use serde::{Deserialize, Serialize};
@@ -72,6 +75,19 @@ impl BatchStats {
     }
 }
 
+/// One dispatched micro-batch: which streams shared a launch, when, on
+/// which worker. The full log makes batching invariants (one frame per
+/// stream per batch, sizes within `max_batch`) directly assertable.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatchRecord {
+    /// Virtual dispatch time.
+    pub t_s: f64,
+    /// Worker slot that ran the batch.
+    pub worker: usize,
+    /// Contributing streams, in schedule order.
+    pub streams: Vec<usize>,
+}
+
 /// Everything measured for one stream.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StreamReport {
@@ -83,8 +99,12 @@ pub struct StreamReport {
     pub arrived: usize,
     /// Frames processed to completion.
     pub processed: usize,
-    /// Frames shed by backpressure.
+    /// Frames shed before completion — queue backpressure plus admission
+    /// rejections (`arrived == processed + dropped` always holds).
     pub dropped: usize,
+    /// Of the dropped frames, how many were refused by admission control
+    /// (always `<= dropped`).
+    pub rejected: usize,
     /// Mean per-frame ops actually spent.
     pub mean_ops: OpsBreakdown,
     /// Latency distribution (completion − arrival, virtual seconds).
@@ -104,14 +124,28 @@ pub struct ServeReport {
     pub frames_arrived: usize,
     /// Total frames processed.
     pub frames_processed: usize,
-    /// Total frames shed by backpressure.
+    /// Total frames shed (backpressure + admission).
     pub frames_dropped: usize,
+    /// Of the dropped frames, total refused by admission control.
+    pub frames_rejected: usize,
     /// Aggregate modelled throughput: processed frames / makespan.
     pub throughput_fps: f64,
+    /// Integral of the provisioned worker count over virtual time (the
+    /// active set plus deactivated slots still draining a batch), in
+    /// worker-seconds. Lets autoscaled and fixed runs be compared at
+    /// equal spend — drain time after a scale-down is still paid for.
+    pub worker_seconds: f64,
     /// Summed ops across all processed frames.
     pub total_ops: OpsBreakdown,
     /// Micro-batching statistics.
     pub batch: BatchStats,
+    /// Every dispatched micro-batch, in dispatch order.
+    pub batch_log: Vec<BatchRecord>,
+    /// Worker-count changes decided by the autoscaler, in time order
+    /// (empty when autoscaling is off).
+    pub scale_events: Vec<ScaleEvent>,
+    /// Admission rejections, in time order (empty under admit-all).
+    pub admission_events: Vec<AdmissionEvent>,
     /// Per-stream breakdowns, ordered by stream id.
     pub streams: Vec<StreamReport>,
 }
@@ -126,12 +160,42 @@ impl ServeReport {
         }
     }
 
-    /// Worst per-stream p99 latency.
-    pub fn worst_p99_s(&self) -> f64 {
+    /// Worst per-stream p99 latency, or `None` when no stream completed a
+    /// single frame. (Streams without completions are excluded rather
+    /// than contributing their all-zero placeholder stats, so a
+    /// negative-clock bug can no longer hide behind a `0.0` fold seed.)
+    pub fn worst_p99_s(&self) -> Option<f64> {
         self.streams
             .iter()
+            .filter(|s| s.processed > 0)
             .map(|s| s.latency.p99_s)
-            .fold(0.0, f64::max)
+            .reduce(f64::max)
+    }
+
+    /// Mean provisioned workers over the run (worker-seconds / makespan).
+    pub fn mean_workers(&self) -> f64 {
+        if self.makespan_s > 0.0 {
+            self.worker_seconds / self.makespan_s
+        } else {
+            0.0
+        }
+    }
+
+    /// Human-readable scale-event timeline, one line per event (empty
+    /// string when autoscaling never acted).
+    pub fn scale_timeline(&self) -> String {
+        let mut out = String::new();
+        for e in &self.scale_events {
+            let _ = writeln!(
+                out,
+                "  t={:>8.3}s  {:>2} -> {:<2} ({})",
+                e.t_s,
+                e.from_workers,
+                e.to_workers,
+                e.reason.label()
+            );
+        }
+        out
     }
 
     /// Human-readable multi-line summary (what the `catdet-serve` binary
@@ -158,6 +222,23 @@ impl ServeReport {
             self.batch.max_batch_seen,
             self.batch.proposal_launches_saved,
         );
+        if !self.scale_events.is_empty() {
+            let _ = writeln!(
+                out,
+                "autoscale: {} scale events | mean {:.2} workers | {:.1} worker-seconds",
+                self.scale_events.len(),
+                self.mean_workers(),
+                self.worker_seconds,
+            );
+        }
+        if self.frames_rejected > 0 {
+            let _ = writeln!(
+                out,
+                "admission: {} frames rejected ({} events recorded)",
+                self.frames_rejected,
+                self.admission_events.len(),
+            );
+        }
         let _ = writeln!(
             out,
             "{:>6} {:>28} {:>8} {:>8} {:>9} {:>9} {:>9} {:>9}",
@@ -246,15 +327,26 @@ mod tests {
             frames_arrived: 10,
             frames_processed: 8,
             frames_dropped: 2,
+            frames_rejected: 1,
             throughput_fps: 4.0,
+            worker_seconds: 8.0,
             total_ops: OpsBreakdown::default(),
             batch: BatchStats::default(),
+            batch_log: vec![],
+            scale_events: vec![ScaleEvent {
+                t_s: 0.5,
+                from_workers: 4,
+                to_workers: 6,
+                reason: crate::autoscale::ScaleReason::DropRate,
+            }],
+            admission_events: vec![],
             streams: vec![StreamReport {
                 stream_id: 0,
                 system_name: "test-system".into(),
                 arrived: 10,
                 processed: 8,
                 dropped: 2,
+                rejected: 1,
                 mean_ops: OpsBreakdown::default(),
                 latency: LatencyStats::from_samples(&[0.1, 0.2]),
                 outputs: vec![],
@@ -263,6 +355,50 @@ mod tests {
         let s = report.summary();
         assert!(s.contains("8 processed / 10 arrived"));
         assert!(s.contains("test-system"));
+        assert!(s.contains("autoscale: 1 scale events"));
+        assert!(s.contains("admission: 1 frames rejected"));
         assert!((report.drop_rate() - 0.2).abs() < 1e-12);
+        assert!((report.mean_workers() - 4.0).abs() < 1e-12);
+        let timeline = report.scale_timeline();
+        assert!(timeline.contains("4 -> 6"));
+        assert!(timeline.contains("(drop-rate)"));
+    }
+
+    #[test]
+    fn worst_p99_skips_streams_without_completions() {
+        let stream = |processed: usize, samples: &[f64]| StreamReport {
+            stream_id: 0,
+            system_name: "s".into(),
+            arrived: processed,
+            processed,
+            dropped: 0,
+            rejected: 0,
+            mean_ops: OpsBreakdown::default(),
+            latency: LatencyStats::from_samples(samples),
+            outputs: vec![],
+        };
+        let mut report = ServeReport {
+            makespan_s: 0.0,
+            frames_arrived: 0,
+            frames_processed: 0,
+            frames_dropped: 0,
+            frames_rejected: 0,
+            throughput_fps: 0.0,
+            worker_seconds: 0.0,
+            total_ops: OpsBreakdown::default(),
+            batch: BatchStats::default(),
+            batch_log: vec![],
+            scale_events: vec![],
+            admission_events: vec![],
+            streams: vec![],
+        };
+        // No streams at all: no p99 to report.
+        assert_eq!(report.worst_p99_s(), None);
+        // Only an empty stream: still no p99 (the all-zero placeholder
+        // stats must not masquerade as a measured latency).
+        report.streams = vec![stream(0, &[])];
+        assert_eq!(report.worst_p99_s(), None);
+        report.streams = vec![stream(0, &[]), stream(2, &[0.3, 0.4])];
+        assert_eq!(report.worst_p99_s(), Some(0.4));
     }
 }

@@ -17,18 +17,32 @@
 //!    the proposal-network launches of a batch are fused into one GPU
 //!    dispatch (`αΣW + b` instead of `Σ(αW + b)`), refinement launches
 //!    and CPU overheads stay per-frame;
-//! 4. advances `t` to the next arrival, batch completion, or window
-//!    deadline.
+//! 4. advances `t` to the next arrival, batch completion, window
+//!    deadline, or control tick.
+//!
+//! A **control plane** rides on the same virtual clock: arriving frames
+//! pass an [`AdmissionPolicy`](crate::admission::AdmissionPolicy) before
+//! entering their queue, and at every control interval a
+//! [`ScalePolicy`](crate::autoscale::ScalePolicy) may grow or shrink the
+//! *active* worker set (deactivated workers drain their current batch,
+//! then stop taking work). Both decisions read only virtual-time counters
+//! and are stamped into `ScaleEvent`/`AdmissionEvent` timelines.
 //!
 //! Scheduling decisions depend only on virtual quantities, never on
 //! wall-clock thread timing, so a run is **bit-deterministic** for a given
 //! configuration regardless of worker count or machine load — which is what
-//! makes the cross-stream state-isolation tests possible.
+//! makes the cross-stream state-isolation tests (and the golden
+//! scale-timeline tests) possible.
 //!
 //! [`GpuTimingModel`]: catdet_core::GpuTimingModel
 
-use crate::config::{DropPolicy, SchedulePolicy, ServeConfig};
-use crate::report::{BatchStats, LatencyStats, ServeReport, StreamReport};
+use crate::admission::{build_admission, AdmissionContext, AdmissionEvent, AdmissionPolicy};
+use crate::autoscale::{
+    window_p99, ControlSample, FixedScale, HysteresisScale, ProportionalScale, ScaleEvent,
+    ScalePolicy,
+};
+use crate::config::{DropPolicy, ScalePolicyKind, SchedulePolicy, ServeConfig};
+use crate::report::{BatchRecord, BatchStats, LatencyStats, ServeReport, StreamReport};
 use catdet_core::{DetectionSystem, FrameOutput, OpsBreakdown, SystemFactory};
 use catdet_data::{Frame, StreamSource};
 use std::collections::VecDeque;
@@ -42,12 +56,25 @@ pub struct StreamSpec {
     pub source: StreamSource,
     /// Factory building this stream's own `DetectionSystem` instance.
     pub factory: Arc<dyn SystemFactory>,
+    /// Admission priority class (0 is highest; only consulted by the
+    /// priority admission policy).
+    pub priority: u8,
 }
 
 impl StreamSpec {
-    /// Pairs a stream with its pipeline factory.
+    /// Pairs a stream with its pipeline factory (top priority class).
     pub fn new(source: StreamSource, factory: Arc<dyn SystemFactory>) -> Self {
-        Self { source, factory }
+        Self {
+            source,
+            factory,
+            priority: 0,
+        }
+    }
+
+    /// Returns a copy with a different admission priority class.
+    pub fn with_priority(mut self, priority: u8) -> Self {
+        self.priority = priority;
+        self
     }
 }
 
@@ -109,6 +136,7 @@ struct StreamRt {
     arrived: usize,
     processed: usize,
     dropped: usize,
+    rejected: usize,
     latencies: Vec<f64>,
     ops: OpsBreakdown,
     outputs: Vec<(usize, Vec<catdet_metrics::Detection>)>,
@@ -124,20 +152,49 @@ struct PlannedBatch {
 struct Engine {
     cfg: ServeConfig,
     streams: Vec<StreamRt>,
+    /// Worker slots, sized for the autoscale ceiling; only the first
+    /// `active_workers` are eligible for new batches, but slots beyond
+    /// that still finish whatever they were running when a scale-down
+    /// struck.
     workers: Vec<WorkerState>,
+    active_workers: usize,
     rr_cursor: usize,
     batch_stats: BatchStats,
     last_completion: f64,
     job_tx: Option<Sender<Job>>,
     result_rx: Receiver<JobResult>,
     pool: Vec<thread::JoinHandle<()>>,
+    // Control plane: everything below is driven purely by virtual time.
+    scale_policy: Box<dyn ScalePolicy>,
+    admission: Box<dyn AdmissionPolicy>,
+    priorities: Vec<u8>,
+    /// Next control tick, `INFINITY` when autoscaling is off.
+    next_control_s: f64,
+    /// Frames queued across all streams (kept in lock-step with the
+    /// per-stream queues so admission can read it in O(1)).
+    total_queued: usize,
+    /// Integral of provisioned workers over virtual time: the active set
+    /// plus any deactivated slots still draining a batch, so a scale-down
+    /// keeps paying for in-flight compute.
+    worker_seconds: f64,
+    // Per-control-window counters, reset at every tick. Latencies carry
+    // their completion time so a tick only consumes samples that actually
+    // completed inside its window (batches priced before a tick can
+    // finish after it). Only populated while autoscaling is on.
+    win_arrived: usize,
+    win_shed: usize,
+    win_latencies: Vec<(f64, f64)>,
+    scale_events: Vec<ScaleEvent>,
+    admission_events: Vec<AdmissionEvent>,
+    batch_log: Vec<BatchRecord>,
 }
 
 const EPS: f64 = 1e-9;
 
 impl Engine {
     fn new(specs: Vec<StreamSpec>, cfg: &ServeConfig) -> Self {
-        let streams = specs
+        let priorities: Vec<u8> = specs.iter().map(|spec| spec.priority).collect();
+        let streams: Vec<StreamRt> = specs
             .into_iter()
             .map(|spec| {
                 let system = spec.factory.build();
@@ -155,6 +212,7 @@ impl Engine {
                     arrived: 0,
                     processed: 0,
                     dropped: 0,
+                    rejected: 0,
                     latencies: Vec::new(),
                     ops: OpsBreakdown::default(),
                     outputs: Vec::new(),
@@ -162,10 +220,32 @@ impl Engine {
             })
             .collect();
 
+        let autoscaling = cfg.autoscale.enabled();
+        let scale_policy: Box<dyn ScalePolicy> = match cfg.autoscale.policy {
+            ScalePolicyKind::Fixed => Box::new(FixedScale),
+            ScalePolicyKind::Hysteresis => Box::new(HysteresisScale::from_config(&cfg.autoscale)),
+            ScalePolicyKind::Proportional => {
+                Box::new(ProportionalScale::from_config(&cfg.autoscale))
+            }
+        };
+        let admission = build_admission(&cfg.admission, &priorities);
+        // With autoscaling on, slots (and real threads) are provisioned up
+        // to the ceiling; the initial configured count seeds the active
+        // set within the controller's bounds.
+        let (slots, active_workers) = if autoscaling {
+            (
+                cfg.workers.max(cfg.autoscale.max_workers),
+                cfg.workers
+                    .clamp(cfg.autoscale.min_workers, cfg.autoscale.max_workers),
+            )
+        } else {
+            (cfg.workers, cfg.workers)
+        };
+
         let (job_tx, job_rx) = channel::<Job>();
         let (result_tx, result_rx) = channel::<JobResult>();
         let job_rx = Arc::new(Mutex::new(job_rx));
-        let pool = (0..cfg.workers)
+        let pool = (0..slots)
             .map(|_| {
                 let job_rx = Arc::clone(&job_rx);
                 let result_tx = result_tx.clone();
@@ -199,7 +279,8 @@ impl Engine {
 
         Self {
             streams,
-            workers: (0..cfg.workers).map(|_| WorkerState::Idle).collect(),
+            workers: (0..slots).map(|_| WorkerState::Idle).collect(),
+            active_workers,
             rr_cursor: 0,
             batch_stats: BatchStats::default(),
             last_completion: 0.0,
@@ -207,6 +288,22 @@ impl Engine {
             result_rx,
             pool,
             cfg: *cfg,
+            scale_policy,
+            admission,
+            priorities,
+            next_control_s: if autoscaling {
+                cfg.autoscale.control_interval_s
+            } else {
+                f64::INFINITY
+            },
+            total_queued: 0,
+            worker_seconds: 0.0,
+            win_arrived: 0,
+            win_shed: 0,
+            win_latencies: Vec::new(),
+            scale_events: Vec::new(),
+            admission_events: Vec::new(),
+            batch_log: Vec::new(),
         }
     }
 
@@ -214,36 +311,136 @@ impl Engine {
         let mut now = 0.0_f64;
         loop {
             self.ingest_arrivals(now);
+            self.control_ticks(now);
             self.step_workers(now);
             match self.next_event(now) {
-                Some(t) => now = t,
+                Some(t) => {
+                    // Draining slots stop exactly at their batch's `until`,
+                    // which is itself an event, so the count is constant
+                    // over [now, t] and the integral is exact.
+                    let draining = self.workers[self.active_workers..]
+                        .iter()
+                        .filter(|w| matches!(w, WorkerState::Busy { .. }))
+                        .count();
+                    self.worker_seconds += (self.active_workers + draining) as f64 * (t - now);
+                    now = t;
+                }
                 None => break,
             }
         }
         self.finish_report()
     }
 
+    /// Fires every control tick due by `now`: samples the window, asks the
+    /// scale policy, and applies (clamped) worker-count changes.
+    fn control_ticks(&mut self, now: f64) {
+        while self.next_control_s <= now + EPS {
+            let t = self.next_control_s;
+            self.next_control_s += self.cfg.autoscale.control_interval_s;
+            // Consume exactly the latencies whose frames completed by this
+            // tick; later completions stay queued for the next window.
+            let mut window = Vec::new();
+            self.win_latencies.retain(|&(completed_s, latency_s)| {
+                if completed_s <= t + EPS {
+                    window.push(latency_s);
+                    false
+                } else {
+                    true
+                }
+            });
+            let sample = ControlSample {
+                now_s: t,
+                active_workers: self.active_workers,
+                busy_workers: self.workers[..self.active_workers]
+                    .iter()
+                    .filter(|w| matches!(w, WorkerState::Busy { .. }))
+                    .count(),
+                backlog: self.total_queued,
+                window_arrived: self.win_arrived,
+                window_shed: self.win_shed,
+                window_p99_s: window_p99(&window),
+            };
+            self.win_arrived = 0;
+            self.win_shed = 0;
+            if let Some((target, reason)) = self.scale_policy.desired_workers(&sample) {
+                let target = target.clamp(
+                    self.cfg.autoscale.min_workers,
+                    self.cfg.autoscale.max_workers,
+                );
+                if target != self.active_workers {
+                    // Deactivated slots holding a batch window open must
+                    // not dispatch later; busy ones finish their batch.
+                    for w in &mut self.workers[target..self.active_workers.max(target)] {
+                        if matches!(w, WorkerState::Waiting { .. }) {
+                            *w = WorkerState::Idle;
+                        }
+                    }
+                    self.scale_events.push(ScaleEvent {
+                        t_s: t,
+                        from_workers: self.active_workers,
+                        to_workers: target,
+                        reason,
+                    });
+                    self.active_workers = target;
+                }
+            }
+        }
+    }
+
     /// Pushes every frame with `arrival ≤ now` into its stream queue,
-    /// applying the drop policy at capacity.
+    /// consulting the admission policy at the door and applying the drop
+    /// policy at capacity.
     fn ingest_arrivals(&mut self, now: f64) {
-        for s in &mut self.streams {
-            while s.next_arrival < s.frames.len() && s.frames[s.next_arrival].0 <= now + EPS {
+        for i in 0..self.streams.len() {
+            loop {
+                let s = &self.streams[i];
+                if s.next_arrival >= s.frames.len() || s.frames[s.next_arrival].0 > now + EPS {
+                    break;
+                }
                 let idx = s.next_arrival;
-                s.next_arrival += 1;
-                s.arrived += 1;
+                let arrival_s = s.frames[idx].0;
+                {
+                    let s = &mut self.streams[i];
+                    s.next_arrival += 1;
+                    s.arrived += 1;
+                }
+                self.win_arrived += 1;
+                let ctx = AdmissionContext {
+                    now_s: arrival_s,
+                    stream: i,
+                    priority: self.priorities[i],
+                    total_backlog: self.total_queued,
+                };
+                if let Err(reason) = self.admission.admit(&ctx) {
+                    let s = &mut self.streams[i];
+                    s.dropped += 1;
+                    s.rejected += 1;
+                    self.win_shed += 1;
+                    self.admission_events.push(AdmissionEvent {
+                        t_s: arrival_s,
+                        stream: i,
+                        reason,
+                    });
+                    continue;
+                }
+                let s = &mut self.streams[i];
                 if s.queue.len() >= self.cfg.queue_capacity {
                     match self.cfg.drop_policy {
                         DropPolicy::Newest => {
                             s.dropped += 1;
+                            self.win_shed += 1;
                             continue;
                         }
                         DropPolicy::Oldest => {
                             s.queue.pop_front();
                             s.dropped += 1;
+                            self.win_shed += 1;
+                            self.total_queued -= 1;
                         }
                     }
                 }
                 s.queue.push_back(idx);
+                self.total_queued += 1;
             }
         }
     }
@@ -258,10 +455,12 @@ impl Engine {
             }
         }
 
-        // Plan batches for every worker able to dispatch at `now`; mutate
-        // queue state eagerly so later workers see earlier claims.
+        // Plan batches for every *active* worker able to dispatch at
+        // `now`; mutate queue state eagerly so later workers see earlier
+        // claims. Deactivated slots drain: they finish their batch above
+        // but are never handed a new one.
         let mut planned: Vec<PlannedBatch> = Vec::new();
-        for w in 0..self.workers.len() {
+        for w in 0..self.active_workers {
             let eligible = self.eligible_stream_count(now);
             // A batch takes at most one frame per live stream, so waiting
             // for more than that is futile (e.g. 4 streams, max_batch 8).
@@ -362,6 +561,9 @@ impl Engine {
                     frame_time += t.launch_time(out.ops.refinement) + t.stage_overhead_s;
                 }
                 cursor += frame_time;
+                if self.next_control_s.is_finite() {
+                    self.win_latencies.push((cursor, cursor - arrival));
+                }
                 let s = &mut self.streams[stream];
                 s.system = Some(r.system);
                 s.busy_until = cursor;
@@ -372,6 +574,11 @@ impl Engine {
                     .push((s.frames[frame_idx].1.index, out.detections));
                 self.last_completion = self.last_completion.max(cursor);
             }
+            self.batch_log.push(BatchRecord {
+                t_s: batch.start,
+                worker: batch.worker,
+                streams: batch.items.iter().map(|&(stream, _, _)| stream).collect(),
+            });
             let size = batch.items.len();
             self.batch_stats.batches += 1;
             self.batch_stats.batched_frames += size;
@@ -446,6 +653,7 @@ impl Engine {
                 sorted
             }
         };
+        self.total_queued -= chosen.len();
         chosen
             .into_iter()
             .map(|i| {
@@ -479,6 +687,9 @@ impl Engine {
                 WorkerState::Idle => {}
             }
         }
+        // Control ticks keep firing while work remains (`INFINITY` when
+        // autoscaling is off, so they never steer the fixed-policy loop).
+        next = next.min(self.next_control_s);
         let work_left =
             self.streams.iter().any(|s| {
                 s.next_arrival < s.frames.len() || !s.queue.is_empty() || s.system.is_none()
@@ -502,6 +713,7 @@ impl Engine {
         let mut arrived = 0;
         let mut processed = 0;
         let mut dropped = 0;
+        let mut rejected = 0;
         let streams: Vec<StreamReport> = self
             .streams
             .iter_mut()
@@ -512,12 +724,14 @@ impl Engine {
                 arrived += s.arrived;
                 processed += s.processed;
                 dropped += s.dropped;
+                rejected += s.rejected;
                 StreamReport {
                     stream_id: id,
                     system_name: s.system_name.clone(),
                     arrived: s.arrived,
                     processed: s.processed,
                     dropped: s.dropped,
+                    rejected: s.rejected,
                     mean_ops: s.ops.scaled(s.processed.max(1) as f64),
                     latency: LatencyStats::from_samples(&s.latencies),
                     outputs: std::mem::take(&mut s.outputs),
@@ -530,13 +744,18 @@ impl Engine {
             frames_arrived: arrived,
             frames_processed: processed,
             frames_dropped: dropped,
+            frames_rejected: rejected,
             throughput_fps: if makespan_s > 0.0 {
                 processed as f64 / makespan_s
             } else {
                 0.0
             },
+            worker_seconds: self.worker_seconds,
             total_ops,
             batch: self.batch_stats,
+            batch_log: std::mem::take(&mut self.batch_log),
+            scale_events: std::mem::take(&mut self.scale_events),
+            admission_events: std::mem::take(&mut self.admission_events),
             streams,
         }
     }

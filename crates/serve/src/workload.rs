@@ -1,8 +1,10 @@
-//! Ready-made multi-camera workloads for benches, tests and the CLI.
+//! Ready-made multi-camera workloads for benches, tests and the CLI:
+//! steady mixed fleets, plus bursty and step-load arrival patterns that
+//! give the admission/autoscale control loop something to react to.
 
 use crate::scheduler::StreamSpec;
 use catdet_core::{PresetFactory, SystemFactory, SystemKind};
-use catdet_data::{citypersons_like, kitti_like, StreamSource};
+use catdet_data::{citypersons_like, kitti_like, Sequence, StreamFrame, StreamSource};
 use std::sync::Arc;
 
 /// Phase stagger between cameras, so arrivals interleave instead of
@@ -12,7 +14,9 @@ const STAGGER_S: f64 = 0.013;
 /// Builds a mixed fleet of `streams` cameras: even slots are KITTI-like
 /// driving scenes (10 fps, 1242×375), odd slots CityPersons-like street
 /// scenes (30 fps, 2048×1024). Every camera gets its own pipeline of the
-/// given kind at the correct geometry.
+/// given kind at the correct geometry. Driving cameras are priority
+/// class 0, street-monitoring cameras class 1, so the priority admission
+/// policy sheds street cameras first under overload.
 ///
 /// The workload is deterministic in `seed`.
 pub fn mixed_workload(
@@ -56,7 +60,167 @@ pub fn mixed_workload(
                 dataset.width,
                 dataset.height,
             );
-            StreamSpec::new(source, Arc::clone(factory))
+            StreamSpec::new(source, Arc::clone(factory)).with_priority((slot % 2) as u8)
+        })
+        .collect()
+}
+
+/// Shape of a non-steady arrival process for [`bursty_workload`] and
+/// [`step_workload`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BurstProfile {
+    /// Arrival rate outside bursts (frames/s).
+    pub quiet_fps: f64,
+    /// Arrival rate inside bursts (frames/s).
+    pub burst_fps: f64,
+    /// Length of each quiet phase (seconds).
+    pub quiet_s: f64,
+    /// Length of each burst phase (seconds).
+    pub burst_s: f64,
+}
+
+impl BurstProfile {
+    /// A fleet that idles at 2 fps, then stampedes at 30 fps for one
+    /// second out of every three.
+    pub fn demo() -> Self {
+        Self {
+            quiet_fps: 2.0,
+            burst_fps: 30.0,
+            quiet_s: 2.0,
+            burst_s: 1.0,
+        }
+    }
+
+    fn validate(&self) {
+        assert!(
+            self.quiet_fps > 0.0 && self.burst_fps > 0.0,
+            "arrival rates must be positive"
+        );
+        assert!(
+            self.quiet_s > 0.0 && self.burst_s > 0.0,
+            "phase lengths must be positive"
+        );
+    }
+}
+
+/// Retimes a sequence's frames along an arrival process given by
+/// `period_at(t)`: frame `i+1` arrives `period_at(t_i)` after frame `i`.
+fn retime(
+    slot: usize,
+    seq: &Sequence,
+    start_s: f64,
+    width: f32,
+    height: f32,
+    nominal_fps: f32,
+    mut period_at: impl FnMut(f64) -> f64,
+) -> StreamSource {
+    let mut t = start_s;
+    let frames = seq
+        .frames()
+        .iter()
+        .map(|f| {
+            let sf = StreamFrame {
+                arrival_s: t,
+                frame: f.clone(),
+            };
+            t += period_at(t - start_s);
+            sf
+        })
+        .collect();
+    StreamSource::from_frames(slot, nominal_fps, width, height, frames)
+}
+
+/// Builds a homogeneous KITTI-like fleet whose cameras alternate quiet
+/// and burst phases per `profile` (all cameras in phase, staggered only
+/// by [`STAGGER_S`], so bursts stampede fleet-wide — the worst case for a
+/// fixed worker count and the showcase for autoscaling). Even slots get
+/// priority class 0, odd slots class 1, so priority admission has
+/// something to shed.
+///
+/// The workload is deterministic in `seed`.
+pub fn bursty_workload(
+    streams: usize,
+    frames_per_stream: usize,
+    seed: u64,
+    kind: SystemKind,
+    profile: BurstProfile,
+) -> Vec<StreamSpec> {
+    profile.validate();
+    let ds = kitti_like()
+        .sequences(streams)
+        .frames_per_sequence(frames_per_stream)
+        .seed(seed)
+        .build();
+    let factory: Arc<dyn SystemFactory> = Arc::new(PresetFactory::kitti(kind));
+    let cycle = profile.quiet_s + profile.burst_s;
+    ds.sequences()
+        .iter()
+        .enumerate()
+        .map(|(slot, seq)| {
+            let source = retime(
+                slot,
+                seq,
+                slot as f64 * STAGGER_S,
+                ds.width,
+                ds.height,
+                profile.burst_fps as f32,
+                |t| {
+                    if t.rem_euclid(cycle) < profile.quiet_s {
+                        1.0 / profile.quiet_fps
+                    } else {
+                        1.0 / profile.burst_fps
+                    }
+                },
+            );
+            StreamSpec::new(source, Arc::clone(&factory)).with_priority((slot % 2) as u8)
+        })
+        .collect()
+}
+
+/// Builds a homogeneous KITTI-like fleet whose arrival rate steps from
+/// `profile.quiet_fps` to `profile.burst_fps` at `step_at_s` and stays
+/// there — the canonical step-load input for controller tests.
+///
+/// The workload is deterministic in `seed`.
+pub fn step_workload(
+    streams: usize,
+    frames_per_stream: usize,
+    seed: u64,
+    kind: SystemKind,
+    profile: BurstProfile,
+    step_at_s: f64,
+) -> Vec<StreamSpec> {
+    profile.validate();
+    assert!(
+        step_at_s >= 0.0 && step_at_s.is_finite(),
+        "step time must be finite and non-negative"
+    );
+    let ds = kitti_like()
+        .sequences(streams)
+        .frames_per_sequence(frames_per_stream)
+        .seed(seed)
+        .build();
+    let factory: Arc<dyn SystemFactory> = Arc::new(PresetFactory::kitti(kind));
+    ds.sequences()
+        .iter()
+        .enumerate()
+        .map(|(slot, seq)| {
+            let source = retime(
+                slot,
+                seq,
+                slot as f64 * STAGGER_S,
+                ds.width,
+                ds.height,
+                profile.burst_fps as f32,
+                |t| {
+                    if t < step_at_s {
+                        1.0 / profile.quiet_fps
+                    } else {
+                        1.0 / profile.burst_fps
+                    }
+                },
+            );
+            StreamSpec::new(source, Arc::clone(&factory)).with_priority((slot % 2) as u8)
         })
         .collect()
 }
@@ -116,6 +280,54 @@ mod tests {
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.source, y.source);
         }
+    }
+
+    #[test]
+    fn bursty_workload_alternates_quiet_and_burst_gaps() {
+        let profile = BurstProfile::demo();
+        let specs = bursty_workload(2, 30, 5, SystemKind::CatdetA, profile);
+        assert_eq!(specs.len(), 2);
+        assert_eq!(specs[0].priority, 0);
+        assert_eq!(specs[1].priority, 1);
+        let arrivals: Vec<f64> = specs[0]
+            .source
+            .frames()
+            .iter()
+            .map(|f| f.arrival_s)
+            .collect();
+        assert_eq!(arrivals.len(), 30);
+        let gaps: Vec<f64> = arrivals.windows(2).map(|w| w[1] - w[0]).collect();
+        let quiet_gap = 1.0 / profile.quiet_fps;
+        let burst_gap = 1.0 / profile.burst_fps;
+        assert!(gaps.iter().any(|&g| (g - quiet_gap).abs() < 1e-9));
+        assert!(gaps.iter().any(|&g| (g - burst_gap).abs() < 1e-9));
+        // Arrivals are strictly increasing and the pattern is reproducible.
+        assert!(gaps.iter().all(|&g| g > 0.0));
+        let again = bursty_workload(2, 30, 5, SystemKind::CatdetA, profile);
+        assert_eq!(specs[0].source, again[0].source);
+    }
+
+    #[test]
+    fn step_workload_switches_rate_once() {
+        let profile = BurstProfile {
+            quiet_fps: 5.0,
+            burst_fps: 20.0,
+            quiet_s: 1.0,
+            burst_s: 1.0,
+        };
+        let specs = step_workload(1, 20, 3, SystemKind::CatdetA, profile, 1.0);
+        let arrivals: Vec<f64> = specs[0]
+            .source
+            .frames()
+            .iter()
+            .map(|f| f.arrival_s)
+            .collect();
+        let gaps: Vec<f64> = arrivals.windows(2).map(|w| w[1] - w[0]).collect();
+        // Before the step every gap is the quiet period, after it the
+        // burst period; the sequence of gaps switches exactly once.
+        let switch = gaps.iter().position(|&g| (g - 0.05).abs() < 1e-9).unwrap();
+        assert!(gaps[..switch].iter().all(|&g| (g - 0.2).abs() < 1e-9));
+        assert!(gaps[switch..].iter().all(|&g| (g - 0.05).abs() < 1e-9));
     }
 
     #[test]

@@ -1,0 +1,79 @@
+//! Shared helpers for serve integration tests: a zero-cost detection
+//! system and stream builders with fully controlled arrival patterns.
+//!
+//! Compiled into every test target; not all targets use every helper.
+#![allow(dead_code)]
+
+use catdet_core::{DetectionSystem, FrameOutput, OpsBreakdown, SystemFactory};
+use catdet_data::{kitti_like, Frame, StreamFrame, StreamSource};
+use catdet_serve::StreamSpec;
+use std::sync::{Arc, OnceLock};
+
+/// A detection system that does no work, so tests exercise scheduling and
+/// control logic rather than detector compute. Virtual frame cost is the
+/// timing model's fixed frame + tracker overhead (proposal ops are zero,
+/// so no launch time is added).
+pub struct NullSystem;
+
+impl DetectionSystem for NullSystem {
+    fn name(&self) -> String {
+        "null".into()
+    }
+
+    fn reset(&mut self) {}
+
+    fn process_frame(&mut self, _frame: &Frame) -> FrameOutput {
+        FrameOutput {
+            detections: Vec::new(),
+            ops: OpsBreakdown::default(),
+            num_refinement_regions: 0,
+            refinement_coverage: 0.0,
+        }
+    }
+}
+
+/// Factory stamping out [`NullSystem`]s.
+pub fn null_factory() -> Arc<dyn SystemFactory> {
+    Arc::new(|| Box::new(NullSystem) as Box<dyn DetectionSystem>)
+}
+
+/// A pool of real frames to attach arrivals to (built once; frame
+/// contents are irrelevant to the scheduler, only identity matters).
+pub fn frame_pool() -> &'static Vec<Frame> {
+    static POOL: OnceLock<Vec<Frame>> = OnceLock::new();
+    POOL.get_or_init(|| {
+        kitti_like()
+            .sequences(1)
+            .frames_per_sequence(16)
+            .seed(99)
+            .build()
+            .sequences()[0]
+            .frames()
+            .to_vec()
+    })
+}
+
+/// A null-system stream delivering frames at the given arrival times
+/// (sorted internally).
+pub fn null_spec_with_arrivals(stream_id: usize, mut arrivals: Vec<f64>) -> StreamSpec {
+    arrivals.sort_by(f64::total_cmp);
+    let pool = frame_pool();
+    let frames: Vec<StreamFrame> = arrivals
+        .into_iter()
+        .enumerate()
+        .map(|(i, arrival_s)| StreamFrame {
+            arrival_s,
+            frame: pool[i % pool.len()].clone(),
+        })
+        .collect();
+    StreamSpec::new(
+        StreamSource::from_frames(stream_id, 10.0, 1242.0, 375.0, frames),
+        null_factory(),
+    )
+}
+
+/// A null-system stream ticking at a steady `fps` from `start_s`.
+pub fn null_spec_steady(stream_id: usize, fps: f64, frames: usize, start_s: f64) -> StreamSpec {
+    let arrivals = (0..frames).map(|i| start_s + i as f64 / fps).collect();
+    null_spec_with_arrivals(stream_id, arrivals)
+}

@@ -1,0 +1,156 @@
+//! Property tests for the serving layer (vendored proptest).
+//!
+//! Two subjects with previously zero dedicated coverage:
+//!
+//! * `LatencyStats::from_samples` — nearest-rank percentiles checked
+//!   against an independent counting-based reference on arbitrary sample
+//!   sets, plus ordering and fold identities;
+//! * the scheduler itself — for random stream counts, arrival patterns,
+//!   queue bounds, batch limits and windows, the frame-conservation and
+//!   batch-composition invariants must hold exactly.
+//!
+//! The scheduler properties run against a null detection system (zero
+//! ops, empty detections) so 128 cases stay fast and the properties
+//! exercise scheduling logic, not detector compute.
+
+mod common;
+
+use catdet_serve::{serve, DropPolicy, LatencyStats, SchedulePolicy, ServeConfig, StreamSpec};
+use common::null_spec_with_arrivals;
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------
+// LatencyStats::from_samples
+// ---------------------------------------------------------------------
+
+/// Independent nearest-rank reference: the smallest sample `v` such that
+/// at least `ceil(p * n)` samples are `<= v`. O(n²) by construction so it
+/// shares no code (or sort order subtleties) with the implementation.
+fn naive_nearest_rank(samples: &[f64], p: f64) -> f64 {
+    let need = ((p * samples.len() as f64).ceil() as usize).max(1);
+    let mut best = f64::INFINITY;
+    for &v in samples {
+        let at_most = samples.iter().filter(|&&x| x <= v).count();
+        if at_most >= need && v < best {
+            best = v;
+        }
+    }
+    best
+}
+
+proptest! {
+    #[test]
+    fn percentiles_match_naive_reference(
+        samples in proptest::collection::vec(0.0f64..100.0, 1..80),
+    ) {
+        let stats = LatencyStats::from_samples(&samples);
+        prop_assert_eq!(stats.p50_s, naive_nearest_rank(&samples, 0.50));
+        prop_assert_eq!(stats.p95_s, naive_nearest_rank(&samples, 0.95));
+        prop_assert_eq!(stats.p99_s, naive_nearest_rank(&samples, 0.99));
+    }
+
+    #[test]
+    fn percentiles_are_ordered(
+        samples in proptest::collection::vec(0.0f64..1000.0, 1..120),
+    ) {
+        let stats = LatencyStats::from_samples(&samples);
+        prop_assert!(stats.p50_s <= stats.p95_s);
+        prop_assert!(stats.p95_s <= stats.p99_s);
+        prop_assert!(stats.p99_s <= stats.max_s);
+        prop_assert!(stats.mean_s <= stats.max_s);
+    }
+
+    #[test]
+    fn mean_and_max_agree_with_direct_folds(
+        samples in proptest::collection::vec(0.0f64..50.0, 1..60),
+    ) {
+        let stats = LatencyStats::from_samples(&samples);
+        let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(stats.max_s, max);
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        // Summation order differs (the implementation sums the sorted
+        // copy), so compare to addition-reorder precision, not bits.
+        prop_assert!((stats.mean_s - mean).abs() <= 1e-9 * mean.abs().max(1.0));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Scheduler invariants
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn conservation_and_batch_invariants_hold(
+        arrival_sets in proptest::collection::vec(
+            proptest::collection::vec(0.0f64..1.5, 0..12),
+            1..5,
+        ),
+        workers in 1usize..5,
+        queue_capacity in 1usize..5,
+        max_batch in 1usize..7,
+        window_choice in 0usize..3,
+        least_backlog in proptest::bool::ANY,
+        drop_oldest in proptest::bool::ANY,
+    ) {
+        let total: usize = arrival_sets.iter().map(Vec::len).sum();
+        let specs: Vec<StreamSpec> = arrival_sets
+            .iter()
+            .cloned()
+            .enumerate()
+            .map(|(i, arrivals)| null_spec_with_arrivals(i, arrivals))
+            .collect();
+        let cfg = ServeConfig::new()
+            .with_workers(workers)
+            .with_queue_capacity(queue_capacity)
+            .with_max_batch(max_batch)
+            .with_batch_window_s([0.0, 0.005, 0.05][window_choice])
+            .with_policy(if least_backlog {
+                SchedulePolicy::LeastBacklog
+            } else {
+                SchedulePolicy::RoundRobin
+            })
+            .with_drop_policy(if drop_oldest {
+                DropPolicy::Oldest
+            } else {
+                DropPolicy::Newest
+            });
+        let report = serve(specs, &cfg);
+
+        // Conservation: every generated frame is accounted for, exactly.
+        prop_assert_eq!(report.frames_arrived, total);
+        prop_assert_eq!(
+            report.frames_arrived,
+            report.frames_processed + report.frames_dropped
+        );
+        prop_assert_eq!(report.frames_rejected, 0);
+        for s in &report.streams {
+            prop_assert_eq!(s.arrived, s.processed + s.dropped);
+            prop_assert_eq!(s.outputs.len(), s.processed);
+        }
+
+        // Batch composition: never empty, never over max_batch, and never
+        // two frames of the same stream fused into one launch.
+        for batch in &report.batch_log {
+            prop_assert!(!batch.streams.is_empty());
+            prop_assert!(batch.streams.len() <= max_batch);
+            let mut seen = batch.streams.clone();
+            seen.sort_unstable();
+            seen.dedup();
+            prop_assert_eq!(
+                seen.len(),
+                batch.streams.len(),
+                "batch at t={} mixes frames of one stream: {:?}",
+                batch.t_s,
+                batch.streams
+            );
+        }
+
+        // The batch log and the aggregate stats must tell the same story.
+        prop_assert_eq!(report.batch_log.len(), report.batch.batches);
+        let logged_frames: usize = report.batch_log.iter().map(|b| b.streams.len()).sum();
+        prop_assert_eq!(logged_frames, report.batch.batched_frames);
+        prop_assert_eq!(logged_frames, report.frames_processed);
+        let max_seen = report.batch_log.iter().map(|b| b.streams.len()).max().unwrap_or(0);
+        prop_assert_eq!(max_seen, report.batch.max_batch_seen);
+    }
+}

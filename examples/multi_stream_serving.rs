@@ -5,7 +5,10 @@
 //! cargo run --release --example multi_stream_serving
 //! ```
 
-use catdet::serve::{mixed_workload, serve, DropPolicy, SchedulePolicy, ServeConfig, SystemKind};
+use catdet::serve::{
+    bursty_workload, mixed_workload, serve, AutoscaleConfig, BurstProfile, DropPolicy,
+    SchedulePolicy, ServeConfig, SystemKind,
+};
 
 fn main() {
     // A fleet of 12 cameras: driving scenes (10 fps) interleaved with
@@ -45,10 +48,55 @@ fn main() {
             &cfg,
         );
         print!("{}", report.summary());
-        println!(
-            "dropped {:.1}% | worst p99 {:.2} s",
-            100.0 * report.drop_rate(),
-            report.worst_p99_s()
-        );
+        match report.worst_p99_s() {
+            Some(p99) => println!(
+                "dropped {:.1}% | worst p99 {:.2} s",
+                100.0 * report.drop_rate(),
+                p99
+            ),
+            None => println!(
+                "dropped {:.1}% | no frames completed",
+                100.0 * report.drop_rate()
+            ),
+        }
     }
+
+    // Feedback-driven autoscaling on a bursty fleet: long calm phases
+    // with 2-second stampedes. The hysteresis controller rides the
+    // cycle — workers are provisioned only while drop-rate and tail
+    // latency say they are needed — so it sheds strictly less than a
+    // fixed fleet of the same mean size.
+    println!("\n== bursty arrivals: fixed 3 workers vs hysteresis autoscale 1..8 ==\n");
+    let profile = BurstProfile {
+        quiet_fps: 1.0,
+        burst_fps: 12.0,
+        quiet_s: 4.0,
+        burst_s: 2.0,
+    };
+    let burst = || bursty_workload(6, 56, 42, SystemKind::CatdetA, profile);
+    let base = ServeConfig::new().with_max_batch(4).with_queue_capacity(8);
+    let fixed = serve(burst(), &base.with_workers(3));
+    let auto = serve(
+        burst(),
+        &base.with_workers(1).with_autoscale(
+            AutoscaleConfig::hysteresis(1, 8)
+                .with_cooldown_ticks(0)
+                .with_scale_step(4)
+                .with_control_interval_s(0.1),
+        ),
+    );
+    println!(
+        "fixed:      drop rate {:5.1}% | mean workers {:.2} | {:6.1} worker-seconds",
+        100.0 * fixed.drop_rate(),
+        fixed.mean_workers(),
+        fixed.worker_seconds,
+    );
+    println!(
+        "autoscaled: drop rate {:5.1}% | mean workers {:.2} | {:6.1} worker-seconds | {} scale events",
+        100.0 * auto.drop_rate(),
+        auto.mean_workers(),
+        auto.worker_seconds,
+        auto.scale_events.len()
+    );
+    print!("{}", auto.scale_timeline());
 }

@@ -5,6 +5,11 @@
 //! and the `criterion_group!`/`criterion_main!` macros — with a simple
 //! wall-clock measurement loop (fixed warm-up, then timed iterations) and
 //! plain-text reporting. No statistics, plots, or baselines.
+//!
+//! Setting `CATDET_BENCH_QUICK=1` switches to smoke mode (one warm-up
+//! iteration, ~20 ms of measurement per benchmark): numbers become noisy
+//! but every bench body still executes, so CI can cheaply catch panics
+//! and gross regressions in bench-only code paths.
 
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
@@ -75,19 +80,40 @@ pub struct Bencher<'a> {
     mean: &'a mut Duration,
 }
 
-const WARMUP_ITERS: u64 = 3;
-const TARGET_TIME: Duration = Duration::from_millis(200);
 const MAX_ITERS: u64 = 100_000;
+
+/// Smoke mode: minimal warm-up and measurement so CI can run every bench
+/// body without paying for statistical quality.
+fn quick_mode() -> bool {
+    std::env::var_os("CATDET_BENCH_QUICK").is_some_and(|v| v != "0" && !v.is_empty())
+}
+
+fn warmup_iters() -> u64 {
+    if quick_mode() {
+        1
+    } else {
+        3
+    }
+}
+
+fn target_time() -> Duration {
+    if quick_mode() {
+        Duration::from_millis(20)
+    } else {
+        Duration::from_millis(200)
+    }
+}
 
 impl Bencher<'_> {
     /// Times `routine` over repeated calls.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
-        for _ in 0..WARMUP_ITERS {
+        for _ in 0..warmup_iters() {
             black_box(routine());
         }
+        let target = target_time();
         let mut iters = 0u64;
         let start = Instant::now();
-        while start.elapsed() < TARGET_TIME && iters < MAX_ITERS {
+        while start.elapsed() < target && iters < MAX_ITERS {
             black_box(routine());
             iters += 1;
         }
@@ -101,13 +127,14 @@ impl Bencher<'_> {
         S: FnMut() -> I,
         F: FnMut(I) -> O,
     {
-        for _ in 0..WARMUP_ITERS {
+        for _ in 0..warmup_iters() {
             let input = setup();
             black_box(routine(input));
         }
+        let target = target_time();
         let mut iters = 0u64;
         let mut busy = Duration::ZERO;
-        while busy < TARGET_TIME && iters < MAX_ITERS {
+        while busy < target && iters < MAX_ITERS {
             let input = setup();
             let t = Instant::now();
             black_box(routine(input));

@@ -103,10 +103,43 @@ fn bench_control_plane(c: &mut Criterion) {
     group.finish();
 }
 
+/// Stage-protocol overhead and payoff: the same fleet unfused (one
+/// refinement launch per frame), fused at the stage boundary, and fused
+/// with a wait window. The scheduler does strictly more bookkeeping when
+/// fusing, so this group keeps the suspend/resume machinery honest.
+fn bench_refinement_fusion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve_refine_fusion");
+    group.throughput(Throughput::Elements((STREAMS * FRAMES) as u64));
+    let base = ServeConfig::new()
+        .with_workers(2)
+        .with_max_batch(8)
+        .with_queue_capacity(100_000);
+    let configs = [
+        ("unfused", base),
+        ("fused", base.with_fuse_refinement(true)),
+        (
+            "fused+4ms-window",
+            base.with_fuse_refinement(true)
+                .with_refine_batch_window_s(0.004),
+        ),
+    ];
+    for (name, cfg) in configs {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
+            b.iter_batched(
+                || mixed_workload(STREAMS, FRAMES, 9, SystemKind::CatdetA),
+                |streams| serve(streams, cfg),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_worker_scaling,
     bench_batch_window,
-    bench_control_plane
+    bench_control_plane,
+    bench_refinement_fusion
 );
 criterion_main!(benches);

@@ -1,10 +1,29 @@
 //! The cascaded detector without a tracker (paper Fig. 1b).
 
 use crate::ops::OpsBreakdown;
-use crate::system::{nms_per_class, refinement_macs, DetectionSystem, FrameOutput, SystemConfig};
+use crate::stage::{ProposalWork, RefinementWork, StageStep, StagedDetector};
+use crate::system::{nms_per_class, refinement_macs, FrameOutput, SystemConfig};
 use catdet_data::Frame;
 use catdet_detector::{zoo, DetectorModel, SimulatedDetector};
 use catdet_geom::Box2;
+
+/// The cascade's frame state machine (see [`StagedDetector`]).
+#[derive(Debug, Clone)]
+enum Stage {
+    Idle,
+    AwaitProposal {
+        frame: Frame,
+    },
+    AwaitRefinement {
+        frame: Frame,
+        regions: Vec<Box2>,
+        ops: OpsBreakdown,
+        work: RefinementWork,
+    },
+    Finished {
+        output: FrameOutput,
+    },
+}
 
 /// Proposal network → refinement network, no temporal feedback.
 ///
@@ -13,6 +32,9 @@ use catdet_geom::Box2;
 /// ablation shows this system cannot match single-model accuracy with a
 /// weak proposal network *no matter how many proposals it forwards* —
 /// persistent proposal misses have no second chance.
+///
+/// Frames advance through the [`StagedDetector`] protocol: the proposal
+/// scan and the refinement pass are separate resume points.
 #[derive(Debug, Clone)]
 pub struct CascadedSystem {
     proposal: SimulatedDetector,
@@ -20,6 +42,7 @@ pub struct CascadedSystem {
     cfg: SystemConfig,
     width: f32,
     height: f32,
+    stage: Stage,
 }
 
 impl CascadedSystem {
@@ -37,6 +60,7 @@ impl CascadedSystem {
             cfg,
             width,
             height,
+            stage: Stage::Idle,
         }
     }
 
@@ -73,7 +97,7 @@ impl CascadedSystem {
     }
 }
 
-impl DetectionSystem for CascadedSystem {
+impl StagedDetector for CascadedSystem {
     fn name(&self) -> String {
         format!(
             "{}+{} Cascaded",
@@ -85,9 +109,45 @@ impl DetectionSystem for CascadedSystem {
     fn reset(&mut self) {
         self.proposal.reset();
         self.refinement.reset();
+        self.stage = Stage::Idle;
     }
 
-    fn process_frame(&mut self, frame: &Frame) -> FrameOutput {
+    fn begin_frame(&mut self, frame: &Frame) {
+        assert!(
+            matches!(self.stage, Stage::Idle),
+            "begin_frame while a frame is in flight"
+        );
+        self.stage = Stage::AwaitProposal {
+            frame: frame.clone(),
+        };
+    }
+
+    fn step(&mut self) -> StageStep {
+        match &self.stage {
+            Stage::Idle => panic!("step without begin_frame"),
+            Stage::AwaitProposal { .. } => StageStep::NeedsProposal(ProposalWork {
+                macs: self
+                    .proposal
+                    .model()
+                    .ops
+                    .full_frame_macs(self.width as usize, self.height as usize),
+            }),
+            Stage::AwaitRefinement { work, .. } => StageStep::NeedsRefinement(*work),
+            Stage::Finished { .. } => {
+                let Stage::Finished { output } = std::mem::replace(&mut self.stage, Stage::Idle)
+                else {
+                    unreachable!()
+                };
+                StageStep::Done(output)
+            }
+        }
+    }
+
+    fn complete_proposal(&mut self, _work: ProposalWork) -> ProposalWork {
+        let Stage::AwaitProposal { frame } = std::mem::replace(&mut self.stage, Stage::Idle) else {
+            panic!("complete_proposal outside the proposal boundary");
+        };
+
         // 1. Proposal network scans the whole frame; C-thresh + NMS.
         let raw_props =
             self.proposal
@@ -99,17 +159,7 @@ impl DetectionSystem for CascadedSystem {
         let props = nms_per_class(&props, self.cfg.nms_iou);
         let regions: Vec<Box2> = props.iter().map(|d| d.bbox).collect();
 
-        // 2. Refinement network calibrates the proposed regions.
-        let refined = self.refinement.detect_regions(
-            frame.sequence_id,
-            frame.index,
-            &frame.ground_truth,
-            &regions,
-            self.cfg.margin,
-        );
-        let detections = nms_per_class(&refined, self.cfg.nms_iou);
-
-        // 3. Accounting.
+        // Price the pending refinement dispatch over the proposed regions.
         let proposal_macs = self
             .proposal
             .model()
@@ -129,23 +179,64 @@ impl DetectionSystem for CascadedSystem {
             16,
             self.cfg.margin,
         );
-        FrameOutput {
-            detections,
+        let work = RefinementWork {
+            macs: refine_macs,
+            num_regions: regions.len(),
+            coverage,
+        };
+        self.stage = Stage::AwaitRefinement {
+            frame,
+            regions,
             ops: OpsBreakdown {
                 proposal: proposal_macs,
                 refinement: refine_macs,
                 refinement_from_tracker: 0.0,
                 refinement_from_proposal: refine_macs,
             },
-            num_refinement_regions: regions.len(),
-            refinement_coverage: coverage,
+            work,
+        };
+        ProposalWork {
+            macs: proposal_macs,
         }
+    }
+
+    fn complete_refinement(&mut self, _work: RefinementWork) -> RefinementWork {
+        let Stage::AwaitRefinement {
+            frame,
+            regions,
+            ops,
+            work,
+        } = std::mem::replace(&mut self.stage, Stage::Idle)
+        else {
+            panic!("complete_refinement outside the refinement boundary");
+        };
+
+        // 2. Refinement network calibrates the proposed regions.
+        let refined = self.refinement.detect_regions(
+            frame.sequence_id,
+            frame.index,
+            &frame.ground_truth,
+            &regions,
+            self.cfg.margin,
+        );
+        let detections = nms_per_class(&refined, self.cfg.nms_iou);
+
+        self.stage = Stage::Finished {
+            output: FrameOutput {
+                detections,
+                ops,
+                num_refinement_regions: work.num_regions,
+                refinement_coverage: work.coverage,
+            },
+        };
+        work
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::system::DetectionSystem;
     use catdet_data::kitti_like;
 
     #[test]

@@ -1,13 +1,33 @@
 //! CaTDet: the cascade with tracker feedback (paper Fig. 1c, Fig. 2).
 
 use crate::ops::OpsBreakdown;
-use crate::system::{nms_per_class, refinement_macs, DetectionSystem, FrameOutput, SystemConfig};
+use crate::stage::{ProposalWork, RefinementWork, StageStep, StagedDetector};
+use crate::system::{nms_per_class, refinement_macs, FrameOutput, SystemConfig};
 use catdet_data::Frame;
 use catdet_detector::{zoo, DetectorModel, SimulatedDetector};
 use catdet_geom::Box2;
 use catdet_metrics::Detection;
 use catdet_sim::ActorClass;
 use catdet_track::{TrackDetection, Tracker, TrackerConfig};
+
+/// CaTDet's frame state machine (see [`StagedDetector`]).
+#[derive(Debug, Clone)]
+enum Stage {
+    /// No frame in flight.
+    Idle,
+    /// Suspended at the proposal boundary.
+    AwaitProposal { frame: Frame },
+    /// Suspended at the refinement boundary: the proposal stage fixed the
+    /// region set and priced the pending dispatch.
+    AwaitRefinement {
+        frame: Frame,
+        regions: Vec<Box2>,
+        ops: OpsBreakdown,
+        work: RefinementWork,
+    },
+    /// Frame finished; output not yet collected by `step`.
+    Finished { output: FrameOutput },
+}
 
 /// The full CaTDet system.
 ///
@@ -19,6 +39,11 @@ use catdet_track::{TrackDetection, Tracker, TrackerConfig};
 /// system re-acquire objects the proposal network persistently misses —
 /// the accuracy gap between this system and [`crate::CascadedSystem`] is
 /// the paper's central ablation (Fig. 6, Table 6).
+///
+/// The frame advances through the [`StagedDetector`] protocol — proposal
+/// and refinement are separate resume points a scheduler can suspend at —
+/// while `process_frame` (the [`crate::DetectionSystem`] blanket impl)
+/// drives both stages back-to-back.
 #[derive(Debug, Clone)]
 pub struct CaTDetSystem {
     proposal: SimulatedDetector,
@@ -27,6 +52,7 @@ pub struct CaTDetSystem {
     cfg: SystemConfig,
     width: f32,
     height: f32,
+    stage: Stage,
 }
 
 impl CaTDetSystem {
@@ -60,6 +86,7 @@ impl CaTDetSystem {
             cfg,
             width,
             height,
+            stage: Stage::Idle,
         }
     }
 
@@ -107,7 +134,7 @@ impl CaTDetSystem {
     }
 }
 
-impl DetectionSystem for CaTDetSystem {
+impl StagedDetector for CaTDetSystem {
     fn name(&self) -> String {
         format!(
             "{}+{} CaTDet",
@@ -120,9 +147,45 @@ impl DetectionSystem for CaTDetSystem {
         self.proposal.reset();
         self.refinement.reset();
         self.tracker.reset();
+        self.stage = Stage::Idle;
     }
 
-    fn process_frame(&mut self, frame: &Frame) -> FrameOutput {
+    fn begin_frame(&mut self, frame: &Frame) {
+        assert!(
+            matches!(self.stage, Stage::Idle),
+            "begin_frame while a frame is in flight"
+        );
+        self.stage = Stage::AwaitProposal {
+            frame: frame.clone(),
+        };
+    }
+
+    fn step(&mut self) -> StageStep {
+        match &self.stage {
+            Stage::Idle => panic!("step without begin_frame"),
+            Stage::AwaitProposal { .. } => StageStep::NeedsProposal(ProposalWork {
+                macs: self
+                    .proposal
+                    .model()
+                    .ops
+                    .full_frame_macs(self.width as usize, self.height as usize),
+            }),
+            Stage::AwaitRefinement { work, .. } => StageStep::NeedsRefinement(*work),
+            Stage::Finished { .. } => {
+                let Stage::Finished { output } = std::mem::replace(&mut self.stage, Stage::Idle)
+                else {
+                    unreachable!()
+                };
+                StageStep::Done(output)
+            }
+        }
+    }
+
+    fn complete_proposal(&mut self, _work: ProposalWork) -> ProposalWork {
+        let Stage::AwaitProposal { frame } = std::mem::replace(&mut self.stage, Stage::Idle) else {
+            panic!("complete_proposal outside the proposal boundary");
+        };
+
         // (b) Tracker predicts current-frame locations of known objects.
         let predictions = self.tracker.predictions(self.width, self.height);
         let tracker_regions: Vec<Box2> = predictions.iter().map(|p| p.bbox).collect();
@@ -138,32 +201,11 @@ impl DetectionSystem for CaTDetSystem {
         let props = nms_per_class(&props, self.cfg.nms_iou);
         let proposal_regions: Vec<Box2> = props.iter().map(|d| d.bbox).collect();
 
-        // (d) Refinement network calibrates the union of both sources;
-        // NMS removes duplicates.
+        // The union of both sources is the refinement network's input; its
+        // pending dispatch is priced here, with the Table 3 source
+        // attribution, so a scheduler can fuse it before it runs.
         let mut regions = tracker_regions.clone();
         regions.extend_from_slice(&proposal_regions);
-        let refined = self.refinement.detect_regions(
-            frame.sequence_id,
-            frame.index,
-            &frame.ground_truth,
-            &regions,
-            self.cfg.margin,
-        );
-        let detections = nms_per_class(&refined, self.cfg.nms_iou);
-
-        // (a→) Tracker consumes the calibrated detections for next frame.
-        let track_inputs: Vec<TrackDetection<ActorClass>> = detections
-            .iter()
-            .filter(|d| d.score >= self.cfg.t_thresh)
-            .map(|d| TrackDetection {
-                bbox: d.bbox,
-                score: d.score,
-                class: d.class,
-            })
-            .collect();
-        self.tracker.update(&track_inputs);
-
-        // Accounting, with the Table 3 source attribution.
         let proposal_macs = self
             .proposal
             .model()
@@ -192,23 +234,77 @@ impl DetectionSystem for CaTDetSystem {
             16,
             self.cfg.margin,
         );
-        FrameOutput {
-            detections,
+        let work = RefinementWork {
+            macs: refine_macs,
+            num_regions: regions.len(),
+            coverage,
+        };
+        self.stage = Stage::AwaitRefinement {
+            frame,
+            regions,
             ops: OpsBreakdown {
                 proposal: proposal_macs,
                 refinement: refine_macs,
                 refinement_from_tracker: from_tracker,
                 refinement_from_proposal: from_proposal,
             },
-            num_refinement_regions: regions.len(),
-            refinement_coverage: coverage,
+            work,
+        };
+        ProposalWork {
+            macs: proposal_macs,
         }
+    }
+
+    fn complete_refinement(&mut self, _work: RefinementWork) -> RefinementWork {
+        let Stage::AwaitRefinement {
+            frame,
+            regions,
+            ops,
+            work,
+        } = std::mem::replace(&mut self.stage, Stage::Idle)
+        else {
+            panic!("complete_refinement outside the refinement boundary");
+        };
+
+        // (d) Refinement network calibrates the union of both sources;
+        // NMS removes duplicates.
+        let refined = self.refinement.detect_regions(
+            frame.sequence_id,
+            frame.index,
+            &frame.ground_truth,
+            &regions,
+            self.cfg.margin,
+        );
+        let detections = nms_per_class(&refined, self.cfg.nms_iou);
+
+        // (a→) Tracker consumes the calibrated detections for next frame.
+        let track_inputs: Vec<TrackDetection<ActorClass>> = detections
+            .iter()
+            .filter(|d| d.score >= self.cfg.t_thresh)
+            .map(|d| TrackDetection {
+                bbox: d.bbox,
+                score: d.score,
+                class: d.class,
+            })
+            .collect();
+        self.tracker.update(&track_inputs);
+
+        self.stage = Stage::Finished {
+            output: FrameOutput {
+                detections,
+                ops,
+                num_refinement_regions: work.num_regions,
+                refinement_coverage: work.coverage,
+            },
+        };
+        work
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::system::DetectionSystem;
     use catdet_data::kitti_like;
 
     #[test]
@@ -254,7 +350,7 @@ mod tests {
         let mut total = 0.0;
         let mut n = 0;
         for s in ds.sequences() {
-            sys.reset();
+            DetectionSystem::reset(&mut sys);
             for f in s.frames() {
                 total += sys.process_frame(f).ops.total();
                 n += 1;
@@ -275,8 +371,8 @@ mod tests {
         let mut cascade = CascadedSystem::cascade_b();
         let (mut cat_hits, mut cas_hits, mut total) = (0usize, 0usize, 0usize);
         for s in ds.sequences() {
-            catdet.reset();
-            cascade.reset();
+            DetectionSystem::reset(&mut catdet);
+            DetectionSystem::reset(&mut cascade);
             for f in s.frames() {
                 let a = catdet.process_frame(f);
                 let b = cascade.process_frame(f);
@@ -312,7 +408,7 @@ mod tests {
             sys.process_frame(f);
         }
         assert!(!sys.tracker().tracks().is_empty());
-        sys.reset();
+        DetectionSystem::reset(&mut sys);
         assert!(sys.tracker().tracks().is_empty());
     }
 

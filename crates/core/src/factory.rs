@@ -12,6 +12,7 @@
 use crate::cascade::CascadedSystem;
 use crate::catdet::CaTDetSystem;
 use crate::single::SingleModelSystem;
+use crate::stage::{MonolithicStages, StagedDetector};
 use crate::system::{DetectionSystem, SystemConfig};
 use catdet_detector::zoo;
 
@@ -23,6 +24,16 @@ use catdet_detector::zoo;
 pub trait SystemFactory: Send + Sync {
     /// Builds a new pipeline with no temporal state.
     fn build(&self) -> Box<dyn DetectionSystem>;
+
+    /// Builds a new pipeline exposing the resumable stage protocol.
+    ///
+    /// The default wraps [`build`](Self::build) in [`MonolithicStages`],
+    /// so every factory yields a staged pipeline; factories whose systems
+    /// are natively staged (like [`PresetFactory`]) override this to hand
+    /// the scheduler real suspend points with up-front pricing.
+    fn build_staged(&self) -> Box<dyn StagedDetector> {
+        Box::new(MonolithicStages::new(self.build()))
+    }
 
     /// Human-readable name of the systems this factory builds.
     fn system_name(&self) -> String {
@@ -75,9 +86,12 @@ impl SystemKind {
         }
     }
 
-    /// Parses a CLI name (the inverse of [`SystemKind::name`]).
+    /// Parses a CLI name (the inverse of [`SystemKind::name`]),
+    /// case-insensitively: `CatDet-A` and `CATDET-A` both parse.
     pub fn from_name(name: &str) -> Option<Self> {
-        Self::ALL.into_iter().find(|k| k.name() == name)
+        Self::ALL
+            .into_iter()
+            .find(|k| k.name().eq_ignore_ascii_case(name))
     }
 }
 
@@ -122,17 +136,20 @@ impl PresetFactory {
     }
 }
 
-impl SystemFactory for PresetFactory {
-    fn build(&self) -> Box<dyn DetectionSystem> {
-        let (w, h, cfg) = (self.width, self.height, self.config);
-        match self.kind {
+/// Expands to the `PresetFactory` kind match, boxing each concrete system
+/// as the requested trait object — the single source of truth behind both
+/// `build` (monolithic view, via the blanket impl) and `build_staged`.
+macro_rules! build_preset {
+    ($self:ident, $trait:ty) => {{
+        let (w, h, cfg) = ($self.width, $self.height, $self.config);
+        match $self.kind {
             SystemKind::CatdetA => Box::new(CaTDetSystem::new(
                 zoo::resnet10a(2),
                 zoo::resnet50(2),
                 w,
                 h,
                 cfg,
-            )),
+            )) as Box<$trait>,
             SystemKind::CatdetB => Box::new(CaTDetSystem::new(
                 zoo::resnet10b(2),
                 zoo::resnet50(2),
@@ -156,6 +173,16 @@ impl SystemFactory for PresetFactory {
             )),
             SystemKind::SingleResnet50 => Box::new(SingleModelSystem::new(zoo::resnet50(2), w, h)),
         }
+    }};
+}
+
+impl SystemFactory for PresetFactory {
+    fn build(&self) -> Box<dyn DetectionSystem> {
+        build_preset!(self, dyn DetectionSystem)
+    }
+
+    fn build_staged(&self) -> Box<dyn StagedDetector> {
+        build_preset!(self, dyn StagedDetector)
     }
 }
 
@@ -199,6 +226,49 @@ mod tests {
             assert_eq!(SystemKind::from_name(kind.name()), Some(kind));
         }
         assert_eq!(SystemKind::from_name("nope"), None);
+    }
+
+    #[test]
+    fn kind_names_parse_case_insensitively() {
+        for kind in SystemKind::ALL {
+            assert_eq!(
+                SystemKind::from_name(&kind.name().to_ascii_uppercase()),
+                Some(kind)
+            );
+        }
+        assert_eq!(SystemKind::from_name("CatDet-A"), Some(SystemKind::CatdetA));
+        assert_eq!(SystemKind::from_name("catdet a"), None);
+    }
+
+    #[test]
+    fn staged_and_monolithic_builds_agree() {
+        use crate::stage::drive_frame;
+        let ds = kitti_like().sequences(1).frames_per_sequence(10).build();
+        for kind in SystemKind::ALL {
+            let factory = PresetFactory::kitti(kind);
+            let mut mono = factory.build();
+            let mut staged = factory.build_staged();
+            for f in ds.sequences()[0].frames() {
+                assert_eq!(
+                    mono.process_frame(f),
+                    drive_frame(&mut staged, f),
+                    "{} diverged between build() and build_staged()",
+                    kind.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn closure_factories_get_staged_builds_by_adaptation() {
+        use crate::stage::drive_frame;
+        let f = || Box::new(CaTDetSystem::catdet_a()) as Box<dyn DetectionSystem>;
+        let ds = kitti_like().sequences(1).frames_per_sequence(8).build();
+        let mut mono = SystemFactory::build(&f);
+        let mut staged = SystemFactory::build_staged(&f);
+        for frame in ds.sequences()[0].frames() {
+            assert_eq!(mono.process_frame(frame), drive_frame(&mut staged, frame));
+        }
     }
 
     #[test]

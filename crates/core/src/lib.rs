@@ -16,6 +16,13 @@
 //! proposal vs. refinement and (for CaTDet) to tracker- vs. proposal-fed
 //! regions — the quantities of the paper's Tables 2, 3 and 6.
 //!
+//! All three systems are implemented against the resumable
+//! [`StagedDetector`] protocol ([`stage`]): a frame advances via
+//! `begin_frame` + `step`, suspending at the proposal and refinement
+//! boundaries with priced [`ProposalWork`]/[`RefinementWork`] items, so a
+//! serving layer can fuse dispatches across streams. `process_frame` above
+//! is the blanket-impl convenience that drives the stages to completion.
+//!
 //! [`timing`] implements Appendix I: a linear GPU execution-time model
 //! `T = αW + b` with the greedy region-merging heuristic.
 //!
@@ -41,6 +48,7 @@ pub mod factory;
 pub mod ops;
 pub mod runner;
 pub mod single;
+pub mod stage;
 pub mod system;
 pub mod timing;
 
@@ -53,5 +61,8 @@ pub use runner::{
     RunReport,
 };
 pub use single::SingleModelSystem;
+pub use stage::{
+    drive_frame, MonolithicStages, ProposalWork, RefinementWork, StageStep, StagedDetector,
+};
 pub use system::{nms_per_class, DetectionSystem, FrameOutput, SystemConfig};
 pub use timing::{FrameTiming, GpuTimingModel};

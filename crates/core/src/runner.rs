@@ -25,7 +25,11 @@ pub struct RunReport {
 
 impl RunReport {
     /// Mean total Gops per frame (the unit of the paper's tables).
+    ///
+    /// Reports always cover at least one frame ([`run_collect`] rejects
+    /// empty datasets), so the mean is well-defined.
     pub fn mean_gops(&self) -> f64 {
+        debug_assert!(self.frames > 0, "report covers no frames");
         self.mean_ops.total() / 1e9
     }
 }
@@ -54,6 +58,14 @@ pub struct CollectedRun {
 
 /// Runs `system` over every sequence of `dataset` (resetting at sequence
 /// boundaries) and collects its raw outputs.
+///
+/// # Panics
+///
+/// Panics if `dataset` contains no frames: the collected mean fields
+/// (`mean_ops`, `mean_refinement_regions`, `mean_refinement_coverage`)
+/// would otherwise silently report `0.0` for a run that measured nothing —
+/// the same fold-from-zero masking `ServeReport::worst_p99_s` used to
+/// suffer from.
 pub fn run_collect(system: &mut dyn DetectionSystem, dataset: &VideoDataset) -> CollectedRun {
     let mut total_ops = OpsBreakdown::default();
     let mut frames = 0usize;
@@ -72,13 +84,17 @@ pub fn run_collect(system: &mut dyn DetectionSystem, dataset: &VideoDataset) -> 
             outputs.push((seq.id, frame.index, out.detections));
         }
     }
+    assert!(
+        frames > 0,
+        "run_collect over an empty dataset: per-frame means are undefined"
+    );
 
     CollectedRun {
         system_name: system.name(),
         frames,
-        mean_ops: total_ops.scaled(frames.max(1) as f64),
-        mean_refinement_regions: regions as f64 / frames.max(1) as f64,
-        mean_refinement_coverage: coverage / frames.max(1) as f64,
+        mean_ops: total_ops.scaled(frames as f64),
+        mean_refinement_regions: regions as f64 / frames as f64,
+        mean_refinement_coverage: coverage / frames as f64,
         outputs,
     }
 }
@@ -132,6 +148,10 @@ pub fn evaluate_collected_with(
 
 /// Runs `system` over every sequence of `dataset`, resetting it at
 /// sequence boundaries, and evaluates at `difficulty`.
+///
+/// # Panics
+///
+/// Panics if `dataset` contains no frames (see [`run_collect`]).
 pub fn run_on_dataset(
     system: &mut dyn DetectionSystem,
     dataset: &VideoDataset,
@@ -165,6 +185,22 @@ mod tests {
         let map = r.evaluator.map();
         assert!((0.0..=1.0).contains(&map));
         assert!(map > 0.3, "mAP {map} suspiciously low for ResNet-50");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn zero_frame_runs_are_rejected_not_masked() {
+        // An empty dataset must fail loudly instead of reporting all-zero
+        // "means" that look like measurements.
+        let empty = catdet_data::VideoDataset::new(
+            "empty".to_string(),
+            1242.0,
+            375.0,
+            catdet_sim::ActorClass::ALL.to_vec(),
+            vec![],
+        );
+        let mut sys = SingleModelSystem::resnet50_kitti();
+        run_collect(&mut sys, &empty);
     }
 
     #[test]

@@ -1,18 +1,37 @@
 //! The single-model baseline (paper Fig. 1a).
 
 use crate::ops::OpsBreakdown;
-use crate::system::{nms_per_class, DetectionSystem, FrameOutput, SystemConfig};
+use crate::stage::{ProposalWork, RefinementWork, StageStep, StagedDetector};
+use crate::system::{nms_per_class, FrameOutput, SystemConfig};
 use catdet_data::Frame;
 use catdet_detector::{zoo, DetectorModel, SimulatedDetector};
 
+/// The single-model frame state machine: no proposal stage, one
+/// full-frame dispatch at the refinement boundary.
+#[derive(Debug, Clone)]
+enum Stage {
+    Idle,
+    AwaitRefinement { frame: Frame },
+    Finished { output: FrameOutput },
+}
+
 /// One detector scanning every full frame — the paper's baseline system
 /// and the accuracy reference every cascade is compared against.
+///
+/// Under the [`StagedDetector`] protocol a single-model frame suspends
+/// straight at the refinement boundary: its one full-frame dispatch is
+/// reported as [`RefinementWork`] (zero regions, full coverage), matching
+/// how its cost has always been accounted under
+/// [`OpsBreakdown::refinement`]. A scheduler can therefore fuse
+/// full-frame launches from many single-model streams exactly like
+/// per-region refinement launches.
 #[derive(Debug, Clone)]
 pub struct SingleModelSystem {
     detector: SimulatedDetector,
     width: f32,
     height: f32,
     nms_iou: f32,
+    stage: Stage,
 }
 
 impl SingleModelSystem {
@@ -23,6 +42,7 @@ impl SingleModelSystem {
             width,
             height,
             nms_iou: SystemConfig::paper().nms_iou,
+            stage: Stage::Idle,
         }
     }
 
@@ -41,37 +61,84 @@ impl SingleModelSystem {
     pub fn model(&self) -> &DetectorModel {
         self.detector.model()
     }
+
+    fn full_frame_macs(&self) -> f64 {
+        self.detector
+            .model()
+            .ops
+            .full_frame_macs(self.width as usize, self.height as usize)
+    }
 }
 
-impl DetectionSystem for SingleModelSystem {
+impl StagedDetector for SingleModelSystem {
     fn name(&self) -> String {
         format!("{} Faster R-CNN (single)", self.detector.model().name)
     }
 
     fn reset(&mut self) {
         self.detector.reset();
+        self.stage = Stage::Idle;
     }
 
-    fn process_frame(&mut self, frame: &Frame) -> FrameOutput {
+    fn begin_frame(&mut self, frame: &Frame) {
+        assert!(
+            matches!(self.stage, Stage::Idle),
+            "begin_frame while a frame is in flight"
+        );
+        self.stage = Stage::AwaitRefinement {
+            frame: frame.clone(),
+        };
+    }
+
+    fn step(&mut self) -> StageStep {
+        match &self.stage {
+            Stage::Idle => panic!("step without begin_frame"),
+            Stage::AwaitRefinement { .. } => StageStep::NeedsRefinement(RefinementWork {
+                macs: self.full_frame_macs(),
+                num_regions: 0,
+                coverage: 1.0,
+            }),
+            Stage::Finished { .. } => {
+                let Stage::Finished { output } = std::mem::replace(&mut self.stage, Stage::Idle)
+                else {
+                    unreachable!()
+                };
+                StageStep::Done(output)
+            }
+        }
+    }
+
+    fn complete_proposal(&mut self, _work: ProposalWork) -> ProposalWork {
+        panic!("single-model systems have no proposal stage");
+    }
+
+    fn complete_refinement(&mut self, _work: RefinementWork) -> RefinementWork {
+        let Stage::AwaitRefinement { frame } = std::mem::replace(&mut self.stage, Stage::Idle)
+        else {
+            panic!("complete_refinement outside the refinement boundary");
+        };
         let raw =
             self.detector
                 .detect_full_frame(frame.sequence_id, frame.index, &frame.ground_truth);
         let detections = nms_per_class(&raw, self.nms_iou);
-        let macs = self
-            .detector
-            .model()
-            .ops
-            .full_frame_macs(self.width as usize, self.height as usize);
-        FrameOutput {
-            detections,
-            ops: OpsBreakdown {
-                proposal: 0.0,
-                refinement: macs,
-                refinement_from_tracker: 0.0,
-                refinement_from_proposal: 0.0,
+        let macs = self.full_frame_macs();
+        self.stage = Stage::Finished {
+            output: FrameOutput {
+                detections,
+                ops: OpsBreakdown {
+                    proposal: 0.0,
+                    refinement: macs,
+                    refinement_from_tracker: 0.0,
+                    refinement_from_proposal: 0.0,
+                },
+                num_refinement_regions: 0,
+                refinement_coverage: 1.0,
             },
-            num_refinement_regions: 0,
-            refinement_coverage: 1.0,
+        };
+        RefinementWork {
+            macs,
+            num_regions: 0,
+            coverage: 1.0,
         }
     }
 }
@@ -79,6 +146,7 @@ impl DetectionSystem for SingleModelSystem {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::system::DetectionSystem;
     use catdet_data::kitti_like;
 
     #[test]

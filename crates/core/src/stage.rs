@@ -1,0 +1,408 @@
+//! The resumable stage protocol: detection frames as explicit
+//! proposal → refinement state machines.
+//!
+//! CaTDet's two networks are separate compute units with separate costs,
+//! but [`DetectionSystem::process_frame`] fuses them into one opaque call —
+//! a serving layer scheduling many streams can then only batch whole
+//! frames. [`StagedDetector`] exposes the stage boundary instead: a frame
+//! is begun with [`begin_frame`](StagedDetector::begin_frame) and advanced
+//! by [`step`](StagedDetector::step), which reports where the frame is
+//! suspended:
+//!
+//! ```text
+//! begin_frame ──▶ NeedsProposal(ProposalWork) ──▶ NeedsRefinement(RefinementWork) ──▶ Done(FrameOutput)
+//!                  │ complete_proposal()           │ complete_refinement()
+//!                  ▼                               ▼
+//!             proposal net runs               refinement net runs
+//!             (full-frame scan,               (per-region heads, NMS,
+//!              C-thresh, NMS)                  tracker update)
+//! ```
+//!
+//! The [`ProposalWork`]/[`RefinementWork`] items carry the *priced*
+//! quantities of the pending dispatch (MACs, region count, coverage), so a
+//! scheduler can suspend a stream at a boundary, collect work items from
+//! other streams, and fuse them into one GPU dispatch (`T = αΣW + b`
+//! instead of `Σ(αW + b)` — the Appendix I timing model) before resuming
+//! each stream with the matching `complete_*` call.
+//!
+//! [`DetectionSystem`] is kept as a thin blanket impl over this trait:
+//! `process_frame` simply [drives the stages to completion](drive_frame),
+//! so `run_collect`, the metrics pipeline and every pre-existing caller
+//! work unchanged.
+
+use crate::system::{DetectionSystem, FrameOutput};
+use catdet_data::Frame;
+
+/// The priced work of a pending proposal-network dispatch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProposalWork {
+    /// Full-frame proposal-network cost in MACs. Systems that only learn
+    /// their cost by executing (see [`MonolithicStages`]) may announce
+    /// `0.0` here; the figure returned by
+    /// [`complete_proposal`](StagedDetector::complete_proposal) is always
+    /// the executed cost.
+    pub macs: f64,
+}
+
+/// The priced work of a pending refinement-network dispatch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RefinementWork {
+    /// Refinement cost over the union of proposed regions, in MACs.
+    pub macs: f64,
+    /// Number of regions handed to the refinement network.
+    pub num_regions: usize,
+    /// Fraction of the stride-16 feature grid covered by those regions.
+    pub coverage: f64,
+}
+
+/// Where a begun frame is suspended.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StageStep {
+    /// The frame is waiting for its proposal-network dispatch; resume with
+    /// [`StagedDetector::complete_proposal`].
+    NeedsProposal(ProposalWork),
+    /// The frame is waiting for its refinement-network dispatch; resume
+    /// with [`StagedDetector::complete_refinement`].
+    NeedsRefinement(RefinementWork),
+    /// The frame is finished; this is its output. Returning it clears the
+    /// in-flight frame, so the next call must be
+    /// [`begin_frame`](StagedDetector::begin_frame).
+    Done(FrameOutput),
+}
+
+/// A detection system whose frames advance through explicit, resumable
+/// proposal/refinement stages.
+///
+/// At most one frame is in flight per instance. The protocol per frame is
+/// strict: `begin_frame`, then alternate `step` (to observe the suspend
+/// point) with the matching `complete_*` call until `step` returns
+/// [`StageStep::Done`]. Implementations panic on out-of-order calls — a
+/// protocol violation is a scheduler bug, never data-dependent.
+///
+/// Like [`DetectionSystem`], implementations are `Send` and own all
+/// temporal state, so a serving layer can suspend a stream at a stage
+/// boundary and migrate it between workers.
+pub trait StagedDetector: Send {
+    /// Human-readable system name (used in experiment tables).
+    fn name(&self) -> String;
+
+    /// Clears temporal state at a sequence boundary, including any frame
+    /// in flight.
+    fn reset(&mut self);
+
+    /// Starts processing a frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a previous frame is still in flight.
+    fn begin_frame(&mut self, frame: &Frame);
+
+    /// Reports where the in-flight frame is suspended.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no frame is in flight.
+    fn step(&mut self) -> StageStep;
+
+    /// Executes the proposal stage and returns the work as executed
+    /// (echoing `work` for systems that priced it exactly up front).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame is not suspended at the proposal boundary.
+    fn complete_proposal(&mut self, work: ProposalWork) -> ProposalWork;
+
+    /// Executes the refinement stage and returns the work as executed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame is not suspended at the refinement boundary.
+    fn complete_refinement(&mut self, work: RefinementWork) -> RefinementWork;
+}
+
+/// Drives a begun-or-new frame through every stage to completion — the
+/// monolithic `process_frame` semantics expressed over the protocol.
+pub fn drive_frame<T: StagedDetector + ?Sized>(system: &mut T, frame: &Frame) -> FrameOutput {
+    system.begin_frame(frame);
+    loop {
+        match system.step() {
+            StageStep::NeedsProposal(work) => {
+                system.complete_proposal(work);
+            }
+            StageStep::NeedsRefinement(work) => {
+                system.complete_refinement(work);
+            }
+            StageStep::Done(output) => return output,
+        }
+    }
+}
+
+/// Every staged detector is a [`DetectionSystem`]: `process_frame` drives
+/// the stages to [`StageStep::Done`]. This is the compatibility bridge
+/// that keeps `run_collect`, the evaluators and all pre-redesign callers
+/// working unchanged.
+impl<T: StagedDetector> DetectionSystem for T {
+    fn name(&self) -> String {
+        StagedDetector::name(self)
+    }
+
+    fn reset(&mut self) {
+        StagedDetector::reset(self)
+    }
+
+    fn process_frame(&mut self, frame: &Frame) -> FrameOutput {
+        drive_frame(self, frame)
+    }
+}
+
+impl StagedDetector for Box<dyn StagedDetector> {
+    fn name(&self) -> String {
+        self.as_ref().name()
+    }
+
+    fn reset(&mut self) {
+        self.as_mut().reset()
+    }
+
+    fn begin_frame(&mut self, frame: &Frame) {
+        self.as_mut().begin_frame(frame)
+    }
+
+    fn step(&mut self) -> StageStep {
+        self.as_mut().step()
+    }
+
+    fn complete_proposal(&mut self, work: ProposalWork) -> ProposalWork {
+        self.as_mut().complete_proposal(work)
+    }
+
+    fn complete_refinement(&mut self, work: RefinementWork) -> RefinementWork {
+        self.as_mut().complete_refinement(work)
+    }
+}
+
+enum MonoStage {
+    Idle,
+    AwaitProposal { frame: Frame },
+    AwaitRefinement { output: FrameOutput },
+    Finished { output: FrameOutput },
+}
+
+/// Adapts an opaque [`DetectionSystem`] to the stage protocol.
+///
+/// The wrapped system's costs are only known by running it, so the whole
+/// `process_frame` executes inside
+/// [`complete_proposal`](StagedDetector::complete_proposal) — the
+/// announced [`ProposalWork`] is `0.0` MACs, and the *executed* figures
+/// (the returned work and the subsequent [`StageStep::NeedsRefinement`])
+/// report the frame's true `ops` split. A scheduler pricing dispatches
+/// from executed work therefore accounts adapted systems exactly; it just
+/// cannot plan around their costs in advance the way it can for native
+/// staged systems.
+pub struct MonolithicStages {
+    inner: Box<dyn DetectionSystem>,
+    stage: MonoStage,
+}
+
+impl MonolithicStages {
+    /// Wraps a monolithic system.
+    pub fn new(inner: Box<dyn DetectionSystem>) -> Self {
+        Self {
+            inner,
+            stage: MonoStage::Idle,
+        }
+    }
+}
+
+impl StagedDetector for MonolithicStages {
+    fn name(&self) -> String {
+        self.inner.name()
+    }
+
+    fn reset(&mut self) {
+        self.stage = MonoStage::Idle;
+        self.inner.reset();
+    }
+
+    fn begin_frame(&mut self, frame: &Frame) {
+        assert!(
+            matches!(self.stage, MonoStage::Idle),
+            "begin_frame while a frame is in flight"
+        );
+        self.stage = MonoStage::AwaitProposal {
+            frame: frame.clone(),
+        };
+    }
+
+    fn step(&mut self) -> StageStep {
+        match &self.stage {
+            MonoStage::Idle => panic!("step without begin_frame"),
+            MonoStage::AwaitProposal { .. } => StageStep::NeedsProposal(ProposalWork { macs: 0.0 }),
+            MonoStage::AwaitRefinement { output } => StageStep::NeedsRefinement(RefinementWork {
+                macs: output.ops.refinement,
+                num_regions: output.num_refinement_regions,
+                coverage: output.refinement_coverage,
+            }),
+            MonoStage::Finished { .. } => {
+                let MonoStage::Finished { output } =
+                    std::mem::replace(&mut self.stage, MonoStage::Idle)
+                else {
+                    unreachable!()
+                };
+                StageStep::Done(output)
+            }
+        }
+    }
+
+    fn complete_proposal(&mut self, _work: ProposalWork) -> ProposalWork {
+        let MonoStage::AwaitProposal { frame } =
+            std::mem::replace(&mut self.stage, MonoStage::Idle)
+        else {
+            panic!("complete_proposal outside the proposal boundary");
+        };
+        let output = self.inner.process_frame(&frame);
+        let executed = ProposalWork {
+            macs: output.ops.proposal,
+        };
+        self.stage = MonoStage::AwaitRefinement { output };
+        executed
+    }
+
+    fn complete_refinement(&mut self, _work: RefinementWork) -> RefinementWork {
+        let MonoStage::AwaitRefinement { output } =
+            std::mem::replace(&mut self.stage, MonoStage::Idle)
+        else {
+            panic!("complete_refinement outside the refinement boundary");
+        };
+        // Executed figures come from the wrapped system's output, never
+        // from the caller-supplied token.
+        let executed = RefinementWork {
+            macs: output.ops.refinement,
+            num_regions: output.num_refinement_regions,
+            coverage: output.refinement_coverage,
+        };
+        self.stage = MonoStage::Finished { output };
+        executed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catdet::CaTDetSystem;
+    use crate::single::SingleModelSystem;
+    use catdet_data::kitti_like;
+
+    #[test]
+    fn catdet_walks_proposal_then_refinement_then_done() {
+        let ds = kitti_like().sequences(1).frames_per_sequence(5).build();
+        let mut sys = CaTDetSystem::catdet_a();
+        for frame in ds.sequences()[0].frames() {
+            sys.begin_frame(frame);
+            let StageStep::NeedsProposal(prop) = sys.step() else {
+                panic!("expected proposal boundary first");
+            };
+            assert!(prop.macs > 0.0, "native proposal work is priced up front");
+            let executed = sys.complete_proposal(prop);
+            assert_eq!(executed.macs, prop.macs);
+            let StageStep::NeedsRefinement(refine) = sys.step() else {
+                panic!("expected refinement boundary after proposal");
+            };
+            sys.complete_refinement(refine);
+            let StageStep::Done(out) = sys.step() else {
+                panic!("expected Done after refinement");
+            };
+            assert_eq!(out.ops.proposal, prop.macs);
+            assert_eq!(out.ops.refinement, refine.macs);
+            assert_eq!(out.num_refinement_regions, refine.num_regions);
+            assert_eq!(out.refinement_coverage, refine.coverage);
+        }
+    }
+
+    #[test]
+    fn single_model_skips_the_proposal_boundary() {
+        let ds = kitti_like().sequences(1).frames_per_sequence(2).build();
+        let mut sys = SingleModelSystem::resnet50_kitti();
+        sys.begin_frame(&ds.sequences()[0].frames()[0]);
+        let StageStep::NeedsRefinement(work) = sys.step() else {
+            panic!("single model suspends straight at refinement");
+        };
+        assert!(work.macs > 0.0);
+        assert_eq!(work.num_regions, 0);
+        sys.complete_refinement(work);
+        let StageStep::Done(out) = sys.step() else {
+            panic!("expected Done");
+        };
+        assert_eq!(out.ops.refinement, work.macs);
+        assert_eq!(out.ops.proposal, 0.0);
+    }
+
+    #[test]
+    fn drive_frame_equals_process_frame() {
+        let ds = kitti_like().sequences(1).frames_per_sequence(10).build();
+        let mut a = CaTDetSystem::catdet_a();
+        let mut b = CaTDetSystem::catdet_a();
+        for frame in ds.sequences()[0].frames() {
+            assert_eq!(drive_frame(&mut a, frame), b.process_frame(frame));
+        }
+    }
+
+    #[test]
+    fn monolithic_adapter_reports_executed_costs() {
+        let ds = kitti_like().sequences(1).frames_per_sequence(4).build();
+        let mut reference = CaTDetSystem::catdet_a();
+        let mut adapted = MonolithicStages::new(Box::new(CaTDetSystem::catdet_a()));
+        for frame in ds.sequences()[0].frames() {
+            let expect = reference.process_frame(frame);
+            adapted.begin_frame(frame);
+            let StageStep::NeedsProposal(announced) = adapted.step() else {
+                panic!("adapter starts at the proposal boundary");
+            };
+            assert_eq!(announced.macs, 0.0, "opaque cost is unknown up front");
+            let executed = adapted.complete_proposal(announced);
+            assert_eq!(executed.macs, expect.ops.proposal);
+            let StageStep::NeedsRefinement(work) = adapted.step() else {
+                panic!("adapter suspends at the refinement boundary");
+            };
+            assert_eq!(work.macs, expect.ops.refinement);
+            adapted.complete_refinement(work);
+            let StageStep::Done(out) = adapted.step() else {
+                panic!("expected Done");
+            };
+            assert_eq!(out, expect);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "in flight")]
+    fn begin_frame_twice_is_a_protocol_violation() {
+        let ds = kitti_like().sequences(1).frames_per_sequence(2).build();
+        let mut sys = CaTDetSystem::catdet_a();
+        sys.begin_frame(&ds.sequences()[0].frames()[0]);
+        sys.begin_frame(&ds.sequences()[0].frames()[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "refinement boundary")]
+    fn completing_the_wrong_stage_panics() {
+        let ds = kitti_like().sequences(1).frames_per_sequence(1).build();
+        let mut sys = CaTDetSystem::catdet_a();
+        sys.begin_frame(&ds.sequences()[0].frames()[0]);
+        sys.complete_refinement(RefinementWork {
+            macs: 0.0,
+            num_regions: 0,
+            coverage: 0.0,
+        });
+    }
+
+    #[test]
+    fn reset_clears_an_in_flight_frame() {
+        let ds = kitti_like().sequences(1).frames_per_sequence(2).build();
+        let mut sys = CaTDetSystem::catdet_a();
+        sys.begin_frame(&ds.sequences()[0].frames()[0]);
+        StagedDetector::reset(&mut sys);
+        // A fresh frame can be begun after reset.
+        sys.begin_frame(&ds.sequences()[0].frames()[1]);
+        assert!(matches!(sys.step(), StageStep::NeedsProposal(_)));
+    }
+}

@@ -74,6 +74,15 @@ pub struct FrameOutput {
 ///
 /// Systems are `Send` so a serving layer can move per-stream pipelines
 /// across worker threads; all temporal state must be owned, not shared.
+///
+/// This is the *monolithic* view of a system: one call per frame. The
+/// paper's systems are implemented against the resumable
+/// [`StagedDetector`](crate::stage::StagedDetector) protocol instead, and
+/// receive this trait through a blanket impl whose `process_frame`
+/// [drives the stages to completion](crate::stage::drive_frame). Callers
+/// that don't care about stage boundaries (the runner, the evaluators)
+/// keep using this trait unchanged; schedulers that want to suspend a
+/// frame mid-flight use the staged protocol directly.
 pub trait DetectionSystem: Send {
     /// Human-readable system name (used in experiment tables).
     fn name(&self) -> String;

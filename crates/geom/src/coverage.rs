@@ -8,7 +8,7 @@
 //! proposals — overlapping proposals are not paid for twice.
 //!
 //! [`CoverageGrid`] rasterises boxes onto that cell grid and reports the
-//! covered fraction, which [`catdet-nn`]'s masked-ops accounting multiplies
+//! covered fraction, which `catdet-nn`'s masked-ops accounting multiplies
 //! into the full-frame trunk cost.
 
 use crate::Box2;

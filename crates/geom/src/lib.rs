@@ -5,7 +5,7 @@
 //!
 //! * [`Box2`] — axis-aligned bounding boxes with the usual IoU / clipping /
 //!   dilation operations,
-//! * [`nms`] — greedy non-maximum suppression,
+//! * [`nms()`] — greedy non-maximum suppression,
 //! * [`assignment`] — an exact Hungarian (Kuhn–Munkres) solver used by the
 //!   tracker's data-association step,
 //! * [`coverage`] — a stride-aligned rasteriser that measures what fraction

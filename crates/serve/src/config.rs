@@ -337,6 +337,21 @@ pub struct ServeConfig {
     /// Bounded per-stream queue length; arrivals beyond it invoke the
     /// [`DropPolicy`].
     pub queue_capacity: usize,
+    /// Fuse refinement launches across streams: frames suspend at their
+    /// refinement boundary (the staged-detector protocol) and their
+    /// pending [`RefinementWork`](catdet_core::RefinementWork) items are
+    /// flushed as one shared GPU dispatch — across batches and workers.
+    /// Off (the default) prices one refinement launch per frame, the
+    /// pre-staged behaviour.
+    pub fuse_refinement: bool,
+    /// How long (virtual seconds) a frame may wait at its refinement
+    /// boundary for other streams to reach theirs before the shared
+    /// dispatch fires. `0.0` flushes immediately (still fusing frames
+    /// that reach the boundary at the same instant, e.g. one proposal
+    /// batch's worth). Inert unless [`fuse_refinement`] is on.
+    ///
+    /// [`fuse_refinement`]: ServeConfig::fuse_refinement
+    pub refine_batch_window_s: f64,
     /// Stream selection policy.
     pub policy: SchedulePolicy,
     /// Backpressure behaviour on a full queue.
@@ -358,6 +373,8 @@ impl ServeConfig {
             max_batch: 4,
             batch_window_s: 0.0,
             queue_capacity: 64,
+            fuse_refinement: false,
+            refine_batch_window_s: 0.0,
             policy: SchedulePolicy::RoundRobin,
             drop_policy: DropPolicy::Newest,
             timing: GpuTimingModel::titan_x_maxwell(),
@@ -387,6 +404,18 @@ impl ServeConfig {
     /// Returns a copy with a different queue capacity.
     pub fn with_queue_capacity(mut self, queue_capacity: usize) -> Self {
         self.queue_capacity = queue_capacity;
+        self
+    }
+
+    /// Returns a copy with cross-stream refinement fusion on or off.
+    pub fn with_fuse_refinement(mut self, fuse_refinement: bool) -> Self {
+        self.fuse_refinement = fuse_refinement;
+        self
+    }
+
+    /// Returns a copy with a different refinement fuse window.
+    pub fn with_refine_batch_window_s(mut self, refine_batch_window_s: f64) -> Self {
+        self.refine_batch_window_s = refine_batch_window_s;
         self
     }
 
@@ -426,6 +455,10 @@ impl ServeConfig {
             self.batch_window_s >= 0.0 && self.batch_window_s.is_finite(),
             "batch window must be finite and non-negative"
         );
+        assert!(
+            self.refine_batch_window_s >= 0.0 && self.refine_batch_window_s.is_finite(),
+            "refinement batch window must be finite and non-negative"
+        );
         self.autoscale.validate();
         self.admission.validate();
     }
@@ -448,14 +481,27 @@ mod tests {
             .with_max_batch(16)
             .with_batch_window_s(0.01)
             .with_queue_capacity(2)
+            .with_fuse_refinement(true)
+            .with_refine_batch_window_s(0.004)
             .with_policy(SchedulePolicy::LeastBacklog)
             .with_drop_policy(DropPolicy::Oldest);
         cfg.validate();
         assert_eq!(cfg.workers, 8);
         assert_eq!(cfg.max_batch, 16);
         assert_eq!(cfg.queue_capacity, 2);
+        assert!(cfg.fuse_refinement);
+        assert_eq!(cfg.refine_batch_window_s, 0.004);
         assert_eq!(cfg.policy, SchedulePolicy::LeastBacklog);
         assert_eq!(cfg.drop_policy, DropPolicy::Oldest);
+        assert!(!ServeConfig::new().fuse_refinement, "fusion is opt-in");
+    }
+
+    #[test]
+    #[should_panic(expected = "refinement batch window")]
+    fn negative_refine_window_is_rejected() {
+        ServeConfig::new()
+            .with_refine_batch_window_s(-0.001)
+            .validate();
     }
 
     #[test]

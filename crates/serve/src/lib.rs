@@ -4,7 +4,7 @@
 //! a time. This crate is the serving layer above them: it runs **N
 //! independent camera streams concurrently**, each with its own
 //! [`DetectionSystem`](catdet_core::DetectionSystem) instance stamped out
-//! by a [`SystemFactory`](catdet_core::SystemFactory), fed by a frame
+//! by a [`SystemFactory`], fed by a frame
 //! scheduler over a worker-thread pool.
 //!
 //! Key mechanisms:
@@ -16,6 +16,15 @@
 //!   different streams are fused into one modelled GPU dispatch within a
 //!   configurable [`batch window`](ServeConfig::batch_window_s),
 //!   amortising the per-launch overhead of the `core::timing` model.
+//! * **Staged execution & refinement fusion** — pipelines advance through
+//!   the resumable [`StagedDetector`](catdet_core::StagedDetector)
+//!   protocol, so the scheduler can suspend a frame at its refinement
+//!   boundary; with [`fuse_refinement`](ServeConfig::fuse_refinement) on,
+//!   suspended frames' priced
+//!   [`RefinementWork`](catdet_core::RefinementWork) items are flushed
+//!   (after at most
+//!   [`refine_batch_window_s`](ServeConfig::refine_batch_window_s)) as
+//!   one shared GPU dispatch spanning batches and workers.
 //! * **Backpressure** — every stream has a bounded queue with an explicit
 //!   [`DropPolicy`]; shed frames are counted exactly, never silently lost.
 //! * **Admission control** — arrivals pass an [`AdmissionPolicy`] before
@@ -70,7 +79,7 @@ pub use config::{
     AdmissionConfig, AdmissionKind, AutoscaleConfig, DropPolicy, ScalePolicyKind, SchedulePolicy,
     ServeConfig,
 };
-pub use report::{BatchRecord, BatchStats, LatencyStats, ServeReport, StreamReport};
+pub use report::{BatchRecord, BatchStage, BatchStats, LatencyStats, ServeReport, StreamReport};
 pub use scheduler::{serve, StreamSpec};
 pub use workload::{bursty_workload, kitti_workload, mixed_workload, step_workload, BurstProfile};
 

@@ -44,6 +44,8 @@ struct Args {
     frames: usize,
     max_batch: usize,
     window_ms: f64,
+    fuse_refinement: bool,
+    refine_window_ms: f64,
     queue: usize,
     policy: SchedulePolicy,
     drop: DropPolicy,
@@ -68,6 +70,8 @@ impl Default for Args {
             frames: 60,
             max_batch: 4,
             window_ms: 0.0,
+            fuse_refinement: false,
+            refine_window_ms: 0.0,
             queue: 64,
             policy: SchedulePolicy::RoundRobin,
             drop: DropPolicy::Newest,
@@ -97,6 +101,11 @@ OPTIONS:
     --frames <N>        frames per camera [60]
     --batch <N>         max frames fused per proposal micro-batch [4]
     --window-ms <MS>    batch window in milliseconds [0]
+    --fuse-refinement   fuse refinement launches across streams into one
+                        GPU dispatch (staged-detector suspend points) [off]
+    --refine-batch-window-ms <MS>
+                        how long a frame may wait at its refinement
+                        boundary for co-dispatching streams [0]
     --queue <N>         bounded per-stream queue capacity [64]
     --policy <P>        round-robin | least-backlog [round-robin]
     --drop <P>          newest | oldest (backpressure policy) [newest]
@@ -129,6 +138,10 @@ fn parse_args() -> Result<Args, String> {
             print!("{USAGE}");
             std::process::exit(0);
         }
+        if flag == "--fuse-refinement" {
+            args.fuse_refinement = true;
+            continue;
+        }
         let value = it
             .next()
             .ok_or_else(|| format!("flag {flag} needs a value"))?;
@@ -140,6 +153,7 @@ fn parse_args() -> Result<Args, String> {
             "--queue" => args.queue = parse_num(&flag, &value)?,
             "--seed" => args.seed = parse_num(&flag, &value)?,
             "--window-ms" => args.window_ms = parse_num(&flag, &value)?,
+            "--refine-batch-window-ms" => args.refine_window_ms = parse_num(&flag, &value)?,
             "--min-workers" => args.min_workers = parse_num(&flag, &value)?,
             "--max-workers" => args.max_workers = parse_num(&flag, &value)?,
             "--interval-ms" => args.interval_ms = parse_num(&flag, &value)?,
@@ -194,6 +208,12 @@ fn parse_args() -> Result<Args, String> {
         return Err(format!(
             "--window-ms must be a finite, non-negative number (got {})",
             args.window_ms
+        ));
+    }
+    if !args.refine_window_ms.is_finite() || args.refine_window_ms < 0.0 {
+        return Err(format!(
+            "--refine-batch-window-ms must be a finite, non-negative number (got {})",
+            args.refine_window_ms
         ));
     }
     if args.min_workers == 0 || args.max_workers < args.min_workers {
@@ -251,6 +271,8 @@ fn main() {
         .with_max_batch(args.max_batch)
         .with_batch_window_s(args.window_ms / 1e3)
         .with_queue_capacity(args.queue)
+        .with_fuse_refinement(args.fuse_refinement)
+        .with_refine_batch_window_s(args.refine_window_ms / 1e3)
         .with_policy(args.policy)
         .with_drop_policy(args.drop)
         .with_autoscale(autoscale)
@@ -258,7 +280,7 @@ fn main() {
 
     println!(
         "spinning up {} streams ({} frames each, {} workload), {} workers, {} scheduling, \
-         autoscale {}, admission {}, system {}",
+         autoscale {}, admission {}, refinement fusion {}, system {}",
         args.streams,
         args.frames,
         args.workload.name(),
@@ -266,6 +288,7 @@ fn main() {
         args.policy.name(),
         args.autoscale.name(),
         args.admission.name(),
+        if args.fuse_refinement { "on" } else { "off" },
         args.system.name(),
     );
     let streams: Vec<StreamSpec> = match args.workload {

@@ -51,21 +51,35 @@ impl LatencyStats {
     }
 }
 
-/// Micro-batching statistics of one run.
+/// Micro-batching statistics of one run, split by pipeline stage:
+/// proposal batches are formed by workers from queued frames, refinement
+/// dispatches are the per-region (or full-frame) launches that resume
+/// frames suspended at the refinement boundary.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct BatchStats {
-    /// Dispatched batches.
+    /// Dispatched proposal batches.
     pub batches: usize,
     /// Frames carried by those batches.
     pub batched_frames: usize,
-    /// Largest batch observed.
+    /// Largest proposal batch observed.
     pub max_batch_seen: usize,
     /// Proposal-network launches avoided by fusion: `Σ (batch_size − 1)`.
     pub proposal_launches_saved: usize,
+    /// Priced refinement dispatches (singletons when
+    /// [`fuse_refinement`](crate::ServeConfig::fuse_refinement) is off;
+    /// shared cross-stream launches when it is on). Frames with no
+    /// refinement work dispatch nothing and are not counted.
+    pub refine_batches: usize,
+    /// Frames whose refinement launch rode those dispatches.
+    pub refined_frames: usize,
+    /// Largest refinement dispatch observed.
+    pub max_refine_batch_seen: usize,
+    /// Refinement launches avoided by fusion: `Σ (dispatch_size − 1)`.
+    pub refinement_launches_saved: usize,
 }
 
 impl BatchStats {
-    /// Mean frames per batch.
+    /// Mean frames per proposal batch.
     pub fn mean_batch(&self) -> f64 {
         if self.batches == 0 {
             0.0
@@ -73,17 +87,41 @@ impl BatchStats {
             self.batched_frames as f64 / self.batches as f64
         }
     }
+
+    /// Mean frames per refinement dispatch.
+    pub fn mean_refine_batch(&self) -> f64 {
+        if self.refine_batches == 0 {
+            0.0
+        } else {
+            self.refined_frames as f64 / self.refine_batches as f64
+        }
+    }
 }
 
-/// One dispatched micro-batch: which streams shared a launch, when, on
-/// which worker. The full log makes batching invariants (one frame per
-/// stream per batch, sizes within `max_batch`) directly assertable.
+/// Which pipeline stage a dispatched batch belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BatchStage {
+    /// A worker-formed micro-batch whose proposal launches were fused.
+    Proposal,
+    /// A priced refinement dispatch resuming frames suspended at the
+    /// refinement boundary (cross-worker when refinement fusion is on).
+    Refinement,
+}
+
+/// One dispatched batch: which streams shared a launch, when, at which
+/// stage, on which worker. The full log makes batching invariants (one
+/// frame per stream per batch, proposal sizes within `max_batch`)
+/// directly assertable.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BatchRecord {
     /// Virtual dispatch time.
     pub t_s: f64,
-    /// Worker slot that ran the batch.
+    /// Worker slot that ran the batch. A fused refinement dispatch can
+    /// span batches held open by several workers; its record names the
+    /// slot whose frame opened the dispatch.
     pub worker: usize,
+    /// Pipeline stage the dispatch belongs to.
+    pub stage: BatchStage,
     /// Contributing streams, in schedule order.
     pub streams: Vec<usize>,
 }
@@ -105,7 +143,9 @@ pub struct StreamReport {
     /// Of the dropped frames, how many were refused by admission control
     /// (always `<= dropped`).
     pub rejected: usize,
-    /// Mean per-frame ops actually spent.
+    /// Mean per-frame ops actually spent. All-zero when `processed == 0`
+    /// (a stream can legitimately complete nothing under overload) — gate
+    /// on `processed` before reading this as a measurement.
     pub mean_ops: OpsBreakdown,
     /// Latency distribution (completion − arrival, virtual seconds).
     pub latency: LatencyStats,
@@ -135,6 +175,12 @@ pub struct ServeReport {
     /// worker-seconds. Lets autoscaled and fixed runs be compared at
     /// equal spend — drain time after a scale-down is still paid for.
     pub worker_seconds: f64,
+    /// Summed virtual time of every priced GPU dispatch (launch time
+    /// `αW + b` plus the per-stage framework overhead), proposal and
+    /// refinement alike. Fusing launches shrinks exactly this figure: a
+    /// dispatch of `k` launches pays `b` + stage overhead once instead of
+    /// `k` times.
+    pub gpu_dispatch_s: f64,
     /// Summed ops across all processed frames.
     pub total_ops: OpsBreakdown,
     /// Micro-batching statistics.
@@ -221,6 +267,15 @@ impl ServeReport {
             self.batch.mean_batch(),
             self.batch.max_batch_seen,
             self.batch.proposal_launches_saved,
+        );
+        let _ = writeln!(
+            out,
+            "refinement: {} dispatches (mean {:.2}, max {}, {} launches saved) | gpu dispatch time: {:.3} s",
+            self.batch.refine_batches,
+            self.batch.mean_refine_batch(),
+            self.batch.max_refine_batch_seen,
+            self.batch.refinement_launches_saved,
+            self.gpu_dispatch_s,
         );
         if !self.scale_events.is_empty() {
             let _ = writeln!(
@@ -315,9 +370,23 @@ mod tests {
             batched_frames: 10,
             max_batch_seen: 4,
             proposal_launches_saved: 6,
+            ..Default::default()
         };
         assert!((b.mean_batch() - 2.5).abs() < 1e-12);
         assert_eq!(BatchStats::default().mean_batch(), 0.0);
+    }
+
+    #[test]
+    fn refine_batch_stats_mean() {
+        let b = BatchStats {
+            refine_batches: 3,
+            refined_frames: 9,
+            max_refine_batch_seen: 5,
+            refinement_launches_saved: 6,
+            ..Default::default()
+        };
+        assert!((b.mean_refine_batch() - 3.0).abs() < 1e-12);
+        assert_eq!(BatchStats::default().mean_refine_batch(), 0.0);
     }
 
     #[test]
@@ -330,9 +399,21 @@ mod tests {
             frames_rejected: 1,
             throughput_fps: 4.0,
             worker_seconds: 8.0,
+            gpu_dispatch_s: 1.25,
             total_ops: OpsBreakdown::default(),
-            batch: BatchStats::default(),
-            batch_log: vec![],
+            batch: BatchStats {
+                refine_batches: 2,
+                refined_frames: 6,
+                max_refine_batch_seen: 4,
+                refinement_launches_saved: 4,
+                ..Default::default()
+            },
+            batch_log: vec![BatchRecord {
+                t_s: 0.25,
+                worker: 1,
+                stage: BatchStage::Refinement,
+                streams: vec![0, 2],
+            }],
             scale_events: vec![ScaleEvent {
                 t_s: 0.5,
                 from_workers: 4,
@@ -357,6 +438,9 @@ mod tests {
         assert!(s.contains("test-system"));
         assert!(s.contains("autoscale: 1 scale events"));
         assert!(s.contains("admission: 1 frames rejected"));
+        assert!(s.contains("refinement: 2 dispatches (mean 3.00, max 4, 4 launches saved)"));
+        assert!(s.contains("gpu dispatch time: 1.250 s"));
+        assert!((report.batch.mean_refine_batch() - 3.0).abs() < 1e-12);
         assert!((report.drop_rate() - 0.2).abs() < 1e-12);
         assert!((report.mean_workers() - 4.0).abs() < 1e-12);
         let timeline = report.scale_timeline();
@@ -385,6 +469,7 @@ mod tests {
             frames_rejected: 0,
             throughput_fps: 0.0,
             worker_seconds: 0.0,
+            gpu_dispatch_s: 0.0,
             total_ops: OpsBreakdown::default(),
             batch: BatchStats::default(),
             batch_log: vec![],

@@ -5,7 +5,10 @@
 //! Serving is simulated in **virtual time** (the [`GpuTimingModel`] from
 //! `catdet-core` prices every launch), while the detector *compute* — the
 //! actual per-frame simulation, NMS and tracker updates — runs for real on
-//! a pool of OS worker threads. The event loop:
+//! a pool of OS worker threads. Pipelines advance through the resumable
+//! [`StagedDetector`] protocol, so the scheduler sees (and can suspend at)
+//! each frame's stage boundaries instead of one opaque call. The event
+//! loop:
 //!
 //! 1. ingests camera arrivals up to the current virtual time `t`, applying
 //!    the bounded-queue drop policy;
@@ -13,17 +16,26 @@
 //!    `max_batch` frames from *distinct* streams chosen by the schedule
 //!    policy (a worker may instead wait up to `batch_window_s` for more
 //!    streams to contribute);
-//! 3. executes all formed batches on the thread pool, then prices them:
-//!    the proposal-network launches of a batch are fused into one GPU
-//!    dispatch (`αΣW + b` instead of `Σ(αW + b)`), refinement launches
-//!    and CPU overheads stay per-frame;
-//! 4. advances `t` to the next arrival, batch completion, window
-//!    deadline, or control tick.
+//! 3. executes the **proposal stage** of all formed batches on the thread
+//!    pool, then prices each batch's proposal launches as one fused GPU
+//!    dispatch (`αΣW + b` instead of `Σ(αW + b)`), leaving every frame
+//!    suspended at its refinement boundary;
+//! 4. resumes the refinement stage:
+//!    * with [`fuse_refinement`](ServeConfig::fuse_refinement) **off**,
+//!      each frame's refinement launch is priced per-frame on its worker's
+//!      timeline, exactly as before the staged redesign;
+//!    * with it **on**, the suspended frames' [`RefinementWork`] items
+//!      enter a fleet-wide fuse pool; after at most
+//!      [`refine_batch_window_s`](ServeConfig::refine_batch_window_s) the
+//!      pool is flushed as **one** fused refinement dispatch shared by all
+//!      contributing streams — across batches and across workers;
+//! 5. advances `t` to the next arrival, batch completion, refinement fuse
+//!    deadline, window deadline, or control tick.
 //!
 //! A **control plane** rides on the same virtual clock: arriving frames
-//! pass an [`AdmissionPolicy`](crate::admission::AdmissionPolicy) before
+//! pass an [`AdmissionPolicy`] before
 //! entering their queue, and at every control interval a
-//! [`ScalePolicy`](crate::autoscale::ScalePolicy) may grow or shrink the
+//! [`ScalePolicy`] may grow or shrink the
 //! *active* worker set (deactivated workers drain their current batch,
 //! then stop taking work). Both decisions read only virtual-time counters
 //! and are stamped into `ScaleEvent`/`AdmissionEvent` timelines.
@@ -35,6 +47,7 @@
 //! scale-timeline tests) possible.
 //!
 //! [`GpuTimingModel`]: catdet_core::GpuTimingModel
+//! [`StagedDetector`]: catdet_core::StagedDetector
 
 use crate::admission::{build_admission, AdmissionContext, AdmissionEvent, AdmissionPolicy};
 use crate::autoscale::{
@@ -42,8 +55,10 @@ use crate::autoscale::{
     ScalePolicy,
 };
 use crate::config::{DropPolicy, ScalePolicyKind, SchedulePolicy, ServeConfig};
-use crate::report::{BatchRecord, BatchStats, LatencyStats, ServeReport, StreamReport};
-use catdet_core::{DetectionSystem, FrameOutput, OpsBreakdown, SystemFactory};
+use crate::report::{BatchRecord, BatchStage, BatchStats, LatencyStats, ServeReport, StreamReport};
+use catdet_core::{
+    FrameOutput, OpsBreakdown, RefinementWork, StageStep, StagedDetector, SystemFactory,
+};
 use catdet_data::{Frame, StreamSource};
 use std::collections::VecDeque;
 use std::sync::mpsc::{channel, Receiver, Sender};
@@ -54,7 +69,7 @@ use std::thread;
 pub struct StreamSpec {
     /// The frame feed.
     pub source: StreamSource,
-    /// Factory building this stream's own `DetectionSystem` instance.
+    /// Factory building this stream's own staged pipeline instance.
     pub factory: Arc<dyn SystemFactory>,
     /// Admission priority class (0 is highest; only consulted by the
     /// priority admission policy).
@@ -98,17 +113,69 @@ pub fn serve(streams: Vec<StreamSpec>, cfg: &ServeConfig) -> ServeReport {
 }
 
 /// A unit of work shipped to the thread pool: the stream's system travels
-/// with the frame and comes back with the result.
+/// with its stage instruction and comes back suspended (or finished).
 struct Job {
     stream: usize,
-    frame: Frame,
-    system: Box<dyn DetectionSystem>,
+    kind: JobKind,
+    system: Box<dyn StagedDetector>,
+}
+
+enum JobKind {
+    /// Begin the frame and execute its proposal stage (if it has one),
+    /// suspending at the refinement boundary.
+    Proposal { frame: Frame },
+    /// Resume at the refinement boundary and finish the frame.
+    Refine { work: RefinementWork },
+}
+
+/// Where a job left its system.
+enum StageOutcome {
+    /// Suspended at the refinement boundary; carries the *executed*
+    /// proposal cost and the priced pending refinement work.
+    AtRefinement {
+        proposal_macs: f64,
+        refine: RefinementWork,
+    },
+    /// The frame ran to completion.
+    Done(FrameOutput),
 }
 
 struct JobResult {
     stream: usize,
-    system: Box<dyn DetectionSystem>,
-    output: Result<FrameOutput, String>,
+    system: Box<dyn StagedDetector>,
+    outcome: Result<StageOutcome, String>,
+}
+
+fn run_stage(system: &mut Box<dyn StagedDetector>, kind: JobKind) -> StageOutcome {
+    match kind {
+        JobKind::Proposal { frame } => {
+            system.begin_frame(&frame);
+            let mut proposal_macs = 0.0;
+            loop {
+                match system.step() {
+                    StageStep::NeedsProposal(work) => {
+                        // Accumulate: the protocol permits multi-pass
+                        // proposal stages, each priced separately.
+                        proposal_macs += system.complete_proposal(work).macs;
+                    }
+                    StageStep::NeedsRefinement(refine) => {
+                        return StageOutcome::AtRefinement {
+                            proposal_macs,
+                            refine,
+                        };
+                    }
+                    StageStep::Done(out) => return StageOutcome::Done(out),
+                }
+            }
+        }
+        JobKind::Refine { work } => {
+            system.complete_refinement(work);
+            match system.step() {
+                StageStep::Done(out) => StageOutcome::Done(out),
+                _ => panic!("refinement stage did not finish the frame"),
+            }
+        }
+    }
 }
 
 enum WorkerState {
@@ -128,8 +195,9 @@ struct StreamRt {
     next_arrival: usize,
     /// Arrived, not yet scheduled frames (indices into `frames`).
     queue: VecDeque<usize>,
-    /// The stream's pipeline; `None` while a frame is on the thread pool.
-    system: Option<Box<dyn DetectionSystem>>,
+    /// The stream's pipeline; `None` while a frame is on the thread pool
+    /// or suspended at a stage boundary.
+    system: Option<Box<dyn StagedDetector>>,
     /// Virtual time until which the stream's pipeline is occupied.
     busy_until: f64,
     system_name: String,
@@ -147,6 +215,23 @@ struct PlannedBatch {
     start: f64,
     /// `(stream, frame_idx, arrival_s)` in schedule order.
     items: Vec<(usize, usize, f64)>,
+}
+
+/// A frame suspended at its refinement boundary, waiting in the
+/// fleet-wide fuse pool for a shared dispatch.
+struct PendingRefine {
+    stream: usize,
+    /// Worker slot whose batch this frame came from (held open until the
+    /// dispatch completes).
+    worker: usize,
+    frame_idx: usize,
+    arrival_s: f64,
+    /// Virtual time the frame reached the boundary (proposal priced).
+    ready_s: f64,
+    /// Latest dispatch time: `ready_s + refine_batch_window_s`.
+    deadline_s: f64,
+    work: RefinementWork,
+    system: Box<dyn StagedDetector>,
 }
 
 struct Engine {
@@ -177,6 +262,18 @@ struct Engine {
     /// plus any deactivated slots still draining a batch, so a scale-down
     /// keeps paying for in-flight compute.
     worker_seconds: f64,
+    /// Summed virtual time of all priced GPU dispatches (launch time plus
+    /// the per-stage framework overhead) — the figure refinement fusion
+    /// exists to shrink.
+    gpu_dispatch_s: f64,
+    /// Frames suspended at the refinement boundary (only populated when
+    /// `fuse_refinement` is on).
+    refine_pending: Vec<PendingRefine>,
+    /// Per worker slot: the end of any per-frame work a held-open batch
+    /// priced on its timeline before suspending the rest in the fuse
+    /// pool; a lower bound on the slot's release time. Zero when the slot
+    /// holds nothing.
+    hold_floor: Vec<f64>,
     // Per-control-window counters, reset at every tick. Latencies carry
     // their completion time so a tick only consumes samples that actually
     // completed inside its window (batches priced before a tick can
@@ -197,7 +294,7 @@ impl Engine {
         let streams: Vec<StreamRt> = specs
             .into_iter()
             .map(|spec| {
-                let system = spec.factory.build();
+                let system = spec.factory.build_staged();
                 StreamRt {
                     system_name: system.name(),
                     frames: spec
@@ -256,18 +353,18 @@ impl Engine {
                     };
                     let Job {
                         stream,
-                        frame,
+                        kind,
                         mut system,
                     } = job;
-                    let output = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        system.process_frame(&frame)
+                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        run_stage(&mut system, kind)
                     }))
                     .map_err(|e| panic_message(&e));
                     if result_tx
                         .send(JobResult {
                             stream,
                             system,
-                            output,
+                            outcome,
                         })
                         .is_err()
                     {
@@ -298,6 +395,9 @@ impl Engine {
             },
             total_queued: 0,
             worker_seconds: 0.0,
+            gpu_dispatch_s: 0.0,
+            refine_pending: Vec::new(),
+            hold_floor: vec![0.0; slots],
             win_arrived: 0,
             win_shed: 0,
             win_latencies: Vec::new(),
@@ -313,6 +413,7 @@ impl Engine {
             self.ingest_arrivals(now);
             self.control_ticks(now);
             self.step_workers(now);
+            self.fire_refinements(now);
             match self.next_event(now) {
                 Some(t) => {
                     // Draining slots stop exactly at their batch's `until`,
@@ -445,6 +546,58 @@ impl Engine {
         }
     }
 
+    /// Ships a set of stage jobs (at most one per stream) to the pool and
+    /// collects the suspended systems, indexed by stream.
+    ///
+    /// Real execution order on the pool is free to vary: the virtual-time
+    /// story was already fixed by the scheduling decisions, so determinism
+    /// is unaffected.
+    fn run_stage_jobs(
+        &mut self,
+        jobs: Vec<Job>,
+    ) -> Vec<Option<(Box<dyn StagedDetector>, StageOutcome)>> {
+        let in_flight = jobs.len();
+        let job_tx = self.job_tx.as_ref().expect("pool alive");
+        for job in jobs {
+            job_tx.send(job).expect("worker pool hung up");
+        }
+        let mut results: Vec<Option<(Box<dyn StagedDetector>, StageOutcome)>> =
+            (0..self.streams.len()).map(|_| None).collect();
+        for _ in 0..in_flight {
+            let r = self.result_rx.recv().expect("worker pool hung up");
+            match r.outcome {
+                Ok(outcome) => results[r.stream] = Some((r.system, outcome)),
+                Err(msg) => panic!("stream {} system panicked: {msg}", r.stream),
+            }
+        }
+        results
+    }
+
+    /// Books a finished frame back into its stream at `completion_s`.
+    fn complete_frame(
+        &mut self,
+        stream: usize,
+        frame_idx: usize,
+        arrival_s: f64,
+        completion_s: f64,
+        system: Box<dyn StagedDetector>,
+        out: FrameOutput,
+    ) {
+        if self.next_control_s.is_finite() {
+            self.win_latencies
+                .push((completion_s, completion_s - arrival_s));
+        }
+        let s = &mut self.streams[stream];
+        s.system = Some(system);
+        s.busy_until = completion_s;
+        s.processed += 1;
+        s.latencies.push(completion_s - arrival_s);
+        s.ops.accumulate(&out.ops);
+        s.outputs
+            .push((s.frames[frame_idx].1.index, out.detections));
+        self.last_completion = self.last_completion.max(completion_s);
+    }
+
     /// Releases finished workers, closes batch windows, dispatches work.
     fn step_workers(&mut self, now: f64) {
         for w in 0..self.workers.len() {
@@ -508,40 +661,39 @@ impl Engine {
             return;
         }
 
-        // Real execution: ship every frame of every planned batch to the
-        // pool at once, then collect results. Scheduling already fixed the
-        // virtual-time story, so completion order on the pool is free to
-        // vary without affecting determinism.
-        let mut in_flight = 0usize;
-        let job_tx = self.job_tx.as_ref().expect("pool alive");
-        for batch in &planned {
-            for &(stream, frame_idx, _) in &batch.items {
+        // Proposal stage: run every planned frame's proposal pass for real
+        // on the pool; each comes back suspended at its refinement
+        // boundary with executed costs.
+        let prop_jobs: Vec<Job> = planned
+            .iter()
+            .flat_map(|batch| &batch.items)
+            .map(|&(stream, frame_idx, _)| {
                 let s = &mut self.streams[stream];
-                let job = Job {
+                Job {
                     stream,
-                    frame: s.frames[frame_idx].1.clone(),
+                    kind: JobKind::Proposal {
+                        frame: s.frames[frame_idx].1.clone(),
+                    },
                     system: s.system.take().expect("stream system in flight"),
-                };
-                job_tx.send(job).expect("worker pool hung up");
-                in_flight += 1;
-            }
-        }
-        let mut results: Vec<Option<JobResult>> = (0..self.streams.len()).map(|_| None).collect();
-        for _ in 0..in_flight {
-            let r = self.result_rx.recv().expect("worker pool hung up");
-            let slot = r.stream;
-            results[slot] = Some(r);
-        }
+                }
+            })
+            .collect();
+        let mut staged = self.run_stage_jobs(prop_jobs);
 
-        // Price each batch in virtual time.
+        // Price each batch's fused proposal dispatch, then resume the
+        // refinement stage per the fusion mode.
+        let mut refine_jobs: Vec<Job> = Vec::new();
+        // `(frame_idx, arrival_s, completion_s)` for in-flight refinements.
+        let mut refine_meta: Vec<Option<(usize, f64, f64)>> =
+            (0..self.streams.len()).map(|_| None).collect();
         for batch in planned {
             let mut shared_prop_macs = 0.0;
             for &(stream, _, _) in &batch.items {
-                let r = results[stream].as_ref().expect("result collected");
-                match &r.output {
-                    Ok(out) => shared_prop_macs += out.ops.proposal,
-                    Err(msg) => panic!("stream {stream} system panicked: {msg}"),
-                }
+                let (_, outcome) = staged[stream].as_ref().expect("proposal result collected");
+                shared_prop_macs += match outcome {
+                    StageOutcome::AtRefinement { proposal_macs, .. } => *proposal_macs,
+                    StageOutcome::Done(out) => out.ops.proposal,
+                };
             }
             // One fused proposal launch + one stage dispatch for the batch.
             let shared = if shared_prop_macs > 0.0 {
@@ -549,34 +701,74 @@ impl Engine {
             } else {
                 0.0
             };
-            let mut cursor = batch.start + shared;
+            self.gpu_dispatch_s += shared;
+            let ready = batch.start + shared;
+
+            let mut cursor = ready;
+            let mut held_open = false;
             for &(stream, frame_idx, arrival) in &batch.items {
-                let r = results[stream].take().expect("result collected");
-                let out = r.output.expect("checked above");
-                let t = &self.cfg.timing;
-                // Per-frame cost: merged refinement launch + its stage
-                // dispatch, fixed frame handling, and tracker CPU.
-                let mut frame_time = t.frame_overhead_s + t.tracker_overhead_s;
-                if out.ops.refinement > 0.0 {
-                    frame_time += t.launch_time(out.ops.refinement) + t.stage_overhead_s;
+                let (system, outcome) = staged[stream].take().expect("proposal result collected");
+                let t = self.cfg.timing;
+                match outcome {
+                    StageOutcome::AtRefinement { refine, .. }
+                        if self.cfg.fuse_refinement && refine.macs > 0.0 =>
+                    {
+                        // Suspend at the boundary: the work item waits in
+                        // the fleet-wide fuse pool for a shared dispatch.
+                        // Frames with no refinement workload have nothing
+                        // to fuse and fall through to immediate per-frame
+                        // completion — waiting out the window would cost
+                        // them latency (and pin the worker) for nothing.
+                        self.refine_pending.push(PendingRefine {
+                            stream,
+                            worker: batch.worker,
+                            frame_idx,
+                            arrival_s: arrival,
+                            ready_s: ready,
+                            deadline_s: ready + self.cfg.refine_batch_window_s,
+                            work: refine,
+                            system,
+                        });
+                        held_open = true;
+                    }
+                    StageOutcome::AtRefinement { refine, .. } => {
+                        // Per-frame refinement on this worker's timeline:
+                        // merged launch + stage dispatch, fixed frame
+                        // handling, and tracker CPU.
+                        let mut frame_time = t.frame_overhead_s + t.tracker_overhead_s;
+                        if refine.macs > 0.0 {
+                            let launch = t.launch_time(refine.macs) + t.stage_overhead_s;
+                            frame_time += launch;
+                            self.gpu_dispatch_s += launch;
+                            self.record_refinement_dispatch(cursor, batch.worker, &[stream], 0);
+                        }
+                        cursor += frame_time;
+                        refine_meta[stream] = Some((frame_idx, arrival, cursor));
+                        refine_jobs.push(Job {
+                            stream,
+                            kind: JobKind::Refine { work: refine },
+                            system,
+                        });
+                    }
+                    StageOutcome::Done(out) => {
+                        // No refinement boundary to suspend at (possible
+                        // for exotic staged impls): price it per-frame.
+                        let mut frame_time = t.frame_overhead_s + t.tracker_overhead_s;
+                        if out.ops.refinement > 0.0 {
+                            let launch = t.launch_time(out.ops.refinement) + t.stage_overhead_s;
+                            frame_time += launch;
+                            self.gpu_dispatch_s += launch;
+                            self.record_refinement_dispatch(cursor, batch.worker, &[stream], 0);
+                        }
+                        cursor += frame_time;
+                        self.complete_frame(stream, frame_idx, arrival, cursor, system, out);
+                    }
                 }
-                cursor += frame_time;
-                if self.next_control_s.is_finite() {
-                    self.win_latencies.push((cursor, cursor - arrival));
-                }
-                let s = &mut self.streams[stream];
-                s.system = Some(r.system);
-                s.busy_until = cursor;
-                s.processed += 1;
-                s.latencies.push(cursor - arrival);
-                s.ops.accumulate(&out.ops);
-                s.outputs
-                    .push((s.frames[frame_idx].1.index, out.detections));
-                self.last_completion = self.last_completion.max(cursor);
             }
             self.batch_log.push(BatchRecord {
                 t_s: batch.start,
                 worker: batch.worker,
+                stage: BatchStage::Proposal,
                 streams: batch.items.iter().map(|&(stream, _, _)| stream).collect(),
             });
             let size = batch.items.len();
@@ -588,8 +780,138 @@ impl Engine {
             if shared_prop_macs > 0.0 {
                 self.batch_stats.proposal_launches_saved += size - 1;
             }
-            self.workers[batch.worker] = WorkerState::Busy { until: cursor };
+            // A worker whose frames entered the fuse pool stays occupied
+            // until the shared dispatch returns them; any per-frame work
+            // it priced alongside (zero-refinement frames of the same
+            // batch, ending at `cursor`) still bounds its release time.
+            self.workers[batch.worker] = WorkerState::Busy {
+                until: if held_open { f64::INFINITY } else { cursor },
+            };
+            if held_open {
+                self.hold_floor[batch.worker] = cursor;
+            }
         }
+
+        // Run the per-frame refinements for real and book the results at
+        // the completion times priced above.
+        if !refine_jobs.is_empty() {
+            let mut finished = self.run_stage_jobs(refine_jobs);
+            for stream in 0..self.streams.len() {
+                if let Some((frame_idx, arrival, completion)) = refine_meta[stream] {
+                    let (system, outcome) = finished[stream]
+                        .take()
+                        .expect("refinement result collected");
+                    let StageOutcome::Done(out) = outcome else {
+                        panic!("stream {stream} refinement did not finish its frame");
+                    };
+                    self.complete_frame(stream, frame_idx, arrival, completion, system, out);
+                }
+            }
+        }
+    }
+
+    /// Flushes the refinement fuse pool: every deadline due by `now` fires
+    /// one shared dispatch carrying all work items ready by then — across
+    /// batches and across workers.
+    fn fire_refinements(&mut self, now: f64) {
+        loop {
+            let due = self
+                .refine_pending
+                .iter()
+                .map(|p| p.deadline_s)
+                .fold(f64::INFINITY, f64::min);
+            if due > now + EPS {
+                return;
+            }
+            let td = due;
+            let mut dispatch = Vec::new();
+            let mut i = 0;
+            while i < self.refine_pending.len() {
+                if self.refine_pending[i].ready_s <= td + EPS {
+                    dispatch.push(self.refine_pending.remove(i));
+                } else {
+                    i += 1;
+                }
+            }
+            debug_assert!(!dispatch.is_empty(), "deadline fired with nothing ready");
+
+            // One fused launch over the summed workload (only frames with
+            // real refinement work enter the pool, so every item rides the
+            // launch).
+            let fused_macs: f64 = dispatch.iter().map(|p| p.work.macs).sum();
+            let gpu = self.cfg.timing.launch_time(fused_macs) + self.cfg.timing.stage_overhead_s;
+            self.gpu_dispatch_s += gpu;
+            let launched: Vec<usize> = dispatch.iter().map(|p| p.stream).collect();
+            let opened_by = dispatch[0].worker;
+            self.record_refinement_dispatch(td, opened_by, &launched, launched.len() - 1);
+
+            // Resume every suspended frame for real, then book completions:
+            // the dispatch returns at `td + gpu`, after which each stream's
+            // own post-processing (frame handling + tracker CPU) runs in
+            // parallel across streams.
+            let t = self.cfg.timing;
+            let jobs: Vec<Job> = dispatch
+                .iter_mut()
+                .map(|p| Job {
+                    stream: p.stream,
+                    kind: JobKind::Refine { work: p.work },
+                    system: std::mem::replace(
+                        &mut p.system,
+                        Box::new(PlaceholderSystem) as Box<dyn StagedDetector>,
+                    ),
+                })
+                .collect();
+            let mut finished = self.run_stage_jobs(jobs);
+            let mut worker_done: Vec<(usize, f64)> = Vec::new();
+            for p in dispatch {
+                let (system, outcome) = finished[p.stream]
+                    .take()
+                    .expect("refinement result collected");
+                let StageOutcome::Done(out) = outcome else {
+                    panic!("stream {} refinement did not finish its frame", p.stream);
+                };
+                let completion = td + gpu + t.frame_overhead_s + t.tracker_overhead_s;
+                self.complete_frame(p.stream, p.frame_idx, p.arrival_s, completion, system, out);
+                worker_done.push((p.worker, completion));
+            }
+
+            // Release every worker whose held batch fully dispatched: it
+            // stays busy until the last of its frames completes, whether
+            // that frame rode this dispatch or was priced per-frame on
+            // the worker's own timeline (the hold floor).
+            for &(w, _) in &worker_done {
+                if self.refine_pending.iter().any(|p| p.worker == w) {
+                    continue; // still holding frames for a later dispatch
+                }
+                let until = worker_done
+                    .iter()
+                    .filter(|&&(worker, _)| worker == w)
+                    .map(|&(_, c)| c)
+                    .fold(self.hold_floor[w], f64::max);
+                self.hold_floor[w] = 0.0;
+                self.workers[w] = WorkerState::Busy { until };
+            }
+        }
+    }
+
+    fn record_refinement_dispatch(
+        &mut self,
+        t_s: f64,
+        worker: usize,
+        streams: &[usize],
+        launches_saved: usize,
+    ) {
+        self.batch_stats.refine_batches += 1;
+        self.batch_stats.refined_frames += streams.len();
+        self.batch_stats.max_refine_batch_seen =
+            self.batch_stats.max_refine_batch_seen.max(streams.len());
+        self.batch_stats.refinement_launches_saved += launches_saved;
+        self.batch_log.push(BatchRecord {
+            t_s,
+            worker,
+            stage: BatchStage::Refinement,
+            streams: streams.to_vec(),
+        });
     }
 
     /// Streams that could contribute a frame to a batch right now.
@@ -687,6 +1009,12 @@ impl Engine {
                 WorkerState::Idle => {}
             }
         }
+        // Refinement fuse deadlines are events: a worker holding a batch
+        // open at the boundary is `Busy` until infinity, and the deadline
+        // is what wakes the loop to fire the shared dispatch.
+        for p in &self.refine_pending {
+            next = next.min(p.deadline_s);
+        }
         // Control ticks keep firing while work remains (`INFINITY` when
         // autoscaling is off, so they never steer the fixed-policy loop).
         next = next.min(self.next_control_s);
@@ -751,6 +1079,7 @@ impl Engine {
                 0.0
             },
             worker_seconds: self.worker_seconds,
+            gpu_dispatch_s: self.gpu_dispatch_s,
             total_ops,
             batch: self.batch_stats,
             batch_log: std::mem::take(&mut self.batch_log),
@@ -765,6 +1094,34 @@ impl Engine {
         for handle in self.pool.drain(..) {
             let _ = handle.join();
         }
+    }
+}
+
+/// Stand-in swapped into a [`PendingRefine`] while its real system is out
+/// on the pool; never stepped.
+struct PlaceholderSystem;
+
+impl StagedDetector for PlaceholderSystem {
+    fn name(&self) -> String {
+        "placeholder".into()
+    }
+
+    fn reset(&mut self) {}
+
+    fn begin_frame(&mut self, _frame: &Frame) {
+        unreachable!("placeholder system is never driven")
+    }
+
+    fn step(&mut self) -> StageStep {
+        unreachable!("placeholder system is never driven")
+    }
+
+    fn complete_proposal(&mut self, _work: catdet_core::ProposalWork) -> catdet_core::ProposalWork {
+        unreachable!("placeholder system is never driven")
+    }
+
+    fn complete_refinement(&mut self, _work: RefinementWork) -> RefinementWork {
+        unreachable!("placeholder system is never driven")
     }
 }
 

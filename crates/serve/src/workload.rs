@@ -132,10 +132,10 @@ fn retime(
 
 /// Builds a homogeneous KITTI-like fleet whose cameras alternate quiet
 /// and burst phases per `profile` (all cameras in phase, staggered only
-/// by [`STAGGER_S`], so bursts stampede fleet-wide — the worst case for a
-/// fixed worker count and the showcase for autoscaling). Even slots get
-/// priority class 0, odd slots class 1, so priority admission has
-/// something to shed.
+/// by the fixed 13 ms camera offset, so bursts stampede fleet-wide — the
+/// worst case for a fixed worker count and the showcase for autoscaling).
+/// Even slots get priority class 0, odd slots class 1, so priority
+/// admission has something to shed.
 ///
 /// The workload is deterministic in `seed`.
 pub fn bursty_workload(

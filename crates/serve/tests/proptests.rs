@@ -15,7 +15,9 @@
 
 mod common;
 
-use catdet_serve::{serve, DropPolicy, LatencyStats, SchedulePolicy, ServeConfig, StreamSpec};
+use catdet_serve::{
+    serve, BatchStage, DropPolicy, LatencyStats, SchedulePolicy, ServeConfig, StreamSpec,
+};
 use common::null_spec_with_arrivals;
 use proptest::prelude::*;
 
@@ -91,6 +93,8 @@ proptest! {
         window_choice in 0usize..3,
         least_backlog in proptest::bool::ANY,
         drop_oldest in proptest::bool::ANY,
+        fuse_refinement in proptest::bool::ANY,
+        refine_window_choice in 0usize..3,
     ) {
         let total: usize = arrival_sets.iter().map(Vec::len).sum();
         let specs: Vec<StreamSpec> = arrival_sets
@@ -104,6 +108,8 @@ proptest! {
             .with_queue_capacity(queue_capacity)
             .with_max_batch(max_batch)
             .with_batch_window_s([0.0, 0.005, 0.05][window_choice])
+            .with_fuse_refinement(fuse_refinement)
+            .with_refine_batch_window_s([0.0, 0.002, 0.02][refine_window_choice])
             .with_policy(if least_backlog {
                 SchedulePolicy::LeastBacklog
             } else {
@@ -128,11 +134,15 @@ proptest! {
             prop_assert_eq!(s.outputs.len(), s.processed);
         }
 
-        // Batch composition: never empty, never over max_batch, and never
-        // two frames of the same stream fused into one launch.
+        // Batch composition: never empty, proposal batches never over
+        // max_batch, and never two frames of the same stream fused into
+        // one launch (refinement dispatches have no size cap — they fuse
+        // across batches — but stream-uniqueness still holds).
         for batch in &report.batch_log {
             prop_assert!(!batch.streams.is_empty());
-            prop_assert!(batch.streams.len() <= max_batch);
+            if batch.stage == BatchStage::Proposal {
+                prop_assert!(batch.streams.len() <= max_batch);
+            }
             let mut seen = batch.streams.clone();
             seen.sort_unstable();
             seen.dedup();
@@ -145,12 +155,30 @@ proptest! {
             );
         }
 
-        // The batch log and the aggregate stats must tell the same story.
-        prop_assert_eq!(report.batch_log.len(), report.batch.batches);
-        let logged_frames: usize = report.batch_log.iter().map(|b| b.streams.len()).sum();
+        // The batch log and the aggregate stats must tell the same story,
+        // per stage.
+        let proposals: Vec<_> = report
+            .batch_log
+            .iter()
+            .filter(|b| b.stage == BatchStage::Proposal)
+            .collect();
+        prop_assert_eq!(proposals.len(), report.batch.batches);
+        let logged_frames: usize = proposals.iter().map(|b| b.streams.len()).sum();
         prop_assert_eq!(logged_frames, report.batch.batched_frames);
         prop_assert_eq!(logged_frames, report.frames_processed);
-        let max_seen = report.batch_log.iter().map(|b| b.streams.len()).max().unwrap_or(0);
+        let max_seen = proposals.iter().map(|b| b.streams.len()).max().unwrap_or(0);
         prop_assert_eq!(max_seen, report.batch.max_batch_seen);
+        let refinements: Vec<_> = report
+            .batch_log
+            .iter()
+            .filter(|b| b.stage == BatchStage::Refinement)
+            .collect();
+        prop_assert_eq!(refinements.len(), report.batch.refine_batches);
+        let refined: usize = refinements.iter().map(|b| b.streams.len()).sum();
+        prop_assert_eq!(refined, report.batch.refined_frames);
+        // Null systems have zero refinement work, so no refinement launch
+        // is ever priced — fused or not.
+        prop_assert_eq!(report.batch.refine_batches, 0);
+        prop_assert_eq!(report.gpu_dispatch_s, 0.0);
     }
 }

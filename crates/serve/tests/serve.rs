@@ -223,6 +223,90 @@ fn batching_amortises_proposal_launches() {
 }
 
 #[test]
+fn fused_refinement_shares_dispatches_and_cuts_priced_cost() {
+    // The staged-protocol payoff (ISSUE 3 acceptance criterion): with
+    // --fuse-refinement on a multi-stream workload, refinement launches
+    // from distinct streams share GPU dispatches (mean size > 1), the
+    // total priced dispatch time is strictly below the unfused run, and
+    // detections are untouched — fusion changes when work is priced, not
+    // what work is done.
+    let run = |fuse: bool, window_s: f64| {
+        let specs = mixed_workload(8, 12, 21, SystemKind::CatdetA);
+        serve(
+            specs,
+            &no_drop_config()
+                .with_workers(2)
+                .with_max_batch(8)
+                .with_fuse_refinement(fuse)
+                .with_refine_batch_window_s(window_s),
+        )
+    };
+    let unfused = run(false, 0.0);
+    let fused = run(true, 0.0);
+
+    assert!(
+        fused.batch.mean_refine_batch() > 1.0,
+        "fused refinement dispatches must carry multiple streams (mean {})",
+        fused.batch.mean_refine_batch()
+    );
+    assert!(fused.batch.refinement_launches_saved > 0);
+    assert!(
+        fused.gpu_dispatch_s < unfused.gpu_dispatch_s,
+        "fusion must strictly cut priced dispatch cost: fused {} s vs unfused {} s",
+        fused.gpu_dispatch_s,
+        unfused.gpu_dispatch_s
+    );
+    // Unfused refinement launches are all singletons.
+    assert_eq!(unfused.batch.refinement_launches_saved, 0);
+    assert!(unfused.batch.refine_batches > 0);
+    assert!((unfused.batch.mean_refine_batch() - 1.0).abs() < 1e-12);
+
+    // Same frames, same detections, either way.
+    assert_eq!(fused.frames_processed, unfused.frames_processed);
+    for (a, b) in unfused.streams.iter().zip(&fused.streams) {
+        assert_eq!(
+            a.outputs, b.outputs,
+            "stream {} detections changed under refinement fusion",
+            a.stream_id
+        );
+    }
+
+    // A fuse window can only grow sharing, never shrink it.
+    let windowed = run(true, 0.010);
+    assert!(
+        windowed.batch.mean_refine_batch() >= fused.batch.mean_refine_batch() - 1e-12,
+        "window shrank refinement sharing: {} vs {}",
+        windowed.batch.mean_refine_batch(),
+        fused.batch.mean_refine_batch()
+    );
+    assert_eq!(windowed.frames_processed, fused.frames_processed);
+}
+
+#[test]
+fn fused_refinement_is_deterministic() {
+    let run = || {
+        let specs = mixed_workload(5, 15, 17, SystemKind::CatdetB);
+        serve(
+            specs,
+            &no_drop_config()
+                .with_workers(3)
+                .with_max_batch(4)
+                .with_fuse_refinement(true)
+                .with_refine_batch_window_s(0.004),
+        )
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.batch_log, b.batch_log);
+    assert_eq!(a.gpu_dispatch_s, b.gpu_dispatch_s);
+    assert_eq!(a.makespan_s, b.makespan_s);
+    for (x, y) in a.streams.iter().zip(&b.streams) {
+        assert_eq!(x.outputs, y.outputs);
+        assert_eq!(x.latency, y.latency);
+    }
+}
+
+#[test]
 fn batch_window_waits_to_fill_batches() {
     // Light load (few streams, spread arrivals): without a window batches
     // stay small; a window lets workers gather more streams per dispatch.

@@ -18,7 +18,8 @@ const DEPTH_MARGIN: f32 = 0.5;
 ///
 /// `items` is a list of `(bounding box, depth)` pairs; for each entry the
 /// returned value is the fraction (in `[0, 1]`) of its box area covered by
-/// the union of boxes at least [`DEPTH_MARGIN`] nearer. Degenerate boxes
+/// the union of boxes at least half a metre (`DEPTH_MARGIN`) nearer.
+/// Degenerate boxes
 /// report zero occlusion.
 ///
 /// # Example

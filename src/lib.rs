@@ -51,7 +51,8 @@ pub use catdet_track as track;
 
 // Convenience re-exports of the most common entry points.
 pub use catdet_core::{
-    CaTDetSystem, CascadedSystem, DetectionSystem, SingleModelSystem, SystemFactory, SystemKind,
+    CaTDetSystem, CascadedSystem, DetectionSystem, ProposalWork, RefinementWork, SingleModelSystem,
+    StageStep, StagedDetector, SystemFactory, SystemKind,
 };
 pub use catdet_data::kitti_like;
 pub use catdet_geom::Box2;

@@ -118,7 +118,7 @@ pub mod collection {
     use rand::{RngCore, SampleRange};
     use std::ops::Range;
 
-    /// Size specification for [`vec`]: an exact length or a half-open range.
+    /// Size specification for [`vec()`]: an exact length or a half-open range.
     #[derive(Debug, Clone)]
     pub enum SizeRange {
         /// Exactly this many elements.

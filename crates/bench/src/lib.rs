@@ -18,6 +18,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod perf;
 pub mod scale;
 pub mod tables;
 

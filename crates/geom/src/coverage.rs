@@ -34,6 +34,9 @@ pub struct CoverageGrid {
     width: f32,
     height: f32,
     cells: Vec<bool>,
+    /// Number of `true` cells, maintained incrementally so
+    /// [`covered_cells`](Self::covered_cells) is O(1).
+    covered: usize,
 }
 
 impl CoverageGrid {
@@ -44,21 +47,39 @@ impl CoverageGrid {
     ///
     /// Panics if `stride == 0` or the frame has non-positive dimensions.
     pub fn new(width: f32, height: f32, stride: u32) -> Self {
+        let mut g = Self {
+            stride: 1,
+            grid_w: 0,
+            grid_h: 0,
+            width: 1.0,
+            height: 1.0,
+            cells: Vec::new(),
+            covered: 0,
+        };
+        g.reset(width, height, stride);
+        g
+    }
+
+    /// Re-targets the grid to a new geometry and clears it, reusing the
+    /// cell buffer — the allocation-free way to rasterise per frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride == 0` or the frame has non-positive dimensions.
+    pub fn reset(&mut self, width: f32, height: f32, stride: u32) {
         assert!(stride > 0, "stride must be positive");
         assert!(
             width > 0.0 && height > 0.0,
             "frame dimensions must be positive"
         );
-        let grid_w = (width / stride as f32).ceil() as usize;
-        let grid_h = (height / stride as f32).ceil() as usize;
-        Self {
-            stride,
-            grid_w,
-            grid_h,
-            width,
-            height,
-            cells: vec![false; grid_w * grid_h],
-        }
+        self.stride = stride;
+        self.width = width;
+        self.height = height;
+        self.grid_w = (width / stride as f32).ceil() as usize;
+        self.grid_h = (height / stride as f32).ceil() as usize;
+        self.cells.clear();
+        self.cells.resize(self.grid_w * self.grid_h, false);
+        self.covered = 0;
     }
 
     /// The feature stride the grid is aligned to.
@@ -93,7 +114,10 @@ impl CoverageGrid {
         for y in y0..y1 {
             let row = y * self.grid_w;
             for x in x0..x1 {
-                self.cells[row + x] = true;
+                if !self.cells[row + x] {
+                    self.cells[row + x] = true;
+                    self.covered += 1;
+                }
             }
         }
     }
@@ -105,9 +129,9 @@ impl CoverageGrid {
         }
     }
 
-    /// Number of covered cells.
+    /// Number of covered cells (O(1); maintained incrementally).
     pub fn covered_cells(&self) -> usize {
-        self.cells.iter().filter(|&&c| c).count()
+        self.covered
     }
 
     /// Fraction of the grid that is covered, in `[0, 1]`.
@@ -138,6 +162,7 @@ impl CoverageGrid {
     /// Clears all cells, keeping the geometry.
     pub fn clear(&mut self) {
         self.cells.fill(false);
+        self.covered = 0;
     }
 }
 
@@ -149,10 +174,24 @@ impl CoverageGrid {
 /// (paper §4.3: a 30-pixel margin is appended around each proposal).
 pub fn masked_fraction(boxes: &[Box2], width: f32, height: f32, stride: u32, margin: f32) -> f64 {
     let mut g = CoverageGrid::new(width, height, stride);
+    masked_fraction_with(&mut g, boxes, width, height, stride, margin)
+}
+
+/// Allocation-free [`masked_fraction`]: rasterises into `grid` (re-targeted
+/// and cleared first), reusing its cell buffer across frames.
+pub fn masked_fraction_with(
+    grid: &mut CoverageGrid,
+    boxes: &[Box2],
+    width: f32,
+    height: f32,
+    stride: u32,
+    margin: f32,
+) -> f64 {
+    grid.reset(width, height, stride);
     for b in boxes {
-        g.add_box(&b.dilate(margin));
+        grid.add_box(&b.dilate(margin));
     }
-    g.coverage_fraction()
+    grid.coverage_fraction()
 }
 
 #[cfg(test)]

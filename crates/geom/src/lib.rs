@@ -12,7 +12,16 @@
 //!   of a frame's feature map is covered by a set of regions of interest
 //!   (this drives the refinement network's operation count),
 //! * [`merge`] — the greedy bounding-box merging heuristic of the paper's
-//!   Appendix I, generic over a cost model.
+//!   Appendix I, generic over a cost model,
+//! * [`grid`] — a uniform spatial bin index ([`GridIndex`]) that turns the
+//!   quadratic candidate sweeps above (NMS, association gating) into work
+//!   proportional to the true overlaps, bit-for-bit identically.
+//!
+//! The hot-path entry points all come in an allocation-free flavour that
+//! reuses caller-owned scratch ([`nms_indices_with`], [`AssignmentSolver`]
+//! over a flat [`CostMatrix`], [`coverage::masked_fraction_with`],
+//! [`greedy_merge_with`]); the original allocating signatures remain as
+//! thin wrappers.
 //!
 //! # Example
 //!
@@ -29,11 +38,15 @@
 pub mod assignment;
 pub mod box2;
 pub mod coverage;
+pub mod grid;
 pub mod merge;
 pub mod nms;
 
-pub use assignment::{hungarian, hungarian_with_threshold, Assignment};
+pub use assignment::{
+    hungarian, hungarian_with_threshold, Assignment, AssignmentSolver, CostMatrix,
+};
 pub use box2::Box2;
 pub use coverage::CoverageGrid;
-pub use merge::{greedy_merge, MergeCost};
-pub use nms::{nms, nms_indices, Scored};
+pub use grid::GridIndex;
+pub use merge::{greedy_merge, greedy_merge_with, MergeCost, MergeScratch};
+pub use nms::{nms, nms_indices, nms_indices_naive, nms_indices_with, NmsScratch, Scored};

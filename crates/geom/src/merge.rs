@@ -26,14 +26,26 @@ impl<F: Fn(&Box2) -> f64> MergeCost for F {
     }
 }
 
+/// Reusable buffers for [`greedy_merge_with`]: the working set, its
+/// per-box costs, and the pairwise-savings matrix that is maintained
+/// *incrementally* — after a merge only the pairs touching the merged box
+/// are re-priced, so a full merge run makes `O(n²)` cost-model calls
+/// instead of the naive `O(n³)`.
+#[derive(Debug, Clone, Default)]
+pub struct MergeScratch {
+    set: Vec<Box2>,
+    costs: Vec<f64>,
+    /// Row-major savings over the current set; only `i < j` entries are
+    /// meaningful. Stride is the initial set size.
+    savings: Vec<f64>,
+    stride: usize,
+}
+
 /// Greedily merges boxes while doing so reduces the total estimated cost.
 ///
 /// At each step the pair whose merge yields the largest cost reduction is
 /// replaced by its enclosing box; the loop stops when no pair improves.
 /// The result is returned together with the total cost of the final set.
-///
-/// This is quadratic per step and `O(n³)` overall, which is fine for the
-/// tens of regions per frame CaTDet produces.
 ///
 /// # Example
 ///
@@ -51,41 +63,95 @@ impl<F: Fn(&Box2) -> f64> MergeCost for F {
 /// assert_eq!(merged.len(), 2);
 /// ```
 pub fn greedy_merge<C: MergeCost + ?Sized>(boxes: &[Box2], model: &C) -> (Vec<Box2>, f64) {
-    let mut set: Vec<Box2> = boxes.to_vec();
-    let mut costs: Vec<f64> = set.iter().map(|b| model.cost(b)).collect();
+    let mut scratch = MergeScratch::default();
+    let total = greedy_merge_with(&mut scratch, boxes, model);
+    (std::mem::take(&mut scratch.set), total)
+}
+
+/// Allocation-free [`greedy_merge`]: the merged set is left in
+/// `scratch.set` (readable via [`merged`](MergeScratch::merged)) and the
+/// final total cost is returned. Greedy choices — including the
+/// first-best tie-break on equal savings — are identical to the
+/// historical quadratic-rescan implementation.
+pub fn greedy_merge_with<C: MergeCost + ?Sized>(
+    scratch: &mut MergeScratch,
+    boxes: &[Box2],
+    model: &C,
+) -> f64 {
+    let n0 = boxes.len();
+    scratch.set.clear();
+    scratch.set.extend_from_slice(boxes);
+    scratch.costs.clear();
+    scratch.costs.extend(boxes.iter().map(|b| model.cost(b)));
+    scratch.stride = n0;
+    scratch.savings.clear();
+    scratch.savings.resize(n0 * n0, f64::NEG_INFINITY);
+    let (set, costs, savings) = (&mut scratch.set, &mut scratch.costs, &mut scratch.savings);
+    let price = |set: &[Box2], costs: &[f64], i: usize, j: usize| {
+        costs[i] + costs[j] - model.cost(&set[i].union_bounds(&set[j]))
+    };
+    for i in 0..n0 {
+        for j in (i + 1)..n0 {
+            savings[i * n0 + j] = price(set, costs, i, j);
+        }
+    }
 
     loop {
         let n = set.len();
         if n < 2 {
             break;
         }
-        let mut best: Option<(usize, usize, f64, Box2)> = None;
+        // First-best scan in (i, j) lexicographic order, replacing only on
+        // strictly greater savings — the exact historical tie-break.
+        let mut best: Option<(usize, usize, f64)> = None;
         for i in 0..n {
             for j in (i + 1)..n {
-                let merged = set[i].union_bounds(&set[j]);
-                let saving = costs[i] + costs[j] - model.cost(&merged);
+                let saving = savings[i * n0 + j];
                 if saving > 1e-12 {
                     match best {
-                        Some((_, _, s, _)) if s >= saving => {}
-                        _ => best = Some((i, j, saving, merged)),
+                        Some((_, _, s)) if s >= saving => {}
+                        _ => best = Some((i, j, saving)),
                     }
                 }
             }
         }
-        match best {
-            Some((i, j, _, merged)) => {
-                // Remove j first (j > i) so i's index stays valid.
-                set.swap_remove(j);
-                costs.swap_remove(j);
-                set[i] = merged;
-                costs[i] = model.cost(&merged);
+        let Some((i, j, _)) = best else { break };
+        let merged = set[i].union_bounds(&set[j]);
+        // Remove j first (j > i) so i's index stays valid; the former
+        // last element moves to j, so its pair entries move with it.
+        let last = n - 1;
+        set.swap_remove(j);
+        costs.swap_remove(j);
+        set[i] = merged;
+        costs[i] = model.cost(&merged);
+        if j != last {
+            for k in 0..last {
+                if k == j {
+                    continue;
+                }
+                let (a, b) = (k.min(j), k.max(j));
+                let (oa, ob) = (k.min(last), k.max(last));
+                savings[a * n0 + b] = savings[oa * n0 + ob];
             }
-            None => break,
+        }
+        // Re-price every pair touching the merged box.
+        for k in 0..set.len() {
+            if k == i {
+                continue;
+            }
+            let (a, b) = (k.min(i), k.max(i));
+            savings[a * n0 + b] = price(set, costs, a, b);
         }
     }
 
-    let total = costs.iter().sum();
-    (set, total)
+    costs.iter().sum()
+}
+
+impl MergeScratch {
+    /// The merged set left by the last [`greedy_merge_with`] call.
+    pub fn merged(&self) -> &[Box2] {
+        &self.set
+    }
 }
 
 #[cfg(test)]

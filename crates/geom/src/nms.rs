@@ -4,8 +4,18 @@
 //! to their raw outputs; the refinement network additionally relies on NMS to
 //! remove the duplicated detections that arise when the tracker and the
 //! proposal network propose overlapping regions (Fig. 2d of the paper).
+//!
+//! Suppression is defined pairwise ("does some already-kept box overlap me
+//! at ≥ the threshold?"), so it only ever needs the *true overlaps* of each
+//! box — dense inputs are routed through a [`GridIndex`] and the quadratic
+//! sweep of [`nms_indices_naive`] is kept as the reference semantics (the
+//! two are bit-for-bit identical; a property test pins them together).
 
+use crate::grid::GridIndex;
 use crate::Box2;
+
+/// Below this many items the naive sweep beats building a grid.
+const GRID_MIN_ITEMS: usize = 24;
 
 /// A bounding box with a confidence score, the minimal input NMS needs.
 pub trait Scored {
@@ -24,12 +34,25 @@ impl Scored for (Box2, f32) {
     }
 }
 
+/// Reusable buffers for allocation-free NMS in a steady-state hot path.
+///
+/// One scratch per pipeline; every [`nms_indices_with`] call reuses the
+/// grown buffers.
+#[derive(Debug, Clone, Default)]
+pub struct NmsScratch {
+    order: Vec<usize>,
+    kept_flag: Vec<bool>,
+    grid: GridIndex,
+}
+
 /// Runs greedy NMS and returns the *indices* of the kept items, in
 /// descending score order.
 ///
 /// Items are visited in descending score order; an item is kept if its IoU
-/// with every already-kept item is `< iou_threshold`. Ties in score are
-/// broken by original index so the result is deterministic.
+/// with every already-kept item is `< iou_threshold`. Scores are ordered
+/// by [`f32::total_cmp`], so NaN scores have a well-defined (last-visited)
+/// position instead of an arbitrary one; ties are broken by original index
+/// so the result is deterministic.
 ///
 /// # Example
 ///
@@ -44,15 +67,61 @@ impl Scored for (Box2, f32) {
 /// assert_eq!(nms_indices(&dets, 0.5), vec![0, 2]);
 /// ```
 pub fn nms_indices<T: Scored>(items: &[T], iou_threshold: f32) -> Vec<usize> {
-    let mut order: Vec<usize> = (0..items.len()).collect();
-    order.sort_by(|&a, &b| {
-        items[b]
-            .score()
-            .partial_cmp(&items[a].score())
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.cmp(&b))
-    });
+    let mut scratch = NmsScratch::default();
+    let mut out = Vec::new();
+    nms_indices_with(&mut scratch, items, iou_threshold, &mut out);
+    out
+}
 
+/// Allocation-free [`nms_indices`]: writes the kept indices into `out`,
+/// reusing `scratch` across calls. Dense inputs take the grid-indexed
+/// path; the result is identical either way.
+pub fn nms_indices_with<T: Scored>(
+    scratch: &mut NmsScratch,
+    items: &[T],
+    iou_threshold: f32,
+    out: &mut Vec<usize>,
+) {
+    out.clear();
+    let n = items.len();
+    sort_order(&mut scratch.order, items);
+
+    // A non-positive threshold suppresses even disjoint boxes (IoU 0), so
+    // the grid's "only true overlaps matter" premise does not hold there.
+    if n < GRID_MIN_ITEMS || iou_threshold <= 0.0 {
+        'outer: for &i in &scratch.order {
+            let bi = items[i].bounding_box();
+            for &k in out.iter() {
+                if bi.iou(&items[k].bounding_box()) >= iou_threshold {
+                    continue 'outer;
+                }
+            }
+            out.push(i);
+        }
+        return;
+    }
+
+    scratch.grid.build(n, |i| items[i].bounding_box());
+    scratch.kept_flag.clear();
+    scratch.kept_flag.resize(n, false);
+    for &i in &scratch.order {
+        let bi = items[i].bounding_box();
+        let kept_flag = &scratch.kept_flag;
+        let suppressed = scratch.grid.any_candidate(&bi, |j| {
+            kept_flag[j] && bi.iou(&items[j].bounding_box()) >= iou_threshold
+        });
+        if !suppressed {
+            scratch.kept_flag[i] = true;
+            out.push(i);
+        }
+    }
+}
+
+/// The reference quadratic sweep: identical results to [`nms_indices`],
+/// kept as the semantic definition (and the perf-snapshot baseline).
+pub fn nms_indices_naive<T: Scored>(items: &[T], iou_threshold: f32) -> Vec<usize> {
+    let mut order = Vec::new();
+    sort_order(&mut order, items);
     let mut kept: Vec<usize> = Vec::new();
     'outer: for &i in &order {
         let bi = items[i].bounding_box();
@@ -64,6 +133,19 @@ pub fn nms_indices<T: Scored>(items: &[T], iou_threshold: f32) -> Vec<usize> {
         kept.push(i);
     }
     kept
+}
+
+/// Fills `order` with `0..items.len()` sorted by descending score
+/// ([`f32::total_cmp`]), ties broken by ascending index.
+fn sort_order<T: Scored>(order: &mut Vec<usize>, items: &[T]) {
+    order.clear();
+    order.extend(0..items.len());
+    order.sort_unstable_by(|&a, &b| {
+        items[b]
+            .score()
+            .total_cmp(&items[a].score())
+            .then(a.cmp(&b))
+    });
 }
 
 /// Runs greedy NMS and returns the surviving items (cloned), in descending
@@ -145,6 +227,27 @@ mod tests {
     }
 
     #[test]
+    fn nan_scores_are_ordered_deterministically() {
+        // A NaN score must not poison the ordering of the finite ones:
+        // under `total_cmp`, positive NaN sorts above every finite score,
+        // negative NaN below — deterministically, on every call.
+        let far = Box2::new(500.0, 500.0, 510.0, 510.0);
+        let items = vec![
+            (Box2::new(0.0, 0.0, 10.0, 10.0), 0.9),
+            (far, f32::NAN),
+            (Box2::new(1.0, 1.0, 11.0, 11.0), 0.8),
+        ];
+        let kept = nms_indices(&items, 0.5);
+        // Positive NaN outranks 0.9; box 2 is suppressed by box 0.
+        assert_eq!(kept, vec![1, 0]);
+        assert_eq!(kept, nms_indices_naive(&items, 0.5));
+        // NaN never *suppresses* anything (NaN IoU comparisons are false),
+        // so the finite boxes keep their relative outcome.
+        let no_nan = vec![items[0], items[2]];
+        assert_eq!(nms_indices(&no_nan, 0.5), vec![0]);
+    }
+
+    #[test]
     fn nms_returns_items_in_score_order() {
         let items = vec![
             (Box2::new(0.0, 0.0, 10.0, 10.0), 0.2),
@@ -155,7 +258,44 @@ mod tests {
         assert!(kept[0].1 > kept[1].1);
     }
 
+    #[test]
+    fn scratch_reuse_matches_fresh_runs() {
+        let mut scratch = NmsScratch::default();
+        let mut out = Vec::new();
+        for n in [3usize, 40, 7, 80] {
+            let items: Vec<(Box2, f32)> = (0..n)
+                .map(|i| {
+                    (
+                        Box2::from_xywh((i % 9) as f32 * 8.0, (i / 9) as f32 * 8.0, 12.0, 12.0),
+                        1.0 - i as f32 / n as f32,
+                    )
+                })
+                .collect();
+            nms_indices_with(&mut scratch, &items, 0.4, &mut out);
+            assert_eq!(out, nms_indices_naive(&items, 0.4));
+        }
+    }
+
     proptest! {
+        /// The tentpole referee: grid-indexed NMS is bit-for-bit the
+        /// naive sweep, over random dense inputs and thresholds.
+        #[test]
+        fn prop_grid_nms_equals_naive_nms(
+            boxes in proptest::collection::vec(
+                (0.0f32..400.0, 0.0f32..250.0, 1.0f32..60.0, 1.0f32..60.0, 0.0f32..1.0), 0..120),
+            thr in 0.05f32..0.95,
+        ) {
+            let items: Vec<(Box2, f32)> = boxes
+                .iter()
+                .map(|&(x, y, w, h, s)| (Box2::from_xywh(x, y, w, h), s))
+                .collect();
+            let mut scratch = NmsScratch::default();
+            let mut out = Vec::new();
+            nms_indices_with(&mut scratch, &items, thr, &mut out);
+            prop_assert_eq!(&out, &nms_indices_naive(&items, thr));
+            prop_assert_eq!(&out, &nms_indices(&items, thr));
+        }
+
         #[test]
         fn prop_kept_items_mutually_below_threshold(
             boxes in proptest::collection::vec(

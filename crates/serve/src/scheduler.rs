@@ -114,6 +114,11 @@ pub fn serve(streams: Vec<StreamSpec>, cfg: &ServeConfig) -> ServeReport {
 
 /// A unit of work shipped to the thread pool: the stream's system travels
 /// with its stage instruction and comes back suspended (or finished).
+///
+/// Frames cross the thread boundary as `Arc` handles — dispatching a
+/// frame never deep-clones its annotations, and the per-stream
+/// `FrameScratch` owned by each staged system does the one (buffer-reusing)
+/// copy on `begin_frame`.
 struct Job {
     stream: usize,
     kind: JobKind,
@@ -123,7 +128,7 @@ struct Job {
 enum JobKind {
     /// Begin the frame and execute its proposal stage (if it has one),
     /// suspending at the refinement boundary.
-    Proposal { frame: Frame },
+    Proposal { frame: Arc<Frame> },
     /// Resume at the refinement boundary and finish the frame.
     Refine { work: RefinementWork },
 }
@@ -139,6 +144,10 @@ enum StageOutcome {
     /// The frame ran to completion.
     Done(FrameOutput),
 }
+
+/// A per-stream slot holding a suspended system and where its stage
+/// left off (`None` until the pool reports back).
+type StageSlot = Option<(Box<dyn StagedDetector>, StageOutcome)>;
 
 struct JobResult {
     stream: usize,
@@ -190,7 +199,7 @@ enum WorkerState {
 }
 
 struct StreamRt {
-    frames: Vec<(f64, Frame)>,
+    frames: Vec<(f64, Arc<Frame>)>,
     /// Next frame (index into `frames`) that has not yet arrived.
     next_arrival: usize,
     /// Arrived, not yet scheduled frames (indices into `frames`).
@@ -284,6 +293,20 @@ struct Engine {
     scale_events: Vec<ScaleEvent>,
     admission_events: Vec<AdmissionEvent>,
     batch_log: Vec<BatchRecord>,
+    // Dispatch scratch, reused across events so the steady-state loop
+    // stops allocating per dispatch. `slot_items` is per worker *slot*
+    // (provisioned up to the autoscale ceiling), so the buffers survive
+    // active-set resizes.
+    /// Per-slot batch item buffers lent to `PlannedBatch`.
+    slot_items: Vec<Vec<(usize, usize, f64)>>,
+    /// Job staging buffer (proposal and refinement dispatches alternate).
+    job_buf: Vec<Job>,
+    /// Pool of per-stream result buffers for `run_stage_jobs`.
+    result_pool: Vec<Vec<StageSlot>>,
+    /// Per-stream refinement completion metadata buffer.
+    refine_meta_buf: Vec<Option<(usize, f64, f64)>>,
+    /// Stream selection buffer for `pick_batch_into`.
+    chosen_buf: Vec<usize>,
 }
 
 const EPS: f64 = 1e-9;
@@ -300,7 +323,7 @@ impl Engine {
                     frames: spec
                         .source
                         .into_iter()
-                        .map(|sf| (sf.arrival_s, sf.frame))
+                        .map(|sf| (sf.arrival_s, Arc::new(sf.frame)))
                         .collect(),
                     next_arrival: 0,
                     queue: VecDeque::new(),
@@ -404,6 +427,11 @@ impl Engine {
             scale_events: Vec::new(),
             admission_events: Vec::new(),
             batch_log: Vec::new(),
+            slot_items: (0..slots).map(|_| Vec::new()).collect(),
+            job_buf: Vec::new(),
+            result_pool: Vec::new(),
+            refine_meta_buf: Vec::new(),
+            chosen_buf: Vec::new(),
         }
     }
 
@@ -547,22 +575,22 @@ impl Engine {
     }
 
     /// Ships a set of stage jobs (at most one per stream) to the pool and
-    /// collects the suspended systems, indexed by stream.
+    /// collects the suspended systems, indexed by stream. The job buffer
+    /// is drained in place; the returned result buffer comes from a reuse
+    /// pool — hand it back with [`return_result_buf`](Self::return_result_buf).
     ///
     /// Real execution order on the pool is free to vary: the virtual-time
     /// story was already fixed by the scheduling decisions, so determinism
     /// is unaffected.
-    fn run_stage_jobs(
-        &mut self,
-        jobs: Vec<Job>,
-    ) -> Vec<Option<(Box<dyn StagedDetector>, StageOutcome)>> {
+    fn run_stage_jobs(&mut self, jobs: &mut Vec<Job>) -> Vec<StageSlot> {
         let in_flight = jobs.len();
         let job_tx = self.job_tx.as_ref().expect("pool alive");
-        for job in jobs {
+        for job in jobs.drain(..) {
             job_tx.send(job).expect("worker pool hung up");
         }
-        let mut results: Vec<Option<(Box<dyn StagedDetector>, StageOutcome)>> =
-            (0..self.streams.len()).map(|_| None).collect();
+        let mut results = self.result_pool.pop().unwrap_or_default();
+        results.clear();
+        results.resize_with(self.streams.len(), || None);
         for _ in 0..in_flight {
             let r = self.result_rx.recv().expect("worker pool hung up");
             match r.outcome {
@@ -571,6 +599,13 @@ impl Engine {
             }
         }
         results
+    }
+
+    /// Returns a result buffer taken from [`run_stage_jobs`](Self::run_stage_jobs)
+    /// to the reuse pool.
+    fn return_result_buf(&mut self, mut buf: Vec<StageSlot>) {
+        buf.clear();
+        self.result_pool.push(buf);
     }
 
     /// Books a finished frame back into its stream at `completion_s`.
@@ -645,8 +680,12 @@ impl Engine {
                     }
                 }
             }
-            let items = self.pick_batch(now);
+            // The slot's item buffer is lent to the batch and returned
+            // when the batch is priced (surviving active-set resizes).
+            let mut items = std::mem::take(&mut self.slot_items[w]);
+            self.pick_batch_into(now, &mut items);
             if items.is_empty() {
+                self.slot_items[w] = items;
                 self.workers[w] = WorkerState::Idle;
                 continue;
             }
@@ -663,29 +702,31 @@ impl Engine {
 
         // Proposal stage: run every planned frame's proposal pass for real
         // on the pool; each comes back suspended at its refinement
-        // boundary with executed costs.
-        let prop_jobs: Vec<Job> = planned
-            .iter()
-            .flat_map(|batch| &batch.items)
-            .map(|&(stream, frame_idx, _)| {
+        // boundary with executed costs. Frames ship as `Arc` handles.
+        let mut jobs = std::mem::take(&mut self.job_buf);
+        jobs.clear();
+        for batch in &planned {
+            for &(stream, frame_idx, _) in &batch.items {
                 let s = &mut self.streams[stream];
-                Job {
+                jobs.push(Job {
                     stream,
                     kind: JobKind::Proposal {
-                        frame: s.frames[frame_idx].1.clone(),
+                        frame: Arc::clone(&s.frames[frame_idx].1),
                     },
                     system: s.system.take().expect("stream system in flight"),
-                }
-            })
-            .collect();
-        let mut staged = self.run_stage_jobs(prop_jobs);
+                });
+            }
+        }
+        let mut staged = self.run_stage_jobs(&mut jobs);
 
         // Price each batch's fused proposal dispatch, then resume the
-        // refinement stage per the fusion mode.
-        let mut refine_jobs: Vec<Job> = Vec::new();
+        // refinement stage per the fusion mode. The drained job buffer is
+        // reused for the refinement dispatches.
+        let mut refine_jobs = jobs;
         // `(frame_idx, arrival_s, completion_s)` for in-flight refinements.
-        let mut refine_meta: Vec<Option<(usize, f64, f64)>> =
-            (0..self.streams.len()).map(|_| None).collect();
+        let mut refine_meta = std::mem::take(&mut self.refine_meta_buf);
+        refine_meta.clear();
+        refine_meta.resize(self.streams.len(), None);
         for batch in planned {
             let mut shared_prop_macs = 0.0;
             for &(stream, _, _) in &batch.items {
@@ -790,12 +831,15 @@ impl Engine {
             if held_open {
                 self.hold_floor[batch.worker] = cursor;
             }
+            // Return the lent item buffer to the batch's slot.
+            self.slot_items[batch.worker] = batch.items;
         }
+        self.return_result_buf(staged);
 
         // Run the per-frame refinements for real and book the results at
         // the completion times priced above.
         if !refine_jobs.is_empty() {
-            let mut finished = self.run_stage_jobs(refine_jobs);
+            let mut finished = self.run_stage_jobs(&mut refine_jobs);
             for stream in 0..self.streams.len() {
                 if let Some((frame_idx, arrival, completion)) = refine_meta[stream] {
                     let (system, outcome) = finished[stream]
@@ -807,7 +851,10 @@ impl Engine {
                     self.complete_frame(stream, frame_idx, arrival, completion, system, out);
                 }
             }
+            self.return_result_buf(finished);
         }
+        self.job_buf = refine_jobs;
+        self.refine_meta_buf = refine_meta;
     }
 
     /// Flushes the refinement fuse pool: every deadline due by `now` fires
@@ -850,18 +897,18 @@ impl Engine {
             // own post-processing (frame handling + tracker CPU) runs in
             // parallel across streams.
             let t = self.cfg.timing;
-            let jobs: Vec<Job> = dispatch
-                .iter_mut()
-                .map(|p| Job {
-                    stream: p.stream,
-                    kind: JobKind::Refine { work: p.work },
-                    system: std::mem::replace(
-                        &mut p.system,
-                        Box::new(PlaceholderSystem) as Box<dyn StagedDetector>,
-                    ),
-                })
-                .collect();
-            let mut finished = self.run_stage_jobs(jobs);
+            let mut jobs = std::mem::take(&mut self.job_buf);
+            jobs.clear();
+            jobs.extend(dispatch.iter_mut().map(|p| Job {
+                stream: p.stream,
+                kind: JobKind::Refine { work: p.work },
+                system: std::mem::replace(
+                    &mut p.system,
+                    Box::new(PlaceholderSystem) as Box<dyn StagedDetector>,
+                ),
+            }));
+            let mut finished = self.run_stage_jobs(&mut jobs);
+            self.job_buf = jobs;
             let mut worker_done: Vec<(usize, f64)> = Vec::new();
             for p in dispatch {
                 let (system, outcome) = finished[p.stream]
@@ -874,6 +921,7 @@ impl Engine {
                 self.complete_frame(p.stream, p.frame_idx, p.arrival_s, completion, system, out);
                 worker_done.push((p.worker, completion));
             }
+            self.return_result_buf(finished);
 
             // Release every worker whose held batch fully dispatched: it
             // stays busy until the last of its frames completes, whether
@@ -939,53 +987,45 @@ impl Engine {
     }
 
     /// Selects up to `max_batch` streams by policy and claims one queued
-    /// frame from each.
-    fn pick_batch(&mut self, now: f64) -> Vec<(usize, usize, f64)> {
-        let eligible: Vec<usize> = (0..self.streams.len())
-            .filter(|&i| {
-                let s = &self.streams[i];
-                !s.queue.is_empty() && s.system.is_some() && s.busy_until <= now + EPS
-            })
-            .collect();
-        if eligible.is_empty() {
-            return Vec::new();
-        }
-        let chosen: Vec<usize> = match self.cfg.policy {
+    /// frame from each, writing `(stream, frame_idx, arrival_s)` triples
+    /// into `out` (cleared first; no allocation in steady state).
+    fn pick_batch_into(&mut self, now: f64, out: &mut Vec<(usize, usize, f64)>) {
+        out.clear();
+        let eligible =
+            |s: &StreamRt| !s.queue.is_empty() && s.system.is_some() && s.busy_until <= now + EPS;
+        let mut chosen = std::mem::take(&mut self.chosen_buf);
+        chosen.clear();
+        match self.cfg.policy {
             SchedulePolicy::RoundRobin => {
                 let n = self.streams.len();
-                let mut picked = Vec::new();
                 for off in 0..n {
                     let i = (self.rr_cursor + off) % n;
-                    if eligible.contains(&i) {
-                        picked.push(i);
-                        if picked.len() == self.cfg.max_batch {
+                    if eligible(&self.streams[i]) {
+                        chosen.push(i);
+                        if chosen.len() == self.cfg.max_batch {
                             break;
                         }
                     }
                 }
-                if let Some(&last) = picked.last() {
+                if let Some(&last) = chosen.last() {
                     self.rr_cursor = (last + 1) % n;
                 }
-                picked
             }
             SchedulePolicy::LeastBacklog => {
-                let mut sorted = eligible;
-                sorted.sort_by_key(|&i| (self.streams[i].queue.len(), i));
-                sorted.truncate(self.cfg.max_batch);
-                sorted
+                chosen.extend((0..self.streams.len()).filter(|&i| eligible(&self.streams[i])));
+                chosen.sort_by_key(|&i| (self.streams[i].queue.len(), i));
+                chosen.truncate(self.cfg.max_batch);
             }
-        };
+        }
         self.total_queued -= chosen.len();
-        chosen
-            .into_iter()
-            .map(|i| {
-                let s = &mut self.streams[i];
-                let frame_idx = s.queue.pop_front().expect("eligible stream has frames");
-                // Claim the pipeline until the batch is priced.
-                s.busy_until = f64::INFINITY;
-                (i, frame_idx, s.frames[frame_idx].0)
-            })
-            .collect()
+        out.extend(chosen.iter().map(|&i| {
+            let s = &mut self.streams[i];
+            let frame_idx = s.queue.pop_front().expect("eligible stream has frames");
+            // Claim the pipeline until the batch is priced.
+            s.busy_until = f64::INFINITY;
+            (i, frame_idx, s.frames[frame_idx].0)
+        }));
+        self.chosen_buf = chosen;
     }
 
     /// The next virtual time anything can happen, or `None` when drained.

@@ -21,6 +21,28 @@ pub enum MotionModelKind {
     Static,
 }
 
+/// How per-class association builds its cost matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum AssocBackend {
+    /// Grid-gated: candidate (track, detection) pairs come from a spatial
+    /// bin index, and dense scenes solve the assignment per connected
+    /// component of the positive-IoU graph instead of on one full matrix
+    /// (cross-component pairs cost exactly zero and zero-cost pairs never
+    /// survive a non-negative gate). Surviving associations — the only
+    /// thing that touches track state — are identical to
+    /// [`AssocBackend::Naive`] whenever the optimal gated matching is
+    /// unique; exact floating-point ties between alternative optima are
+    /// the sole divergence point (a property test over random scenes pins
+    /// the two backends together). Near-linear instead of cubic in crowd
+    /// size. Default.
+    #[default]
+    GridGated,
+    /// The historical dense sweep: a nested-`Vec` cost matrix with every
+    /// pairwise IoU evaluated. Kept as the reference semantics and the
+    /// perf-snapshot baseline.
+    Naive,
+}
+
 /// Full tracker configuration.
 ///
 /// [`TrackerConfig::paper`] reproduces the settings of §4.1.
@@ -43,6 +65,15 @@ pub struct TrackerConfig {
     pub max_confidence: i32,
     /// Confidence granted to a newly created track.
     pub initial_confidence: i32,
+    /// Association cost-matrix backend. Outputs are identical whenever
+    /// the optimal gated matching is unique; see
+    /// [`AssocBackend::GridGated`] for the exact-tie caveat.
+    ///
+    /// `AssocBackend` implements `Default` (GridGated); when the vendored
+    /// serde stand-in is replaced by real serde, tag this field
+    /// `#[serde(default)]` so pre-PR4 configs keep deserializing (the
+    /// stand-in's derive does not accept serde attributes).
+    pub assoc: AssocBackend,
 }
 
 impl TrackerConfig {
@@ -57,6 +88,7 @@ impl TrackerConfig {
             min_visible_fraction: 0.4,
             max_confidence: 4,
             initial_confidence: 1,
+            assoc: AssocBackend::GridGated,
         }
     }
 
@@ -69,6 +101,14 @@ impl TrackerConfig {
     /// Paper configuration with a different motion model (for ablations).
     pub fn with_motion(mut self, motion: MotionModelKind) -> Self {
         self.motion = motion;
+        self
+    }
+
+    /// Switches association to the historical dense sweep (reference
+    /// semantics / perf baseline; identical output up to exact
+    /// floating-point ties between alternative optimal matchings).
+    pub fn with_naive_association(mut self) -> Self {
+        self.assoc = AssocBackend::Naive;
         self
     }
 }

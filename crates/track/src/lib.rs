@@ -45,7 +45,7 @@ pub mod kalman;
 pub mod motion;
 pub mod tracker;
 
-pub use config::{MotionModelKind, TrackerConfig};
+pub use config::{AssocBackend, MotionModelKind, TrackerConfig};
 pub use kalman::Kalman1d;
 pub use motion::MotionState;
 pub use tracker::{Track, TrackDetection, TrackPrediction, Tracker};

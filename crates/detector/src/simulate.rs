@@ -1,12 +1,32 @@
 //! The simulated detector: full-frame and region-conditioned inference.
+//!
+//! # Random-stream caching
+//!
+//! Every per-object draw comes from a ChaCha stream derived from
+//! structured keys. Deriving a fresh stream per object **per frame** — the
+//! historical scheme — costs a full key expansion and ChaCha block per
+//! draw site and dominates the sparse presets (<40 objects per frame, see
+//! `BENCH_PR4.json`). The per-object streams are therefore derived **once
+//! per `(sequence, track)`** and consumed incrementally as frames advance:
+//! the temporal-noise innovations and the detect / region-validate draws
+//! for a track all come from three persistent streams cached in the
+//! detector. The cache is pure memoization of a well-defined reference:
+//! [`with_stream_cache(false)`](SimulatedDetector::with_stream_cache)
+//! re-derives each stream from its base key on every draw and fast-forwards
+//! past the consumed words, producing bit-identical output (a determinism
+//! test pins the two modes together). Like the temporal-noise state before
+//! it, the stream position is sequential state: a sequence's frames must
+//! be processed once each, in order — exactly what every runner, evaluator
+//! and the serving scheduler already guarantee.
 
-use crate::accuracy::{object_quality, sigmoid};
+use crate::accuracy::{object_quality, sigmoid, AccuracyProfile};
 use crate::latent::{derive_rng, name_key, sample_normal, TemporalNoise};
 use crate::zoo::DetectorModel;
 use catdet_geom::{Box2, CoverageGrid, GridIndex};
 use catdet_metrics::Detection;
 use catdet_sim::{ActorClass, GroundTruthObject};
 use rand::Rng;
+use rand_chacha::ChaCha8Rng;
 use std::collections::HashMap;
 
 /// Salt constants separating the random streams.
@@ -33,6 +53,82 @@ const REGION_AREA_RATIO: f32 = 4.0;
 /// [`detect_regions`]: SimulatedDetector::detect_regions
 const REGION_GATE_MIN_PAIRS: usize = 256;
 
+/// One persistent derived stream: the live generator plus the number of
+/// 32-bit words drawn so far. The uncached reference mode re-derives the
+/// stream from its base key and skips `consumed` words, landing on
+/// exactly the same next draw — which is what makes the cache a pure
+/// memoization.
+#[derive(Debug, Clone)]
+struct StreamState {
+    rng: ChaCha8Rng,
+    consumed: u64,
+}
+
+impl StreamState {
+    fn new(key: &[u64]) -> Self {
+        Self {
+            rng: derive_rng(key),
+            consumed: 0,
+        }
+    }
+}
+
+/// Word-counting adapter around a ChaCha stream: every draw is tallied so
+/// the uncached mode can fast-forward to the same position.
+struct CountedRng<'a> {
+    rng: &'a mut ChaCha8Rng,
+    consumed: &'a mut u64,
+}
+
+impl rand::RngCore for CountedRng<'_> {
+    fn next_u32(&mut self) -> u32 {
+        *self.consumed += 1;
+        self.rng.next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        *self.consumed += 2;
+        self.rng.next_u64()
+    }
+}
+
+/// Draws from a persistent stream (cached mode) or from a freshly derived
+/// copy fast-forwarded to the same position (uncached reference mode).
+fn draw_from<T>(
+    cached: bool,
+    state: &mut StreamState,
+    key: &[u64],
+    f: impl FnOnce(&mut CountedRng) -> T,
+) -> T {
+    if cached {
+        f(&mut CountedRng {
+            rng: &mut state.rng,
+            consumed: &mut state.consumed,
+        })
+    } else {
+        let mut fresh = derive_rng(key);
+        for _ in 0..state.consumed {
+            use rand::RngCore;
+            fresh.next_u32();
+        }
+        f(&mut CountedRng {
+            rng: &mut fresh,
+            consumed: &mut state.consumed,
+        })
+    }
+}
+
+/// The cached per-`(sequence, track)` stream bundle: the AR(1) temporal
+/// noise process plus the three persistent draw streams it and the
+/// detection sites consume.
+#[derive(Debug, Clone)]
+struct TrackStreams {
+    noise: TemporalNoise,
+    temporal: StreamState,
+    detect: StreamState,
+    region: StreamState,
+}
+
 /// Reusable per-detector buffers for the region-conditioned hot path.
 #[derive(Debug, Clone)]
 struct RegionScratch {
@@ -58,8 +154,14 @@ pub struct SimulatedDetector {
     frame_w: f32,
     frame_h: f32,
     current_seq: Option<usize>,
-    temporal: HashMap<u64, TemporalNoise>,
+    /// Per-track cached streams (temporal noise + draw streams); see the
+    /// module docs on random-stream caching.
+    tracks: HashMap<u64, TrackStreams>,
     latent_cache: HashMap<u64, f32>,
+    /// Whether per-track streams are served from the cache (`true`, the
+    /// default) or re-derived and fast-forwarded on every draw (the
+    /// bit-identical reference mode).
+    stream_cache: bool,
     scratch: RegionScratch,
 }
 
@@ -80,8 +182,9 @@ impl SimulatedDetector {
             frame_w,
             frame_h,
             current_seq: None,
-            temporal: HashMap::new(),
+            tracks: HashMap::new(),
             latent_cache: HashMap::new(),
+            stream_cache: true,
             scratch: RegionScratch {
                 dilated: Vec::new(),
                 proposal_grid: GridIndex::new(),
@@ -96,20 +199,51 @@ impl SimulatedDetector {
         &self.model
     }
 
+    /// Switches the per-track stream cache on (the default) or off.
+    ///
+    /// Both modes produce **bit-identical** output; the uncached mode
+    /// re-derives every stream from its base key on each draw and exists
+    /// as the reference the cache is tested against (it is strictly
+    /// slower — quadratic in frames per track).
+    pub fn with_stream_cache(mut self, enabled: bool) -> Self {
+        self.stream_cache = enabled;
+        self
+    }
+
     /// Clears per-sequence state (call between sequences; also done
     /// automatically when a new sequence id is seen).
     pub fn reset(&mut self) {
         self.current_seq = None;
-        self.temporal.clear();
+        self.tracks.clear();
         self.latent_cache.clear();
     }
 
     fn enter_frame(&mut self, seq: usize) {
         if self.current_seq != Some(seq) {
             self.current_seq = Some(seq);
-            self.temporal.clear();
+            self.tracks.clear();
             self.latent_cache.clear();
         }
+    }
+
+    /// The cached stream bundle of one `(sequence, track)`, derived on
+    /// first touch.
+    fn track_streams(&mut self, seq: usize, track: u64) -> &mut TrackStreams {
+        let (seed, model_key) = (self.seed, self.model_key);
+        let (corr, sigma) = (
+            self.model.profile.temporal_corr,
+            self.model.profile.temporal_sigma,
+        );
+        self.tracks.entry(track).or_insert_with(|| TrackStreams {
+            noise: TemporalNoise::new(
+                corr,
+                sigma,
+                &mut derive_rng(&[seed, SALT_TEMPORAL_INIT, model_key, seq as u64, track]),
+            ),
+            temporal: StreamState::new(&[seed, SALT_TEMPORAL_STEP, model_key, seq as u64, track]),
+            detect: StreamState::new(&[seed, SALT_DETECT, model_key, seq as u64, track]),
+            region: StreamState::new(&[seed, SALT_DETECT_REGION, model_key, seq as u64, track]),
+        })
     }
 
     /// Persistent per-object difficulty: a component shared by all models
@@ -139,62 +273,21 @@ impl SimulatedDetector {
         h
     }
 
-    /// The detection margin of an object at a frame (logits).
-    fn margin(&mut self, seq: usize, frame: usize, gt: &GroundTruthObject) -> f32 {
+    /// The detection margin of an object (logits). The temporal-noise
+    /// innovation comes from the track's persistent stream, so this
+    /// advances per-track sequential state — call it once per frame per
+    /// track, in frame order.
+    fn margin(&mut self, seq: usize, gt: &GroundTruthObject) -> f32 {
         let p = self.model.profile.clone();
         let q = object_quality(gt);
         let h = self.latent(seq, gt.track_id);
-        let eps = {
-            let noise = self.temporal.entry(gt.track_id).or_insert_with(|| {
-                TemporalNoise::new(
-                    p.temporal_corr,
-                    p.temporal_sigma,
-                    &mut derive_rng(&[
-                        self.seed,
-                        SALT_TEMPORAL_INIT,
-                        self.model_key,
-                        seq as u64,
-                        gt.track_id,
-                    ]),
-                )
-            });
-            noise.step(&mut derive_rng(&[
-                self.seed,
-                SALT_TEMPORAL_STEP,
-                self.model_key,
-                seq as u64,
-                frame as u64,
-                gt.track_id,
-            ]))
-        };
+        let (seed, model_key, cached) = (self.seed, self.model_key, self.stream_cache);
+        let key = [seed, SALT_TEMPORAL_STEP, model_key, seq as u64, gt.track_id];
+        let TrackStreams {
+            noise, temporal, ..
+        } = self.track_streams(seq, gt.track_id);
+        let eps = draw_from(cached, temporal, &key, |rng| noise.step(rng));
         p.offset + p.discrimination * q - p.occlusion_sensitivity * gt.occlusion + h + eps
-    }
-
-    fn emit_detection<R: Rng>(
-        &self,
-        gt: &GroundTruthObject,
-        margin: f32,
-        rng: &mut R,
-    ) -> Detection {
-        let p = &self.model.profile;
-        let score_logit =
-            p.score_offset + p.score_gain * margin + p.score_noise * sample_normal(rng);
-        let score = sigmoid(score_logit).clamp(1e-4, 1.0 - 1e-4);
-        let b = &gt.bbox;
-        let (w, h) = (b.width(), b.height());
-        let jitter = |rng: &mut R, d: f32| p.loc_sigma * d * sample_normal(rng);
-        let bbox = Box2::new(
-            b.x1 + jitter(rng, w),
-            b.y1 + jitter(rng, h),
-            b.x2 + jitter(rng, w),
-            b.y2 + jitter(rng, h),
-        )
-        .clip(self.frame_w, self.frame_h);
-        Detection {
-            bbox,
-            score,
-            class: gt.class,
-        }
     }
 
     fn poisson<R: Rng>(rng: &mut R, lambda: f32) -> usize {
@@ -251,18 +344,18 @@ impl SimulatedDetector {
         self.enter_frame(seq);
         let mut out = Vec::new();
         for gt in gts {
-            let m = self.margin(seq, frame, gt);
-            let mut rng = derive_rng(&[
-                self.seed,
-                SALT_DETECT,
-                self.model_key,
-                seq as u64,
-                frame as u64,
-                gt.track_id,
-            ]);
-            if rng.gen::<f32>() < self.model.profile.detection_probability(m) {
-                out.push(self.emit_detection(gt, m, &mut rng));
-            }
+            let m = self.margin(seq, gt);
+            let detect_p = self.model.profile.detection_probability(m);
+            let profile = self.model.profile.clone();
+            let (seed, model_key, cached) = (self.seed, self.model_key, self.stream_cache);
+            let (frame_w, frame_h) = (self.frame_w, self.frame_h);
+            let key = [seed, SALT_DETECT, model_key, seq as u64, gt.track_id];
+            let ts = self.track_streams(seq, gt.track_id);
+            let det = draw_from(cached, &mut ts.detect, &key, |rng| {
+                (rng.gen::<f32>() < detect_p)
+                    .then(|| emit_detection(&profile, frame_w, frame_h, gt, m, rng))
+            });
+            out.extend(det);
         }
         let mut fp_rng = derive_rng(&[
             self.seed,
@@ -358,18 +451,18 @@ impl SimulatedDetector {
             if !matched {
                 continue;
             }
-            let m = self.margin(seq, frame, gt);
-            let mut rng = derive_rng(&[
-                self.seed,
-                SALT_DETECT_REGION,
-                self.model_key,
-                seq as u64,
-                frame as u64,
-                gt.track_id,
-            ]);
-            if rng.gen::<f32>() < self.model.profile.validation_probability(m) {
-                out.push(self.emit_detection(gt, m, &mut rng));
-            }
+            let m = self.margin(seq, gt);
+            let validate_p = self.model.profile.validation_probability(m);
+            let profile = self.model.profile.clone();
+            let (seed, model_key, cached) = (self.seed, self.model_key, self.stream_cache);
+            let (frame_w, frame_h) = (self.frame_w, self.frame_h);
+            let key = [seed, SALT_DETECT_REGION, model_key, seq as u64, gt.track_id];
+            let ts = self.track_streams(seq, gt.track_id);
+            let det = draw_from(cached, &mut ts.region, &key, |rng| {
+                (rng.gen::<f32>() < validate_p)
+                    .then(|| emit_detection(&profile, frame_w, frame_h, gt, m, rng))
+            });
+            out.extend(det);
         }
         // False positives: confirming false proposals. A region that holds
         // no actual object (typically a proposal-network false positive or
@@ -457,6 +550,37 @@ impl SimulatedDetector {
             }
         }
         out
+    }
+}
+
+/// Materialises one detection for a ground-truth object: calibrated score
+/// from the margin, jittered box. A free function so draw sites can hold
+/// the detector's per-track stream mutably while emitting.
+fn emit_detection<R: Rng>(
+    profile: &AccuracyProfile,
+    frame_w: f32,
+    frame_h: f32,
+    gt: &GroundTruthObject,
+    margin: f32,
+    rng: &mut R,
+) -> Detection {
+    let p = profile;
+    let score_logit = p.score_offset + p.score_gain * margin + p.score_noise * sample_normal(rng);
+    let score = sigmoid(score_logit).clamp(1e-4, 1.0 - 1e-4);
+    let b = &gt.bbox;
+    let (w, h) = (b.width(), b.height());
+    let jitter = |rng: &mut R, d: f32| p.loc_sigma * d * sample_normal(rng);
+    let bbox = Box2::new(
+        b.x1 + jitter(rng, w),
+        b.y1 + jitter(rng, h),
+        b.x2 + jitter(rng, w),
+        b.y2 + jitter(rng, h),
+    )
+    .clip(frame_w, frame_h);
+    Detection {
+        bbox,
+        score,
+        class: gt.class,
     }
 }
 
@@ -759,6 +883,35 @@ mod tests {
             let b = reference.detect_regions_reference(0, f, &gts, &proposals, 30.0);
             assert_eq!(a, b, "diverged at frame {f}");
             assert!(f > 0 || !a.is_empty());
+        }
+    }
+
+    #[test]
+    fn cached_streams_match_uncached_reference_bit_for_bit() {
+        // The per-(sequence, track) stream cache is pure memoization: a
+        // detector with the cache disabled (re-derive + fast-forward on
+        // every draw) must produce identical detections on an interleaved
+        // full-frame / region workload with persisting, appearing and
+        // disappearing tracks — across sequence boundaries too.
+        let mut cached = strong();
+        let mut uncached = strong().with_stream_cache(false);
+        for seq in 0..2 {
+            for f in 0..25usize {
+                // Persistent tracks 1..=3, plus one churning track per
+                // frame; track 2 vanishes for frames 10..15.
+                let mut gts = vec![gt(1, 100.0, 60.0), gt(3, 900.0, 45.0)];
+                if !(10..15).contains(&f) {
+                    gts.push(gt(2, 500.0, 30.0));
+                }
+                gts.push(gt(100 + f as u64, 40.0 + 10.0 * f as f32, 35.0));
+                let a = cached.detect_full_frame(seq, f, &gts);
+                let b = uncached.detect_full_frame(seq, f, &gts);
+                assert_eq!(a, b, "full-frame diverged at seq {seq} frame {f}");
+                let proposals: Vec<Box2> = gts.iter().map(|g| g.bbox.dilate(6.0)).collect();
+                let a = cached.detect_regions(seq, f, &gts, &proposals, 30.0);
+                let b = uncached.detect_regions(seq, f, &gts, &proposals, 30.0);
+                assert_eq!(a, b, "regions diverged at seq {seq} frame {f}");
+            }
         }
     }
 

@@ -50,7 +50,8 @@ impl AdmissionReason {
 pub struct AdmissionEvent {
     /// Arrival time of the refused frame.
     pub t_s: f64,
-    /// Stream the frame belonged to.
+    /// Stream the frame belonged to (fleet-wide id, matching
+    /// [`StreamReport::stream_id`](crate::StreamReport::stream_id)).
     pub stream: usize,
     /// Why it was refused.
     pub reason: AdmissionReason,
@@ -66,6 +67,11 @@ pub trait AdmissionPolicy: Send {
 
     /// Admits (`Ok`) or refuses (`Err`) one arriving frame.
     fn admit(&mut self, ctx: &AdmissionContext) -> Result<(), AdmissionReason>;
+
+    /// Notifies the policy that a stream slot was appended to the fleet it
+    /// gates (a live migration admitting a stream onto this shard). Stateful
+    /// policies grow their per-stream state; the default is a no-op.
+    fn on_stream_added(&mut self, _priority: u8) {}
 }
 
 /// Admits every frame (the no-admission-control baseline).
@@ -134,6 +140,16 @@ impl AdmissionPolicy for TokenBucket {
             Err(AdmissionReason::RateLimited)
         }
     }
+
+    /// A migrated stream starts with a full bucket on its new shard (the
+    /// conservative direction: it can burst at most `burst` extra frames
+    /// once per migration; sustained rates are unaffected).
+    fn on_stream_added(&mut self, _priority: u8) {
+        self.buckets.push(Bucket {
+            tokens: self.burst,
+            last_s: 0.0,
+        });
+    }
 }
 
 /// Priority classes shed lowest-first under fleet-wide overload.
@@ -174,6 +190,12 @@ impl AdmissionPolicy for PriorityShed {
         } else {
             Err(AdmissionReason::Shed)
         }
+    }
+
+    /// A migrating stream may carry a lower priority class than any the
+    /// shard has seen; widen the class count so it sheds before them.
+    fn on_stream_added(&mut self, priority: u8) {
+        self.classes = self.classes.max(priority as usize + 1);
     }
 }
 

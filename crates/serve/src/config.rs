@@ -322,6 +322,134 @@ impl Default for AdmissionConfig {
     }
 }
 
+/// Which [`PartitionPolicy`](crate::shard::PartitionPolicy) assigns
+/// streams to shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PartitionKind {
+    /// Stateless hash of the stream id modulo the shard count — uniform
+    /// in expectation, zero coordination, the default.
+    StaticHash,
+    /// Greedy least-loaded placement by total frames per shard: each
+    /// stream lands on the shard with the fewest frames assigned so far.
+    LeastLoaded,
+    /// Consistent-hash ring with virtual nodes: stream placement is
+    /// stable under shard-count changes (only ~1/N of streams move when a
+    /// shard is added), the property a growing fleet wants.
+    ConsistentHash,
+}
+
+impl PartitionKind {
+    /// Stable CLI name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PartitionKind::StaticHash => "static-hash",
+            PartitionKind::LeastLoaded => "least-loaded",
+            PartitionKind::ConsistentHash => "consistent-hash",
+        }
+    }
+
+    /// Parses a CLI name.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "static-hash" => Some(PartitionKind::StaticHash),
+            "least-loaded" => Some(PartitionKind::LeastLoaded),
+            "consistent-hash" => Some(PartitionKind::ConsistentHash),
+            _ => None,
+        }
+    }
+}
+
+/// Sharded-fleet configuration: how many independent scheduler shards the
+/// fleet runs, how streams are partitioned across them, and whether (and
+/// how eagerly) the live rebalancer migrates streams between shards.
+///
+/// With `shards == 1` the remaining knobs are inert and
+/// [`serve_fleet`](crate::serve_fleet) is bit-identical to [`serve`](crate::serve)
+/// (the golden fleet-equivalence test pins this).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ShardConfig {
+    /// Number of independent scheduler shards, each with its own worker
+    /// pool, queues, admission gate and autoscaler ([`ServeConfig`]'s
+    /// worker/autoscale settings apply **per shard**).
+    pub shards: usize,
+    /// Stream → shard placement policy.
+    pub partition: PartitionKind,
+    /// Spacing of live-rebalance ticks on the fleet's virtual clock;
+    /// `0.0` disables rebalancing (streams stay where placed).
+    pub rebalance_interval_s: f64,
+    /// Minimum backlog imbalance (queued frames, hottest minus coolest
+    /// shard) before a migration pays for itself; below it the rebalancer
+    /// holds still. This is the migration-cost hysteresis knob.
+    pub migration_cost_frames: usize,
+    /// Pool [`RefinementWork`](catdet_core::RefinementWork) across shards:
+    /// with [`fuse_refinement`](ServeConfig::fuse_refinement) on, frames
+    /// suspended at their refinement boundary on *different shards* share
+    /// one fused GPU dispatch, preserving cross-stream amortisation after
+    /// sharding. Off, each shard fuses only its own streams.
+    pub fuse_across_shards: bool,
+}
+
+impl ShardConfig {
+    /// One shard, no rebalancing: the monolithic-scheduler default.
+    pub fn single() -> Self {
+        Self {
+            shards: 1,
+            partition: PartitionKind::StaticHash,
+            rebalance_interval_s: 0.0,
+            migration_cost_frames: 8,
+            fuse_across_shards: true,
+        }
+    }
+
+    /// A fleet of `shards` shards with the default partition policy.
+    pub fn sharded(shards: usize) -> Self {
+        Self {
+            shards,
+            ..Self::single()
+        }
+    }
+
+    /// Returns a copy with a different partition policy.
+    pub fn with_partition(mut self, partition: PartitionKind) -> Self {
+        self.partition = partition;
+        self
+    }
+
+    /// Returns a copy with live rebalancing every `interval_s` virtual
+    /// seconds (`0.0` disables).
+    pub fn with_rebalance_interval_s(mut self, interval_s: f64) -> Self {
+        self.rebalance_interval_s = interval_s;
+        self
+    }
+
+    /// Returns a copy with a different migration-cost hysteresis.
+    pub fn with_migration_cost_frames(mut self, frames: usize) -> Self {
+        self.migration_cost_frames = frames;
+        self
+    }
+
+    /// Returns a copy with cross-shard refinement fusion on or off.
+    pub fn with_fuse_across_shards(mut self, on: bool) -> Self {
+        self.fuse_across_shards = on;
+        self
+    }
+
+    /// Panics if the configuration is unusable.
+    pub fn validate(&self) {
+        assert!(self.shards >= 1, "need at least one shard");
+        assert!(
+            self.rebalance_interval_s >= 0.0 && self.rebalance_interval_s.is_finite(),
+            "rebalance interval must be finite and non-negative"
+        );
+    }
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        Self::single()
+    }
+}
+
 /// Configuration of one serving run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ServeConfig {
@@ -362,6 +490,10 @@ pub struct ServeConfig {
     pub autoscale: AutoscaleConfig,
     /// Arrival gating; [`AdmissionConfig::admit_all`] disables it.
     pub admission: AdmissionConfig,
+    /// Fleet sharding; [`ShardConfig::single`] (the default) is the
+    /// monolithic scheduler. Only consulted by
+    /// [`serve_fleet`](crate::serve_fleet).
+    pub shard: ShardConfig,
 }
 
 impl ServeConfig {
@@ -380,6 +512,7 @@ impl ServeConfig {
             timing: GpuTimingModel::titan_x_maxwell(),
             autoscale: AutoscaleConfig::fixed(),
             admission: AdmissionConfig::admit_all(),
+            shard: ShardConfig::single(),
         }
     }
 
@@ -443,6 +576,12 @@ impl ServeConfig {
         self
     }
 
+    /// Returns a copy with a different fleet sharding configuration.
+    pub fn with_shard(mut self, shard: ShardConfig) -> Self {
+        self.shard = shard;
+        self
+    }
+
     /// Panics if the configuration is unusable.
     pub fn validate(&self) {
         assert!(self.workers >= 1, "need at least one worker");
@@ -461,6 +600,7 @@ impl ServeConfig {
         );
         self.autoscale.validate();
         self.admission.validate();
+        self.shard.validate();
     }
 }
 

@@ -1,0 +1,537 @@
+//! The sharded serving fleet: N independent scheduler shards, a live
+//! rebalancer, cross-shard refinement fusion, and merged reporting.
+//!
+//! # Execution model
+//!
+//! [`serve_fleet`] partitions the streams across
+//! [`ShardConfig::shards`](crate::ShardConfig::shards) embedded scheduler
+//! engines (each with its own worker pool, bounded queues, admission gate
+//! and autoscaler — every [`ServeConfig`] knob applies **per shard**), then
+//! advances them on one shared fleet clock:
+//!
+//! * **Independent phases** — between coordination points, every shard
+//!   runs its own virtual-time event loop; shards share no state, so the
+//!   fleet is exactly as deterministic as one scheduler.
+//! * **Live rebalancing** — at every
+//!   [`rebalance_interval_s`](crate::ShardConfig::rebalance_interval_s)
+//!   tick the fleet compares shard backlogs; when the hottest shard leads
+//!   the coolest by more than
+//!   [`migration_cost_frames`](crate::ShardConfig::migration_cost_frames),
+//!   the most backlogged *migratable* stream moves. Migration happens at a
+//!   stage-boundary suspend point: the stream's suspended pipeline (tracker
+//!   state, frame scratch), queued backlog, undelivered frames and every
+//!   counter relocate wholesale, so **no frame is ever lost or duplicated**
+//!   (a property test pins exact conservation under random fleets).
+//! * **Cross-shard refinement fusion** — with
+//!   [`fuse_refinement`](ServeConfig::fuse_refinement) on and
+//!   [`fuse_across_shards`](crate::ShardConfig::fuse_across_shards) set,
+//!   the fleet advances shards in lock-step at event granularity and
+//!   drains their refinement fuse pools into **one** shared GPU dispatch
+//!   per deadline — the cross-stream amortisation from the staged-detector
+//!   protocol survives sharding.
+//!
+//! A 1-shard fleet takes none of the coordination paths and is
+//! **bit-identical** to [`serve`](crate::serve) (golden test).
+//!
+//! # Reporting
+//!
+//! Each shard produces its own [`ServeReport`]; [`FleetReport`] merges
+//! them *correctly*: latency percentiles are recomputed from pooled raw
+//! samples (never averaged from per-shard percentiles), counts and
+//! integrals add, timelines interleave in time order, and the migration /
+//! fused-dispatch histories are fleet-level records.
+
+use crate::config::ServeConfig;
+use crate::report::{BatchStats, LatencyStats, ServeReport, StreamReport};
+use crate::scheduler::{Engine, StreamSpec, EPS};
+use crate::shard::{build_partition, MigrationEvent};
+use std::fmt::Write as _;
+
+/// One cross-shard fused refinement dispatch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetRefineRecord {
+    /// Virtual dispatch time.
+    pub t_s: f64,
+    /// Fleet-wide stream ids whose refinement launches rode the dispatch.
+    pub streams: Vec<usize>,
+    /// Contributing shards (one entry per stream, aligned with
+    /// [`streams`](FleetRefineRecord::streams)).
+    pub shards: Vec<usize>,
+}
+
+/// Aggregate result of a sharded serving run: per-shard reports plus the
+/// fleet-level histories, with merge accessors that aggregate correctly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetReport {
+    /// Per-shard reports, indexed by shard id. Stream ids inside are
+    /// fleet-wide; a migrated stream appears once, on its final shard.
+    pub shards: Vec<ServeReport>,
+    /// Live migrations, in time order.
+    pub migrations: Vec<MigrationEvent>,
+    /// Cross-shard fused refinement dispatches, in time order (empty
+    /// unless fleet-wide fusion ran).
+    pub fused_refinements: Vec<FleetRefineRecord>,
+    /// Summed virtual GPU time of the cross-shard dispatches (accounted
+    /// here once, not in any shard's `gpu_dispatch_s`).
+    pub fused_gpu_dispatch_s: f64,
+}
+
+impl FleetReport {
+    /// Total frames that arrived across the fleet.
+    pub fn frames_arrived(&self) -> usize {
+        self.shards.iter().map(|s| s.frames_arrived).sum()
+    }
+
+    /// Total frames processed across the fleet.
+    pub fn frames_processed(&self) -> usize {
+        self.shards.iter().map(|s| s.frames_processed).sum()
+    }
+
+    /// Total frames shed across the fleet (backpressure + admission).
+    pub fn frames_dropped(&self) -> usize {
+        self.shards.iter().map(|s| s.frames_dropped).sum()
+    }
+
+    /// Of the dropped frames, total refused by admission control.
+    pub fn frames_rejected(&self) -> usize {
+        self.shards.iter().map(|s| s.frames_rejected).sum()
+    }
+
+    /// Fleet drop rate over arrived frames.
+    pub fn drop_rate(&self) -> f64 {
+        let arrived = self.frames_arrived();
+        if arrived == 0 {
+            0.0
+        } else {
+            self.frames_dropped() as f64 / arrived as f64
+        }
+    }
+
+    /// Fleet makespan: the slowest shard bounds the run.
+    pub fn makespan_s(&self) -> f64 {
+        self.shards.iter().map(|s| s.makespan_s).fold(0.0, f64::max)
+    }
+
+    /// Fleet throughput: processed frames over the fleet makespan.
+    pub fn throughput_fps(&self) -> f64 {
+        let makespan = self.makespan_s();
+        if makespan > 0.0 {
+            self.frames_processed() as f64 / makespan
+        } else {
+            0.0
+        }
+    }
+
+    /// Summed provisioned worker-seconds across shards.
+    pub fn worker_seconds(&self) -> f64 {
+        self.shards.iter().map(|s| s.worker_seconds).sum()
+    }
+
+    /// Summed priced GPU dispatch time: every shard's own dispatches plus
+    /// the cross-shard fused ones (accounted once, fleet-level).
+    pub fn gpu_dispatch_s(&self) -> f64 {
+        self.shards.iter().map(|s| s.gpu_dispatch_s).sum::<f64>() + self.fused_gpu_dispatch_s
+    }
+
+    /// Fleet latency distribution, merged **from raw samples**: the pooled
+    /// nearest-rank percentiles over every stream's `latency_samples`.
+    /// Averaging per-shard percentiles would be wrong (see
+    /// [`LatencyStats::merged`]); this is the correct aggregation, and a
+    /// property test pins it to the naive pooled reference.
+    pub fn merged_latency(&self) -> LatencyStats {
+        LatencyStats::merged(
+            self.shards
+                .iter()
+                .flat_map(|s| s.streams.iter())
+                .map(|s| s.latency_samples.as_slice()),
+        )
+    }
+
+    /// Merged batching statistics: shard counters add (maxima take the
+    /// max), and the cross-shard fused dispatches are folded in as
+    /// refinement batches.
+    pub fn merged_batch(&self) -> BatchStats {
+        let mut out = BatchStats::default();
+        for s in &self.shards {
+            out.batches += s.batch.batches;
+            out.batched_frames += s.batch.batched_frames;
+            out.max_batch_seen = out.max_batch_seen.max(s.batch.max_batch_seen);
+            out.proposal_launches_saved += s.batch.proposal_launches_saved;
+            out.refine_batches += s.batch.refine_batches;
+            out.refined_frames += s.batch.refined_frames;
+            out.max_refine_batch_seen =
+                out.max_refine_batch_seen.max(s.batch.max_refine_batch_seen);
+            out.refinement_launches_saved += s.batch.refinement_launches_saved;
+        }
+        for r in &self.fused_refinements {
+            out.refine_batches += 1;
+            out.refined_frames += r.streams.len();
+            out.max_refine_batch_seen = out.max_refine_batch_seen.max(r.streams.len());
+            out.refinement_launches_saved += r.streams.len() - 1;
+        }
+        out
+    }
+
+    /// Every stream report across the fleet, ordered by fleet-wide stream
+    /// id (each stream appears exactly once, on the shard that finished
+    /// it).
+    pub fn streams(&self) -> Vec<&StreamReport> {
+        let mut out: Vec<&StreamReport> =
+            self.shards.iter().flat_map(|s| s.streams.iter()).collect();
+        out.sort_by_key(|s| s.stream_id);
+        out
+    }
+
+    /// Worst per-stream p99 across the fleet (`None` when nothing
+    /// completed), mirroring [`ServeReport::worst_p99_s`].
+    pub fn worst_p99_s(&self) -> Option<f64> {
+        self.shards
+            .iter()
+            .filter_map(|s| s.worst_p99_s())
+            .reduce(f64::max)
+    }
+
+    /// All scale events across shards as `(shard, event)`, merged in time
+    /// order (stable: ties keep shard order).
+    pub fn scale_timeline(&self) -> Vec<(usize, crate::ScaleEvent)> {
+        let mut out: Vec<(usize, crate::ScaleEvent)> = self
+            .shards
+            .iter()
+            .enumerate()
+            .flat_map(|(k, s)| s.scale_events.iter().map(move |e| (k, *e)))
+            .collect();
+        out.sort_by(|a, b| a.1.t_s.total_cmp(&b.1.t_s).then(a.0.cmp(&b.0)));
+        out
+    }
+
+    /// All admission rejections across shards as `(shard, event)`, merged
+    /// in time order (stable: ties keep shard order).
+    pub fn admission_timeline(&self) -> Vec<(usize, crate::AdmissionEvent)> {
+        let mut out: Vec<(usize, crate::AdmissionEvent)> = self
+            .shards
+            .iter()
+            .enumerate()
+            .flat_map(|(k, s)| s.admission_events.iter().map(move |e| (k, *e)))
+            .collect();
+        out.sort_by(|a, b| a.1.t_s.total_cmp(&b.1.t_s).then(a.0.cmp(&b.0)));
+        out
+    }
+
+    /// Human-readable migration timeline, one line per event.
+    pub fn migration_timeline(&self) -> String {
+        let mut out = String::new();
+        for m in &self.migrations {
+            let _ = writeln!(
+                out,
+                "  t={:>8.3}s  stream {:>3}: shard {} -> {} ({} queued frames moved)",
+                m.t_s, m.stream, m.from_shard, m.to_shard, m.backlog_moved
+            );
+        }
+        out
+    }
+
+    /// Human-readable multi-line fleet summary (what the `catdet-serve`
+    /// binary prints for sharded runs).
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        let latency = self.merged_latency();
+        let batch = self.merged_batch();
+        let _ = writeln!(
+            out,
+            "fleet: {} shards | {} streams | {:.1} virtual s | {} processed / {} arrived ({} dropped, {:.1}%)",
+            self.shards.len(),
+            self.streams().len(),
+            self.makespan_s(),
+            self.frames_processed(),
+            self.frames_arrived(),
+            self.frames_dropped(),
+            100.0 * self.drop_rate(),
+        );
+        let _ = writeln!(
+            out,
+            "throughput: {:.2} frames/s | merged latency p50/p95/p99: {:.1}/{:.1}/{:.1} ms | gpu dispatch time: {:.3} s",
+            self.throughput_fps(),
+            latency.p50_s * 1e3,
+            latency.p95_s * 1e3,
+            latency.p99_s * 1e3,
+            self.gpu_dispatch_s(),
+        );
+        let _ = writeln!(
+            out,
+            "refinement: {} dispatches (mean {:.2}, max {}, {} launches saved; {} cross-shard)",
+            batch.refine_batches,
+            batch.mean_refine_batch(),
+            batch.max_refine_batch_seen,
+            batch.refinement_launches_saved,
+            self.fused_refinements.len(),
+        );
+        if !self.migrations.is_empty() {
+            let _ = writeln!(
+                out,
+                "rebalancer: {} migrations ({} queued frames moved)",
+                self.migrations.len(),
+                self.migrations
+                    .iter()
+                    .map(|m| m.backlog_moved)
+                    .sum::<usize>(),
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{:>6} {:>6} {:>8} {:>8} {:>9} {:>9} {:>9}",
+            "shard", "procd", "dropped", "batches", "p99 ms", "wrk-s", "gpu s"
+        );
+        for (k, s) in self.shards.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "{:>6} {:>6} {:>8} {:>8} {:>9.1} {:>9.1} {:>9.3}",
+                k,
+                s.frames_processed,
+                s.frames_dropped,
+                s.batch.batches,
+                s.worst_p99_s().unwrap_or(0.0) * 1e3,
+                s.worker_seconds,
+                s.gpu_dispatch_s,
+            );
+        }
+        out
+    }
+}
+
+/// Runs a sharded serving fleet to completion and reports.
+///
+/// Streams are partitioned across [`ShardConfig::shards`](crate::ShardConfig::shards)
+/// embedded engines by the configured [`PartitionPolicy`](crate::shard::PartitionPolicy);
+/// each engine gets its own worker pool ([`ServeConfig::workers`] threads
+/// **per shard**), queues, admission gate and autoscaler. See the module
+/// docs for the coordination model.
+///
+/// With one shard this is bit-identical to [`serve`](crate::serve).
+///
+/// # Panics
+///
+/// Panics on an invalid configuration or if a detection system panics on
+/// a worker thread.
+pub fn serve_fleet(streams: Vec<StreamSpec>, cfg: &ServeConfig) -> FleetReport {
+    cfg.validate();
+    let sc = cfg.shard;
+    let shards = sc.shards;
+
+    // Placement.
+    let mut policy = build_partition(sc.partition);
+    let mut groups: Vec<Vec<StreamSpec>> = (0..shards).map(|_| Vec::new()).collect();
+    for spec in streams {
+        let k = policy.place(spec.source.stream_id, spec.source.len(), shards);
+        groups[k].push(spec);
+    }
+
+    // A 1-shard fleet takes no coordination path at all: the engine fuses
+    // its own pool internally and runs to completion in one call, which is
+    // what makes it bit-identical to `serve`.
+    let fleet_fuse = cfg.fuse_refinement && sc.fuse_across_shards && shards > 1;
+    let rebalance_on = sc.rebalance_interval_s > 0.0 && shards > 1;
+
+    let mut engines: Vec<Engine> = groups
+        .into_iter()
+        .map(|g| Engine::new(g, cfg, 0.0, fleet_fuse))
+        .collect();
+
+    let mut migrations: Vec<MigrationEvent> = Vec::new();
+    let mut fused_refinements: Vec<FleetRefineRecord> = Vec::new();
+    let mut fused_gpu = 0.0_f64;
+    let mut next_rebalance = if rebalance_on {
+        sc.rebalance_interval_s
+    } else {
+        f64::INFINITY
+    };
+
+    if fleet_fuse {
+        // Lock-step global discrete-event loop: every engine advances to
+        // the fleet-wide next event, then due fuse deadlines fire across
+        // shards. This is what lets a frame suspended on shard 0 share a
+        // dispatch with one on shard 3.
+        loop {
+            // Fire only deadlines at or before the pending rebalance tick:
+            // a dispatch semantically at t > tick must not execute first
+            // (it returns systems to their slots, and the earlier-in-time
+            // rebalancer would then observe post-dispatch state).
+            fire_fleet_refinements(
+                cfg,
+                &mut engines,
+                next_rebalance,
+                &mut fused_refinements,
+                &mut fused_gpu,
+            );
+            let mut next = f64::INFINITY;
+            for e in &engines {
+                if let Some(t) = e.next_event_time() {
+                    next = next.min(t);
+                }
+            }
+            if !next.is_finite() {
+                break;
+            }
+            let next = next.min(next_rebalance);
+            for e in &mut engines {
+                e.run_until(next);
+            }
+            if rebalance_on && next_rebalance <= next + EPS {
+                rebalance(&sc, &mut engines, next_rebalance, &mut migrations);
+                next_rebalance += sc.rebalance_interval_s;
+            }
+        }
+        // Late stragglers: deadlines due exactly at the final instant.
+        fire_fleet_refinements(
+            cfg,
+            &mut engines,
+            f64::INFINITY,
+            &mut fused_refinements,
+            &mut fused_gpu,
+        );
+    } else {
+        // Shards are fully independent between rebalance ticks: run each
+        // to the next tick (or completion when rebalancing is off).
+        loop {
+            let mut work_left = false;
+            for e in &mut engines {
+                work_left |= e.run_until(next_rebalance);
+            }
+            if !work_left {
+                break;
+            }
+            rebalance(&sc, &mut engines, next_rebalance, &mut migrations);
+            next_rebalance += sc.rebalance_interval_s;
+        }
+    }
+
+    let shards = engines
+        .iter_mut()
+        .map(|e| {
+            let report = e.finish_report();
+            e.shutdown();
+            report
+        })
+        .collect();
+    FleetReport {
+        shards,
+        migrations,
+        fused_refinements,
+        fused_gpu_dispatch_s: fused_gpu,
+    }
+}
+
+/// Fires every cross-shard fused refinement dispatch whose deadline is
+/// due (and at or before `limit`, the next fleet coordination point): all
+/// frames ready by the deadline — on any shard — ride one priced launch;
+/// each shard then executes and books its own frames.
+fn fire_fleet_refinements(
+    cfg: &ServeConfig,
+    engines: &mut [Engine],
+    limit: f64,
+    log: &mut Vec<FleetRefineRecord>,
+    fused_gpu: &mut f64,
+) {
+    loop {
+        let due = engines
+            .iter()
+            .map(|e| e.refine_deadline())
+            .fold(f64::INFINITY, f64::min);
+        if !due.is_finite() || due > limit + EPS {
+            return;
+        }
+        // Only fire deadlines every engine has reached (in the lock-step
+        // loop all clocks are equal, so this is simply "due now").
+        if engines
+            .iter()
+            .any(|e| e.next_event_time().is_some_and(|t| t + EPS < due))
+        {
+            return;
+        }
+        let per_shard: Vec<_> = engines
+            .iter_mut()
+            .map(|e| e.take_ready_refinements(due))
+            .collect();
+        let mut streams = Vec::new();
+        let mut shard_ids = Vec::new();
+        let mut fused_macs = 0.0;
+        for (k, items) in per_shard.iter().enumerate() {
+            for p in items {
+                streams.push(engines[k].global_stream_id(p.stream()));
+                shard_ids.push(k);
+                fused_macs += p.macs();
+            }
+        }
+        debug_assert!(!streams.is_empty(), "deadline fired with nothing ready");
+        let gpu = cfg.timing.launch_time(fused_macs) + cfg.timing.stage_overhead_s;
+        *fused_gpu += gpu;
+        log.push(FleetRefineRecord {
+            t_s: due,
+            streams,
+            shards: shard_ids,
+        });
+        for (k, items) in per_shard.into_iter().enumerate() {
+            if !items.is_empty() {
+                engines[k].complete_external_refinement(due, gpu, items);
+            }
+        }
+    }
+}
+
+/// One rebalance tick: if the hottest shard's queued backlog leads the
+/// coolest by more than the migration cost, move the migratable stream
+/// whose queue best evens the pair out. One migration per tick keeps the
+/// control loop gentle and every decision attributable.
+///
+/// Two guards make the controller thrash-free:
+/// * only streams whose queue is **strictly smaller than the imbalance**
+///   are candidates — moving a larger one would just flip the imbalance
+///   (and a stream that *is* the entire backlog gains nothing from a
+///   move: its frames face one worker pool either way);
+/// * among candidates, the queue closest to half the imbalance wins (ties
+///   to the lowest stream id), so the post-move imbalance is minimal and
+///   the same stream can never satisfy the candidate rule again at the
+///   next tick unless real load shifted.
+fn rebalance(
+    sc: &crate::ShardConfig,
+    engines: &mut [Engine],
+    t: f64,
+    migrations: &mut Vec<MigrationEvent>,
+) {
+    let loads: Vec<usize> = engines.iter().map(|e| e.backlog()).collect();
+    let Some(hot) = (0..engines.len()).max_by_key(|&k| (loads[k], usize::MAX - k)) else {
+        return;
+    };
+    let Some(cool) = (0..engines.len()).min_by_key(|&k| (loads[k], k)) else {
+        return;
+    };
+    if hot == cool || loads[hot] - loads[cool] <= sc.migration_cost_frames {
+        return;
+    }
+    let imbalance = loads[hot] - loads[cool];
+    // Best-balancing migratable stream: queue in (0, imbalance), residual
+    // |imbalance − 2·queue| minimal, ties to the lowest global id.
+    let candidate = engines[hot]
+        .migratable_streams()
+        .map(|local| (engines[hot].stream_backlog(local), local))
+        .filter(|&(q, _)| q > 0 && q < imbalance)
+        .min_by_key(|&(q, local)| {
+            (
+                (imbalance as i64 - 2 * q as i64).unsigned_abs(),
+                engines[hot].global_stream_id(local),
+            )
+        });
+    let Some((_, local)) = candidate else {
+        return; // nothing movable improves balance right now; next tick
+    };
+    let Some(m) = engines[hot].extract_stream(local) else {
+        return;
+    };
+    migrations.push(MigrationEvent {
+        t_s: t,
+        stream: m.global_id(),
+        from_shard: hot,
+        to_shard: cool,
+        backlog_moved: m.queued(),
+    });
+    engines[cool].admit_stream(m, t);
+}

@@ -36,8 +36,17 @@
 //!   interval, on the virtual clock.
 //! * **Reporting** — [`ServeReport`] carries aggregate throughput
 //!   (frames/s of virtual time), per-stream latency percentiles
-//!   (p50/p95/p99), ops totals, drop/reject counts, worker-seconds, and
-//!   the exact [`ScaleEvent`]/[`AdmissionEvent`] timelines.
+//!   (p50/p95/p99) with their raw samples, ops totals, drop/reject
+//!   counts, worker-seconds, and the exact
+//!   [`ScaleEvent`]/[`AdmissionEvent`] timelines.
+//! * **Sharding** — [`serve_fleet`] partitions streams across N
+//!   independent scheduler shards (a [`PartitionPolicy`]: static hash,
+//!   least-loaded, consistent-hash ring), live-rebalances them between
+//!   shards at stage-boundary suspend points with exact frame
+//!   conservation, pools refinement work fleet-wide, and merges shard
+//!   reports into a [`FleetReport`] whose percentiles are recomputed
+//!   from pooled raw samples. A 1-shard fleet is bit-identical to
+//!   [`serve`].
 //!
 //! Scheduling runs in deterministic virtual time while detector compute
 //! runs for real on the pool, so results are reproducible bit-for-bit at
@@ -63,8 +72,10 @@
 pub mod admission;
 pub mod autoscale;
 pub mod config;
+pub mod fleet;
 pub mod report;
 pub mod scheduler;
+pub mod shard;
 pub mod workload;
 
 pub use admission::{
@@ -76,11 +87,15 @@ pub use autoscale::{
     ScaleReason,
 };
 pub use config::{
-    AdmissionConfig, AdmissionKind, AutoscaleConfig, DropPolicy, ScalePolicyKind, SchedulePolicy,
-    ServeConfig,
+    AdmissionConfig, AdmissionKind, AutoscaleConfig, DropPolicy, PartitionKind, ScalePolicyKind,
+    SchedulePolicy, ServeConfig, ShardConfig,
 };
+pub use fleet::{serve_fleet, FleetRefineRecord, FleetReport};
 pub use report::{BatchRecord, BatchStage, BatchStats, LatencyStats, ServeReport, StreamReport};
 pub use scheduler::{serve, StreamSpec};
+pub use shard::{
+    build_partition, ConsistentHashRing, LeastLoaded, MigrationEvent, PartitionPolicy, StaticHash,
+};
 pub use workload::{bursty_workload, kitti_workload, mixed_workload, step_workload, BurstProfile};
 
 // Re-export the pieces callers almost always need alongside.

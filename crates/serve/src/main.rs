@@ -11,8 +11,9 @@
 //! ```
 
 use catdet_serve::{
-    bursty_workload, mixed_workload, serve, AdmissionConfig, AdmissionKind, AutoscaleConfig,
-    BurstProfile, DropPolicy, ScalePolicyKind, SchedulePolicy, ServeConfig, StreamSpec, SystemKind,
+    bursty_workload, mixed_workload, serve, serve_fleet, AdmissionConfig, AdmissionKind,
+    AutoscaleConfig, BurstProfile, DropPolicy, PartitionKind, ScalePolicyKind, SchedulePolicy,
+    ServeConfig, ShardConfig, StreamSpec, SystemKind,
 };
 
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -60,6 +61,11 @@ struct Args {
     admit_rate: f64,
     admit_burst: f64,
     watermark: usize,
+    shards: usize,
+    partition: PartitionKind,
+    rebalance_ms: f64,
+    migration_cost: usize,
+    no_fuse_across_shards: bool,
 }
 
 impl Default for Args {
@@ -86,6 +92,11 @@ impl Default for Args {
             admit_rate: 30.0,
             admit_burst: 10.0,
             watermark: 32,
+            shards: 1,
+            partition: PartitionKind::StaticHash,
+            rebalance_ms: 0.0,
+            migration_cost: 8,
+            no_fuse_across_shards: false,
         }
     }
 }
@@ -95,10 +106,17 @@ const USAGE: &str = "catdet-serve — concurrent multi-camera CaTDet serving
 USAGE:
     catdet-serve [OPTIONS]
 
-OPTIONS:
+  workload (what the fleet serves):
     --streams <N>       camera count [8]
-    --workers <N>       initial worker threads / modelled executors [4]
     --frames <N>        frames per camera [60]
+    --system <S>        catdet-a | catdet-b | cascade-a | cascade-b |
+                        single-resnet50 [catdet-a]
+    --seed <N>          workload seed [2019]
+    --workload <W>      mixed (KITTI/CityPersons fleet) | bursty
+                        (quiet/stampede arrival cycles) [mixed]
+
+  scheduler (batching, queues, backpressure — per shard):
+    --workers <N>       initial worker threads / modelled executors [4]
     --batch <N>         max frames fused per proposal micro-batch [4]
     --window-ms <MS>    batch window in milliseconds [0]
     --fuse-refinement   fuse refinement launches across streams into one
@@ -109,23 +127,32 @@ OPTIONS:
     --queue <N>         bounded per-stream queue capacity [64]
     --policy <P>        round-robin | least-backlog [round-robin]
     --drop <P>          newest | oldest (backpressure policy) [newest]
-    --system <S>        catdet-a | catdet-b | cascade-a | cascade-b |
-                        single-resnet50 [catdet-a]
-    --seed <N>          workload seed [2019]
-    --workload <W>      mixed (KITTI/CityPersons fleet) | bursty
-                        (quiet/stampede arrival cycles) [mixed]
 
-  autoscaling (feedback control on drop-rate + window p99):
+  autoscale (feedback control on drop-rate + window p99 — per shard):
     --autoscale <P>     fixed | hysteresis | proportional [fixed]
     --min-workers <N>   autoscale floor [1]
     --max-workers <N>   autoscale ceiling [8]
     --interval-ms <MS>  control-loop interval, virtual time [250]
 
-  admission control (gates arrivals before queueing):
+  admission (gates arrivals before queueing — per shard):
     --admission <P>     admit-all | token-bucket | priority [admit-all]
     --admit-rate <FPS>  token-bucket sustained rate per stream [30]
     --admit-burst <N>   token-bucket burst capacity per stream [10]
     --watermark <N>     priority: fleet backlog per shed level [32]
+
+  shard (fleet partitioning and live rebalancing):
+    --shards <N>        independent scheduler shards, each with its own
+                        worker pool / queues / control plane [1]
+    --partition <P>     static-hash | least-loaded | consistent-hash
+                        [static-hash]
+    --rebalance-interval-ms <MS>
+                        live-rebalance tick spacing, virtual time
+                        (0 disables migration) [0]
+    --migration-cost-frames <N>
+                        min backlog imbalance before a migration pays [8]
+    --no-fuse-across-shards
+                        keep refinement fusion within each shard instead
+                        of pooling work items fleet-wide [fleet-wide]
 
     -h, --help          print this help
 ";
@@ -140,6 +167,10 @@ fn parse_args() -> Result<Args, String> {
         }
         if flag == "--fuse-refinement" {
             args.fuse_refinement = true;
+            continue;
+        }
+        if flag == "--no-fuse-across-shards" {
+            args.no_fuse_across_shards = true;
             continue;
         }
         let value = it
@@ -160,6 +191,13 @@ fn parse_args() -> Result<Args, String> {
             "--admit-rate" => args.admit_rate = parse_num(&flag, &value)?,
             "--admit-burst" => args.admit_burst = parse_num(&flag, &value)?,
             "--watermark" => args.watermark = parse_num(&flag, &value)?,
+            "--shards" => args.shards = parse_num(&flag, &value)?,
+            "--rebalance-interval-ms" => args.rebalance_ms = parse_num(&flag, &value)?,
+            "--migration-cost-frames" => args.migration_cost = parse_num(&flag, &value)?,
+            "--partition" => {
+                args.partition = PartitionKind::from_name(&value)
+                    .ok_or_else(|| format!("--partition: unknown policy {value}"))?
+            }
             "--policy" => {
                 args.policy = SchedulePolicy::from_name(&value)
                     .ok_or_else(|| format!("--policy: unknown policy {value}"))?
@@ -231,6 +269,15 @@ fn parse_args() -> Result<Args, String> {
     if args.watermark == 0 {
         return Err("--watermark must be at least 1".into());
     }
+    if args.shards == 0 {
+        return Err("--shards must be at least 1".into());
+    }
+    if !args.rebalance_ms.is_finite() || args.rebalance_ms < 0.0 {
+        return Err(format!(
+            "--rebalance-interval-ms must be a finite, non-negative number (got {})",
+            args.rebalance_ms
+        ));
+    }
     Ok(args)
 }
 
@@ -276,15 +323,25 @@ fn main() {
         .with_policy(args.policy)
         .with_drop_policy(args.drop)
         .with_autoscale(autoscale)
-        .with_admission(admission);
+        .with_admission(admission)
+        .with_shard(
+            ShardConfig::sharded(args.shards)
+                .with_partition(args.partition)
+                .with_rebalance_interval_s(args.rebalance_ms / 1e3)
+                .with_migration_cost_frames(args.migration_cost)
+                .with_fuse_across_shards(!args.no_fuse_across_shards),
+        );
 
     println!(
-        "spinning up {} streams ({} frames each, {} workload), {} workers, {} scheduling, \
-         autoscale {}, admission {}, refinement fusion {}, system {}",
+        "spinning up {} streams ({} frames each, {} workload), {} shards x {} workers \
+         ({} partition), {} scheduling, autoscale {}, admission {}, refinement fusion {}, \
+         system {}",
         args.streams,
         args.frames,
         args.workload.name(),
+        args.shards,
         args.workers,
+        args.partition.name(),
         args.policy.name(),
         args.autoscale.name(),
         args.admission.name(),
@@ -301,10 +358,32 @@ fn main() {
             BurstProfile::demo(),
         ),
     };
-    let report = serve(streams, &cfg);
-    print!("{}", report.summary());
-    if !report.scale_events.is_empty() {
-        println!("scale-event timeline:");
-        print!("{}", report.scale_timeline());
+    if args.shards > 1 {
+        let report = serve_fleet(streams, &cfg);
+        print!("{}", report.summary());
+        if !report.migrations.is_empty() {
+            println!("migration timeline:");
+            print!("{}", report.migration_timeline());
+        }
+        let scale = report.scale_timeline();
+        if !scale.is_empty() {
+            println!("scale-event timeline (shard, t, change):");
+            for (shard, e) in scale {
+                println!(
+                    "  shard {shard}  t={:>8.3}s  {:>2} -> {:<2} ({})",
+                    e.t_s,
+                    e.from_workers,
+                    e.to_workers,
+                    e.reason.label()
+                );
+            }
+        }
+    } else {
+        let report = serve(streams, &cfg);
+        print!("{}", report.summary());
+        if !report.scale_events.is_empty() {
+            println!("scale-event timeline:");
+            print!("{}", report.scale_timeline());
+        }
     }
 }

@@ -24,6 +24,23 @@ pub struct LatencyStats {
 }
 
 impl LatencyStats {
+    /// Nearest-rank percentiles pooled over several sample sets — the
+    /// only correct way to aggregate latency distributions across streams
+    /// or shards. Percentiles are **not** mergeable from percentiles:
+    /// averaging two p99s can sit arbitrarily far from the pooled p99
+    /// (consider one idle stream at 1 ms and one overloaded at 1 s), which
+    /// is why [`StreamReport`] exposes its raw
+    /// [`latency_samples`](StreamReport::latency_samples) and the fleet
+    /// report merges through this function; a property test pins it to the
+    /// naive concatenate-then-rank reference.
+    pub fn merged<'a>(sample_sets: impl IntoIterator<Item = &'a [f64]>) -> Self {
+        let pooled: Vec<f64> = sample_sets
+            .into_iter()
+            .flat_map(|s| s.iter().copied())
+            .collect();
+        Self::from_samples(&pooled)
+    }
+
     /// Nearest-rank percentiles over a sample set; all-zero when empty.
     pub fn from_samples(samples: &[f64]) -> Self {
         if samples.is_empty() {
@@ -122,7 +139,8 @@ pub struct BatchRecord {
     pub worker: usize,
     /// Pipeline stage the dispatch belongs to.
     pub stage: BatchStage,
-    /// Contributing streams, in schedule order.
+    /// Contributing streams (fleet-wide ids, matching
+    /// [`StreamReport::stream_id`]), in schedule order.
     pub streams: Vec<usize>,
 }
 
@@ -149,6 +167,12 @@ pub struct StreamReport {
     pub mean_ops: OpsBreakdown,
     /// Latency distribution (completion − arrival, virtual seconds).
     pub latency: LatencyStats,
+    /// The raw latency samples behind [`latency`](StreamReport::latency),
+    /// in completion order. Kept so higher-level aggregations (the sharded
+    /// fleet's merged report) can compute pooled nearest-rank percentiles
+    /// instead of incorrectly averaging precomputed ones — see
+    /// [`LatencyStats::merged`].
+    pub latency_samples: Vec<f64>,
     /// Per-frame detections `(frame_index, detections)` in processing
     /// order — the stream's system output, used for evaluation and for
     /// state-isolation checks.
@@ -430,6 +454,7 @@ mod tests {
                 rejected: 1,
                 mean_ops: OpsBreakdown::default(),
                 latency: LatencyStats::from_samples(&[0.1, 0.2]),
+                latency_samples: vec![0.1, 0.2],
                 outputs: vec![],
             }],
         };
@@ -459,6 +484,7 @@ mod tests {
             rejected: 0,
             mean_ops: OpsBreakdown::default(),
             latency: LatencyStats::from_samples(samples),
+            latency_samples: samples.to_vec(),
             outputs: vec![],
         };
         let mut report = ServeReport {

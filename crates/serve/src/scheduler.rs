@@ -100,14 +100,18 @@ impl StreamSpec {
 /// are counted exactly: for each stream,
 /// `arrived == processed + dropped + still-queued(0 at exit)`.
 ///
+/// This is the single-scheduler entry point; a sharded fleet runs one
+/// embedded engine per shard — see [`serve_fleet`](crate::serve_fleet).
+///
 /// # Panics
 ///
 /// Panics on an invalid configuration (see [`ServeConfig::validate`]) or if
 /// a detection system panics on a worker thread.
 pub fn serve(streams: Vec<StreamSpec>, cfg: &ServeConfig) -> ServeReport {
     cfg.validate();
-    let mut engine = Engine::new(streams, cfg);
-    let report = engine.run();
+    let mut engine = Engine::new(streams, cfg, 0.0, false);
+    engine.run_until(f64::INFINITY);
+    let report = engine.finish_report();
     engine.shutdown();
     report
 }
@@ -198,7 +202,16 @@ enum WorkerState {
     },
 }
 
-struct StreamRt {
+pub(crate) struct StreamRt {
+    /// The stream's fleet-wide identity ([`StreamSource::stream_id`]): the
+    /// engine makes no assumption that it equals the local slot index, so
+    /// a shard serving an arbitrary subset of a fleet reports correctly.
+    global_id: usize,
+    /// Admission priority class (travels with the stream on migration).
+    priority: u8,
+    /// Set when the stream was migrated away to another shard; the slot
+    /// stays as an inert tombstone so local indices remain stable.
+    departed: bool,
     frames: Vec<(f64, Arc<Frame>)>,
     /// Next frame (index into `frames`) that has not yet arrived.
     next_arrival: usize,
@@ -219,6 +232,32 @@ struct StreamRt {
     outputs: Vec<(usize, Vec<catdet_metrics::Detection>)>,
 }
 
+/// A stream lifted out of one shard's engine for live migration: the
+/// complete per-stream runtime — suspended pipeline (tracker and
+/// `FrameScratch` state travel inside the boxed system), undelivered
+/// frames, queued backlog, and every accounting counter — so the target
+/// shard continues it with exact frame conservation.
+///
+/// Extraction is only possible at a **stage-boundary suspend point**: the
+/// pipeline must be parked in its slot (no stage job in flight on the
+/// thread pool, no frame waiting in a refinement fuse pool), which is
+/// precisely when all cross-frame state is consolidated in the system box.
+pub(crate) struct MigratedStream {
+    rt: StreamRt,
+}
+
+impl MigratedStream {
+    /// The stream's fleet-wide id.
+    pub(crate) fn global_id(&self) -> usize {
+        self.rt.global_id
+    }
+
+    /// Frames currently queued (the backlog the migration relocates).
+    pub(crate) fn queued(&self) -> usize {
+        self.rt.queue.len()
+    }
+}
+
 struct PlannedBatch {
     worker: usize,
     start: f64,
@@ -226,9 +265,10 @@ struct PlannedBatch {
     items: Vec<(usize, usize, f64)>,
 }
 
-/// A frame suspended at its refinement boundary, waiting in the
-/// fleet-wide fuse pool for a shared dispatch.
-struct PendingRefine {
+/// A frame suspended at its refinement boundary, waiting in a fuse pool
+/// for a shared dispatch (the engine's own pool, or — in a sharded fleet
+/// with cross-shard fusion — the fleet-level pool spanning engines).
+pub(crate) struct PendingRefine {
     stream: usize,
     /// Worker slot whose batch this frame came from (held open until the
     /// dispatch completes).
@@ -243,8 +283,32 @@ struct PendingRefine {
     system: Box<dyn StagedDetector>,
 }
 
-struct Engine {
+impl PendingRefine {
+    /// Priced MACs of the pending refinement launch.
+    pub(crate) fn macs(&self) -> f64 {
+        self.work.macs
+    }
+
+    /// Local stream slot within the owning engine.
+    pub(crate) fn stream(&self) -> usize {
+        self.stream
+    }
+}
+
+/// The embeddable per-shard scheduler: one virtual-time event loop over
+/// one worker pool. [`serve`] runs a single engine to completion;
+/// [`serve_fleet`](crate::serve_fleet) runs one per shard, advancing them
+/// in lock-step epochs via [`run_until`](Engine::run_until) and moving
+/// streams between them with [`extract_stream`](Engine::extract_stream) /
+/// [`admit_stream`](Engine::admit_stream).
+pub(crate) struct Engine {
     cfg: ServeConfig,
+    /// The engine's own virtual clock (injected at construction, advanced
+    /// only by [`run_until`] / [`advance_clock_to`](Engine::advance_clock_to)).
+    clock: f64,
+    /// When set, the engine never fires its refinement fuse pool itself:
+    /// a fleet coordinator drains it across shards (cross-shard fusion).
+    external_refine: bool,
     streams: Vec<StreamRt>,
     /// Worker slots, sized for the autoscale ceiling; only the first
     /// `active_workers` are eligible for new batches, but slots beyond
@@ -309,16 +373,24 @@ struct Engine {
     chosen_buf: Vec<usize>,
 }
 
-const EPS: f64 = 1e-9;
+pub(crate) const EPS: f64 = 1e-9;
 
 impl Engine {
-    fn new(specs: Vec<StreamSpec>, cfg: &ServeConfig) -> Self {
+    pub(crate) fn new(
+        specs: Vec<StreamSpec>,
+        cfg: &ServeConfig,
+        start_clock: f64,
+        external_refine: bool,
+    ) -> Self {
         let priorities: Vec<u8> = specs.iter().map(|spec| spec.priority).collect();
         let streams: Vec<StreamRt> = specs
             .into_iter()
             .map(|spec| {
                 let system = spec.factory.build_staged();
                 StreamRt {
+                    global_id: spec.source.stream_id,
+                    priority: spec.priority,
+                    departed: false,
                     system_name: system.name(),
                     frames: spec
                         .source
@@ -399,6 +471,8 @@ impl Engine {
 
         Self {
             streams,
+            clock: start_clock,
+            external_refine,
             workers: (0..slots).map(|_| WorkerState::Idle).collect(),
             active_workers,
             rr_cursor: 0,
@@ -412,7 +486,7 @@ impl Engine {
             admission,
             priorities,
             next_control_s: if autoscaling {
-                cfg.autoscale.control_interval_s
+                start_clock + cfg.autoscale.control_interval_s
             } else {
                 f64::INFINITY
             },
@@ -435,29 +509,167 @@ impl Engine {
         }
     }
 
-    fn run(&mut self) -> ServeReport {
-        let mut now = 0.0_f64;
+    /// Integrates provisioned-worker time over `[from, to]`. Draining
+    /// slots stop exactly at their batch's `until`, which is itself an
+    /// event, so the count is constant over the span and the integral is
+    /// exact.
+    fn accrue_workers(&mut self, from: f64, to: f64) {
+        let draining = self.workers[self.active_workers..]
+            .iter()
+            .filter(|w| matches!(w, WorkerState::Busy { .. }))
+            .count();
+        self.worker_seconds += (self.active_workers + draining) as f64 * (to - from);
+    }
+
+    /// Advances the event loop through every event at or before `limit`,
+    /// leaving the clock at `min(limit, time the work ran out)`. Returns
+    /// whether work remains beyond the limit.
+    ///
+    /// Passing `f64::INFINITY` runs to completion (the [`serve`] path —
+    /// one call, bit-identical to the historical monolithic loop). A fleet
+    /// passes its next coordination point (rebalance tick or cross-shard
+    /// refinement deadline): between events nothing changes state, so
+    /// stopping at a non-event instant and re-entering later is exact.
+    pub(crate) fn run_until(&mut self, limit: f64) -> bool {
         loop {
+            let now = self.clock;
             self.ingest_arrivals(now);
             self.control_ticks(now);
             self.step_workers(now);
-            self.fire_refinements(now);
+            if !self.external_refine {
+                self.fire_refinements(now);
+            }
             match self.next_event(now) {
-                Some(t) => {
-                    // Draining slots stop exactly at their batch's `until`,
-                    // which is itself an event, so the count is constant
-                    // over [now, t] and the integral is exact.
-                    let draining = self.workers[self.active_workers..]
-                        .iter()
-                        .filter(|w| matches!(w, WorkerState::Busy { .. }))
-                        .count();
-                    self.worker_seconds += (self.active_workers + draining) as f64 * (t - now);
-                    now = t;
+                Some(t) if t <= limit => {
+                    self.accrue_workers(now, t);
+                    self.clock = t;
                 }
-                None => break,
+                Some(_) => {
+                    if limit.is_finite() && limit > now {
+                        self.accrue_workers(now, limit);
+                        self.clock = limit;
+                    }
+                    return true;
+                }
+                None => return false,
             }
         }
-        self.finish_report()
+    }
+
+    /// Jumps a drained engine's clock forward to the fleet's current time
+    /// (no worker-seconds accrue: the engine had no work, matching the
+    /// monolithic loop's untimed tail). Used before re-admitting a
+    /// migrated stream so its frames are never processed "in the past".
+    pub(crate) fn advance_clock_to(&mut self, t: f64) {
+        self.clock = self.clock.max(t);
+    }
+
+    /// The engine's next event time (`None` when fully drained), from the
+    /// perspective of a fleet choosing its next coordination point.
+    pub(crate) fn next_event_time(&self) -> Option<f64> {
+        self.next_event(self.clock)
+    }
+
+    /// Earliest refinement fuse-pool deadline (`INFINITY` when empty).
+    pub(crate) fn refine_deadline(&self) -> f64 {
+        self.refine_pending
+            .iter()
+            .map(|p| p.deadline_s)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Removes and returns every fuse-pool frame ready by `due` (the
+    /// extraction half of [`fire_refinements`], for a fleet-level fused
+    /// dispatch spanning shards).
+    pub(crate) fn take_ready_refinements(&mut self, due: f64) -> Vec<PendingRefine> {
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < self.refine_pending.len() {
+            if self.refine_pending[i].ready_s <= due + EPS {
+                out.push(self.refine_pending.remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        out
+    }
+
+    /// The fleet-wide id of a local stream slot.
+    pub(crate) fn global_stream_id(&self, local: usize) -> usize {
+        self.streams[local].global_id
+    }
+
+    /// Queued frames across this engine's live streams (the rebalancer's
+    /// load signal).
+    pub(crate) fn backlog(&self) -> usize {
+        self.total_queued
+    }
+
+    /// Local slots of streams that can migrate right now: live, with
+    /// their pipeline parked in its slot (a stage-boundary suspend point —
+    /// no job on the pool, no frame in a fuse pool).
+    pub(crate) fn migratable_streams(&self) -> impl Iterator<Item = usize> + '_ {
+        self.streams
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !s.departed && s.system.is_some())
+            .filter(|(_, s)| {
+                // Still worth moving: the stream must have any future at all.
+                !s.queue.is_empty() || s.next_arrival < s.frames.len()
+            })
+            .map(|(i, _)| i)
+    }
+
+    /// Queue length of a local stream slot.
+    pub(crate) fn stream_backlog(&self, local: usize) -> usize {
+        self.streams[local].queue.len()
+    }
+
+    /// Lifts a stream out of this engine for migration, leaving an inert
+    /// tombstone in its slot. Returns `None` if the stream is not at a
+    /// suspend point (stage job in flight or frame in a fuse pool) — the
+    /// rebalancer simply tries again at the next tick.
+    pub(crate) fn extract_stream(&mut self, local: usize) -> Option<MigratedStream> {
+        let s = &mut self.streams[local];
+        if s.departed || s.system.is_none() {
+            return None;
+        }
+        let tombstone = StreamRt {
+            global_id: s.global_id,
+            priority: s.priority,
+            departed: true,
+            frames: Vec::new(),
+            next_arrival: 0,
+            queue: VecDeque::new(),
+            system: None,
+            busy_until: 0.0,
+            system_name: String::new(),
+            arrived: 0,
+            processed: 0,
+            dropped: 0,
+            rejected: 0,
+            latencies: Vec::new(),
+            ops: OpsBreakdown::default(),
+            outputs: Vec::new(),
+        };
+        let rt = std::mem::replace(s, tombstone);
+        self.total_queued -= rt.queue.len();
+        Some(MigratedStream { rt })
+    }
+
+    /// Re-admits a migrated stream into this engine at fleet time `now`:
+    /// the stream keeps its global id, suspended pipeline, queued backlog
+    /// and all accounting; per-stream admission state (token-bucket fill)
+    /// restarts on the target shard. Exactly the frames that were queued
+    /// or not yet arrived on the source shard remain to be served here,
+    /// so fleet conservation is preserved by construction.
+    pub(crate) fn admit_stream(&mut self, m: MigratedStream, now: f64) {
+        self.advance_clock_to(now);
+        let rt = m.rt;
+        self.total_queued += rt.queue.len();
+        self.priorities.push(rt.priority);
+        self.admission.on_stream_added(rt.priority);
+        self.streams.push(rt);
     }
 
     /// Fires every control tick due by `now`: samples the window, asks the
@@ -545,9 +757,11 @@ impl Engine {
                     s.dropped += 1;
                     s.rejected += 1;
                     self.win_shed += 1;
+                    // Events are report surface: they carry the fleet-wide
+                    // id, like every other per-stream figure.
                     self.admission_events.push(AdmissionEvent {
                         t_s: arrival_s,
-                        stream: i,
+                        stream: self.streams[i].global_id,
                         reason,
                     });
                     continue;
@@ -810,7 +1024,11 @@ impl Engine {
                 t_s: batch.start,
                 worker: batch.worker,
                 stage: BatchStage::Proposal,
-                streams: batch.items.iter().map(|&(stream, _, _)| stream).collect(),
+                streams: batch
+                    .items
+                    .iter()
+                    .map(|&(stream, _, _)| self.streams[stream].global_id)
+                    .collect(),
             });
             let size = batch.items.len();
             self.batch_stats.batches += 1;
@@ -862,24 +1080,12 @@ impl Engine {
     /// batches and across workers.
     fn fire_refinements(&mut self, now: f64) {
         loop {
-            let due = self
-                .refine_pending
-                .iter()
-                .map(|p| p.deadline_s)
-                .fold(f64::INFINITY, f64::min);
+            let due = self.refine_deadline();
             if due > now + EPS {
                 return;
             }
             let td = due;
-            let mut dispatch = Vec::new();
-            let mut i = 0;
-            while i < self.refine_pending.len() {
-                if self.refine_pending[i].ready_s <= td + EPS {
-                    dispatch.push(self.refine_pending.remove(i));
-                } else {
-                    i += 1;
-                }
-            }
+            let dispatch = self.take_ready_refinements(td);
             debug_assert!(!dispatch.is_empty(), "deadline fired with nothing ready");
 
             // One fused launch over the summed workload (only frames with
@@ -891,57 +1097,90 @@ impl Engine {
             let launched: Vec<usize> = dispatch.iter().map(|p| p.stream).collect();
             let opened_by = dispatch[0].worker;
             self.record_refinement_dispatch(td, opened_by, &launched, launched.len() - 1);
-
-            // Resume every suspended frame for real, then book completions:
-            // the dispatch returns at `td + gpu`, after which each stream's
-            // own post-processing (frame handling + tracker CPU) runs in
-            // parallel across streams.
-            let t = self.cfg.timing;
-            let mut jobs = std::mem::take(&mut self.job_buf);
-            jobs.clear();
-            jobs.extend(dispatch.iter_mut().map(|p| Job {
-                stream: p.stream,
-                kind: JobKind::Refine { work: p.work },
-                system: std::mem::replace(
-                    &mut p.system,
-                    Box::new(PlaceholderSystem) as Box<dyn StagedDetector>,
-                ),
-            }));
-            let mut finished = self.run_stage_jobs(&mut jobs);
-            self.job_buf = jobs;
-            let mut worker_done: Vec<(usize, f64)> = Vec::new();
-            for p in dispatch {
-                let (system, outcome) = finished[p.stream]
-                    .take()
-                    .expect("refinement result collected");
-                let StageOutcome::Done(out) = outcome else {
-                    panic!("stream {} refinement did not finish its frame", p.stream);
-                };
-                let completion = td + gpu + t.frame_overhead_s + t.tracker_overhead_s;
-                self.complete_frame(p.stream, p.frame_idx, p.arrival_s, completion, system, out);
-                worker_done.push((p.worker, completion));
-            }
-            self.return_result_buf(finished);
-
-            // Release every worker whose held batch fully dispatched: it
-            // stays busy until the last of its frames completes, whether
-            // that frame rode this dispatch or was priced per-frame on
-            // the worker's own timeline (the hold floor).
-            for &(w, _) in &worker_done {
-                if self.refine_pending.iter().any(|p| p.worker == w) {
-                    continue; // still holding frames for a later dispatch
-                }
-                let until = worker_done
-                    .iter()
-                    .filter(|&&(worker, _)| worker == w)
-                    .map(|&(_, c)| c)
-                    .fold(self.hold_floor[w], f64::max);
-                self.hold_floor[w] = 0.0;
-                self.workers[w] = WorkerState::Busy { until };
-            }
+            self.resume_refinements(td, gpu, dispatch);
         }
     }
 
+    /// Resumes the frames of one fused refinement dispatch (priced at `td`
+    /// with a shared launch of `gpu` virtual seconds) for real, books
+    /// completions, and releases the workers whose held batches fully
+    /// dispatched.
+    ///
+    /// Shared by the engine's own [`fire_refinements`](Self::fire_refinements)
+    /// and, through [`complete_external_refinement`], the fleet's
+    /// cross-shard dispatches — a shard executes and books its own frames;
+    /// only the launch pricing is shared fleet-wide.
+    ///
+    /// [`complete_external_refinement`]: Self::complete_external_refinement
+    fn resume_refinements(&mut self, td: f64, gpu: f64, mut dispatch: Vec<PendingRefine>) {
+        // Resume every suspended frame for real, then book completions:
+        // the dispatch returns at `td + gpu`, after which each stream's
+        // own post-processing (frame handling + tracker CPU) runs in
+        // parallel across streams.
+        let t = self.cfg.timing;
+        let mut jobs = std::mem::take(&mut self.job_buf);
+        jobs.clear();
+        jobs.extend(dispatch.iter_mut().map(|p| Job {
+            stream: p.stream,
+            kind: JobKind::Refine { work: p.work },
+            system: std::mem::replace(
+                &mut p.system,
+                Box::new(PlaceholderSystem) as Box<dyn StagedDetector>,
+            ),
+        }));
+        let mut finished = self.run_stage_jobs(&mut jobs);
+        self.job_buf = jobs;
+        let mut worker_done: Vec<(usize, f64)> = Vec::new();
+        for p in dispatch {
+            let (system, outcome) = finished[p.stream]
+                .take()
+                .expect("refinement result collected");
+            let StageOutcome::Done(out) = outcome else {
+                panic!("stream {} refinement did not finish its frame", p.stream);
+            };
+            let completion = td + gpu + t.frame_overhead_s + t.tracker_overhead_s;
+            self.complete_frame(p.stream, p.frame_idx, p.arrival_s, completion, system, out);
+            worker_done.push((p.worker, completion));
+        }
+        self.return_result_buf(finished);
+
+        // Release every worker whose held batch fully dispatched: it
+        // stays busy until the last of its frames completes, whether
+        // that frame rode this dispatch or was priced per-frame on
+        // the worker's own timeline (the hold floor).
+        for &(w, _) in &worker_done {
+            if self.refine_pending.iter().any(|p| p.worker == w) {
+                continue; // still holding frames for a later dispatch
+            }
+            let until = worker_done
+                .iter()
+                .filter(|&&(worker, _)| worker == w)
+                .map(|&(_, c)| c)
+                .fold(self.hold_floor[w], f64::max);
+            self.hold_floor[w] = 0.0;
+            self.workers[w] = WorkerState::Busy { until };
+        }
+    }
+
+    /// Executes this engine's share of a fleet-level fused refinement
+    /// dispatch: the frames in `dispatch` were lifted from this engine's
+    /// fuse pool by [`take_ready_refinements`](Self::take_ready_refinements);
+    /// the shared launch (priced fleet-wide from the MACs of **all**
+    /// contributing shards) returns at `td + gpu`. The fleet accounts the
+    /// launch's GPU time and batch statistics once, fleet-level — only
+    /// per-frame completions and worker releases happen here.
+    pub(crate) fn complete_external_refinement(
+        &mut self,
+        td: f64,
+        gpu: f64,
+        dispatch: Vec<PendingRefine>,
+    ) {
+        debug_assert!(self.external_refine, "external dispatch on internal engine");
+        self.resume_refinements(td, gpu, dispatch);
+    }
+
+    /// Records one refinement dispatch; `streams` are local slots, logged
+    /// under their fleet-wide ids.
     fn record_refinement_dispatch(
         &mut self,
         t_s: f64,
@@ -958,7 +1197,7 @@ impl Engine {
             t_s,
             worker,
             stage: BatchStage::Refinement,
-            streams: streams.to_vec(),
+            streams: streams.iter().map(|&s| self.streams[s].global_id).collect(),
         });
     }
 
@@ -981,7 +1220,10 @@ impl Engine {
         self.streams
             .iter()
             .filter(|s| {
-                !s.queue.is_empty() || s.next_arrival < s.frames.len() || s.system.is_none()
+                !s.departed
+                    && (!s.queue.is_empty()
+                        || s.next_arrival < s.frames.len()
+                        || s.system.is_none())
             })
             .count()
     }
@@ -1058,13 +1300,13 @@ impl Engine {
         // Control ticks keep firing while work remains (`INFINITY` when
         // autoscaling is off, so they never steer the fixed-policy loop).
         next = next.min(self.next_control_s);
-        let work_left =
-            self.streams.iter().any(|s| {
-                s.next_arrival < s.frames.len() || !s.queue.is_empty() || s.system.is_none()
-            }) || self
-                .workers
-                .iter()
-                .any(|w| matches!(w, WorkerState::Busy { .. }));
+        let work_left = self.streams.iter().any(|s| {
+            !s.departed
+                && (s.next_arrival < s.frames.len() || !s.queue.is_empty() || s.system.is_none())
+        }) || self
+            .workers
+            .iter()
+            .any(|w| matches!(w, WorkerState::Busy { .. }));
         if !work_left {
             return None;
         }
@@ -1076,7 +1318,7 @@ impl Engine {
         Some(next.max(now + EPS))
     }
 
-    fn finish_report(&mut self) -> ServeReport {
+    pub(crate) fn finish_report(&mut self) -> ServeReport {
         let mut total_ops = OpsBreakdown::default();
         let mut arrived = 0;
         let mut processed = 0;
@@ -1085,16 +1327,20 @@ impl Engine {
         let streams: Vec<StreamReport> = self
             .streams
             .iter_mut()
-            .enumerate()
-            .map(|(id, s)| {
-                assert!(s.queue.is_empty(), "stream {id} exited with queued frames");
+            .filter(|s| !s.departed)
+            .map(|s| {
+                assert!(
+                    s.queue.is_empty(),
+                    "stream {} exited with queued frames",
+                    s.global_id
+                );
                 total_ops.accumulate(&s.ops);
                 arrived += s.arrived;
                 processed += s.processed;
                 dropped += s.dropped;
                 rejected += s.rejected;
                 StreamReport {
-                    stream_id: id,
+                    stream_id: s.global_id,
                     system_name: s.system_name.clone(),
                     arrived: s.arrived,
                     processed: s.processed,
@@ -1102,6 +1348,7 @@ impl Engine {
                     rejected: s.rejected,
                     mean_ops: s.ops.scaled(s.processed.max(1) as f64),
                     latency: LatencyStats::from_samples(&s.latencies),
+                    latency_samples: std::mem::take(&mut s.latencies),
                     outputs: std::mem::take(&mut s.outputs),
                 }
             })
@@ -1129,7 +1376,7 @@ impl Engine {
         }
     }
 
-    fn shutdown(&mut self) {
+    pub(crate) fn shutdown(&mut self) {
         drop(self.job_tx.take());
         for handle in self.pool.drain(..) {
             let _ = handle.join();

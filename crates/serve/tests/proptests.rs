@@ -62,6 +62,30 @@ proptest! {
         prop_assert!(stats.mean_s <= stats.max_s);
     }
 
+    /// The fleet's merge path: pooling raw sample sets through
+    /// `LatencyStats::merged` must equal computing nearest-rank stats over
+    /// the naive concatenation — and, sample for sample, the independent
+    /// counting reference. This is what makes exposing raw
+    /// `latency_samples` (instead of only precomputed percentiles) safe:
+    /// the merged figure can never silently degenerate into an average of
+    /// per-shard percentiles.
+    #[test]
+    fn merged_percentiles_match_naive_pooled_reference(
+        sample_sets in proptest::collection::vec(
+            proptest::collection::vec(0.0f64..100.0, 0..40),
+            1..6,
+        ),
+    ) {
+        let merged = LatencyStats::merged(sample_sets.iter().map(Vec::as_slice));
+        let pooled: Vec<f64> = sample_sets.iter().flatten().copied().collect();
+        prop_assert_eq!(merged, LatencyStats::from_samples(&pooled));
+        if !pooled.is_empty() {
+            prop_assert_eq!(merged.p50_s, naive_nearest_rank(&pooled, 0.50));
+            prop_assert_eq!(merged.p95_s, naive_nearest_rank(&pooled, 0.95));
+            prop_assert_eq!(merged.p99_s, naive_nearest_rank(&pooled, 0.99));
+        }
+    }
+
     #[test]
     fn mean_and_max_agree_with_direct_folds(
         samples in proptest::collection::vec(0.0f64..50.0, 1..60),

@@ -48,4 +48,4 @@ pub mod tracker;
 pub use config::{AssocBackend, MotionModelKind, TrackerConfig};
 pub use kalman::Kalman1d;
 pub use motion::MotionState;
-pub use tracker::{Track, TrackDetection, TrackPrediction, Tracker};
+pub use tracker::{Track, TrackDetection, TrackPrediction, Tracker, TrackerState};

@@ -322,6 +322,35 @@ fn associate_class<C: Copy>(
     }
 }
 
+/// The complete portable state of a [`Tracker`], as produced by
+/// [`Tracker::export_state`] and consumed by [`Tracker::import_state`].
+///
+/// This is everything a tracker carries between frames — the live tracks
+/// (identity, confidence counters, full motion state) and the id
+/// allocator. Scratch buffers are deliberately excluded: they hold no
+/// cross-frame information, so a migrated tracker re-grows them on its
+/// first frame and continues **bit-identically** to one that never moved.
+///
+/// The in-process sharded fleet migrates a stream by relocating its whole
+/// boxed pipeline (this state travels inside it untouched); this explicit
+/// export/import form exists for the cross-process/cross-host sharding
+/// step, where tracker state must leave the address space — the
+/// bit-exact-continuation tests pin exactly the property that wire
+/// transfer will rely on. All fields are plain data (the motion state
+/// already derives the serde traits); the struct itself stays generic
+/// over the class label, which the vendored serde stand-in's derive
+/// cannot express — wire formats serialize the concrete instantiation
+/// instead.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrackerState<C> {
+    /// Live tracks, in the tracker's iteration order (order matters:
+    /// association and output filters walk tracks in this order).
+    pub tracks: Vec<Track<C>>,
+    /// Next track id to allocate; preserved so ids stay unique across a
+    /// migration exactly as they do across [`Tracker::reset`].
+    pub next_id: u64,
+}
+
 /// Multi-object tracker generic over the class label type.
 #[derive(Debug, Clone)]
 pub struct Tracker<C> {
@@ -356,6 +385,32 @@ impl<C: Copy + Eq + Ord + Hash + Debug> Tracker<C> {
     pub fn reset(&mut self) {
         self.tracks.clear();
         // Track ids keep increasing across sequences so they stay unique.
+    }
+
+    /// Exports the tracker's complete cross-frame state for migration.
+    ///
+    /// The returned [`TrackerState`] round-trips bit-exactly: importing it
+    /// into any tracker with the same configuration (fresh or previously
+    /// used) yields identical behaviour on every subsequent frame — the
+    /// property the serving fleet's live stream migration relies on.
+    pub fn export_state(&self) -> TrackerState<C>
+    where
+        C: Clone,
+    {
+        TrackerState {
+            tracks: self.tracks.clone(),
+            next_id: self.next_id,
+        }
+    }
+
+    /// Replaces the tracker's cross-frame state with an exported snapshot
+    /// (the receiving half of a migration). The configuration is **not**
+    /// part of the state — caller must ensure both sides run the same
+    /// [`TrackerConfig`], as a sharded fleet building every pipeline from
+    /// one factory does by construction.
+    pub fn import_state(&mut self, state: TrackerState<C>) {
+        self.tracks = state.tracks;
+        self.next_id = state.next_id;
     }
 
     /// Processes one frame of detections: associates per class, updates
@@ -882,6 +937,86 @@ mod tests {
         let mut regions = Vec::new();
         t.predicted_regions_into(W, H, &mut regions);
         assert_eq!(regions, preds.iter().map(|p| p.bbox).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn exported_state_round_trips_bit_exactly() {
+        let mut original = tracker();
+        for i in 0..8 {
+            original.update(&[
+                det(100.0 + 5.0 * i as f32, 100.0, 40.0, 30.0, 0),
+                det(400.0 - 3.0 * i as f32, 150.0, 50.0, 35.0, 1),
+            ]);
+        }
+        // Import into a dirty tracker (stale tracks, diverged id counter):
+        // import must fully replace its cross-frame state.
+        let mut migrated = tracker();
+        for _ in 0..4 {
+            migrated.update(&[det(700.0, 200.0, 30.0, 30.0, 0)]);
+        }
+        migrated.import_state(original.export_state());
+        assert_eq!(migrated.tracks(), original.tracks());
+        for i in 8..20 {
+            let dets = [
+                det(100.0 + 5.0 * i as f32, 100.0, 40.0, 30.0, 0),
+                det(400.0 - 3.0 * i as f32, 150.0, 50.0, 35.0, 1),
+                det(50.0 * (i % 5) as f32 + 10.0, 250.0, 40.0, 30.0, 0),
+            ];
+            original.update(&dets);
+            migrated.update(&dets);
+            assert_eq!(
+                migrated.tracks(),
+                original.tracks(),
+                "diverged at frame {i} after state migration"
+            );
+        }
+        // New tracks on the migrated side keep allocating unique ids.
+        assert_eq!(
+            migrated.export_state().next_id,
+            original.export_state().next_id
+        );
+    }
+
+    proptest! {
+        /// Random clutter, random migration point: exporting mid-sequence
+        /// and importing into a fresh tracker continues bit-identically.
+        #[test]
+        fn prop_state_round_trip_continues_bit_identically(
+            frames in proptest::collection::vec(
+                proptest::collection::vec(
+                    (0.0f32..1200.0, 0.0f32..350.0, 5.0f32..80.0, 5.0f32..60.0,
+                     0.3f32..1.0, 0u32..3),
+                    0..20),
+                2..10),
+            cut_at in 0usize..9,
+        ) {
+            let to_dets = |raw: &Vec<(f32, f32, f32, f32, f32, u32)>| {
+                raw.iter()
+                    .map(|&(x, y, w, h, score, class)| TrackDetection {
+                        bbox: Box2::from_xywh(x, y, w, h),
+                        score,
+                        class,
+                    })
+                    .collect::<Vec<_>>()
+            };
+            let cut = cut_at.min(frames.len() - 1);
+            let mut reference = tracker();
+            let mut source = tracker();
+            for raw in &frames[..cut] {
+                let dets = to_dets(raw);
+                reference.update(&dets);
+                source.update(&dets);
+            }
+            let mut migrated = tracker();
+            migrated.import_state(source.export_state());
+            prop_assert_eq!(migrated.tracks(), reference.tracks());
+            for raw in &frames[cut..] {
+                let dets = to_dets(raw);
+                reference.update(&dets);
+                migrated.update(&dets);
+                prop_assert_eq!(migrated.tracks(), reference.tracks());
+            }
+        }
     }
 
     #[test]

@@ -83,6 +83,83 @@ fn kalman_is_competitive_with_decay() {
     assert!(kalman > 0.5, "Kalman mean prediction IoU {kalman:.3}");
 }
 
+/// Runs a preset CaTDet pipeline over a dataset, feeding its per-frame
+/// tracker inputs (refined detections above T-thresh, exactly what
+/// `CaTDetSystem` hands its own tracker) to a reference tracker and to a
+/// tracker that is export/import-migrated at `cut`. Both must stay
+/// bit-identical on every frame after the migration.
+fn assert_migrated_tracker_continues(
+    kind: catdet::SystemKind,
+    width: f32,
+    height: f32,
+    cut: usize,
+) {
+    use catdet::core::{PresetFactory, SystemFactory};
+    let ds = if width > 1500.0 {
+        catdet::data::citypersons_like()
+            .sequences(1)
+            .frames_per_sequence(40)
+            .build()
+    } else {
+        kitti_like().sequences(1).frames_per_sequence(60).build()
+    };
+    let mut system = PresetFactory::new(kind, width, height).build();
+    let mut reference: Tracker<ActorClass> =
+        Tracker::new(TrackerConfig::paper().with_input_threshold(0.5));
+    let mut migrated: Tracker<ActorClass> =
+        Tracker::new(TrackerConfig::paper().with_input_threshold(0.5));
+    for (i, frame) in ds.sequences()[0].frames().iter().enumerate() {
+        if i == cut {
+            // Simulate the fleet's live migration: serialize the tracker
+            // state out of the "source shard" tracker and re-admit it into
+            // a fresh one; from here on only the migrated copy is driven.
+            let state = reference.export_state();
+            let mut fresh: Tracker<ActorClass> =
+                Tracker::new(TrackerConfig::paper().with_input_threshold(0.5));
+            fresh.import_state(state);
+            migrated = fresh;
+        }
+        let dets: Vec<TrackDetection<ActorClass>> = system
+            .process_frame(frame)
+            .detections
+            .iter()
+            .map(|d| TrackDetection {
+                bbox: d.bbox,
+                score: d.score,
+                class: d.class,
+            })
+            .collect();
+        reference.update(&dets);
+        if i >= cut {
+            migrated.update(&dets);
+            assert_eq!(
+                migrated.tracks(),
+                reference.tracks(),
+                "migrated tracker diverged at frame {i}"
+            );
+            assert_eq!(
+                migrated.predictions(width, height),
+                reference.predictions(width, height),
+                "migrated predictions diverged at frame {i}"
+            );
+        }
+    }
+    assert!(
+        !reference.tracks().is_empty(),
+        "test must end with live tracks to be meaningful"
+    );
+}
+
+#[test]
+fn migrated_tracker_state_continues_bit_identically_on_kitti() {
+    assert_migrated_tracker_continues(catdet::SystemKind::CatdetA, 1242.0, 375.0, 25);
+}
+
+#[test]
+fn migrated_tracker_state_continues_bit_identically_on_citypersons() {
+    assert_migrated_tracker_continues(catdet::SystemKind::CatdetB, 2048.0, 1024.0, 15);
+}
+
 #[test]
 fn tracker_identity_follows_objects_through_sim() {
     // Track identities from detections must be stable over long windows.

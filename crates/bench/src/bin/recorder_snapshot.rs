@@ -1,0 +1,314 @@
+//! Recorder overhead snapshot: wall-clock cost of flight recording on a
+//! sharded fleet run, written to `BENCH_PR6.json` at the repo root.
+//!
+//! ```text
+//! cargo run --release -p catdet-bench --bin recorder_snapshot          # measure + write
+//! cargo run --release -p catdet-bench --bin recorder_snapshot -- \
+//!     --check BENCH_PR6.json                                           # measure + regression-gate
+//! CATDET_BENCH_QUICK=1 ... recorder_snapshot                           # CI smoke sizes
+//! ```
+//!
+//! The recorder's contract is two-sided: it must not *perturb* the run
+//! (recorded and unrecorded reports are bit-identical — asserted here on
+//! every measurement), and it must not meaningfully *slow* it. Wall time
+//! is machine-dependent, so each arm takes the minimum over many short
+//! interleaved repetitions (run until both minima stop improving), and
+//! gated invocations re-measure up to twice before failing; the
+//! virtual-time figures and the store's encoded size are deterministic.
+//!
+//! `--check <baseline.json>`: after measuring, fail (exit 1) if recording
+//! overhead exceeds the 5% budget, or if the store's encoded bytes per
+//! event grew more than 50% over the recorded baseline (a codec
+//! regression; the figure is deterministic per mode).
+
+use catdet_serve::{
+    bursty_workload, serve_fleet, serve_fleet_with_recorder, BurstProfile, ServeConfig,
+    ShardConfig, SharedRecorder, StreamSpec, SystemKind,
+};
+use serde::Serialize;
+use std::time::Instant;
+
+/// The overhead budget recording must stay within, in percent.
+const OVERHEAD_BUDGET_PCT: f64 = 5.0;
+
+#[derive(Debug, Clone, Serialize)]
+struct RecorderSnapshot {
+    schema: String,
+    quick: bool,
+    streams: usize,
+    frames_per_stream: usize,
+    repetitions: usize,
+    /// Fastest unrecorded run, wall seconds (machine-dependent).
+    unrecorded_wall_s: f64,
+    /// Fastest fully-recorded run (snapshots included), wall seconds.
+    recorded_wall_s: f64,
+    /// `(recorded_wall_s / unrecorded_wall_s - 1) * 100` over the two
+    /// arms' fastest runs — the figure the CI gate watches. External noise
+    /// only ever slows a run down, so the minimum over many short
+    /// alternating runs estimates each arm's true floor and their ratio
+    /// the true overhead.
+    overhead_pct: f64,
+    /// Whether every recorded run's report was bit-identical to the
+    /// unrecorded reference (must be true).
+    reports_identical: bool,
+    /// Events booked by one recorded run (deterministic per mode).
+    events: usize,
+    /// Snapshots captured by one recorded run.
+    snapshots: usize,
+    /// Encoded store size of one recorded run, bytes.
+    encoded_bytes: usize,
+    /// `encoded_bytes / events` — the codec-efficiency figure the gate
+    /// watches against the baseline.
+    bytes_per_event: f64,
+}
+
+fn quick_mode() -> bool {
+    std::env::var_os("CATDET_BENCH_QUICK").is_some_and(|v| v != "0" && !v.is_empty())
+}
+
+fn scale() -> (usize, usize, usize, usize) {
+    // (streams, frames per stream, min reps, max reps per arm). Many short
+    // runs beat few long ones on shared hosts: a short run is far more
+    // likely to land wholly inside a quiet slice, so each arm's minimum
+    // converges to its true noise-free floor. The rep count is adaptive —
+    // see STABLE_REPS. Quick mode keeps the run shape (shrinking a run
+    // stops amortizing per-run recorder setup and inflates the relative
+    // overhead) and economizes on repetitions instead.
+    if quick_mode() {
+        (16, 120, 9, 48)
+    } else {
+        (16, 120, 15, 80)
+    }
+}
+
+/// Stop once neither arm's minimum has improved (by more than 0.5%) for
+/// this many consecutive repetitions — the floors have converged. A noise
+/// burst covering a whole fixed-size rep budget would otherwise inflate
+/// one arm's minimum; running until convergence rides the burst out.
+const STABLE_REPS: usize = 8;
+
+fn workload(streams: usize, frames: usize) -> Vec<StreamSpec> {
+    bursty_workload(
+        streams,
+        frames,
+        2019,
+        SystemKind::CatdetA,
+        BurstProfile::demo(),
+    )
+}
+
+fn config() -> ServeConfig {
+    ServeConfig::new()
+        .with_workers(1)
+        .with_max_batch(4)
+        .with_queue_capacity(10_000)
+        .with_shard(
+            ShardConfig::sharded(4)
+                .with_rebalance_interval_s(0.1)
+                .with_migration_cost_frames(4),
+        )
+}
+
+/// Pulls `"field": <number>` out of our own snapshot JSON (the vendored
+/// serde stack has no deserializer; the format is ours and stable).
+fn extract_number(json: &str, field: &str) -> Option<f64> {
+    let f = json.find(&format!("\"{field}\""))?;
+    let tail = &json[f..];
+    let colon = tail.find(':')?;
+    let rest = tail[colon + 1..].trim_start();
+    let end = rest
+        .find(|c: char| {
+            !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E' || c == '+')
+        })
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn extract_bool(json: &str, field: &str) -> Option<bool> {
+    let f = json.find(&format!("\"{field}\""))?;
+    let tail = &json[f..];
+    let colon = tail.find(':')?;
+    Some(tail[colon + 1..].trim_start().starts_with("true"))
+}
+
+fn check_against(path: &str, snapshot: &RecorderSnapshot) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    if !snapshot.reports_identical {
+        return Err("recording perturbed the run: recorded report != unrecorded report".into());
+    }
+    if snapshot.overhead_pct > OVERHEAD_BUDGET_PCT {
+        return Err(format!(
+            "recording overhead {:.2}% exceeds the {OVERHEAD_BUDGET_PCT:.0}% budget \
+             (unrecorded {:.3} s, recorded {:.3} s)",
+            snapshot.overhead_pct, snapshot.unrecorded_wall_s, snapshot.recorded_wall_s
+        ));
+    }
+    // Encoded size per event is deterministic for a given mode; gate it
+    // against the baseline only when modes match.
+    let prev_quick = extract_bool(&text, "quick").unwrap_or(false);
+    if prev_quick == snapshot.quick {
+        let prev_bpe = extract_number(&text, "bytes_per_event")
+            .ok_or_else(|| "baseline JSON lacks bytes_per_event".to_string())?;
+        if snapshot.bytes_per_event > 1.5 * prev_bpe {
+            return Err(format!(
+                "encoded bytes per event grew {:.2} -> {:.2} (>50%): codec regression",
+                prev_bpe, snapshot.bytes_per_event
+            ));
+        }
+    } else {
+        println!(
+            "[check] baseline mode (quick={prev_quick}) differs from current (quick={}); \
+             gating overhead budget only",
+            snapshot.quick
+        );
+    }
+    Ok(())
+}
+
+/// One full measurement: both arms to convergence, minima compared.
+///
+/// Wall-clock discipline: one untimed warm-up of each arm (first runs
+/// pay page faults and allocator growth), then timed reps with the arm
+/// order alternating so frequency/thermal drift hits both arms
+/// equally. The fastest run of each arm is its noise floor — the only
+/// statistic a bursty shared host cannot inflate.
+fn measure() -> RecorderSnapshot {
+    let quick = quick_mode();
+    let (streams, frames, min_reps, max_reps) = scale();
+    println!(
+        "recorder_snapshot ({} mode): {streams} streams x {frames} frames, \
+         {min_reps}..{max_reps} reps per arm (stop after {STABLE_REPS} stable)",
+        if quick { "quick" } else { "full" }
+    );
+
+    let cfg = config();
+    let mut unrecorded_wall = f64::INFINITY;
+    let mut recorded_wall = f64::INFINITY;
+    let mut reports_identical = true;
+    let mut events = 0;
+    let mut snapshots = 0;
+    let mut encoded_bytes = 0;
+    let warmup_recorder = SharedRecorder::new(512, usize::MAX, 8);
+    serve_fleet(workload(streams, frames), &cfg);
+    serve_fleet_with_recorder(workload(streams, frames), &cfg, &warmup_recorder);
+    let mut rep = 0;
+    let mut stable = 0;
+    while rep < min_reps || (stable < STABLE_REPS && rep < max_reps) {
+        let run_plain = || {
+            let t0 = Instant::now();
+            let plain = serve_fleet(workload(streams, frames), &cfg);
+            (plain, t0.elapsed().as_secs_f64())
+        };
+        // Full recording: every event kind, periodic snapshots, unbounded
+        // retention — the most expensive configuration.
+        let run_recorded = || {
+            let recorder = SharedRecorder::new(512, usize::MAX, 8);
+            let t0 = Instant::now();
+            let recorded = serve_fleet_with_recorder(workload(streams, frames), &cfg, &recorder);
+            (recorded, t0.elapsed().as_secs_f64(), recorder.stats())
+        };
+        let ((plain, plain_s), (recorded, recorded_s, stats)) = if rep % 2 == 0 {
+            let p = run_plain();
+            (p, run_recorded())
+        } else {
+            let r = run_recorded();
+            (run_plain(), r)
+        };
+        let improved = plain_s < unrecorded_wall * 0.995 || recorded_s < recorded_wall * 0.995;
+        unrecorded_wall = unrecorded_wall.min(plain_s);
+        recorded_wall = recorded_wall.min(recorded_s);
+        stable = if improved { 0 } else { stable + 1 };
+        reports_identical &= recorded == plain;
+        events = stats.events;
+        snapshots = stats.snapshots;
+        encoded_bytes = stats.encoded_bytes;
+        rep += 1;
+    }
+    let reps = rep;
+
+    let overhead_pct = (recorded_wall / unrecorded_wall - 1.0) * 100.0;
+    let snapshot = RecorderSnapshot {
+        schema: "catdet-recorder-snapshot/v1".to_string(),
+        quick,
+        streams,
+        frames_per_stream: frames,
+        repetitions: reps,
+        unrecorded_wall_s: unrecorded_wall,
+        recorded_wall_s: recorded_wall,
+        overhead_pct,
+        reports_identical,
+        events,
+        snapshots,
+        encoded_bytes,
+        bytes_per_event: encoded_bytes as f64 / events.max(1) as f64,
+    };
+    println!(
+        "unrecorded {:.3} s | recorded {:.3} s | overhead {overhead_pct:+.2}% \
+         (budget {OVERHEAD_BUDGET_PCT:.0}%)",
+        unrecorded_wall, recorded_wall
+    );
+    println!(
+        "store: {events} events, {snapshots} snapshots, {encoded_bytes} bytes \
+         ({:.2} bytes/event) | reports identical: {reports_identical}",
+        snapshot.bytes_per_event
+    );
+    snapshot
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let check_path = args
+        .iter()
+        .position(|a| a == "--check")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_PR6.json".to_string());
+
+    // A noise burst can span one whole measurement and inflate both arms'
+    // "converged" minima. A real overhead regression survives every
+    // attempt; a burst does not — so when gating, re-measure before
+    // failing, and keep the attempt with the least noise inflation.
+    let attempts = if check_path.is_some() { 3 } else { 1 };
+    let mut snapshot = measure();
+    for attempt in 2..=attempts {
+        if snapshot.overhead_pct <= OVERHEAD_BUDGET_PCT {
+            break;
+        }
+        println!(
+            "[retry] overhead {:+.2}% over budget — re-measuring (attempt {attempt}/{attempts})",
+            snapshot.overhead_pct
+        );
+        let again = measure();
+        let identical = snapshot.reports_identical && again.reports_identical;
+        if again.overhead_pct < snapshot.overhead_pct {
+            snapshot = again;
+        }
+        snapshot.reports_identical = identical;
+    }
+
+    match serde_json::to_string_pretty(&snapshot) {
+        Ok(json) => {
+            std::fs::write(&out_path, json + "\n").expect("write snapshot");
+            println!("[saved {out_path}]");
+        }
+        Err(e) => {
+            eprintln!("error: cannot serialize snapshot: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    if let Some(path) = check_path {
+        match check_against(&path, &snapshot) {
+            Ok(()) => println!("[check] OK — within budget vs {path}"),
+            Err(msg) => {
+                eprintln!("[check] FAIL — {msg}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

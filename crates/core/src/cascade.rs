@@ -2,7 +2,7 @@
 
 use crate::ops::OpsBreakdown;
 use crate::scratch::FrameScratch;
-use crate::stage::{ProposalWork, RefinementWork, StageStep, StagedDetector};
+use crate::stage::{PipelineState, ProposalWork, RefinementWork, StageStep, StagedDetector};
 use crate::system::{
     nms_per_class_with, refinement_macs_from_coverage, refinement_macs_with, FrameOutput,
     SystemConfig,
@@ -261,6 +261,33 @@ impl StagedDetector for CascadedSystem {
             },
         };
         work
+    }
+
+    fn export_state(&self) -> Option<PipelineState> {
+        assert!(
+            matches!(self.stage, Stage::Idle),
+            "export_state with a frame in flight: snapshots are only valid at frame boundaries"
+        );
+        Some(PipelineState::Cascade {
+            proposal: self.proposal.export_state(),
+            refinement: self.refinement.export_state(),
+        })
+    }
+
+    fn import_state(&mut self, state: PipelineState) {
+        let PipelineState::Cascade {
+            proposal,
+            refinement,
+        } = state
+        else {
+            panic!("cascade expects cascade pipeline state, got another system's snapshot");
+        };
+        assert!(
+            matches!(self.stage, Stage::Idle),
+            "import_state with a frame in flight: snapshots are only valid at frame boundaries"
+        );
+        self.proposal.import_state(proposal);
+        self.refinement.import_state(refinement);
     }
 }
 

@@ -2,7 +2,7 @@
 
 use crate::ops::OpsBreakdown;
 use crate::scratch::FrameScratch;
-use crate::stage::{ProposalWork, RefinementWork, StageStep, StagedDetector};
+use crate::stage::{PipelineState, ProposalWork, RefinementWork, StageStep, StagedDetector};
 use crate::system::{
     nms_per_class_with, refinement_macs_from_coverage, refinement_macs_with, FrameOutput,
     SystemConfig,
@@ -344,6 +344,40 @@ impl StagedDetector for CaTDetSystem {
             },
         };
         work
+    }
+
+    fn export_state(&self) -> Option<PipelineState> {
+        assert!(
+            matches!(self.stage, Stage::Idle),
+            "export_state with a frame in flight: snapshots are only valid at frame boundaries"
+        );
+        Some(PipelineState::CaTDet {
+            tracker: self.tracker.export_state(),
+            proposal: self.proposal.export_state(),
+            refinement: self.refinement.export_state(),
+        })
+    }
+
+    fn import_state(&mut self, state: PipelineState) {
+        let PipelineState::CaTDet {
+            tracker,
+            proposal,
+            refinement,
+        } = state
+        else {
+            panic!("CaTDet expects CaTDet pipeline state, got another system's snapshot");
+        };
+        assert!(
+            matches!(self.stage, Stage::Idle),
+            "import_state with a frame in flight: snapshots are only valid at frame boundaries"
+        );
+        self.tracker.import_state(tracker);
+        self.proposal.import_state(proposal);
+        self.refinement.import_state(refinement);
+    }
+
+    fn live_tracks(&self) -> usize {
+        self.tracker.tracks().len()
     }
 }
 

@@ -64,7 +64,8 @@ pub use runner::{
 pub use scratch::FrameScratch;
 pub use single::SingleModelSystem;
 pub use stage::{
-    drive_frame, MonolithicStages, ProposalWork, RefinementWork, StageStep, StagedDetector,
+    drive_frame, drive_frame_recorded, output_hash, MonolithicStages, PipelineState, ProposalWork,
+    RefinementWork, StageStep, StagedDetector,
 };
 pub use system::{
     nms_per_class, nms_per_class_with, DetectionSystem, FrameOutput, PerClassNms, SystemConfig,

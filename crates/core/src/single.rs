@@ -2,7 +2,7 @@
 
 use crate::ops::OpsBreakdown;
 use crate::scratch::FrameScratch;
-use crate::stage::{ProposalWork, RefinementWork, StageStep, StagedDetector};
+use crate::stage::{PipelineState, ProposalWork, RefinementWork, StageStep, StagedDetector};
 use crate::system::{nms_per_class_with, FrameOutput, SystemConfig};
 use catdet_data::Frame;
 use catdet_detector::{zoo, DetectorModel, SimulatedDetector};
@@ -147,6 +147,29 @@ impl StagedDetector for SingleModelSystem {
             num_regions: 0,
             coverage: 1.0,
         }
+    }
+
+    fn export_state(&self) -> Option<PipelineState> {
+        assert!(
+            matches!(self.stage, Stage::Idle),
+            "export_state with a frame in flight: snapshots are only valid at frame boundaries"
+        );
+        Some(PipelineState::Single {
+            detector: self.detector.export_state(),
+        })
+    }
+
+    fn import_state(&mut self, state: PipelineState) {
+        let PipelineState::Single { detector } = state else {
+            panic!(
+                "single-model system expects single pipeline state, got another system's snapshot"
+            );
+        };
+        assert!(
+            matches!(self.stage, Stage::Idle),
+            "import_state with a frame in flight: snapshots are only valid at frame boundaries"
+        );
+        self.detector.import_state(detector);
     }
 }
 

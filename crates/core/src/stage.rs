@@ -32,6 +32,49 @@
 
 use crate::system::{DetectionSystem, FrameOutput};
 use catdet_data::Frame;
+use catdet_detector::DetectorState;
+use catdet_metrics::Detection;
+use catdet_recorder::{Event, FlightRecorder, STAGE_PROPOSAL, STAGE_REFINEMENT};
+use catdet_sim::ActorClass;
+use catdet_track::TrackerState;
+
+/// Portable cross-frame state of a staged pipeline, captured by
+/// [`StagedDetector::export_state`] and restored by
+/// [`StagedDetector::import_state`].
+///
+/// This is the replay seam: a flight-recorder snapshot stores one of
+/// these per stream, and time-travel replay rebuilds the pipeline from a
+/// factory, imports the captured state, and re-drives recorded frames —
+/// bit-identically, because the state is *everything* the pipeline
+/// carries between frames. That is more than the tracker: the simulated
+/// detectors draw from persistent per-track random streams
+/// ([`DetectorState`]), so each variant carries the stream state of every
+/// detector the system owns alongside any tracker state.
+#[derive(Debug, Clone)]
+pub enum PipelineState {
+    /// A single-model system's detector stream state.
+    Single {
+        /// The full-frame detector.
+        detector: DetectorState,
+    },
+    /// A plain cascade's two detector stream states.
+    Cascade {
+        /// The proposal network.
+        proposal: DetectorState,
+        /// The refinement network.
+        refinement: DetectorState,
+    },
+    /// CaTDet: the tracker (live tracks + id allocator) plus both
+    /// detector stream states.
+    CaTDet {
+        /// The tracker's cross-frame state.
+        tracker: TrackerState<ActorClass>,
+        /// The proposal network.
+        proposal: DetectorState,
+        /// The refinement network.
+        refinement: DetectorState,
+    },
+}
 
 /// The priced work of a pending proposal-network dispatch.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -118,6 +161,35 @@ pub trait StagedDetector: Send {
     ///
     /// Panics if the frame is not suspended at the refinement boundary.
     fn complete_refinement(&mut self, work: RefinementWork) -> RefinementWork;
+
+    /// Captures the pipeline's cross-frame state for a replay snapshot,
+    /// or `None` if the system cannot be snapshotted (e.g. an adapted
+    /// opaque system). Must only be called at a frame boundary (no frame
+    /// in flight) — mid-frame state is not portable.
+    fn export_state(&self) -> Option<PipelineState> {
+        None
+    }
+
+    /// Restores state captured by [`export_state`](Self::export_state)
+    /// into a pipeline built from the same factory/configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the system does not support snapshots, or if the state
+    /// variant does not match the system's shape.
+    fn import_state(&mut self, _state: PipelineState) {
+        panic!(
+            "{} does not support state import; time-travel replay needs a \
+             snapshot-capable system (build it from a preset factory)",
+            StagedDetector::name(self)
+        );
+    }
+
+    /// Live tracks carried between frames (0 for untracked systems) —
+    /// the flight recorder's track-population telemetry.
+    fn live_tracks(&self) -> usize {
+        0
+    }
 }
 
 /// Drives a begun-or-new frame through every stage to completion — the
@@ -135,6 +207,112 @@ pub fn drive_frame<T: StagedDetector + ?Sized>(system: &mut T, frame: &Frame) ->
             StageStep::Done(output) => return output,
         }
     }
+}
+
+/// Order-sensitive 64-bit fingerprint of a detection list, hashing the
+/// exact bit patterns of every box coordinate, score and class.
+///
+/// Two outputs hash equal iff they are bit-identical (up to the
+/// astronomically unlikely collision), which is what the flight recorder
+/// stores per completed frame and what time-travel replay verifies
+/// against — comparing hashes instead of shipping full detection lists
+/// keeps the recorded column at eight bytes per frame.
+pub fn output_hash(detections: &[Detection]) -> u64 {
+    // SplitMix64 finalizer over an FNV-style running state: cheap, and
+    // every input bit diffuses into the final value.
+    fn mix(mut x: u64) -> u64 {
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+        x ^ (x >> 31)
+    }
+    let mut h = 0xcbf29ce484222325u64 ^ mix(detections.len() as u64);
+    for d in detections {
+        for bits in [
+            d.bbox.x1.to_bits(),
+            d.bbox.y1.to_bits(),
+            d.bbox.x2.to_bits(),
+            d.bbox.y2.to_bits(),
+            d.score.to_bits(),
+            d.class as u32,
+        ] {
+            h = mix(h ^ bits as u64);
+        }
+    }
+    h
+}
+
+/// [`drive_frame`], with every stage booked into a [`FlightRecorder`]:
+/// one batch row per stage dispatch (singleton batches — the standalone
+/// drive loop has no cross-stream fusion), then the frame's detection
+/// summary and track population.
+///
+/// `stream` and `seq` are the caller's recording coordinates (stream id
+/// and 1-based completion sequence); `t_s` is the virtual time the frame
+/// is booked at. Latency is recorded as `0.0` — serving latency is a
+/// scheduler concept, and the standalone drive loop completes frames the
+/// instant they arrive. When the recorder is disabled this is exactly
+/// [`drive_frame`].
+pub fn drive_frame_recorded<T: StagedDetector + ?Sized>(
+    system: &mut T,
+    frame: &Frame,
+    stream: usize,
+    seq: usize,
+    t_s: f64,
+    recorder: &mut dyn FlightRecorder,
+) -> FrameOutput {
+    if !recorder.enabled() {
+        return drive_frame(system, frame);
+    }
+    system.begin_frame(frame);
+    let output = loop {
+        match system.step() {
+            StageStep::NeedsProposal(work) => {
+                system.complete_proposal(work);
+                recorder.record(
+                    t_s,
+                    Event::Batch {
+                        stream,
+                        worker: 0,
+                        stage: STAGE_PROPOSAL,
+                        size: 1,
+                    },
+                );
+            }
+            StageStep::NeedsRefinement(work) => {
+                system.complete_refinement(work);
+                recorder.record(
+                    t_s,
+                    Event::Batch {
+                        stream,
+                        worker: 0,
+                        stage: STAGE_REFINEMENT,
+                        size: 1,
+                    },
+                );
+            }
+            StageStep::Done(output) => break output,
+        }
+    };
+    recorder.record(
+        t_s,
+        Event::Detection {
+            stream,
+            seq,
+            frame_index: frame.index,
+            detections: output.detections.len(),
+            latency_s: 0.0,
+            output_hash: output_hash(&output.detections),
+        },
+    );
+    recorder.record(
+        t_s,
+        Event::Track {
+            stream,
+            frame_index: frame.index,
+            live_tracks: system.live_tracks(),
+        },
+    );
+    output
 }
 
 /// Every staged detector is a [`DetectionSystem`]: `process_frame` drives
@@ -178,6 +356,18 @@ impl StagedDetector for Box<dyn StagedDetector> {
 
     fn complete_refinement(&mut self, work: RefinementWork) -> RefinementWork {
         self.as_mut().complete_refinement(work)
+    }
+
+    fn export_state(&self) -> Option<PipelineState> {
+        self.as_ref().export_state()
+    }
+
+    fn import_state(&mut self, state: PipelineState) {
+        self.as_mut().import_state(state)
+    }
+
+    fn live_tracks(&self) -> usize {
+        self.as_ref().live_tracks()
     }
 }
 
@@ -393,6 +583,121 @@ mod tests {
             num_regions: 0,
             coverage: 0.0,
         });
+    }
+
+    #[test]
+    fn exported_state_resumes_bit_identically() {
+        let ds = kitti_like().sequences(1).frames_per_sequence(12).build();
+        let frames = ds.sequences()[0].frames();
+        let mut live = CaTDetSystem::catdet_a();
+        for frame in &frames[..6] {
+            drive_frame(&mut live, frame);
+        }
+        let state = live.export_state().expect("catdet exports state");
+        let mut resumed = CaTDetSystem::catdet_a();
+        resumed.import_state(state);
+        for frame in &frames[6..] {
+            assert_eq!(
+                drive_frame(&mut resumed, frame),
+                drive_frame(&mut live, frame)
+            );
+            assert_eq!(resumed.live_tracks(), live.live_tracks());
+        }
+    }
+
+    #[test]
+    fn boxed_detector_forwards_state_methods() {
+        let ds = kitti_like().sequences(1).frames_per_sequence(4).build();
+        let mut boxed: Box<dyn StagedDetector> = Box::new(CaTDetSystem::catdet_a());
+        for frame in ds.sequences()[0].frames() {
+            drive_frame(&mut boxed, frame);
+        }
+        let state = boxed.export_state().expect("forwarded export");
+        assert!(matches!(state, PipelineState::CaTDet { .. }));
+        boxed.import_state(state);
+        assert_eq!(
+            boxed.live_tracks(),
+            match boxed.export_state() {
+                Some(PipelineState::CaTDet { tracker, .. }) => tracker.tracks.len(),
+                _ => unreachable!(),
+            }
+        );
+    }
+
+    #[test]
+    fn monolithic_adapter_cannot_snapshot() {
+        let adapted = MonolithicStages::new(Box::new(CaTDetSystem::catdet_a()));
+        assert!(adapted.export_state().is_none());
+    }
+
+    #[test]
+    fn output_hash_separates_any_bit_flip() {
+        use catdet_geom::Box2;
+        use catdet_sim::ActorClass;
+        let base = vec![Detection {
+            bbox: Box2 {
+                x1: 1.0,
+                y1: 2.0,
+                x2: 3.0,
+                y2: 4.0,
+            },
+            score: 0.5,
+            class: ActorClass::Car,
+        }];
+        let h = output_hash(&base);
+        assert_eq!(h, output_hash(&base.clone()));
+        let mut nudged = base.clone();
+        nudged[0].score = f32::from_bits(nudged[0].score.to_bits() ^ 1);
+        assert_ne!(h, output_hash(&nudged));
+        let mut reclassed = base.clone();
+        reclassed[0].class = ActorClass::Pedestrian;
+        assert_ne!(h, output_hash(&reclassed));
+        assert_ne!(h, output_hash(&[]));
+        assert_ne!(output_hash(&[]), 0);
+    }
+
+    #[test]
+    fn recorded_drive_matches_plain_drive_and_books_events() {
+        use catdet_recorder::{EventKind, NullRecorder, Query, SharedRecorder};
+        let ds = kitti_like().sequences(1).frames_per_sequence(5).build();
+        let frames = ds.sequences()[0].frames();
+        let mut plain = CaTDetSystem::catdet_a();
+        let mut nulled = CaTDetSystem::catdet_a();
+        let mut recorded = CaTDetSystem::catdet_a();
+        let shared = SharedRecorder::new(4, usize::MAX, 0);
+        let mut handle = shared.handle(0);
+        for (i, frame) in frames.iter().enumerate() {
+            let expect = drive_frame(&mut plain, frame);
+            let with_null =
+                drive_frame_recorded(&mut nulled, frame, 3, i + 1, i as f64, &mut NullRecorder);
+            let with_rec =
+                drive_frame_recorded(&mut recorded, frame, 3, i + 1, i as f64, &mut handle);
+            assert_eq!(with_null, expect);
+            assert_eq!(with_rec, expect);
+        }
+        handle.flush();
+        shared.seal_open_chunks();
+        let dets = shared.scan(&Query::all().kind(EventKind::Detection));
+        assert_eq!(dets.len(), frames.len());
+        let Event::Detection {
+            seq,
+            output_hash: h,
+            ..
+        } = dets.last().unwrap().event
+        else {
+            panic!("expected detection event");
+        };
+        assert_eq!(seq, frames.len());
+        assert_ne!(h, 0);
+        // One proposal + one refinement batch row per frame, plus track rows.
+        assert_eq!(
+            shared.scan(&Query::all().kind(EventKind::Batch)).len(),
+            2 * frames.len()
+        );
+        assert_eq!(
+            shared.scan(&Query::all().kind(EventKind::Track)).len(),
+            frames.len()
+        );
     }
 
     #[test]

@@ -47,5 +47,5 @@ pub mod zoo;
 
 pub use accuracy::{object_quality, sigmoid, AccuracyProfile};
 pub use latent::{derive_rng, sample_normal, TemporalNoise};
-pub use simulate::SimulatedDetector;
+pub use simulate::{DetectorState, SimulatedDetector};
 pub use zoo::{DetectorModel, OpsSpec};

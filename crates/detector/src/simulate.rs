@@ -142,6 +142,18 @@ struct RegionScratch {
     coverage: CoverageGrid,
 }
 
+/// The complete portable cross-frame state of a [`SimulatedDetector`], as
+/// produced by [`SimulatedDetector::export_state`] and consumed by
+/// [`SimulatedDetector::import_state`]. Opaque by design: the stream
+/// cache layout is an implementation detail of the detector; holders just
+/// carry it between a matching export/import pair.
+#[derive(Debug, Clone)]
+pub struct DetectorState {
+    current_seq: Option<usize>,
+    tracks: HashMap<u64, TrackStreams>,
+    latent_cache: HashMap<u64, f32>,
+}
+
 /// A stochastic stand-in for a trained CNN detector.
 ///
 /// Construct one per model per system from a [`DetectorModel`]; call
@@ -216,6 +228,34 @@ impl SimulatedDetector {
         self.current_seq = None;
         self.tracks.clear();
         self.latent_cache.clear();
+    }
+
+    /// Exports the detector's complete cross-frame state: the current
+    /// sequence and every cached per-track stream position.
+    ///
+    /// The random-stream caching scheme (see module docs) makes detector
+    /// output *sequential*: each draw advances a persistent per-track
+    /// stream, so a fresh detector asked for frame `k` does not reproduce
+    /// a live detector that already processed frames `0..k`. Capturing
+    /// this state is what lets a flight-recorder snapshot resume a stream
+    /// mid-sequence bit-identically. Importing into a detector with the
+    /// same model/seed/frame-size configuration restores exactly the next
+    /// draw on every stream (the cache-mode flag is *not* part of the
+    /// state — both modes draw from the same positions).
+    pub fn export_state(&self) -> DetectorState {
+        DetectorState {
+            current_seq: self.current_seq,
+            tracks: self.tracks.clone(),
+            latent_cache: self.latent_cache.clone(),
+        }
+    }
+
+    /// Restores state captured by [`export_state`](Self::export_state);
+    /// see there for the configuration contract.
+    pub fn import_state(&mut self, state: DetectorState) {
+        self.current_seq = state.current_seq;
+        self.tracks = state.tracks;
+        self.latent_cache = state.latent_cache;
     }
 
     fn enter_frame(&mut self, seq: usize) {

@@ -1,0 +1,286 @@
+//! Binary file codec for recorded runs.
+//!
+//! The format keeps columns in their in-memory compressed form, so a
+//! save is mostly a copy:
+//!
+//! ```text
+//! magic "CTFR" · version u8 (=1)
+//! chunk_events varint · chunk_count varint
+//! per chunk:
+//!   kind u8 · shard varint · stream+1 varint (0 = fleet-level)
+//!   capacity varint · row_count varint
+//!   t_min f64-LE-bits · t_max f64-LE-bits
+//!   time column:  byte_len varint · bytes
+//!   data columns (count fixed by kind): byte_len varint · bytes
+//! ```
+//!
+//! Snapshots are **not** persisted: they hold live replay state (boxed
+//! detector pipelines) behind `Arc<dyn Any>`, which has no stable wire
+//! form. A loaded store therefore answers every telemetry query but
+//! cannot seed time-travel replay — replay runs against the in-process
+//! store of the run being recorded.
+
+use crate::chunk::{Chunk, ChunkKey, VarintCol};
+use crate::event::EventKind;
+use crate::store::ChunkStore;
+
+const MAGIC: &[u8; 4] = b"CTFR";
+const VERSION: u8 = 1;
+
+/// Why a recorded file failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The file does not start with the `CTFR` magic.
+    BadMagic,
+    /// The file's format version is not supported.
+    BadVersion(u8),
+    /// The file ended mid-structure.
+    Truncated,
+    /// An event-kind code is unknown.
+    BadKind(u8),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::BadMagic => write!(f, "not a flight-recorder file (bad magic)"),
+            DecodeError::BadVersion(v) => write!(f, "unsupported recorder format version {v}"),
+            DecodeError::Truncated => write!(f, "recorder file truncated"),
+            DecodeError::BadKind(c) => write!(f, "unknown event kind code {c}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            break;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn byte(&mut self) -> Result<u8, DecodeError> {
+        let b = *self.buf.get(self.pos).ok_or(DecodeError::Truncated)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn varint(&mut self) -> Result<u64, DecodeError> {
+        let mut v = 0u64;
+        let mut shift = 0;
+        loop {
+            let byte = self.byte()?;
+            v |= ((byte & 0x7f) as u64) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+            if shift >= 64 {
+                return Err(DecodeError::Truncated);
+            }
+        }
+    }
+
+    fn f64(&mut self) -> Result<f64, DecodeError> {
+        let end = self.pos + 8;
+        let bytes = self.buf.get(self.pos..end).ok_or(DecodeError::Truncated)?;
+        self.pos = end;
+        Ok(f64::from_bits(u64::from_le_bytes(
+            bytes.try_into().expect("8-byte slice"),
+        )))
+    }
+
+    fn blob(&mut self) -> Result<Vec<u8>, DecodeError> {
+        let len = self.varint()? as usize;
+        let end = self.pos + len;
+        let bytes = self.buf.get(self.pos..end).ok_or(DecodeError::Truncated)?;
+        self.pos = end;
+        Ok(bytes.to_vec())
+    }
+}
+
+fn put_col(out: &mut Vec<u8>, col: &VarintCol) {
+    put_varint(out, col.raw().len() as u64);
+    out.extend_from_slice(col.raw());
+}
+
+fn put_chunk(out: &mut Vec<u8>, chunk: &Chunk) {
+    let key = chunk.key();
+    let (time, cols, capacity) = chunk.parts();
+    out.push(key.kind.code());
+    put_varint(out, key.shard as u64);
+    put_varint(out, key.stream.map_or(0, |s| s as u64 + 1));
+    put_varint(out, capacity as u64);
+    put_varint(out, chunk.len() as u64);
+    out.extend_from_slice(&chunk.t_min().to_bits().to_le_bytes());
+    out.extend_from_slice(&chunk.t_max().to_bits().to_le_bytes());
+    put_col(out, time);
+    for col in cols {
+        put_col(out, col);
+    }
+}
+
+/// Serializes every retained chunk (sealed and open) of `store`.
+/// Snapshots are intentionally not written (see module docs).
+pub fn encode(store: &ChunkStore) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    out.push(VERSION);
+    put_varint(&mut out, store.chunk_events() as u64);
+    let sealed: Vec<&Chunk> = store.sealed.iter().map(|s| &s.chunk).collect();
+    let open: Vec<&Chunk> = store.open.values().filter(|c| !c.is_empty()).collect();
+    put_varint(&mut out, (sealed.len() + open.len()) as u64);
+    for chunk in sealed.into_iter().chain(open) {
+        put_chunk(&mut out, chunk);
+    }
+    out
+}
+
+/// Deserializes a recorded file back into a queryable store. Every chunk
+/// arrives sealed; retention is set unbounded (the file is already the
+/// retained set).
+pub fn decode(bytes: &[u8]) -> Result<ChunkStore, DecodeError> {
+    let mut r = Reader { buf: bytes, pos: 0 };
+    let mut magic = [0u8; 4];
+    for b in &mut magic {
+        *b = r.byte().map_err(|_| DecodeError::BadMagic)?;
+    }
+    if &magic != MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    let version = r.byte()?;
+    if version != VERSION {
+        return Err(DecodeError::BadVersion(version));
+    }
+    let chunk_events = r.varint()? as usize;
+    let count = r.varint()? as usize;
+    let mut chunks = Vec::with_capacity(count.min(1 << 16));
+    for _ in 0..count {
+        let kind = EventKind::from_code(r.byte()?)
+            .ok_or_else(|| DecodeError::BadKind(bytes[r.pos - 1]))?;
+        let shard = r.varint()? as usize;
+        let stream = match r.varint()? {
+            0 => None,
+            s => Some(s as usize - 1),
+        };
+        let capacity = r.varint()? as usize;
+        let rows = r.varint()? as usize;
+        let t_min = r.f64()?;
+        let t_max = r.f64()?;
+        let time = VarintCol::from_raw(r.blob()?, rows);
+        let key = ChunkKey {
+            kind,
+            shard,
+            stream,
+        };
+        let mut cols = Vec::with_capacity(kind.columns().len());
+        for _ in kind.columns() {
+            cols.push(VarintCol::from_raw(r.blob()?, rows));
+        }
+        chunks.push(Chunk::from_parts(key, capacity, time, cols, t_min, t_max));
+    }
+    Ok(ChunkStore::from_sealed(
+        chunk_events.max(1),
+        usize::MAX,
+        chunks,
+    ))
+}
+
+/// Writes a recorded store to `path` (see [`encode`]).
+pub fn write_file(store: &ChunkStore, path: &std::path::Path) -> std::io::Result<()> {
+    std::fs::write(path, encode(store))
+}
+
+/// Loads a recorded store from `path` (see [`decode`]).
+pub fn read_file(path: &std::path::Path) -> std::io::Result<ChunkStore> {
+    let bytes = std::fs::read(path)?;
+    decode(&bytes).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+    use crate::query::Query;
+
+    fn busy_store() -> ChunkStore {
+        let mut store = ChunkStore::new(3, usize::MAX);
+        for i in 0..17usize {
+            let shard = i % 3;
+            store.record(
+                i as f64 * 0.02,
+                shard,
+                Event::Detection {
+                    stream: 20 + shard,
+                    seq: i / 3 + 1,
+                    frame_index: i / 3,
+                    detections: i % 5,
+                    latency_s: 0.004 + 1e-4 * i as f64,
+                    output_hash: (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                },
+            );
+            if i % 4 == 0 {
+                store.record(
+                    i as f64 * 0.02 + 0.001,
+                    shard,
+                    Event::Admission {
+                        stream: 20 + shard,
+                        reason: (i % 2) as u64,
+                    },
+                );
+            }
+        }
+        store.record(
+            0.15,
+            0,
+            Event::Scale {
+                from_workers: 2,
+                to_workers: 4,
+                reason: 3,
+            },
+        );
+        store
+    }
+
+    #[test]
+    fn encode_decode_preserves_every_event() {
+        let mut store = busy_store();
+        let expected = store.scan(&Query::all());
+        let bytes = encode(&store);
+        let mut loaded = decode(&bytes).expect("decode");
+        assert_eq!(loaded.scan(&Query::all()), expected);
+        assert_eq!(loaded.stats().events, store.stats().events);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert_eq!(decode(b"nope").unwrap_err(), DecodeError::BadMagic);
+        assert_eq!(decode(b"CTFR\x09").unwrap_err(), DecodeError::BadVersion(9));
+        let mut truncated = encode(&busy_store());
+        truncated.truncate(truncated.len() - 3);
+        assert_eq!(decode(&truncated).unwrap_err(), DecodeError::Truncated);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let mut store = busy_store();
+        let expected = store.latency_stats(&Query::all());
+        let path = std::env::temp_dir().join("catdet_recorder_codec_test.ctfr");
+        write_file(&store, &path).expect("write");
+        let mut loaded = read_file(&path).expect("read");
+        assert_eq!(loaded.latency_stats(&Query::all()), expected);
+        let _ = std::fs::remove_file(&path);
+    }
+}

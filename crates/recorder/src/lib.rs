@@ -1,0 +1,366 @@
+//! Flight recorder: an append-only, chunked, columnar event store with a
+//! time index, bounded retention, telemetry queries, and the snapshot
+//! hooks that power bit-exact time-travel replay.
+//!
+//! ```text
+//!            record(t, shard, event)
+//!                     │
+//!        ┌────────────▼─────────────┐   seal at chunk_events rows
+//!        │ open chunks              │ ───────────────────────────┐
+//!        │ BTreeMap<ChunkKey,Chunk> │                            │
+//!        └──────────────────────────┘                            ▼
+//!   ChunkKey = (kind, shard, stream)              ┌──────────────────────┐
+//!   Chunk    = struct-of-arrays columns,          │ time index           │
+//!              delta/zigzag/varint encoded        │ sealed chunks sorted │
+//!              (column 0 = virtual time)          │ by (t_min, seal seq) │
+//!                                                 └──────────┬───────────┘
+//!                                 LRU eviction when over     │  scan(Query)
+//!                                 retention_chunks ◄─────────┘  latency_stats
+//! ```
+//!
+//! The [`FlightRecorder`] trait is the producer-side seam: the serving
+//! engine and the staged-detector drive loop talk to `&mut dyn
+//! FlightRecorder`, and the default implementation ([`NullRecorder`])
+//! makes every hook a no-op so the hot path pays one virtual `enabled()`
+//! check when recording is off. [`SharedRecorder`] is the live
+//! implementation: a cheaply-clonable handle over one [`ChunkStore`]
+//! that per-shard engines write into and queries read out of.
+
+#![warn(missing_docs)]
+
+mod chunk;
+mod codec;
+mod event;
+mod query;
+mod store;
+
+pub use chunk::{Chunk, ChunkKey, VarintCol};
+pub use codec::{decode, encode, read_file, write_file, DecodeError};
+pub use event::{Event, EventKind, STAGE_PROPOSAL, STAGE_REFINEMENT};
+pub use query::{LatencySummary, Query, RecordedEvent, RollingWindow};
+pub use store::{ChunkStore, Snapshot, StoreStats};
+
+use std::any::Any;
+use std::sync::{Arc, Mutex};
+
+/// Producer-side recording hooks, threaded through the serving engine and
+/// the staged drive loop.
+///
+/// Every method has a no-op default so `NullRecorder` (and any partial
+/// implementation) costs nothing beyond the virtual call; producers guard
+/// their event-assembly work behind [`enabled`](FlightRecorder::enabled)
+/// so the disabled path does not even build events.
+pub trait FlightRecorder {
+    /// Whether events are being kept. Producers skip event assembly
+    /// entirely when this is false.
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    /// Books one event at virtual time `t_s`.
+    fn record(&mut self, _t_s: f64, _event: Event) {}
+
+    /// Books a replay snapshot of `stream` at completion sequence `seq`.
+    /// The payload is the producer's own state capture (the recorder
+    /// stores it opaquely).
+    fn snapshot(
+        &mut self,
+        _t_s: f64,
+        _stream: usize,
+        _seq: usize,
+        _payload: Arc<dyn Any + Send + Sync>,
+    ) {
+    }
+
+    /// How often (in completed frames per stream) the producer should
+    /// capture a snapshot; `0` disables snapshots.
+    fn snapshot_interval(&self) -> usize {
+        0
+    }
+
+    /// Drains any events the implementation has buffered into the backing
+    /// store. Producers call this once their run finishes, before the
+    /// store is sealed or queried.
+    fn flush(&mut self) {}
+}
+
+/// The always-off recorder: every hook is a no-op and
+/// [`enabled`](FlightRecorder::enabled) is false, so producers skip all
+/// recording work.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullRecorder;
+
+impl FlightRecorder for NullRecorder {}
+
+/// A cheaply-clonable handle over one shared [`ChunkStore`].
+///
+/// A fleet run creates one `SharedRecorder`, hands each shard engine a
+/// [`handle`](SharedRecorder::handle) (which stamps that shard id on
+/// everything it books), and keeps the original for fleet-level events,
+/// queries, and replay after the run.
+#[derive(Clone)]
+pub struct SharedRecorder {
+    store: Arc<Mutex<ChunkStore>>,
+    snapshot_every: usize,
+}
+
+impl std::fmt::Debug for SharedRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedRecorder")
+            .field("snapshot_every", &self.snapshot_every)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl SharedRecorder {
+    /// A recorder over a fresh store. `chunk_events` is the chunk seal
+    /// size (must be ≥ 1), `retention_chunks` the sealed-chunk budget
+    /// (`usize::MAX` for unbounded), `snapshot_every` the per-stream
+    /// snapshot cadence in completed frames (`0` disables snapshots and
+    /// with them time-travel replay).
+    pub fn new(chunk_events: usize, retention_chunks: usize, snapshot_every: usize) -> Self {
+        SharedRecorder {
+            store: Arc::new(Mutex::new(ChunkStore::new(chunk_events, retention_chunks))),
+            snapshot_every,
+        }
+    }
+
+    /// A per-shard [`FlightRecorder`] that stamps `shard` on everything
+    /// it books into the shared store.
+    pub fn handle(&self, shard: usize) -> ShardRecorder {
+        ShardRecorder {
+            store: Arc::clone(&self.store),
+            shard,
+            snapshot_every: self.snapshot_every,
+            buf: Vec::with_capacity(FLUSH_EVERY),
+        }
+    }
+
+    /// Books one event directly (fleet-level producers that already know
+    /// the shard, e.g. migration bookkeeping).
+    pub fn record(&self, t_s: f64, shard: usize, event: Event) {
+        self.store
+            .lock()
+            .expect("recorder lock")
+            .record(t_s, shard, event);
+    }
+
+    /// Runs `f` with exclusive access to the underlying store — the door
+    /// to [`ChunkStore::scan`], [`ChunkStore::latency_stats`], eviction,
+    /// and the file codec.
+    pub fn with_store<R>(&self, f: impl FnOnce(&mut ChunkStore) -> R) -> R {
+        f(&mut self.store.lock().expect("recorder lock"))
+    }
+
+    /// Seals every open chunk (call once a run finishes, before queries
+    /// or saving).
+    pub fn seal_open_chunks(&self) {
+        self.with_store(|s| s.seal_open_chunks());
+    }
+
+    /// Current store statistics.
+    pub fn stats(&self) -> StoreStats {
+        self.with_store(|s| s.stats())
+    }
+
+    /// Scans matching events (see [`ChunkStore::scan`]).
+    pub fn scan(&self, query: &Query) -> Vec<RecordedEvent> {
+        self.with_store(|s| s.scan(query))
+    }
+
+    /// Nearest-rank percentiles over matching recorded latencies (see
+    /// [`ChunkStore::latency_stats`]).
+    pub fn latency_stats(&self, query: &Query) -> LatencySummary {
+        self.with_store(|s| s.latency_stats(query))
+    }
+
+    /// The latest snapshot of `stream` at or before `t_s`, if one was
+    /// captured and survives.
+    pub fn nearest_snapshot(&self, stream: usize, t_s: f64) -> Option<Snapshot> {
+        self.with_store(|s| s.nearest_snapshot(stream, t_s).cloned())
+    }
+
+    /// Saves the recorded events to `path` (snapshots are in-memory only;
+    /// see [`codec`](crate::write_file) docs).
+    pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
+        self.with_store(|s| {
+            s.seal_open_chunks();
+            codec::write_file(s, path)
+        })
+    }
+}
+
+/// Per-shard writing end of a [`SharedRecorder`]; implements
+/// [`FlightRecorder`] with recording on.
+///
+/// Events are buffered locally and drained into the shared store in
+/// batches of [`FLUSH_EVERY`]: the producer's hot path pays one `Vec`
+/// push, and the store's structures are touched cache-warm once per
+/// batch instead of cache-cold once per event. Hot-path drains are
+/// opportunistic (`try_lock`) so shard engines never stall behind each
+/// other; the buffer drains unconditionally on
+/// [`flush`](FlightRecorder::flush), before every snapshot, and on drop,
+/// so per-chunk event order is exactly record order.
+pub struct ShardRecorder {
+    store: Arc<Mutex<ChunkStore>>,
+    shard: usize,
+    snapshot_every: usize,
+    buf: Vec<(f64, Event)>,
+}
+
+/// Buffered events a [`ShardRecorder`] holds before draining into the
+/// shared store under one lock.
+pub const FLUSH_EVERY: usize = 256;
+
+impl Clone for ShardRecorder {
+    /// A clone is a fresh writing end over the same store: the original's
+    /// buffered (not yet flushed) events stay with the original.
+    fn clone(&self) -> Self {
+        ShardRecorder {
+            store: Arc::clone(&self.store),
+            shard: self.shard,
+            snapshot_every: self.snapshot_every,
+            buf: Vec::with_capacity(FLUSH_EVERY),
+        }
+    }
+}
+
+impl Drop for ShardRecorder {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+impl std::fmt::Debug for ShardRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardRecorder")
+            .field("shard", &self.shard)
+            .field("snapshot_every", &self.snapshot_every)
+            .finish()
+    }
+}
+
+impl FlightRecorder for ShardRecorder {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn record(&mut self, t_s: f64, event: Event) {
+        self.buf.push((t_s, event));
+        if self.buf.len() >= FLUSH_EVERY {
+            // Opportunistic drain: if another shard holds the store, keep
+            // buffering and retry on the next push instead of stalling the
+            // engine behind a lock convoy. Forced drains (snapshots, the
+            // final flush) still block, so nothing is ever lost.
+            if let Ok(mut store) = self.store.try_lock() {
+                for (t_s, event) in self.buf.drain(..) {
+                    store.record(t_s, self.shard, event);
+                }
+            }
+        }
+    }
+
+    fn snapshot(
+        &mut self,
+        t_s: f64,
+        stream: usize,
+        seq: usize,
+        payload: Arc<dyn Any + Send + Sync>,
+    ) {
+        // Flush first so the store never holds a snapshot that precedes
+        // events still sitting in this handle's buffer.
+        self.flush();
+        self.store
+            .lock()
+            .expect("recorder lock")
+            .snapshot(t_s, self.shard, stream, seq, payload);
+    }
+
+    fn snapshot_interval(&self) -> usize {
+        self.snapshot_every
+    }
+
+    fn flush(&mut self) {
+        if self.buf.is_empty() {
+            return;
+        }
+        let mut store = self.store.lock().expect("recorder lock");
+        for (t_s, event) in self.buf.drain(..) {
+            store.record(t_s, self.shard, event);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_recorder_is_disabled_and_inert() {
+        let mut null = NullRecorder;
+        assert!(!null.enabled());
+        assert_eq!(null.snapshot_interval(), 0);
+        null.record(
+            0.0,
+            Event::Admission {
+                stream: 0,
+                reason: 0,
+            },
+        );
+        null.snapshot(0.0, 0, 0, Arc::new(()));
+    }
+
+    #[test]
+    fn shard_handles_stamp_their_shard() {
+        let shared = SharedRecorder::new(4, usize::MAX, 8);
+        let mut h0 = shared.handle(0);
+        let mut h2 = shared.handle(2);
+        assert!(h0.enabled());
+        assert_eq!(h0.snapshot_interval(), 8);
+        h0.record(
+            0.1,
+            Event::Admission {
+                stream: 1,
+                reason: 0,
+            },
+        );
+        h2.record(
+            0.2,
+            Event::Admission {
+                stream: 9,
+                reason: 1,
+            },
+        );
+        shared.record(
+            0.3,
+            5,
+            Event::Scale {
+                from_workers: 1,
+                to_workers: 2,
+                reason: 0,
+            },
+        );
+        // Handles buffer; the store sees their events once they flush.
+        assert_eq!(shared.scan(&Query::all()).len(), 1);
+        h0.flush();
+        h2.flush();
+        let events = shared.scan(&Query::all());
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].shard, 0);
+        assert_eq!(events[1].shard, 2);
+        assert_eq!(events[2].shard, 5);
+    }
+
+    #[test]
+    fn snapshots_round_trip_through_shared_handle() {
+        let shared = SharedRecorder::new(4, usize::MAX, 2);
+        let mut h = shared.handle(1);
+        h.snapshot(0.5, 7, 2, Arc::new(String::from("state")));
+        let snap = shared.nearest_snapshot(7, 1.0).expect("snapshot");
+        assert_eq!(snap.shard, 1);
+        assert_eq!(snap.seq, 2);
+        let payload = snap.payload.downcast_ref::<String>().expect("downcast");
+        assert_eq!(payload, "state");
+    }
+}

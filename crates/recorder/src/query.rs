@@ -1,0 +1,374 @@
+//! Dataframe-style queries over the chunk store: time-range scans with
+//! per-kind/per-shard/per-stream filters, and nearest-rank latency
+//! percentiles over recorded samples.
+//!
+//! The percentile math here deliberately mirrors the serving report's
+//! `LatencyStats::from_samples` operation for operation (same
+//! `total_cmp` sort, same nearest-rank pick, same summation order for
+//! the mean), so a full-window query over a recorded run reproduces the
+//! live report's numbers bit for bit.
+
+use crate::event::{Event, EventKind};
+use crate::store::ChunkStore;
+
+/// A filter over the recorded event space. Default matches everything.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Query {
+    /// Inclusive lower bound on virtual time.
+    pub t0: f64,
+    /// Inclusive upper bound on virtual time.
+    pub t1: f64,
+    /// Restrict to one event kind.
+    pub kind: Option<EventKind>,
+    /// Restrict to one shard.
+    pub shard: Option<usize>,
+    /// Restrict to one stream.
+    pub stream: Option<usize>,
+}
+
+impl Default for Query {
+    fn default() -> Self {
+        Query {
+            t0: f64::NEG_INFINITY,
+            t1: f64::INFINITY,
+            kind: None,
+            shard: None,
+            stream: None,
+        }
+    }
+}
+
+impl Query {
+    /// Matches everything.
+    pub fn all() -> Self {
+        Self::default()
+    }
+
+    /// Restricts the time range to `[t0, t1]` (inclusive both ends).
+    pub fn between(mut self, t0: f64, t1: f64) -> Self {
+        self.t0 = t0;
+        self.t1 = t1;
+        self
+    }
+
+    /// Restricts to one event kind.
+    pub fn kind(mut self, kind: EventKind) -> Self {
+        self.kind = Some(kind);
+        self
+    }
+
+    /// Restricts to one shard.
+    pub fn shard(mut self, shard: usize) -> Self {
+        self.shard = Some(shard);
+        self
+    }
+
+    /// Restricts to one stream.
+    pub fn stream(mut self, stream: usize) -> Self {
+        self.stream = Some(stream);
+        self
+    }
+}
+
+/// One event surfaced by a scan, with its recording coordinates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecordedEvent {
+    /// Virtual time the event was recorded at.
+    pub t_s: f64,
+    /// Shard it was recorded on.
+    pub shard: usize,
+    /// The event payload.
+    pub event: Event,
+}
+
+/// Nearest-rank latency percentiles over queried samples. Field-for-field
+/// twin of the serving report's `LatencyStats`, plus the sample count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencySummary {
+    /// Mean latency (virtual seconds).
+    pub mean_s: f64,
+    /// Median.
+    pub p50_s: f64,
+    /// 95th percentile.
+    pub p95_s: f64,
+    /// 99th percentile.
+    pub p99_s: f64,
+    /// Worst observed.
+    pub max_s: f64,
+    /// Samples the summary was computed from.
+    pub samples: usize,
+}
+
+impl LatencySummary {
+    /// Nearest-rank percentiles over a sample set; all-zero when empty.
+    ///
+    /// Must stay operation-for-operation identical to the serving
+    /// report's `LatencyStats::from_samples` (including summing the mean
+    /// over the *sorted* order) — the report-agreement property test
+    /// pins the two together.
+    pub fn from_samples(samples: &[f64]) -> Self {
+        if samples.is_empty() {
+            return Self {
+                mean_s: 0.0,
+                p50_s: 0.0,
+                p95_s: 0.0,
+                p99_s: 0.0,
+                max_s: 0.0,
+                samples: 0,
+            };
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let pick = |p: f64| {
+            let rank = (p * sorted.len() as f64).ceil() as usize;
+            sorted[rank.clamp(1, sorted.len()) - 1]
+        };
+        Self {
+            mean_s: sorted.iter().sum::<f64>() / sorted.len() as f64,
+            p50_s: pick(0.50),
+            p95_s: pick(0.95),
+            p99_s: pick(0.99),
+            max_s: *sorted.last().expect("non-empty"),
+            samples: sorted.len(),
+        }
+    }
+}
+
+/// One window of a rolling-percentile sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RollingWindow {
+    /// Window start (inclusive).
+    pub t0: f64,
+    /// Window end (inclusive).
+    pub t1: f64,
+    /// Percentiles over latency samples recorded inside the window.
+    pub stats: LatencySummary,
+}
+
+impl ChunkStore {
+    /// Scans every retained event matching `query`, sorted by time (ties
+    /// broken by chunk key then append order, so results are
+    /// deterministic). Matching sealed chunks are marked recently-used,
+    /// keeping hot ranges resident under retention pressure.
+    pub fn scan(&mut self, query: &Query) -> Vec<RecordedEvent> {
+        let mut keyed: Vec<((f64, EventKind, usize, usize), RecordedEvent)> = Vec::new();
+        // Sealed chunks: the time index prunes non-overlapping ranges
+        // before any column is decoded.
+        let hits: Vec<usize> = (0..self.sealed.len())
+            .filter(|&i| {
+                let s = &self.sealed[i];
+                let key = s.chunk.key();
+                s.chunk.t_min() <= query.t1
+                    && s.chunk.t_max() >= query.t0
+                    && query.kind.is_none_or(|k| k == key.kind)
+                    && query.shard.is_none_or(|sh| sh == key.shard)
+                    && query.stream.is_none_or(|st| key.stream == Some(st))
+            })
+            .collect();
+        for i in &hits {
+            let key = self.sealed[*i].chunk.key();
+            for (t, ev) in self.sealed[*i].chunk.rows() {
+                if t >= query.t0 && t <= query.t1 {
+                    keyed.push((
+                        (t, key.kind, key.shard, key.stream.map_or(0, |s| s + 1)),
+                        RecordedEvent {
+                            t_s: t,
+                            shard: key.shard,
+                            event: ev,
+                        },
+                    ));
+                }
+            }
+        }
+        for i in hits {
+            self.touch(i);
+        }
+        // Open chunks: same filters, no index needed.
+        for chunk in self.open.values() {
+            let key = chunk.key();
+            let matches = query.kind.is_none_or(|k| k == key.kind)
+                && query.shard.is_none_or(|sh| sh == key.shard)
+                && query.stream.is_none_or(|st| key.stream == Some(st))
+                && chunk.t_min() <= query.t1
+                && chunk.t_max() >= query.t0;
+            if !matches {
+                continue;
+            }
+            for (t, ev) in chunk.rows() {
+                if t >= query.t0 && t <= query.t1 {
+                    keyed.push((
+                        (t, key.kind, key.shard, key.stream.map_or(0, |s| s + 1)),
+                        RecordedEvent {
+                            t_s: t,
+                            shard: key.shard,
+                            event: ev,
+                        },
+                    ));
+                }
+            }
+        }
+        keyed.sort_by(|a, b| {
+            a.0 .0
+                .total_cmp(&b.0 .0)
+                .then(a.0 .1.cmp(&b.0 .1))
+                .then(a.0 .2.cmp(&b.0 .2))
+                .then(a.0 .3.cmp(&b.0 .3))
+        });
+        keyed.into_iter().map(|(_, e)| e).collect()
+    }
+
+    /// Latency samples of matching [`Event::Detection`] rows, in scan
+    /// order. The query's `kind` filter is forced to `Detection`.
+    pub fn latency_samples(&mut self, query: &Query) -> Vec<f64> {
+        let q = query.kind(EventKind::Detection);
+        self.scan(&q)
+            .into_iter()
+            .filter_map(|r| match r.event {
+                Event::Detection { latency_s, .. } => Some(latency_s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Nearest-rank percentiles over matching recorded latency samples —
+    /// over a full recorded window these agree exactly with the live
+    /// serving report.
+    pub fn latency_stats(&mut self, query: &Query) -> LatencySummary {
+        LatencySummary::from_samples(&self.latency_samples(query))
+    }
+
+    /// Rolling percentiles: windows of `window_s`, advanced by `step_s`,
+    /// covering the query's time range. Panics on non-positive window or
+    /// step.
+    pub fn rolling(&mut self, query: &Query, window_s: f64, step_s: f64) -> Vec<RollingWindow> {
+        assert!(window_s > 0.0, "rolling window must be positive");
+        assert!(step_s > 0.0, "rolling step must be positive");
+        let samples: Vec<(f64, f64)> = {
+            let q = query.kind(EventKind::Detection);
+            self.scan(&q)
+                .into_iter()
+                .filter_map(|r| match r.event {
+                    Event::Detection { latency_s, .. } => Some((r.t_s, latency_s)),
+                    _ => None,
+                })
+                .collect()
+        };
+        let (t_lo, t_hi) = if query.t0.is_finite() && query.t1.is_finite() {
+            (query.t0, query.t1)
+        } else if let (Some(first), Some(last)) = (samples.first(), samples.last()) {
+            (first.0, last.0)
+        } else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        let mut t0 = t_lo;
+        loop {
+            let t1 = t0 + window_s;
+            let vals: Vec<f64> = samples
+                .iter()
+                .filter(|(t, _)| *t >= t0 && *t <= t1)
+                .map(|(_, l)| *l)
+                .collect();
+            out.push(RollingWindow {
+                t0,
+                t1,
+                stats: LatencySummary::from_samples(&vals),
+            });
+            if t1 >= t_hi {
+                break;
+            }
+            t0 += step_s;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seeded_store(chunk_events: usize) -> ChunkStore {
+        let mut store = ChunkStore::new(chunk_events, usize::MAX);
+        // Two shards, two streams, interleaved times.
+        for i in 0..10usize {
+            let shard = i % 2;
+            let stream = 10 + shard;
+            store.record(
+                i as f64 * 0.1,
+                shard,
+                Event::Detection {
+                    stream,
+                    seq: i / 2 + 1,
+                    frame_index: i / 2,
+                    detections: 1,
+                    latency_s: 0.005 * (i + 1) as f64,
+                    output_hash: i as u64,
+                },
+            );
+        }
+        store.record(
+            0.45,
+            0,
+            Event::Scale {
+                from_workers: 1,
+                to_workers: 2,
+                reason: 0,
+            },
+        );
+        store
+    }
+
+    #[test]
+    fn scan_filters_by_time_kind_shard_stream() {
+        let mut store = seeded_store(3);
+        let all = store.scan(&Query::all());
+        assert_eq!(all.len(), 11);
+        assert!(all.windows(2).all(|w| w[0].t_s <= w[1].t_s));
+
+        let ranged = store.scan(&Query::all().between(0.2, 0.5));
+        assert_eq!(ranged.len(), 5); // t = 0.2, 0.3, 0.4, 0.45, 0.5
+
+        let shard1 = store.scan(&Query::all().shard(1));
+        assert!(shard1.iter().all(|r| r.shard == 1));
+        assert_eq!(shard1.len(), 5);
+
+        let stream10 = store.scan(&Query::all().stream(10));
+        assert_eq!(stream10.len(), 5);
+
+        let scales = store.scan(&Query::all().kind(EventKind::Scale));
+        assert_eq!(scales.len(), 1);
+        assert_eq!(scales[0].t_s, 0.45);
+    }
+
+    #[test]
+    fn latency_stats_match_reference_regardless_of_chunking() {
+        let reference = {
+            let mut s = seeded_store(1000);
+            s.latency_stats(&Query::all())
+        };
+        for chunk_events in [1, 2, 3, 7, 64] {
+            let mut s = seeded_store(chunk_events);
+            assert_eq!(s.latency_stats(&Query::all()), reference);
+        }
+        assert_eq!(reference.samples, 10);
+        assert_eq!(reference.max_s, 0.05);
+        assert_eq!(reference.p50_s, 0.025);
+    }
+
+    #[test]
+    fn rolling_windows_cover_range() {
+        let mut store = seeded_store(4);
+        let windows = store.rolling(&Query::all().between(0.0, 0.8), 0.4, 0.4);
+        assert_eq!(windows.len(), 2);
+        assert_eq!(windows[0].stats.samples, 5); // inclusive 0.0..=0.4
+        assert!(windows.iter().all(|w| w.t1 - w.t0 == 0.4));
+    }
+
+    #[test]
+    fn empty_summary_is_all_zero() {
+        let s = LatencySummary::from_samples(&[]);
+        assert_eq!(s.samples, 0);
+        assert_eq!(s.p99_s, 0.0);
+        assert_eq!(s.mean_s, 0.0);
+    }
+}

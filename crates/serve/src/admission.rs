@@ -43,6 +43,23 @@ impl AdmissionReason {
             AdmissionReason::Shed => "shed",
         }
     }
+
+    /// Stable integer code used in flight-recorder admission events.
+    pub fn code(&self) -> u64 {
+        match self {
+            AdmissionReason::RateLimited => 0,
+            AdmissionReason::Shed => 1,
+        }
+    }
+
+    /// Parses a flight-recorder reason code.
+    pub fn from_code(code: u64) -> Option<Self> {
+        match code {
+            0 => Some(AdmissionReason::RateLimited),
+            1 => Some(AdmissionReason::Shed),
+            _ => None,
+        }
+    }
 }
 
 /// One admission rejection, stamped in virtual time.

@@ -68,6 +68,27 @@ impl ScaleReason {
             ScaleReason::LoadTracking => "load-tracking",
         }
     }
+
+    /// Stable integer code used in flight-recorder scale events.
+    pub fn code(&self) -> u64 {
+        match self {
+            ScaleReason::DropRate => 0,
+            ScaleReason::TailLatency => 1,
+            ScaleReason::Idle => 2,
+            ScaleReason::LoadTracking => 3,
+        }
+    }
+
+    /// Parses a flight-recorder reason code.
+    pub fn from_code(code: u64) -> Option<Self> {
+        match code {
+            0 => Some(ScaleReason::DropRate),
+            1 => Some(ScaleReason::TailLatency),
+            2 => Some(ScaleReason::Idle),
+            3 => Some(ScaleReason::LoadTracking),
+            _ => None,
+        }
+    }
 }
 
 /// One worker-count change, stamped in virtual time.

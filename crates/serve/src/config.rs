@@ -1,6 +1,7 @@
 //! Serving configuration: scheduling policy, batching, backpressure.
 
 use catdet_core::GpuTimingModel;
+use catdet_recorder::SharedRecorder;
 use serde::{Deserialize, Serialize};
 
 /// Which stream a free worker serves next.
@@ -450,6 +451,93 @@ impl Default for ShardConfig {
     }
 }
 
+/// Flight-recorder configuration: whether a run books its telemetry into
+/// a [`catdet_recorder`] chunk store, and the store's shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecorderConfig {
+    /// Record events at all. Off (the default), the engines run with the
+    /// no-op recorder and pay only a cold `enabled()` check per hook.
+    pub enabled: bool,
+    /// Chunk capacity in events: chunks seal (and enter the time index)
+    /// at this many rows.
+    pub chunk_events: usize,
+    /// Sealed-chunk retention budget; the least-recently-used sealed
+    /// chunk is evicted beyond it. `usize::MAX` (the default) retains
+    /// everything.
+    pub retention_chunks: usize,
+    /// Capture a replay snapshot of each stream every this many completed
+    /// frames. `0` (the default) disables snapshots — and with them
+    /// time-travel replay.
+    pub snapshot_every_frames: usize,
+}
+
+impl RecorderConfig {
+    /// Recording off — the zero-cost default.
+    pub fn off() -> Self {
+        Self {
+            enabled: false,
+            chunk_events: 512,
+            retention_chunks: usize::MAX,
+            snapshot_every_frames: 0,
+        }
+    }
+
+    /// Recording on with default chunking, unbounded retention and no
+    /// snapshots.
+    pub fn on() -> Self {
+        Self {
+            enabled: true,
+            ..Self::off()
+        }
+    }
+
+    /// Returns a copy with a different chunk capacity.
+    pub fn with_chunk_events(mut self, chunk_events: usize) -> Self {
+        self.chunk_events = chunk_events;
+        self
+    }
+
+    /// Returns a copy with a different sealed-chunk retention budget.
+    pub fn with_retention_chunks(mut self, retention_chunks: usize) -> Self {
+        self.retention_chunks = retention_chunks;
+        self
+    }
+
+    /// Returns a copy with a different snapshot cadence (`0` disables).
+    pub fn with_snapshot_every_frames(mut self, frames: usize) -> Self {
+        self.snapshot_every_frames = frames;
+        self
+    }
+
+    /// Builds the shared store this configuration describes.
+    pub fn build(&self) -> SharedRecorder {
+        SharedRecorder::new(
+            self.chunk_events,
+            self.retention_chunks,
+            self.snapshot_every_frames,
+        )
+    }
+
+    /// Panics if the configuration is unusable.
+    pub fn validate(&self) {
+        assert!(
+            self.chunk_events >= 1,
+            "recorder chunks must hold at least one event"
+        );
+        assert!(
+            self.snapshot_every_frames == 0 || self.retention_chunks >= 1,
+            "zero retention cannot feed replay: snapshots need their recorded events kept; \
+             raise the retention budget or disable snapshots"
+        );
+    }
+}
+
+impl Default for RecorderConfig {
+    fn default() -> Self {
+        Self::off()
+    }
+}
+
 /// Configuration of one serving run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ServeConfig {
@@ -494,6 +582,9 @@ pub struct ServeConfig {
     /// monolithic scheduler. Only consulted by
     /// [`serve_fleet`](crate::serve_fleet).
     pub shard: ShardConfig,
+    /// Flight recording; [`RecorderConfig::off`] (the default) disables
+    /// it.
+    pub recorder: RecorderConfig,
 }
 
 impl ServeConfig {
@@ -513,6 +604,7 @@ impl ServeConfig {
             autoscale: AutoscaleConfig::fixed(),
             admission: AdmissionConfig::admit_all(),
             shard: ShardConfig::single(),
+            recorder: RecorderConfig::off(),
         }
     }
 
@@ -582,6 +674,12 @@ impl ServeConfig {
         self
     }
 
+    /// Returns a copy with a different flight-recorder configuration.
+    pub fn with_recorder(mut self, recorder: RecorderConfig) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
     /// Panics if the configuration is unusable.
     pub fn validate(&self) {
         assert!(self.workers >= 1, "need at least one worker");
@@ -601,6 +699,7 @@ impl ServeConfig {
         self.autoscale.validate();
         self.admission.validate();
         self.shard.validate();
+        self.recorder.validate();
     }
 }
 
@@ -701,6 +800,42 @@ mod tests {
     fn zero_control_interval_is_rejected() {
         ServeConfig::new()
             .with_autoscale(AutoscaleConfig::hysteresis(1, 4).with_control_interval_s(0.0))
+            .validate();
+    }
+
+    #[test]
+    fn recorder_rides_the_builder() {
+        let cfg = ServeConfig::new().with_recorder(
+            RecorderConfig::on()
+                .with_chunk_events(128)
+                .with_retention_chunks(64)
+                .with_snapshot_every_frames(25),
+        );
+        cfg.validate();
+        assert!(cfg.recorder.enabled);
+        assert_eq!(cfg.recorder.chunk_events, 128);
+        assert_eq!(cfg.recorder.retention_chunks, 64);
+        assert_eq!(cfg.recorder.snapshot_every_frames, 25);
+        assert!(!ServeConfig::new().recorder.enabled, "recording is opt-in");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one event")]
+    fn zero_event_recorder_chunks_are_rejected() {
+        ServeConfig::new()
+            .with_recorder(RecorderConfig::on().with_chunk_events(0))
+            .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "zero retention cannot feed replay")]
+    fn zero_retention_with_snapshots_is_rejected() {
+        ServeConfig::new()
+            .with_recorder(
+                RecorderConfig::on()
+                    .with_retention_chunks(0)
+                    .with_snapshot_every_frames(10),
+            )
             .validate();
     }
 }

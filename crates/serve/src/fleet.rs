@@ -42,9 +42,12 @@
 //! fused-dispatch histories are fleet-level records.
 
 use crate::config::ServeConfig;
-use crate::report::{BatchStats, LatencyStats, ServeReport, StreamReport};
+use crate::report::{
+    merge_timelines, BatchRecord, BatchStats, LatencyStats, ServeReport, StreamReport,
+};
 use crate::scheduler::{Engine, StreamSpec, EPS};
 use crate::shard::{build_partition, MigrationEvent};
+use catdet_recorder::{Event, FlightRecorder, NullRecorder, SharedRecorder};
 use std::fmt::Write as _;
 
 /// One cross-shard fused refinement dispatch.
@@ -192,29 +195,40 @@ impl FleetReport {
     }
 
     /// All scale events across shards as `(shard, event)`, merged in time
-    /// order (stable: ties keep shard order).
+    /// order (ties keep shard order).
     pub fn scale_timeline(&self) -> Vec<(usize, crate::ScaleEvent)> {
-        let mut out: Vec<(usize, crate::ScaleEvent)> = self
+        let lanes: Vec<&[crate::ScaleEvent]> = self
             .shards
             .iter()
-            .enumerate()
-            .flat_map(|(k, s)| s.scale_events.iter().map(move |e| (k, *e)))
+            .map(|s| s.scale_events.as_slice())
             .collect();
-        out.sort_by(|a, b| a.1.t_s.total_cmp(&b.1.t_s).then(a.0.cmp(&b.0)));
-        out
+        merge_timelines(&lanes)
     }
 
     /// All admission rejections across shards as `(shard, event)`, merged
-    /// in time order (stable: ties keep shard order).
+    /// in time order (ties keep shard order).
     pub fn admission_timeline(&self) -> Vec<(usize, crate::AdmissionEvent)> {
-        let mut out: Vec<(usize, crate::AdmissionEvent)> = self
+        let lanes: Vec<&[crate::AdmissionEvent]> = self
             .shards
             .iter()
-            .enumerate()
-            .flat_map(|(k, s)| s.admission_events.iter().map(move |e| (k, *e)))
+            .map(|s| s.admission_events.as_slice())
             .collect();
-        out.sort_by(|a, b| a.1.t_s.total_cmp(&b.1.t_s).then(a.0.cmp(&b.0)));
-        out
+        merge_timelines(&lanes)
+    }
+
+    /// All dispatched batches across shards as `(shard, record)`, merged
+    /// in time order (ties keep shard order). Per-shard logs are in
+    /// dispatch order, which can run slightly ahead of time order (a
+    /// per-frame refinement is priced at its future completion cursor), so
+    /// each lane is time-sorted (stably) before the merge.
+    pub fn batch_timeline(&self) -> Vec<(usize, BatchRecord)> {
+        let mut lanes: Vec<Vec<BatchRecord>> =
+            self.shards.iter().map(|s| s.batch_log.clone()).collect();
+        for lane in &mut lanes {
+            lane.sort_by(|a, b| a.t_s.total_cmp(&b.t_s));
+        }
+        let refs: Vec<&[BatchRecord]> = lanes.iter().map(|l| l.as_slice()).collect();
+        merge_timelines(&refs)
     }
 
     /// Human-readable migration timeline, one line per event.
@@ -313,6 +327,36 @@ impl FleetReport {
 /// Panics on an invalid configuration or if a detection system panics on
 /// a worker thread.
 pub fn serve_fleet(streams: Vec<StreamSpec>, cfg: &ServeConfig) -> FleetReport {
+    if cfg.recorder.enabled {
+        cfg.validate();
+        // Config-enabled recording without a caller-held handle (see
+        // [`serve`](crate::serve)); pass a recorder via
+        // [`serve_fleet_with_recorder`] to keep the store.
+        let recorder = cfg.recorder.build();
+        return serve_fleet_with_recorder(streams, cfg, &recorder);
+    }
+    serve_fleet_impl(streams, cfg, None)
+}
+
+/// Runs a sharded fleet with every event booked into `recorder`: each
+/// shard's engine stamps its shard id, and migrations are recorded
+/// fleet-level. Scheduling decisions (and the returned [`FleetReport`])
+/// are bit-identical to an unrecorded run.
+pub fn serve_fleet_with_recorder(
+    streams: Vec<StreamSpec>,
+    cfg: &ServeConfig,
+    recorder: &SharedRecorder,
+) -> FleetReport {
+    let report = serve_fleet_impl(streams, cfg, Some(recorder));
+    recorder.seal_open_chunks();
+    report
+}
+
+fn serve_fleet_impl(
+    streams: Vec<StreamSpec>,
+    cfg: &ServeConfig,
+    recorder: Option<&SharedRecorder>,
+) -> FleetReport {
     cfg.validate();
     let sc = cfg.shard;
     let shards = sc.shards;
@@ -333,7 +377,14 @@ pub fn serve_fleet(streams: Vec<StreamSpec>, cfg: &ServeConfig) -> FleetReport {
 
     let mut engines: Vec<Engine> = groups
         .into_iter()
-        .map(|g| Engine::new(g, cfg, 0.0, fleet_fuse))
+        .enumerate()
+        .map(|(k, g)| {
+            let sink: Box<dyn FlightRecorder> = match recorder {
+                Some(r) => Box::new(r.handle(k)),
+                None => Box::new(NullRecorder),
+            };
+            Engine::new(g, cfg, 0.0, fleet_fuse, sink)
+        })
         .collect();
 
     let mut migrations: Vec<MigrationEvent> = Vec::new();
@@ -376,7 +427,7 @@ pub fn serve_fleet(streams: Vec<StreamSpec>, cfg: &ServeConfig) -> FleetReport {
                 e.run_until(next);
             }
             if rebalance_on && next_rebalance <= next + EPS {
-                rebalance(&sc, &mut engines, next_rebalance, &mut migrations);
+                rebalance(&sc, &mut engines, next_rebalance, &mut migrations, recorder);
                 next_rebalance += sc.rebalance_interval_s;
             }
         }
@@ -399,7 +450,7 @@ pub fn serve_fleet(streams: Vec<StreamSpec>, cfg: &ServeConfig) -> FleetReport {
             if !work_left {
                 break;
             }
-            rebalance(&sc, &mut engines, next_rebalance, &mut migrations);
+            rebalance(&sc, &mut engines, next_rebalance, &mut migrations, recorder);
             next_rebalance += sc.rebalance_interval_s;
         }
     }
@@ -496,6 +547,7 @@ fn rebalance(
     engines: &mut [Engine],
     t: f64,
     migrations: &mut Vec<MigrationEvent>,
+    recorder: Option<&SharedRecorder>,
 ) {
     let loads: Vec<usize> = engines.iter().map(|e| e.backlog()).collect();
     let Some(hot) = (0..engines.len()).max_by_key(|&k| (loads[k], usize::MAX - k)) else {
@@ -533,5 +585,19 @@ fn rebalance(
         to_shard: cool,
         backlog_moved: m.queued(),
     });
+    if let Some(r) = recorder {
+        // Migrations are fleet-level decisions; they book under the shard
+        // the stream left.
+        r.record(
+            t,
+            hot,
+            Event::Migration {
+                stream: m.global_id(),
+                from_shard: hot,
+                to_shard: cool,
+                backlog_moved: m.queued(),
+            },
+        );
+    }
     engines[cool].admit_stream(m, t);
 }

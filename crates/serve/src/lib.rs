@@ -47,6 +47,14 @@
 //!   reports into a [`FleetReport`] whose percentiles are recomputed
 //!   from pooled raw samples. A 1-shard fleet is bit-identical to
 //!   [`serve`].
+//! * **Flight recorder** — [`serve_with_recorder`] /
+//!   [`serve_fleet_with_recorder`] book every detection, track, batch,
+//!   scale, admission and migration event into a chunked columnar store
+//!   ([`SharedRecorder`]) with bounded retention. Recording never perturbs
+//!   scheduling (a recorded run's report is bit-identical to an unrecorded
+//!   one's), recorded latencies answer telemetry [`Query`]s with exactly
+//!   the report's percentiles, and periodic [`StreamSnapshot`]s let
+//!   [`replay_stream`] re-drive any stream bit-exactly from mid-run.
 //!
 //! Scheduling runs in deterministic virtual time while detector compute
 //! runs for real on the pool, so results are reproducible bit-for-bit at
@@ -73,6 +81,7 @@ pub mod admission;
 pub mod autoscale;
 pub mod config;
 pub mod fleet;
+pub mod replay;
 pub mod report;
 pub mod scheduler;
 pub mod shard;
@@ -87,12 +96,16 @@ pub use autoscale::{
     ScaleReason,
 };
 pub use config::{
-    AdmissionConfig, AdmissionKind, AutoscaleConfig, DropPolicy, PartitionKind, ScalePolicyKind,
-    SchedulePolicy, ServeConfig, ShardConfig,
+    AdmissionConfig, AdmissionKind, AutoscaleConfig, DropPolicy, PartitionKind, RecorderConfig,
+    ScalePolicyKind, SchedulePolicy, ServeConfig, ShardConfig,
 };
-pub use fleet::{serve_fleet, FleetRefineRecord, FleetReport};
-pub use report::{BatchRecord, BatchStage, BatchStats, LatencyStats, ServeReport, StreamReport};
-pub use scheduler::{serve, StreamSpec};
+pub use fleet::{serve_fleet, serve_fleet_with_recorder, FleetRefineRecord, FleetReport};
+pub use replay::{replay_stream, ReplayError, ReplayReport, ReplayedFrame, StreamSnapshot};
+pub use report::{
+    merge_timelines, BatchRecord, BatchStage, BatchStats, LatencyStats, ServeReport, StreamReport,
+    TimestampedEvent,
+};
+pub use scheduler::{serve, serve_with_recorder, StreamSpec};
 pub use shard::{
     build_partition, ConsistentHashRing, LeastLoaded, MigrationEvent, PartitionPolicy, StaticHash,
 };
@@ -101,3 +114,7 @@ pub use workload::{bursty_workload, kitti_workload, mixed_workload, step_workloa
 // Re-export the pieces callers almost always need alongside.
 pub use catdet_core::{PresetFactory, SystemFactory, SystemKind};
 pub use catdet_data::{StreamFrame, StreamSource};
+pub use catdet_recorder::{
+    Event, EventKind, FlightRecorder, LatencySummary, NullRecorder, Query, RecordedEvent,
+    SharedRecorder, StoreStats,
+};

@@ -10,11 +10,14 @@
 //!              --admission priority --watermark 32
 //! ```
 
+use catdet_recorder::{read_file, Event, EventKind, Query};
 use catdet_serve::{
-    bursty_workload, mixed_workload, serve, serve_fleet, AdmissionConfig, AdmissionKind,
-    AutoscaleConfig, BurstProfile, DropPolicy, PartitionKind, ScalePolicyKind, SchedulePolicy,
-    ServeConfig, ShardConfig, StreamSpec, SystemKind,
+    bursty_workload, mixed_workload, serve, serve_fleet, serve_fleet_with_recorder,
+    serve_with_recorder, AdmissionConfig, AdmissionKind, AdmissionReason, AutoscaleConfig,
+    BurstProfile, DropPolicy, PartitionKind, RecorderConfig, ScalePolicyKind, ScaleReason,
+    SchedulePolicy, ServeConfig, ShardConfig, StreamSpec, SystemKind,
 };
+use std::path::Path;
 
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum WorkloadKind {
@@ -66,6 +69,10 @@ struct Args {
     rebalance_ms: f64,
     migration_cost: usize,
     no_fuse_across_shards: bool,
+    record: Option<String>,
+    record_chunk_events: usize,
+    record_retention_chunks: usize,
+    record_snapshot_every: usize,
 }
 
 impl Default for Args {
@@ -97,6 +104,10 @@ impl Default for Args {
             rebalance_ms: 0.0,
             migration_cost: 8,
             no_fuse_across_shards: false,
+            record: None,
+            record_chunk_events: 512,
+            record_retention_chunks: usize::MAX,
+            record_snapshot_every: 0,
         }
     }
 }
@@ -154,7 +165,27 @@ USAGE:
                         keep refinement fusion within each shard instead
                         of pooling work items fleet-wide [fleet-wide]
 
+  flight recorder (chunked columnar telemetry + time-travel replay):
+    --record <FILE>     record every detection/track/batch/scale/admission/
+                        migration event and save the chunk store to FILE
+    --record-chunk-events <N>
+                        events per chunk before sealing [512]
+    --record-retention-chunks <N>
+                        sealed-chunk budget; least-recently-touched chunks
+                        are evicted beyond it [unbounded]
+    --record-snapshot-every <N>
+                        capture a replay snapshot every N completed frames
+                        per stream (0 disables snapshots) [0]
+
     -h, --help          print this help
+
+SUBCOMMANDS:
+    query <FILE> [--kind detection|track|batch|scale|admission|migration]
+                 [--stream <N>] [--shard <N>] [--from <S>] [--to <S>]
+                 [--limit <N>]
+        scan a saved recording: print matching events in time order and,
+        for detection events, the recorded latency percentiles over the
+        matched window (identical to the live report's figures)
 ";
 
 fn parse_args() -> Result<Args, String> {
@@ -194,6 +225,10 @@ fn parse_args() -> Result<Args, String> {
             "--shards" => args.shards = parse_num(&flag, &value)?,
             "--rebalance-interval-ms" => args.rebalance_ms = parse_num(&flag, &value)?,
             "--migration-cost-frames" => args.migration_cost = parse_num(&flag, &value)?,
+            "--record" => args.record = Some(value),
+            "--record-chunk-events" => args.record_chunk_events = parse_num(&flag, &value)?,
+            "--record-retention-chunks" => args.record_retention_chunks = parse_num(&flag, &value)?,
+            "--record-snapshot-every" => args.record_snapshot_every = parse_num(&flag, &value)?,
             "--partition" => {
                 args.partition = PartitionKind::from_name(&value)
                     .ok_or_else(|| format!("--partition: unknown policy {value}"))?
@@ -278,6 +313,17 @@ fn parse_args() -> Result<Args, String> {
             args.rebalance_ms
         ));
     }
+    if args.record_chunk_events == 0 {
+        return Err("--record-chunk-events must be at least 1".into());
+    }
+    if args.record_snapshot_every > 0 && args.record_retention_chunks == 0 {
+        return Err(
+            "--record-retention-chunks 0 cannot feed replay: snapshots need their \
+             recorded events kept; raise the retention budget or drop \
+             --record-snapshot-every"
+                .into(),
+        );
+    }
     Ok(args)
 }
 
@@ -288,6 +334,13 @@ fn parse_num<T: std::str::FromStr>(flag: &str, value: &str) -> Result<T, String>
 }
 
 fn main() {
+    if std::env::args().nth(1).as_deref() == Some("query") {
+        if let Err(e) = run_query(std::env::args().skip(2)) {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+        return;
+    }
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {
@@ -330,7 +383,15 @@ fn main() {
                 .with_rebalance_interval_s(args.rebalance_ms / 1e3)
                 .with_migration_cost_frames(args.migration_cost)
                 .with_fuse_across_shards(!args.no_fuse_across_shards),
-        );
+        )
+        .with_recorder(if args.record.is_some() {
+            RecorderConfig::on()
+                .with_chunk_events(args.record_chunk_events)
+                .with_retention_chunks(args.record_retention_chunks)
+                .with_snapshot_every_frames(args.record_snapshot_every)
+        } else {
+            RecorderConfig::off()
+        });
 
     println!(
         "spinning up {} streams ({} frames each, {} workload), {} shards x {} workers \
@@ -358,8 +419,12 @@ fn main() {
             BurstProfile::demo(),
         ),
     };
+    let recorder = args.record.as_ref().map(|_| cfg.recorder.build());
     if args.shards > 1 {
-        let report = serve_fleet(streams, &cfg);
+        let report = match &recorder {
+            Some(r) => serve_fleet_with_recorder(streams, &cfg, r),
+            None => serve_fleet(streams, &cfg),
+        };
         print!("{}", report.summary());
         if !report.migrations.is_empty() {
             println!("migration timeline:");
@@ -379,11 +444,178 @@ fn main() {
             }
         }
     } else {
-        let report = serve(streams, &cfg);
+        let report = match &recorder {
+            Some(r) => serve_with_recorder(streams, &cfg, r),
+            None => serve(streams, &cfg),
+        };
         print!("{}", report.summary());
         if !report.scale_events.is_empty() {
             println!("scale-event timeline:");
             print!("{}", report.scale_timeline());
         }
+    }
+    if let (Some(recorder), Some(path)) = (&recorder, &args.record) {
+        let stats = recorder.stats();
+        println!(
+            "recorder: {} events in {} chunks ({} evicted, {} events lost to eviction), \
+             {} snapshots, {} encoded bytes",
+            stats.events,
+            stats.open_chunks + stats.sealed_chunks,
+            stats.chunks_evicted,
+            stats.events_evicted,
+            stats.snapshots,
+            stats.encoded_bytes,
+        );
+        match recorder.save(Path::new(path)) {
+            Ok(()) => {
+                println!("telemetry saved to {path} (inspect with: catdet-serve query {path})")
+            }
+            Err(e) => {
+                eprintln!("error: could not save recording to {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+/// The `query` subcommand: scan a saved recording and print matching
+/// events, plus recorded latency percentiles for detection scans.
+fn run_query(mut it: impl Iterator<Item = String>) -> Result<(), String> {
+    let file = it
+        .next()
+        .ok_or("query needs a recording file (catdet-serve query <FILE> ...)")?;
+    let mut query = Query::all();
+    let mut limit = 40usize;
+    while let Some(flag) = it.next() {
+        let value = it
+            .next()
+            .ok_or_else(|| format!("flag {flag} needs a value"))?;
+        match flag.as_str() {
+            "--kind" => {
+                let kind = EventKind::from_name(&value).ok_or_else(|| {
+                    format!(
+                        "--kind: unknown kind {value} (expected one of: {})",
+                        EventKind::ALL
+                            .iter()
+                            .map(|k| k.name())
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    )
+                })?;
+                query = query.kind(kind);
+            }
+            "--stream" => query = query.stream(parse_num(&flag, &value)?),
+            "--shard" => query = query.shard(parse_num(&flag, &value)?),
+            "--from" => {
+                let t: f64 = parse_num(&flag, &value)?;
+                query.t0 = t;
+            }
+            "--to" => {
+                let t: f64 = parse_num(&flag, &value)?;
+                query.t1 = t;
+            }
+            "--limit" => limit = parse_num(&flag, &value)?,
+            other => return Err(format!("unknown query flag {other} (try --help)")),
+        }
+    }
+    let mut store =
+        read_file(Path::new(&file)).map_err(|e| format!("could not read {file}: {e}"))?;
+    let stats = store.stats();
+    println!(
+        "{file}: {} events in {} chunks, {} encoded bytes",
+        stats.events,
+        stats.open_chunks + stats.sealed_chunks,
+        stats.encoded_bytes,
+    );
+    let events = store.scan(&query);
+    println!("{} events match", events.len());
+    for r in events.iter().take(limit) {
+        println!(
+            "  t={:>9.4}s  shard {}  {}",
+            r.t_s,
+            r.shard,
+            describe(&r.event)
+        );
+    }
+    if events.len() > limit {
+        println!(
+            "  ... {} more (raise --limit to see them)",
+            events.len() - limit
+        );
+    }
+    if query.kind.is_none_or(|k| k == EventKind::Detection) {
+        let l = store.latency_stats(&query);
+        if l.samples > 0 {
+            println!(
+                "recorded latency over {} samples: mean {:.1} ms | p50 {:.1} ms | \
+                 p95 {:.1} ms | p99 {:.1} ms | max {:.1} ms",
+                l.samples,
+                l.mean_s * 1e3,
+                l.p50_s * 1e3,
+                l.p95_s * 1e3,
+                l.p99_s * 1e3,
+                l.max_s * 1e3,
+            );
+        }
+    }
+    Ok(())
+}
+
+/// One-line human rendering of a recorded event, decoding the producer's
+/// reason codes back to their labels.
+fn describe(event: &Event) -> String {
+    match *event {
+        Event::Detection {
+            stream,
+            seq,
+            frame_index,
+            detections,
+            latency_s,
+            output_hash,
+        } => format!(
+            "detection: stream {stream} #{seq} frame {frame_index} -> {detections} boxes, \
+             {:.1} ms, hash {output_hash:016x}",
+            latency_s * 1e3
+        ),
+        Event::Track {
+            stream,
+            frame_index,
+            live_tracks,
+        } => format!("track: stream {stream} frame {frame_index} -> {live_tracks} live tracks"),
+        Event::Batch {
+            stream,
+            worker,
+            stage,
+            size,
+        } => format!(
+            "batch: stream {stream} rode a {}-stream {} dispatch on worker {worker}",
+            size,
+            if stage == catdet_recorder::STAGE_PROPOSAL {
+                "proposal"
+            } else {
+                "refinement"
+            },
+        ),
+        Event::Scale {
+            from_workers,
+            to_workers,
+            reason,
+        } => format!(
+            "scale: {from_workers} -> {to_workers} workers ({})",
+            ScaleReason::from_code(reason).map_or("unknown", |r| r.label())
+        ),
+        Event::Admission { stream, reason } => format!(
+            "admission: stream {stream} refused ({})",
+            AdmissionReason::from_code(reason).map_or("unknown", |r| r.label())
+        ),
+        Event::Migration {
+            stream,
+            from_shard,
+            to_shard,
+            backlog_moved,
+        } => format!(
+            "migration: stream {stream} shard {from_shard} -> {to_shard} \
+             ({backlog_moved} queued frames moved)"
+        ),
     }
 }

@@ -341,6 +341,68 @@ impl ServeReport {
     }
 }
 
+/// Anything stamped with a virtual-time instant: the shared shape of the
+/// control-plane and dispatch histories ([`ScaleEvent`], [`AdmissionEvent`],
+/// [`BatchRecord`], [`MigrationEvent`](crate::MigrationEvent)). One generic
+/// k-way merge ([`merge_timelines`]) interleaves per-shard timelines of any
+/// such type, replacing a hand-rolled merge loop per event kind.
+pub trait TimestampedEvent {
+    /// The event's virtual-time stamp.
+    fn t_s(&self) -> f64;
+}
+
+impl TimestampedEvent for ScaleEvent {
+    fn t_s(&self) -> f64 {
+        self.t_s
+    }
+}
+
+impl TimestampedEvent for AdmissionEvent {
+    fn t_s(&self) -> f64 {
+        self.t_s
+    }
+}
+
+impl TimestampedEvent for BatchRecord {
+    fn t_s(&self) -> f64 {
+        self.t_s
+    }
+}
+
+impl TimestampedEvent for crate::shard::MigrationEvent {
+    fn t_s(&self) -> f64 {
+        self.t_s
+    }
+}
+
+/// K-way merges per-shard event timelines — each lane already in time
+/// order — into one `(shard, event)` timeline ordered by time, with ties
+/// keeping shard order (and within a shard, lane order). This is the
+/// single merge behind every [`FleetReport`](crate::FleetReport) timeline
+/// accessor.
+pub fn merge_timelines<E: TimestampedEvent + Clone>(lanes: &[&[E]]) -> Vec<(usize, E)> {
+    let mut cursors = vec![0usize; lanes.len()];
+    let total = lanes.iter().map(|l| l.len()).sum();
+    let mut out = Vec::with_capacity(total);
+    while out.len() < total {
+        let mut best: Option<(f64, usize)> = None;
+        for (k, lane) in lanes.iter().enumerate() {
+            let Some(e) = lane.get(cursors[k]) else {
+                continue;
+            };
+            let t = e.t_s();
+            // Strict less keeps the lowest shard on time ties.
+            if best.is_none_or(|(bt, _)| t.total_cmp(&bt).is_lt()) {
+                best = Some((t, k));
+            }
+        }
+        let (_, k) = best.expect("events remain");
+        out.push((k, lanes[k][cursors[k]].clone()));
+        cursors[k] += 1;
+    }
+    out
+}
+
 fn truncate(s: &str, width: usize) -> String {
     if s.chars().count() <= width {
         s.to_string()
@@ -471,6 +533,25 @@ mod tests {
         let timeline = report.scale_timeline();
         assert!(timeline.contains("4 -> 6"));
         assert!(timeline.contains("(drop-rate)"));
+    }
+
+    #[test]
+    fn merge_timelines_interleaves_sorted_lanes() {
+        use crate::admission::AdmissionReason;
+        let ev = |t| AdmissionEvent {
+            t_s: t,
+            stream: 0,
+            reason: AdmissionReason::Shed,
+        };
+        let a = [ev(0.1), ev(0.3), ev(0.3)];
+        let b = [ev(0.2), ev(0.3)];
+        let merged = merge_timelines(&[a.as_slice(), b.as_slice()]);
+        let shards: Vec<usize> = merged.iter().map(|(k, _)| *k).collect();
+        // Ties at t=0.3 keep shard order (both of shard 0's before shard 1's).
+        assert_eq!(shards, vec![0, 1, 0, 0, 1]);
+        let times: Vec<f64> = merged.iter().map(|(_, e)| e.t_s).collect();
+        assert_eq!(times, vec![0.1, 0.2, 0.3, 0.3, 0.3]);
+        assert!(merge_timelines::<AdmissionEvent>(&[]).is_empty());
     }
 
     #[test]

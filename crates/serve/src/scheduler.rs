@@ -55,11 +55,16 @@ use crate::autoscale::{
     ScalePolicy,
 };
 use crate::config::{DropPolicy, ScalePolicyKind, SchedulePolicy, ServeConfig};
+use crate::replay::StreamSnapshot;
 use crate::report::{BatchRecord, BatchStage, BatchStats, LatencyStats, ServeReport, StreamReport};
 use catdet_core::{
-    FrameOutput, OpsBreakdown, RefinementWork, StageStep, StagedDetector, SystemFactory,
+    output_hash, FrameOutput, OpsBreakdown, RefinementWork, StageStep, StagedDetector,
+    SystemFactory,
 };
 use catdet_data::{Frame, StreamSource};
+use catdet_recorder::{
+    Event, FlightRecorder, NullRecorder, SharedRecorder, STAGE_PROPOSAL, STAGE_REFINEMENT,
+};
 use std::collections::VecDeque;
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
@@ -108,11 +113,40 @@ impl StreamSpec {
 /// Panics on an invalid configuration (see [`ServeConfig::validate`]) or if
 /// a detection system panics on a worker thread.
 pub fn serve(streams: Vec<StreamSpec>, cfg: &ServeConfig) -> ServeReport {
+    if cfg.recorder.enabled {
+        cfg.validate();
+        // Config-enabled recording without a caller-held handle: the store
+        // is dropped with the run. Callers that want to query or replay
+        // pass their own recorder via [`serve_with_recorder`].
+        let recorder = cfg.recorder.build();
+        return serve_with_recorder(streams, cfg, &recorder);
+    }
     cfg.validate();
-    let mut engine = Engine::new(streams, cfg, 0.0, false);
+    let mut engine = Engine::new(streams, cfg, 0.0, false, Box::new(NullRecorder));
     engine.run_until(f64::INFINITY);
     let report = engine.finish_report();
     engine.shutdown();
+    report
+}
+
+/// Runs the serving loop with every event booked into `recorder` (as
+/// shard 0), leaving the caller holding the store for telemetry queries,
+/// saving, and time-travel replay.
+///
+/// The recorder rides outside the scheduling loop: a recorded run books
+/// the **same** virtual-time decisions and produces a bit-identical
+/// [`ServeReport`] to an unrecorded one.
+pub fn serve_with_recorder(
+    streams: Vec<StreamSpec>,
+    cfg: &ServeConfig,
+    recorder: &SharedRecorder,
+) -> ServeReport {
+    cfg.validate();
+    let mut engine = Engine::new(streams, cfg, 0.0, false, Box::new(recorder.handle(0)));
+    engine.run_until(f64::INFINITY);
+    let report = engine.finish_report();
+    engine.shutdown();
+    recorder.seal_open_chunks();
     report
 }
 
@@ -371,6 +405,10 @@ pub(crate) struct Engine {
     refine_meta_buf: Vec<Option<(usize, f64, f64)>>,
     /// Stream selection buffer for `pick_batch_into`.
     chosen_buf: Vec<usize>,
+    /// Flight-recorder sink ([`NullRecorder`] when recording is off —
+    /// every site is guarded by `enabled()` so the disabled path builds
+    /// no events).
+    recorder: Box<dyn FlightRecorder>,
 }
 
 pub(crate) const EPS: f64 = 1e-9;
@@ -381,6 +419,7 @@ impl Engine {
         cfg: &ServeConfig,
         start_clock: f64,
         external_refine: bool,
+        recorder: Box<dyn FlightRecorder>,
     ) -> Self {
         let priorities: Vec<u8> = specs.iter().map(|spec| spec.priority).collect();
         let streams: Vec<StreamRt> = specs
@@ -506,6 +545,7 @@ impl Engine {
             result_pool: Vec::new(),
             refine_meta_buf: Vec::new(),
             chosen_buf: Vec::new(),
+            recorder,
         }
     }
 
@@ -722,6 +762,16 @@ impl Engine {
                         to_workers: target,
                         reason,
                     });
+                    if self.recorder.enabled() {
+                        self.recorder.record(
+                            t,
+                            Event::Scale {
+                                from_workers: self.active_workers,
+                                to_workers: target,
+                                reason: reason.code(),
+                            },
+                        );
+                    }
                     self.active_workers = target;
                 }
             }
@@ -759,11 +809,21 @@ impl Engine {
                     self.win_shed += 1;
                     // Events are report surface: they carry the fleet-wide
                     // id, like every other per-stream figure.
+                    let global = self.streams[i].global_id;
                     self.admission_events.push(AdmissionEvent {
                         t_s: arrival_s,
-                        stream: self.streams[i].global_id,
+                        stream: global,
                         reason,
                     });
+                    if self.recorder.enabled() {
+                        self.recorder.record(
+                            arrival_s,
+                            Event::Admission {
+                                stream: global,
+                                reason: reason.code(),
+                            },
+                        );
+                    }
                     continue;
                 }
                 let s = &mut self.streams[i];
@@ -836,14 +896,62 @@ impl Engine {
             self.win_latencies
                 .push((completion_s, completion_s - arrival_s));
         }
+        let recording = self.recorder.enabled();
+        let snapshot_every = if recording {
+            self.recorder.snapshot_interval()
+        } else {
+            0
+        };
         let s = &mut self.streams[stream];
-        s.system = Some(system);
         s.busy_until = completion_s;
         s.processed += 1;
         s.latencies.push(completion_s - arrival_s);
         s.ops.accumulate(&out.ops);
-        s.outputs
-            .push((s.frames[frame_idx].1.index, out.detections));
+        let frame_index = s.frames[frame_idx].1.index;
+        if recording {
+            let global = s.global_id;
+            let seq = s.processed;
+            // A frame completes with its pipeline parked at a stage
+            // boundary — exactly the suspend points migration relies on —
+            // so a snapshot here captures the complete cross-frame state.
+            let snapshot = if snapshot_every > 0 && seq.is_multiple_of(snapshot_every) {
+                system.export_state().map(|state| StreamSnapshot {
+                    state,
+                    arrived: s.arrived,
+                    processed: s.processed,
+                    dropped: s.dropped,
+                    queue_depth: s.queue.len(),
+                })
+            } else {
+                None
+            };
+            self.recorder.record(
+                completion_s,
+                Event::Detection {
+                    stream: global,
+                    seq,
+                    frame_index,
+                    detections: out.detections.len(),
+                    latency_s: completion_s - arrival_s,
+                    output_hash: output_hash(&out.detections),
+                },
+            );
+            self.recorder.record(
+                completion_s,
+                Event::Track {
+                    stream: global,
+                    frame_index,
+                    live_tracks: system.live_tracks(),
+                },
+            );
+            if let Some(snap) = snapshot {
+                self.recorder
+                    .snapshot(completion_s, global, seq, Arc::new(snap));
+            }
+        }
+        let s = &mut self.streams[stream];
+        s.system = Some(system);
+        s.outputs.push((frame_index, out.detections));
         self.last_completion = self.last_completion.max(completion_s);
     }
 
@@ -1030,6 +1138,23 @@ impl Engine {
                     .map(|&(stream, _, _)| self.streams[stream].global_id)
                     .collect(),
             });
+            if self.recorder.enabled() {
+                // One row per contributing stream so per-stream scans see
+                // their own rides without decoding the whole batch.
+                let size = batch.items.len();
+                for &(stream, _, _) in &batch.items {
+                    let global = self.streams[stream].global_id;
+                    self.recorder.record(
+                        batch.start,
+                        Event::Batch {
+                            stream: global,
+                            worker: batch.worker,
+                            stage: STAGE_PROPOSAL,
+                            size,
+                        },
+                    );
+                }
+            }
             let size = batch.items.len();
             self.batch_stats.batches += 1;
             self.batch_stats.batched_frames += size;
@@ -1199,6 +1324,20 @@ impl Engine {
             stage: BatchStage::Refinement,
             streams: streams.iter().map(|&s| self.streams[s].global_id).collect(),
         });
+        if self.recorder.enabled() {
+            for &s in streams {
+                let global = self.streams[s].global_id;
+                self.recorder.record(
+                    t_s,
+                    Event::Batch {
+                        stream: global,
+                        worker,
+                        stage: STAGE_REFINEMENT,
+                        size: streams.len(),
+                    },
+                );
+            }
+        }
     }
 
     /// Streams that could contribute a frame to a batch right now.
@@ -1377,6 +1516,7 @@ impl Engine {
     }
 
     pub(crate) fn shutdown(&mut self) {
+        self.recorder.flush();
         drop(self.job_tx.take());
         for handle in self.pool.drain(..) {
             let _ = handle.join();

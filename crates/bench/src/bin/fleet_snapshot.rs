@@ -107,7 +107,7 @@ fn curve(name: &str, build: impl Fn() -> Vec<StreamSpec>) -> ScalingCurve {
             drop_rate: report.drop_rate(),
             virtual_throughput_fps: report.throughput_fps(),
             makespan_s: report.makespan_s(),
-            merged_p99_s: report.merged_latency().p99_s,
+            merged_p99_s: report.merged_latency().map_or(0.0, |l| l.p99_s),
             worker_seconds: report.worker_seconds(),
             migrations: report.migrations.len(),
             wall_s: wall,

@@ -1,0 +1,443 @@
+//! Real-thread fleet + SIMD geometry snapshot, written to
+//! `BENCH_PR7.json` at the repo root.
+//!
+//! ```text
+//! cargo run --release -p catdet-bench --bin parallel_snapshot           # measure + write
+//! cargo run --release -p catdet-bench --bin parallel_snapshot -- \
+//!     --check BENCH_PR7.json                                            # measure + regression-gate
+//! CATDET_BENCH_QUICK=1 ... parallel_snapshot                            # CI smoke sizes
+//! ```
+//!
+//! Three claims, three sections:
+//!
+//! * **determinism** — an 8-shard fleet advanced by a thread pool is
+//!   **bit-identical** to the sequential loop (report equality over
+//!   outputs, latencies, batch logs, timelines). Machine-independent;
+//!   gated unconditionally.
+//! * **speedup / realtime** — wall-clock figures: threaded-vs-sequential
+//!   wall speedup at 8 shards, and a 64-shard × 1000-stream fleet's
+//!   virtual-seconds-per-wall-second factor. Both depend on
+//!   `host_cpus`, which the snapshot records; `--check` applies wall
+//!   gates **only when the current host has at least the parallelism the
+//!   baseline was captured on** (a 1-core container cannot 3× an 8-shard
+//!   fleet, and silently passing a vacuous gate would be worse than
+//!   skipping it loudly).
+//! * **geom** — batch-IoU over 8-wide lanes agrees bit-for-bit with the
+//!   pinned scalar reference (gated unconditionally) and its wall
+//!   speedup is reported.
+
+use catdet_geom::{Box2, LaneBoxes};
+use catdet_serve::{
+    bursty_workload, serve_fleet, BurstProfile, FleetReport, ServeConfig, ShardConfig, StreamSpec,
+    SystemKind,
+};
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Debug, Clone, Serialize)]
+struct DeterminismSection {
+    shards: usize,
+    /// Thread counts compared against the sequential run (0 = auto).
+    threads_compared: Vec<usize>,
+    /// Every threaded report equalled the sequential one bit for bit.
+    identical: bool,
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct SpeedupSection {
+    shards: usize,
+    threads: usize,
+    wall_sequential_s: f64,
+    wall_threaded_s: f64,
+    /// `wall_sequential_s / wall_threaded_s` — only meaningful when
+    /// `host_cpus` offers real parallelism.
+    wall_speedup: f64,
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct RealtimeSection {
+    shards: usize,
+    streams: usize,
+    frames_processed: usize,
+    /// Virtual seconds the fleet simulated.
+    virtual_makespan_s: f64,
+    wall_s: f64,
+    /// Virtual seconds simulated per wall second; > 1 means the fleet
+    /// runs faster than real time.
+    realtime_factor: f64,
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct GeomSection {
+    boxes: usize,
+    queries: usize,
+    scalar_wall_s: f64,
+    simd_wall_s: f64,
+    simd_wall_speedup: f64,
+    /// Lane kernels matched the scalar reference bit for bit.
+    bit_equal: bool,
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct ParallelSnapshot {
+    schema: String,
+    quick: bool,
+    /// `std::thread::available_parallelism()` on the capture host — the
+    /// context every wall figure must be read in.
+    host_cpus: usize,
+    determinism: DeterminismSection,
+    speedup: SpeedupSection,
+    realtime: RealtimeSection,
+    geom: GeomSection,
+}
+
+fn quick_mode() -> bool {
+    std::env::var_os("CATDET_BENCH_QUICK").is_some_and(|v| v != "0" && !v.is_empty())
+}
+
+fn host_cpus() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// The 8-shard workload for the determinism and speedup sections: a
+/// bursty fleet with live rebalancing, real CaTDet pipelines.
+fn eight_shard_workload(quick: bool) -> (impl Fn() -> Vec<StreamSpec>, ServeConfig) {
+    let (streams, frames) = if quick { (16, 12) } else { (32, 40) };
+    let build = move || {
+        bursty_workload(
+            streams,
+            frames,
+            2019,
+            SystemKind::CatdetA,
+            BurstProfile::demo(),
+        )
+    };
+    let cfg = ServeConfig::new()
+        .with_workers(1)
+        .with_max_batch(4)
+        .with_queue_capacity(64)
+        .with_shard(
+            ShardConfig::sharded(8)
+                .with_rebalance_interval_s(0.1)
+                .with_migration_cost_frames(4),
+        );
+    (build, cfg)
+}
+
+fn timed_fleet(build: &impl Fn() -> Vec<StreamSpec>, cfg: &ServeConfig) -> (FleetReport, f64) {
+    let streams = build();
+    let t0 = Instant::now();
+    let report = serve_fleet(streams, cfg);
+    (report, t0.elapsed().as_secs_f64())
+}
+
+fn measure_determinism_and_speedup(quick: bool) -> (DeterminismSection, SpeedupSection) {
+    let (build, cfg) = eight_shard_workload(quick);
+    let (sequential, wall_seq) = timed_fleet(&build, &cfg.with_shard(cfg.shard.with_threads(1)));
+    let threads_compared = vec![2, 0];
+    let mut identical = true;
+    let mut wall_threaded = f64::INFINITY;
+    for &threads in &threads_compared {
+        let (threaded, wall) =
+            timed_fleet(&build, &cfg.with_shard(cfg.shard.with_threads(threads)));
+        identical &= threaded == sequential;
+        // `0` resolves to every host core — that run is the speedup probe.
+        if threads == 0 {
+            wall_threaded = wall;
+        }
+    }
+    println!(
+        "[determinism] 8 shards, threads {threads_compared:?} vs sequential: {}",
+        if identical {
+            "bit-identical"
+        } else {
+            "DIVERGED"
+        }
+    );
+    let speedup = SpeedupSection {
+        shards: 8,
+        threads: host_cpus().min(8),
+        wall_sequential_s: wall_seq,
+        wall_threaded_s: wall_threaded,
+        wall_speedup: wall_seq / wall_threaded.max(1e-12),
+    };
+    println!(
+        "[speedup] sequential {:.3}s vs threaded {:.3}s -> {:.2}x on {} cpu(s)",
+        speedup.wall_sequential_s,
+        speedup.wall_threaded_s,
+        speedup.wall_speedup,
+        host_cpus()
+    );
+    (
+        DeterminismSection {
+            shards: 8,
+            threads_compared,
+            identical,
+        },
+        speedup,
+    )
+}
+
+/// The headline: a 64-shard, 1000-stream city-scale fleet, simulated
+/// end to end. Low camera rates (the quiet/burst profile of a parking
+/// or surveillance deployment) stretch virtual time, which is exactly
+/// the regime the virtual-time engine exists for: the simulation covers
+/// minutes of fleet time in seconds of wall time.
+fn measure_realtime(quick: bool) -> RealtimeSection {
+    let (shards, streams, frames) = if quick { (16, 128, 6) } else { (64, 1000, 12) };
+    let profile = BurstProfile {
+        quiet_fps: 0.5,
+        burst_fps: 4.0,
+        ..BurstProfile::demo()
+    };
+    let cfg = ServeConfig::new()
+        .with_workers(1)
+        .with_max_batch(4)
+        .with_queue_capacity(64)
+        .with_shard(
+            ShardConfig::sharded(shards)
+                .with_rebalance_interval_s(0.5)
+                .with_migration_cost_frames(4)
+                .with_threads(0),
+        );
+    let specs = bursty_workload(streams, frames, 2019, SystemKind::CatdetA, profile);
+    let t0 = Instant::now();
+    let report = serve_fleet(specs, &cfg);
+    let wall = t0.elapsed().as_secs_f64();
+    let makespan = report.makespan_s();
+    let section = RealtimeSection {
+        shards,
+        streams,
+        frames_processed: report.frames_processed(),
+        virtual_makespan_s: makespan,
+        wall_s: wall,
+        realtime_factor: makespan / wall.max(1e-12),
+    };
+    println!(
+        "[realtime] {shards} shards x {streams} streams: {:.1} virtual s in {:.2} wall s -> {:.1}x real time",
+        section.virtual_makespan_s, section.wall_s, section.realtime_factor
+    );
+    section
+}
+
+/// Deterministic pseudo-random boxes without any RNG dependency.
+fn synthetic_boxes(n: usize) -> Vec<Box2> {
+    let mut state = 0x2545F4914F6CDD1Du64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 40) as f32 / 16777216.0 // [0, 1)
+    };
+    (0..n)
+        .map(|_| {
+            let x = next() * 1200.0;
+            let y = next() * 370.0;
+            Box2::from_xywh(x, y, 4.0 + next() * 120.0, 4.0 + next() * 60.0)
+        })
+        .collect()
+}
+
+fn measure_geom(quick: bool) -> GeomSection {
+    let (boxes, queries, reps) = if quick { (512, 64, 8) } else { (4096, 256, 24) };
+    let set = synthetic_boxes(boxes);
+    let mut lanes = LaneBoxes::new();
+    lanes.build(set.len(), |i| set[i]);
+    let qset = synthetic_boxes(queries);
+    let mut out = Vec::new();
+    let mut reference = Vec::new();
+
+    let mut bit_equal = true;
+    let mut scalar_wall = 0.0;
+    let mut simd_wall = 0.0;
+    let mut sink = 0.0f32;
+    for _ in 0..reps {
+        for q in &qset {
+            let t0 = Instant::now();
+            lanes.iou_into_scalar(q, &mut reference);
+            scalar_wall += t0.elapsed().as_secs_f64();
+            let t0 = Instant::now();
+            lanes.iou_into(q, &mut out);
+            simd_wall += t0.elapsed().as_secs_f64();
+            bit_equal &= out.len() == reference.len()
+                && out
+                    .iter()
+                    .zip(&reference)
+                    .all(|(a, b)| a.to_bits() == b.to_bits());
+            sink += out.last().copied().unwrap_or(0.0);
+        }
+    }
+    std::hint::black_box(sink);
+    let section = GeomSection {
+        boxes,
+        queries: queries * reps,
+        scalar_wall_s: scalar_wall,
+        simd_wall_s: simd_wall,
+        simd_wall_speedup: scalar_wall / simd_wall.max(1e-12),
+        bit_equal,
+    };
+    println!(
+        "[geom] batch IoU over {} boxes x {} queries: scalar {:.4}s vs lanes {:.4}s -> {:.2}x, {}",
+        section.boxes,
+        section.queries,
+        section.scalar_wall_s,
+        section.simd_wall_s,
+        section.simd_wall_speedup,
+        if section.bit_equal {
+            "bit-equal"
+        } else {
+            "DIVERGED"
+        }
+    );
+    section
+}
+
+/// Pulls `"field": <number>` scoped to the first occurrence after
+/// `section` (the vendored serde stack has no deserializer; the format
+/// is ours and stable).
+fn extract_number(json: &str, section: &str, field: &str) -> Option<f64> {
+    let sec = json.find(&format!("\"{section}\""))?;
+    let tail = &json[sec..];
+    let f = tail.find(&format!("\"{field}\""))?;
+    let tail = &tail[f..];
+    let colon = tail.find(':')?;
+    let rest = tail[colon + 1..].trim_start();
+    let end = rest
+        .find(|c: char| {
+            !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E' || c == '+')
+        })
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn extract_bool(json: &str, section: &str, field: &str) -> Option<bool> {
+    let sec = json.find(&format!("\"{section}\""))?;
+    let tail = &json[sec..];
+    let f = tail.find(&format!("\"{field}\""))?;
+    let tail = &tail[f..];
+    let colon = tail.find(':')?;
+    Some(tail[colon + 1..].trim_start().starts_with("true"))
+}
+
+fn check_against(path: &str, snap: &ParallelSnapshot) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+
+    // Bit-equality gates are machine-independent: they hold everywhere,
+    // always, and a capture that ever recorded a divergence is itself a
+    // broken baseline.
+    if !snap.determinism.identical {
+        return Err("threaded fleet diverged from the sequential reference".into());
+    }
+    if extract_bool(&text, "determinism", "identical") != Some(true) {
+        return Err("baseline recorded a non-identical threaded fleet — reject it".into());
+    }
+    if !snap.geom.bit_equal {
+        return Err("SIMD batch IoU diverged from the scalar reference".into());
+    }
+    if extract_bool(&text, "geom", "bit_equal") != Some(true) {
+        return Err("baseline recorded non-bit-equal SIMD kernels — reject it".into());
+    }
+
+    // Wall-clock gates only bind when this host has at least the
+    // parallelism the baseline was captured with; anything else compares
+    // a 1-core container to a many-core capture host.
+    let base_cpus = extract_number(&text, "schema", "host_cpus").unwrap_or(1.0) as usize;
+    let cpus = host_cpus();
+    let prev_quick = text.contains("\"quick\": true");
+    let same_mode = prev_quick == snap.quick;
+    if cpus < base_cpus || !same_mode {
+        println!(
+            "[check] wall gates skipped: host_cpus {cpus} vs baseline {base_cpus}, \
+             same_mode={same_mode} (bit-equality gates still applied)"
+        );
+        return Ok(());
+    }
+    // The speedup section needs real parallelism to mean anything at all:
+    // on one core the threaded and sequential runs race the same core and
+    // the ratio is measurement noise around 1.0.
+    if cpus >= 2 {
+        let prev_speedup = extract_number(&text, "speedup", "wall_speedup")
+            .ok_or("baseline JSON lacks speedup.wall_speedup")?;
+        if snap.speedup.wall_speedup < 0.8 * prev_speedup {
+            return Err(format!(
+                "8-shard wall speedup regressed: {:.2}x now vs {:.2}x in baseline",
+                snap.speedup.wall_speedup, prev_speedup
+            ));
+        }
+    } else {
+        println!("[check] wall-speedup gate skipped on a 1-cpu host (ratio is noise)");
+    }
+    let prev_rt = extract_number(&text, "realtime", "realtime_factor")
+        .ok_or("baseline JSON lacks realtime.realtime_factor")?;
+    if snap.realtime.realtime_factor < 1.0 {
+        return Err(format!(
+            "64-shard fleet fell below real time: {:.2}x",
+            snap.realtime.realtime_factor
+        ));
+    }
+    if snap.realtime.realtime_factor < 0.5 * prev_rt {
+        return Err(format!(
+            "realtime factor collapsed: {:.1}x now vs {:.1}x in baseline",
+            snap.realtime.realtime_factor, prev_rt
+        ));
+    }
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let check_path = args
+        .iter()
+        .position(|a| a == "--check")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_PR7.json".to_string());
+
+    let quick = quick_mode();
+    println!(
+        "parallel_snapshot ({} mode) on {} cpu(s)",
+        if quick { "quick" } else { "full" },
+        host_cpus()
+    );
+
+    let (determinism, speedup) = measure_determinism_and_speedup(quick);
+    let realtime = measure_realtime(quick);
+    let geom = measure_geom(quick);
+
+    let snapshot = ParallelSnapshot {
+        schema: "catdet-parallel-snapshot/v1".to_string(),
+        quick,
+        host_cpus: host_cpus(),
+        determinism,
+        speedup,
+        realtime,
+        geom,
+    };
+    match serde_json::to_string_pretty(&snapshot) {
+        Ok(json) => {
+            std::fs::write(&out_path, json + "\n").expect("write snapshot");
+            println!("[saved {out_path}]");
+        }
+        Err(e) => {
+            eprintln!("error: cannot serialize snapshot: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    if let Some(path) = check_path {
+        match check_against(&path, &snapshot) {
+            Ok(()) => println!("[check] OK — no regression vs {path}"),
+            Err(msg) => {
+                eprintln!("[check] FAIL — {msg}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

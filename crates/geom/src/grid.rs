@@ -80,8 +80,10 @@ impl GridIndex {
     /// (Re)builds the index over boxes `0..n`, reusing all buffers.
     ///
     /// `box_of(i)` must be pure for the duration of the build. Degenerate
-    /// or non-finite boxes are tolerated: they land in clamped cells and
-    /// simply never pass an exact overlap predicate.
+    /// or non-finite boxes are tolerated and keep the superset contract:
+    /// a NaN/infinite edge intersects like an open edge under the exact
+    /// predicates (`f32::min`/`max` ignore NaN), so such boxes are binned
+    /// across every cell they could possibly intersect.
     pub fn build<F: Fn(usize) -> Box2>(&mut self, n: usize, box_of: F) {
         self.n = n;
         if n == 0 {
@@ -176,12 +178,34 @@ impl GridIndex {
         let cy1 = ((b.y2 - self.y0) * self.inv_ch).floor();
         let hi_x = (self.nx - 1) as f32;
         let hi_y = (self.ny - 1) as f32;
-        // `clamp` maps NaN to NaN and `as usize` maps NaN to 0, so even
-        // non-finite boxes resolve to a valid (if arbitrary) cell range.
-        let cx0 = cx0.clamp(0.0, hi_x) as usize;
-        let cy0 = cy0.clamp(0.0, hi_y) as usize;
-        let cx1 = cx1.clamp(0.0, hi_x) as usize;
-        let cy1 = cy1.clamp(0.0, hi_y) as usize;
+        // A NaN coordinate gives a NaN cell ordinate. The exact predicates
+        // resolve NaN edges through `f32::min`/`f32::max` (which ignore
+        // NaN), so in `Box2::intersection` a NaN lower edge behaves like
+        // -inf and a NaN upper edge like +inf — the cell range must cover
+        // the whole axis on that side, or a finite box that strictly
+        // intersects the NaN box would never share a cell with it and the
+        // superset contract would break. Infinite coordinates are handled
+        // by the clamp.
+        let cx0 = if cx0.is_nan() {
+            0.0
+        } else {
+            cx0.clamp(0.0, hi_x)
+        } as usize;
+        let cy0 = if cy0.is_nan() {
+            0.0
+        } else {
+            cy0.clamp(0.0, hi_y)
+        } as usize;
+        let cx1 = if cx1.is_nan() {
+            hi_x
+        } else {
+            cx1.clamp(0.0, hi_x)
+        } as usize;
+        let cy1 = if cy1.is_nan() {
+            hi_y
+        } else {
+            cy1.clamp(0.0, hi_y)
+        } as usize;
         (cx0.min(cx1), cy0.min(cy1), cx0.max(cx1), cy0.max(cy1))
     }
 
@@ -296,6 +320,28 @@ mod tests {
         assert!(grid.any_candidate(&boxes[1], |j| j == 2));
     }
 
+    #[test]
+    fn nan_edge_box_stays_candidate_of_distant_intersections() {
+        // A NaN upper edge intersects like +inf (`f32::min` ignores NaN
+        // inside `Box2::intersection`), so box 0 strictly intersects the
+        // far box — they must stay mutual candidates even when the grid
+        // has many cells between them. Before the NaN-aware cell range,
+        // the NaN ordinate collapsed to cell 0 and the pair was missed.
+        let mut boxes = vec![
+            Box2::new(5.0, 0.0, f32::NAN, 10.0),
+            Box2::new(80.0, 2.0, 95.0, 9.0),
+        ];
+        // Filler boxes force a multi-cell x axis.
+        for k in 0..10 {
+            boxes.push(Box2::from_xywh(k as f32 * 10.0, 20.0, 8.0, 8.0));
+        }
+        let mut grid = GridIndex::new();
+        grid.build(boxes.len(), |i| boxes[i]);
+        assert!(boxes[0].intersection(&boxes[1]).is_some());
+        assert!(grid.any_candidate(&boxes[1], |j| j == 0));
+        assert!(grid.any_candidate(&boxes[0], |j| j == 1));
+    }
+
     proptest! {
         /// The defining property: every pair of strictly intersecting
         /// boxes must be mutual candidates.
@@ -307,6 +353,43 @@ mod tests {
             let bs: Vec<Box2> = boxes
                 .iter()
                 .map(|&(x, y, w, h)| Box2::from_xywh(x, y, w, h))
+                .collect();
+            let mut grid = GridIndex::new();
+            grid.build(bs.len(), |i| bs[i]);
+            for i in 0..bs.len() {
+                let candidates = collect_unique(&grid, &bs[i]);
+                for j in 0..bs.len() {
+                    if bs[i].intersection(&bs[j]).is_some() {
+                        prop_assert!(
+                            candidates.contains(&j),
+                            "boxes {i} and {j} intersect but {j} was not a candidate"
+                        );
+                    }
+                }
+            }
+        }
+
+        /// The superset contract must survive non-finite inputs: NaN and
+        /// infinite edges intersect like open edges under the exact
+        /// predicates, and every strictly intersecting pair — finite or
+        /// not — must remain mutual candidates.
+        #[test]
+        fn prop_intersecting_pairs_are_candidates_with_non_finite(
+            raw in proptest::collection::vec(
+                ((0u8..10, -100.0f32..1000.0),
+                 (0u8..10, -100.0f32..1000.0),
+                 (0u8..10, -100.0f32..1000.0),
+                 (0u8..10, -100.0f32..1000.0)), 1..40),
+        ) {
+            let lift = |(sel, v): (u8, f32)| match sel {
+                0 => f32::NAN,
+                1 => f32::INFINITY,
+                2 => f32::NEG_INFINITY,
+                _ => v,
+            };
+            let bs: Vec<Box2> = raw
+                .iter()
+                .map(|&(a, b, c, d)| Box2::new(lift(a), lift(b), lift(c), lift(d)))
                 .collect();
             let mut grid = GridIndex::new();
             grid.build(bs.len(), |i| bs[i]);

@@ -15,7 +15,10 @@
 //!   Appendix I, generic over a cost model,
 //! * [`grid`] — a uniform spatial bin index ([`GridIndex`]) that turns the
 //!   quadratic candidate sweeps above (NMS, association gating) into work
-//!   proportional to the true overlaps, bit-for-bit identically.
+//!   proportional to the true overlaps, bit-for-bit identically,
+//! * [`simd`] — 8-lane batch kernels ([`LaneBoxes`]) for batch IoU and
+//!   grid-candidate filtering, pinned bit-equal to the scalar [`Box2`]
+//!   operations and auto-dispatched like the NMS grid cutover.
 //!
 //! The hot-path entry points all come in an allocation-free flavour that
 //! reuses caller-owned scratch ([`nms_indices_with`], [`AssignmentSolver`]
@@ -41,6 +44,7 @@ pub mod coverage;
 pub mod grid;
 pub mod merge;
 pub mod nms;
+pub mod simd;
 
 pub use assignment::{
     hungarian, hungarian_with_threshold, Assignment, AssignmentSolver, CostMatrix,
@@ -50,3 +54,4 @@ pub use coverage::CoverageGrid;
 pub use grid::GridIndex;
 pub use merge::{greedy_merge, greedy_merge_with, MergeCost, MergeScratch};
 pub use nms::{nms, nms_indices, nms_indices_naive, nms_indices_with, NmsScratch, Scored};
+pub use simd::{LaneBoxes, LANES, SIMD_MIN_CANDIDATES, SIMD_MIN_ITEMS};

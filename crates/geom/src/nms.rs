@@ -7,11 +7,14 @@
 //!
 //! Suppression is defined pairwise ("does some already-kept box overlap me
 //! at ≥ the threshold?"), so it only ever needs the *true overlaps* of each
-//! box — dense inputs are routed through a [`GridIndex`] and the quadratic
-//! sweep of [`nms_indices_naive`] is kept as the reference semantics (the
-//! two are bit-for-bit identical; a property test pins them together).
+//! box — dense inputs are routed through a [`GridIndex`], the gathered
+//! candidates are tested in 8-wide lanes ([`crate::simd`]), and the
+//! quadratic sweep of [`nms_indices_naive`] is kept as the reference
+//! semantics (all paths are bit-for-bit identical; property tests pin them
+//! together).
 
 use crate::grid::GridIndex;
+use crate::simd::{LaneBoxes, SIMD_MIN_CANDIDATES};
 use crate::Box2;
 
 /// Below this many items the naive sweep beats building a grid.
@@ -43,6 +46,8 @@ pub struct NmsScratch {
     order: Vec<usize>,
     kept_flag: Vec<bool>,
     grid: GridIndex,
+    lanes: LaneBoxes,
+    cand: Vec<u32>,
 }
 
 /// Runs greedy NMS and returns the *indices* of the kept items, in
@@ -102,14 +107,34 @@ pub fn nms_indices_with<T: Scored>(
     }
 
     scratch.grid.build(n, |i| items[i].bounding_box());
+    scratch.lanes.build(n, |i| items[i].bounding_box());
     scratch.kept_flag.clear();
     scratch.kept_flag.resize(n, false);
     for &i in &scratch.order {
         let bi = items[i].bounding_box();
-        let kept_flag = &scratch.kept_flag;
-        let suppressed = scratch.grid.any_candidate(&bi, |j| {
-            kept_flag[j] && bi.iou(&items[j].bounding_box()) >= iou_threshold
+        // Gather the already-kept grid candidates, then test the
+        // suppression predicate in 8-wide lanes. "Does any kept candidate
+        // reach the threshold?" is order-insensitive, so batching instead
+        // of short-circuiting returns the exact scalar verdict.
+        let NmsScratch {
+            kept_flag,
+            grid,
+            lanes,
+            cand,
+            ..
+        } = scratch;
+        cand.clear();
+        grid.for_each_candidate(&bi, |j| {
+            if kept_flag[j] {
+                cand.push(j as u32);
+            }
         });
+        let suppressed = if cand.len() >= SIMD_MIN_CANDIDATES {
+            lanes.any_gathered_iou_at_least(cand, &bi, iou_threshold)
+        } else {
+            cand.iter()
+                .any(|&j| bi.iou(&items[j as usize].bounding_box()) >= iou_threshold)
+        };
         if !suppressed {
             scratch.kept_flag[i] = true;
             out.push(i);

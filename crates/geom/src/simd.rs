@@ -1,0 +1,466 @@
+//! 8-lane batch geometry kernels for the per-frame hot path.
+//!
+//! The scalar [`Box2`] operations are the semantics of record; this module
+//! re-expresses the two hottest per-frame queries — "IoU of one box against
+//! many" and "which indexed boxes strictly intersect this one" — over a
+//! structure-of-arrays layout ([`LaneBoxes`]) processed in fixed
+//! `[f32; 8]` chunks that the optimizer lowers to vector instructions.
+//!
+//! **Bit-equality is a hard contract, not an aspiration.** Every lane
+//! evaluates exactly the operations of its scalar counterpart, in the same
+//! order and with the same operand roles (the query box always takes the
+//! `self` position of [`Box2::iou`] / [`Box2::intersection`], which matters
+//! because `f32::min`/`f32::max` are asymmetric under NaN). No fused
+//! multiply-adds, no reassociation, no approximate reciprocals — so lane
+//! results are bit-for-bit the scalar results, including NaN boxes,
+//! denormals, and infinite edges. A property suite pins this across
+//! remainder lanes (`n % 8 != 0`) and non-finite inputs.
+//!
+//! Dispatch mirrors the grid cutover in [`nms_indices_with`]
+//! (`crate::nms`): small inputs take the scalar loop ([`SIMD_MIN_ITEMS`],
+//! [`SIMD_MIN_CANDIDATES`]), dense inputs the lane path, and the result is
+//! identical either way.
+//!
+//! [`nms_indices_with`]: crate::nms_indices_with
+
+use crate::grid::GridIndex;
+use crate::Box2;
+
+/// Lane width of the batch kernels: boxes are processed in `[f32; 8]`
+/// chunks (one 256-bit vector register per coordinate column).
+pub const LANES: usize = 8;
+
+/// Below this many boxes the scalar loop beats lane setup (auto-dispatch
+/// cutover of [`LaneBoxes::iou_into`] and
+/// [`LaneBoxes::filter_grid_candidates`]).
+pub const SIMD_MIN_ITEMS: usize = 16;
+
+/// Below this many gathered candidates a short-circuiting scalar sweep
+/// beats a gather (auto-dispatch cutover of
+/// [`LaneBoxes::any_gathered_iou_at_least`]).
+pub const SIMD_MIN_CANDIDATES: usize = LANES;
+
+/// A set of boxes in structure-of-arrays layout, padded to a multiple of
+/// [`LANES`], with per-box areas precomputed by the scalar
+/// [`Box2::area`] operation order.
+///
+/// Build once per frame (buffers are reused across
+/// [`build`](LaneBoxes::build) calls, like [`GridIndex`]), then run any
+/// number of batch queries against it.
+///
+/// # Example
+///
+/// ```
+/// use catdet_geom::{Box2, LaneBoxes};
+///
+/// let boxes = [Box2::new(0.0, 0.0, 10.0, 10.0), Box2::new(40.0, 0.0, 50.0, 10.0)];
+/// let mut lanes = LaneBoxes::new();
+/// lanes.build(boxes.len(), |i| boxes[i]);
+/// let mut ious = Vec::new();
+/// let q = Box2::new(5.0, 0.0, 15.0, 10.0);
+/// lanes.iou_into(&q, &mut ious);
+/// assert_eq!(ious[0].to_bits(), q.iou(&boxes[0]).to_bits());
+/// assert_eq!(ious[1].to_bits(), q.iou(&boxes[1]).to_bits());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct LaneBoxes {
+    x1: Vec<f32>,
+    y1: Vec<f32>,
+    x2: Vec<f32>,
+    y2: Vec<f32>,
+    area: Vec<f32>,
+    n: usize,
+}
+
+impl LaneBoxes {
+    /// Creates an empty set (no allocation until the first build).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of boxes currently held (excluding padding).
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the set holds no boxes.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// (Re)fills the set with boxes `0..n`, reusing all buffers.
+    ///
+    /// Padding lanes hold empty boxes; they are computed over but never
+    /// observable through any query.
+    pub fn build<F: Fn(usize) -> Box2>(&mut self, n: usize, box_of: F) {
+        self.n = n;
+        let padded = n.div_ceil(LANES) * LANES;
+        self.x1.clear();
+        self.y1.clear();
+        self.x2.clear();
+        self.y2.clear();
+        self.area.clear();
+        self.x1.reserve(padded);
+        self.y1.reserve(padded);
+        self.x2.reserve(padded);
+        self.y2.reserve(padded);
+        self.area.reserve(padded);
+        for i in 0..n {
+            let b = box_of(i);
+            self.x1.push(b.x1);
+            self.y1.push(b.y1);
+            self.x2.push(b.x2);
+            self.y2.push(b.y2);
+            self.area.push(b.area());
+        }
+        for _ in n..padded {
+            self.x1.push(0.0);
+            self.y1.push(0.0);
+            self.x2.push(0.0);
+            self.y2.push(0.0);
+            self.area.push(0.0);
+        }
+    }
+
+    /// The box at index `i`, reassembled from the columns.
+    pub fn get(&self, i: usize) -> Box2 {
+        assert!(i < self.n, "LaneBoxes index {i} out of range {}", self.n);
+        Box2::new(self.x1[i], self.y1[i], self.x2[i], self.y2[i])
+    }
+
+    /// IoU of `query` against box `i`, operation-for-operation
+    /// [`Box2::iou`] with `query` in the `self` position (`qa` is
+    /// `query.area()`, hoisted by the callers).
+    #[inline]
+    fn iou_one(&self, i: usize, query: &Box2, qa: f32) -> f32 {
+        let w = (query.x2.min(self.x2[i]) - query.x1.max(self.x1[i])).max(0.0);
+        let h = (query.y2.min(self.y2[i]) - query.y1.max(self.y1[i])).max(0.0);
+        let inter = w * h;
+        let union = qa + self.area[i] - inter;
+        if union > 0.0 {
+            inter / union
+        } else {
+            0.0
+        }
+    }
+
+    /// Writes `query.iou(&box_j)` for every held box into `out`
+    /// (bit-for-bit), auto-dispatching between the scalar reference and
+    /// the lane kernel at [`SIMD_MIN_ITEMS`].
+    pub fn iou_into(&self, query: &Box2, out: &mut Vec<f32>) {
+        if self.n < SIMD_MIN_ITEMS {
+            self.iou_into_scalar(query, out);
+        } else {
+            self.iou_into_lanes(query, out);
+        }
+    }
+
+    /// The pinned scalar reference for [`iou_into`](LaneBoxes::iou_into).
+    pub fn iou_into_scalar(&self, query: &Box2, out: &mut Vec<f32>) {
+        out.clear();
+        let qa = query.area();
+        out.extend((0..self.n).map(|i| self.iou_one(i, query, qa)));
+    }
+
+    /// Lane path: one `[f32; 8]` chunk of IoUs at a time over the padded
+    /// columns, truncated back to `n`.
+    fn iou_into_lanes(&self, query: &Box2, out: &mut Vec<f32>) {
+        let padded = self.x1.len();
+        out.clear();
+        out.resize(padded, 0.0);
+        let qa = query.area();
+        for c in (0..padded).step_by(LANES) {
+            let x1: &[f32; LANES] = self.x1[c..c + LANES].try_into().expect("lane chunk");
+            let y1: &[f32; LANES] = self.y1[c..c + LANES].try_into().expect("lane chunk");
+            let x2: &[f32; LANES] = self.x2[c..c + LANES].try_into().expect("lane chunk");
+            let y2: &[f32; LANES] = self.y2[c..c + LANES].try_into().expect("lane chunk");
+            let area: &[f32; LANES] = self.area[c..c + LANES].try_into().expect("lane chunk");
+            let dst: &mut [f32; LANES] = (&mut out[c..c + LANES]).try_into().expect("lane chunk");
+            iou_lane8(
+                query,
+                qa,
+                LaneChunk {
+                    x1,
+                    y1,
+                    x2,
+                    y2,
+                    area,
+                },
+                dst,
+            );
+        }
+        out.truncate(self.n);
+    }
+
+    /// Whether any box in `idx` has `query.iou(box) >= thr` — the NMS
+    /// suppression predicate over a gathered candidate list.
+    ///
+    /// The predicate is an order-insensitive existence test, so evaluating
+    /// whole lanes instead of short-circuiting per element returns exactly
+    /// the scalar verdict (NaN IoUs compare `false` in both). `idx` may
+    /// contain duplicates (grid candidates often do).
+    pub fn any_gathered_iou_at_least(&self, idx: &[u32], query: &Box2, thr: f32) -> bool {
+        let qa = query.area();
+        if idx.len() < SIMD_MIN_CANDIDATES {
+            return idx
+                .iter()
+                .any(|&j| self.iou_one(j as usize, query, qa) >= thr);
+        }
+        let mut chunks = idx.chunks_exact(LANES);
+        for chunk in &mut chunks {
+            let mut x1 = [0.0f32; LANES];
+            let mut y1 = [0.0f32; LANES];
+            let mut x2 = [0.0f32; LANES];
+            let mut y2 = [0.0f32; LANES];
+            let mut area = [0.0f32; LANES];
+            for l in 0..LANES {
+                let j = chunk[l] as usize;
+                x1[l] = self.x1[j];
+                y1[l] = self.y1[j];
+                x2[l] = self.x2[j];
+                y2[l] = self.y2[j];
+                area[l] = self.area[j];
+            }
+            let mut iou = [0.0f32; LANES];
+            let lanes = LaneChunk {
+                x1: &x1,
+                y1: &y1,
+                x2: &x2,
+                y2: &y2,
+                area: &area,
+            };
+            iou_lane8(query, qa, lanes, &mut iou);
+            if iou.iter().any(|&v| v >= thr) {
+                return true;
+            }
+        }
+        chunks
+            .remainder()
+            .iter()
+            .any(|&j| self.iou_one(j as usize, query, qa) >= thr)
+    }
+
+    /// Filters `grid` candidates of `query` down to the boxes that
+    /// *strictly intersect* it (exactly when [`Box2::intersection`]
+    /// returns `Some`), writing ascending deduplicated indices into
+    /// `out`. `cand` is caller-owned scratch.
+    ///
+    /// Auto-dispatches between the scalar reference and the lane kernel
+    /// at [`SIMD_MIN_ITEMS`] candidates; results are identical.
+    pub fn filter_grid_candidates(
+        &self,
+        grid: &GridIndex,
+        query: &Box2,
+        cand: &mut Vec<u32>,
+        out: &mut Vec<u32>,
+    ) {
+        collect_sorted_candidates(grid, query, cand);
+        out.clear();
+        if cand.len() < SIMD_MIN_ITEMS {
+            self.push_intersecting_scalar(query, cand, out);
+            return;
+        }
+        let mut chunks = cand.chunks_exact(LANES);
+        for chunk in &mut chunks {
+            let mut w = [0.0f32; LANES];
+            let mut h = [0.0f32; LANES];
+            for l in 0..LANES {
+                let j = chunk[l] as usize;
+                w[l] = query.x2.min(self.x2[j]) - query.x1.max(self.x1[j]);
+                h[l] = query.y2.min(self.y2[j]) - query.y1.max(self.y1[j]);
+            }
+            for l in 0..LANES {
+                if w[l] > 0.0 && h[l] > 0.0 {
+                    out.push(chunk[l]);
+                }
+            }
+        }
+        let rem = chunks.remainder();
+        self.push_intersecting_scalar(query, rem, out);
+    }
+
+    /// The pinned scalar reference for
+    /// [`filter_grid_candidates`](LaneBoxes::filter_grid_candidates).
+    pub fn filter_grid_candidates_scalar(
+        &self,
+        grid: &GridIndex,
+        query: &Box2,
+        cand: &mut Vec<u32>,
+        out: &mut Vec<u32>,
+    ) {
+        collect_sorted_candidates(grid, query, cand);
+        out.clear();
+        self.push_intersecting_scalar(query, cand, out);
+    }
+
+    /// Appends the indices of `cand` whose boxes strictly intersect
+    /// `query`, via the scalar [`Box2::intersection`] of record.
+    fn push_intersecting_scalar(&self, query: &Box2, cand: &[u32], out: &mut Vec<u32>) {
+        for &j in cand {
+            if query.intersection(&self.get(j as usize)).is_some() {
+                out.push(j);
+            }
+        }
+    }
+}
+
+/// Gathers `grid` candidates of `query` into `cand`, sorted ascending and
+/// deduplicated (multi-cell boxes are yielded per cell).
+fn collect_sorted_candidates(grid: &GridIndex, query: &Box2, cand: &mut Vec<u32>) {
+    cand.clear();
+    grid.for_each_candidate(query, |j| cand.push(j as u32));
+    cand.sort_unstable();
+    cand.dedup();
+}
+
+/// One register-width chunk of box columns, borrowed either directly from
+/// the padded [`LaneBoxes`] arrays or from gather buffers.
+struct LaneChunk<'a> {
+    x1: &'a [f32; LANES],
+    y1: &'a [f32; LANES],
+    x2: &'a [f32; LANES],
+    y2: &'a [f32; LANES],
+    area: &'a [f32; LANES],
+}
+
+/// One chunk of the IoU kernel: lane `l` computes exactly
+/// `query.iou(&box_l)` — same operations, same order, query in the `self`
+/// position of every asymmetric `min`/`max`.
+#[inline]
+fn iou_lane8(query: &Box2, qa: f32, lanes: LaneChunk<'_>, out: &mut [f32; LANES]) {
+    for (l, dst) in out.iter_mut().enumerate() {
+        let w = (query.x2.min(lanes.x2[l]) - query.x1.max(lanes.x1[l])).max(0.0);
+        let h = (query.y2.min(lanes.y2[l]) - query.y1.max(lanes.y1[l])).max(0.0);
+        let inter = w * h;
+        let union = qa + lanes.area[l] - inter;
+        *dst = if union > 0.0 { inter / union } else { 0.0 };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Coordinate strategy covering ordinary values, denormals, NaN and
+    /// both infinities (selector-mapped so it works on any proptest).
+    fn coord() -> impl Strategy<Value = f32> {
+        (0u8..8, -50.0f32..450.0).prop_map(|(sel, v)| match sel {
+            0 => f32::NAN,
+            1 => f32::INFINITY,
+            2 => f32::NEG_INFINITY,
+            3 => v * 1.0e-41, // subnormal magnitude
+            _ => v,
+        })
+    }
+
+    fn boxes_strategy(min: usize, max: usize) -> impl Strategy<Value = Vec<Box2>> {
+        proptest::collection::vec((coord(), coord(), coord(), coord()), min..max).prop_map(|cs| {
+            cs.into_iter()
+                .map(|(a, b, c, d)| Box2::new(a, b, c, d))
+                .collect()
+        })
+    }
+
+    #[test]
+    fn empty_set_yields_empty_iou_batch() {
+        let mut lanes = LaneBoxes::new();
+        lanes.build(0, |_| unreachable!());
+        assert!(lanes.is_empty());
+        let mut out = vec![1.0];
+        lanes.iou_into(&Box2::new(0.0, 0.0, 1.0, 1.0), &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn build_reuse_replaces_contents() {
+        let mut lanes = LaneBoxes::new();
+        let a = [Box2::new(0.0, 0.0, 10.0, 10.0)];
+        lanes.build(1, |_| a[0]);
+        assert_eq!(lanes.len(), 1);
+        let b: Vec<Box2> = (0..20)
+            .map(|i| Box2::from_xywh(i as f32 * 5.0, 0.0, 8.0, 8.0))
+            .collect();
+        lanes.build(b.len(), |i| b[i]);
+        assert_eq!(lanes.len(), 20);
+        let q = b[3];
+        let mut out = Vec::new();
+        lanes.iou_into(&q, &mut out);
+        assert_eq!(out.len(), 20);
+        for (j, got) in out.iter().enumerate() {
+            assert_eq!(got.to_bits(), q.iou(&b[j]).to_bits());
+        }
+    }
+
+    proptest! {
+        /// Satellite referee: batch IoU is bit-for-bit the scalar
+        /// `Box2::iou`, across NaN boxes, denormals, infinities and
+        /// remainder lanes (`n % 8 != 0`), on both dispatch paths.
+        #[test]
+        fn prop_batch_iou_bit_equal_scalar(
+            bs in boxes_strategy(0, 40),
+            q in (coord(), coord(), coord(), coord()),
+        ) {
+            let query = Box2::new(q.0, q.1, q.2, q.3);
+            let mut lanes = LaneBoxes::new();
+            lanes.build(bs.len(), |i| bs[i]);
+            let mut auto_out = Vec::new();
+            lanes.iou_into(&query, &mut auto_out);
+            let mut lane_out = Vec::new();
+            if !bs.is_empty() {
+                lanes.iou_into_lanes(&query, &mut lane_out);
+            }
+            prop_assert_eq!(auto_out.len(), bs.len());
+            for (j, b) in bs.iter().enumerate() {
+                let reference = query.iou(b);
+                prop_assert_eq!(auto_out[j].to_bits(), reference.to_bits(),
+                    "auto path lane {} diverged", j);
+                prop_assert_eq!(lane_out[j].to_bits(), reference.to_bits(),
+                    "forced lane path lane {} diverged", j);
+            }
+        }
+
+        /// The gathered NMS suppression predicate matches a scalar
+        /// short-circuit sweep over the same (possibly duplicated)
+        /// candidate list, for every threshold.
+        #[test]
+        fn prop_gathered_any_matches_scalar_any(
+            bs in boxes_strategy(1, 40),
+            picks in proptest::collection::vec(0usize..64, 0..48),
+            thr in 0.0f32..1.0,
+        ) {
+            let mut lanes = LaneBoxes::new();
+            lanes.build(bs.len(), |i| bs[i]);
+            let idx: Vec<u32> = picks.iter().map(|&p| (p % bs.len()) as u32).collect();
+            let query = bs[idx.first().map_or(0, |&j| j as usize)];
+            let reference = idx.iter().any(|&j| query.iou(&bs[j as usize]) >= thr);
+            prop_assert_eq!(lanes.any_gathered_iou_at_least(&idx, &query, thr), reference);
+        }
+
+        /// Lane-filtered grid candidates equal the scalar reference
+        /// filter exactly (same indices, same order), and contain every
+        /// strictly-intersecting box.
+        #[test]
+        fn prop_filter_grid_candidates_matches_scalar(
+            bs in boxes_strategy(1, 40),
+            q in (coord(), coord(), coord(), coord()),
+        ) {
+            let query = Box2::new(q.0, q.1, q.2, q.3);
+            let mut grid = GridIndex::new();
+            grid.build(bs.len(), |i| bs[i]);
+            let mut lanes = LaneBoxes::new();
+            lanes.build(bs.len(), |i| bs[i]);
+            let (mut c1, mut c2) = (Vec::new(), Vec::new());
+            let (mut fast, mut slow) = (Vec::new(), Vec::new());
+            lanes.filter_grid_candidates(&grid, &query, &mut c1, &mut fast);
+            lanes.filter_grid_candidates_scalar(&grid, &query, &mut c2, &mut slow);
+            prop_assert_eq!(&fast, &slow);
+            for (j, b) in bs.iter().enumerate() {
+                if query.intersection(b).is_some() {
+                    prop_assert!(fast.contains(&(j as u32)),
+                        "box {} strictly intersects the query but was filtered out", j);
+                }
+            }
+        }
+    }
+}

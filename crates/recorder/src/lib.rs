@@ -50,7 +50,10 @@ use std::sync::{Arc, Mutex};
 /// implementation) costs nothing beyond the virtual call; producers guard
 /// their event-assembly work behind [`enabled`](FlightRecorder::enabled)
 /// so the disabled path does not even build events.
-pub trait FlightRecorder {
+///
+/// Recorders are `Send`: a shard engine owns its writing end, and the
+/// fleet may move whole engines onto pool threads between barriers.
+pub trait FlightRecorder: Send {
     /// Whether events are being kept. Producers skip event assembly
     /// entirely when this is false.
     fn enabled(&self) -> bool {
@@ -134,6 +137,29 @@ impl SharedRecorder {
             shard,
             snapshot_every: self.snapshot_every,
             buf: Vec::with_capacity(FLUSH_EVERY),
+        }
+    }
+
+    /// A per-shard [`FlightRecorder`] that buffers **everything** — events
+    /// and snapshots — locally, touching the shared store only on
+    /// [`flush`](FlightRecorder::flush).
+    ///
+    /// This is the writing end the fleet hands its shard engines. A
+    /// [`ShardRecorder`] drains opportunistically mid-run, so with engines
+    /// on real threads the store would ingest events in whatever order the
+    /// OS scheduled the threads — chunk boundaries, seal sequence, LRU
+    /// stamps and snapshot order would all vary run to run. The barrier
+    /// handle defers every store write to the flush points the fleet
+    /// invokes in **shard-id order at its lock-step barriers**, making the
+    /// store's ingest order a pure function of virtual time at any thread
+    /// count.
+    pub fn barrier_handle(&self, shard: usize) -> BarrierRecorder {
+        BarrierRecorder {
+            store: Arc::clone(&self.store),
+            shard,
+            snapshot_every: self.snapshot_every,
+            events: Vec::with_capacity(FLUSH_EVERY),
+            snaps: Vec::new(),
         }
     }
 
@@ -292,6 +318,78 @@ impl FlightRecorder for ShardRecorder {
     }
 }
 
+/// Fully-buffering writing end of a [`SharedRecorder`] for barrier-
+/// synchronised producers (see
+/// [`barrier_handle`](SharedRecorder::barrier_handle)).
+///
+/// Unlike [`ShardRecorder`], nothing reaches the store until
+/// [`flush`](FlightRecorder::flush): events and snapshots accumulate in
+/// record order and drain under one lock, events first (so no snapshot
+/// ever precedes the events that led to it), then snapshots. Dropping the
+/// handle flushes, so a forgotten flush loses nothing — it only books
+/// later than the barrier discipline intended.
+pub struct BarrierRecorder {
+    store: Arc<Mutex<ChunkStore>>,
+    shard: usize,
+    snapshot_every: usize,
+    events: Vec<(f64, Event)>,
+    snaps: Vec<(f64, usize, usize, Arc<dyn Any + Send + Sync>)>,
+}
+
+impl Drop for BarrierRecorder {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+impl std::fmt::Debug for BarrierRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BarrierRecorder")
+            .field("shard", &self.shard)
+            .field("snapshot_every", &self.snapshot_every)
+            .field("buffered_events", &self.events.len())
+            .field("buffered_snapshots", &self.snaps.len())
+            .finish()
+    }
+}
+
+impl FlightRecorder for BarrierRecorder {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn record(&mut self, t_s: f64, event: Event) {
+        self.events.push((t_s, event));
+    }
+
+    fn snapshot(
+        &mut self,
+        t_s: f64,
+        stream: usize,
+        seq: usize,
+        payload: Arc<dyn Any + Send + Sync>,
+    ) {
+        self.snaps.push((t_s, stream, seq, payload));
+    }
+
+    fn snapshot_interval(&self) -> usize {
+        self.snapshot_every
+    }
+
+    fn flush(&mut self) {
+        if self.events.is_empty() && self.snaps.is_empty() {
+            return;
+        }
+        let mut store = self.store.lock().expect("recorder lock");
+        for (t_s, event) in self.events.drain(..) {
+            store.record(t_s, self.shard, event);
+        }
+        for (t_s, stream, seq, payload) in self.snaps.drain(..) {
+            store.snapshot(t_s, self.shard, stream, seq, payload);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -350,6 +448,46 @@ mod tests {
         assert_eq!(events[0].shard, 0);
         assert_eq!(events[1].shard, 2);
         assert_eq!(events[2].shard, 5);
+    }
+
+    #[test]
+    fn barrier_handle_defers_everything_until_flush() {
+        let shared = SharedRecorder::new(4, usize::MAX, 2);
+        let mut h = shared.barrier_handle(3);
+        assert!(h.enabled());
+        assert_eq!(h.snapshot_interval(), 2);
+        for i in 0..2 * FLUSH_EVERY {
+            h.record(
+                i as f64 * 0.001,
+                Event::Admission {
+                    stream: 0,
+                    reason: 0,
+                },
+            );
+        }
+        h.snapshot(0.1, 0, 2, Arc::new(7usize));
+        // Nothing lands before the barrier, however much is buffered.
+        assert_eq!(shared.scan(&Query::all()).len(), 0);
+        assert!(shared.nearest_snapshot(0, 1.0).is_none());
+        h.flush();
+        assert_eq!(shared.scan(&Query::all()).len(), 2 * FLUSH_EVERY);
+        assert_eq!(shared.nearest_snapshot(0, 1.0).expect("snapshot").shard, 3);
+    }
+
+    #[test]
+    fn barrier_handle_flushes_on_drop() {
+        let shared = SharedRecorder::new(4, usize::MAX, 0);
+        {
+            let mut h = shared.barrier_handle(1);
+            h.record(
+                0.5,
+                Event::Admission {
+                    stream: 2,
+                    reason: 1,
+                },
+            );
+        }
+        assert_eq!(shared.scan(&Query::all()).len(), 1);
     }
 
     #[test]

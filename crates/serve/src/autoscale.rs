@@ -247,13 +247,10 @@ impl ScalePolicy for ProportionalScale {
     }
 }
 
-/// Nearest-rank p99 over one control window's completed latencies.
+/// Nearest-rank p99 over one control window's completed latencies
+/// (`None` for an empty window).
 pub(crate) fn window_p99(latencies: &[f64]) -> Option<f64> {
-    if latencies.is_empty() {
-        None
-    } else {
-        Some(LatencyStats::from_samples(latencies).p99_s)
-    }
+    LatencyStats::from_samples(latencies).map(|l| l.p99_s)
 }
 
 #[cfg(test)]

@@ -388,6 +388,13 @@ pub struct ShardConfig {
     /// one fused GPU dispatch, preserving cross-stream amortisation after
     /// sharding. Off, each shard fuses only its own streams.
     pub fuse_across_shards: bool,
+    /// OS threads that advance shard engines between coordination
+    /// barriers. `1` (the default) keeps the sequential loop; `0` means
+    /// auto (the host's available parallelism, capped at the shard
+    /// count). Results are **bit-identical at every setting** — threads
+    /// change wall-clock time only, never the simulation (the
+    /// fleet-determinism CI job pins this).
+    pub threads: usize,
 }
 
 impl ShardConfig {
@@ -399,6 +406,7 @@ impl ShardConfig {
             rebalance_interval_s: 0.0,
             migration_cost_frames: 8,
             fuse_across_shards: true,
+            threads: 1,
         }
     }
 
@@ -432,6 +440,15 @@ impl ShardConfig {
     /// Returns a copy with cross-shard refinement fusion on or off.
     pub fn with_fuse_across_shards(mut self, on: bool) -> Self {
         self.fuse_across_shards = on;
+        self
+    }
+
+    /// Returns a copy running shard engines on `threads` OS threads
+    /// between barriers (`0` = auto, `1` = sequential). Purely a
+    /// wall-clock knob: reports, timelines and recordings are
+    /// bit-identical at every setting.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
         self
     }
 

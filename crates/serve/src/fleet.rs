@@ -45,10 +45,14 @@ use crate::config::ServeConfig;
 use crate::report::{
     merge_timelines, BatchRecord, BatchStats, LatencyStats, ServeReport, StreamReport,
 };
-use crate::scheduler::{Engine, StreamSpec, EPS};
+use crate::scheduler::{panic_message, Engine, StreamSpec, EPS};
 use crate::shard::{build_partition, MigrationEvent};
 use catdet_recorder::{Event, FlightRecorder, NullRecorder, SharedRecorder};
 use std::fmt::Write as _;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
 
 /// One cross-shard fused refinement dispatch.
 #[derive(Debug, Clone, PartialEq)]
@@ -140,8 +144,10 @@ impl FleetReport {
     /// nearest-rank percentiles over every stream's `latency_samples`.
     /// Averaging per-shard percentiles would be wrong (see
     /// [`LatencyStats::merged`]); this is the correct aggregation, and a
-    /// property test pins it to the naive pooled reference.
-    pub fn merged_latency(&self) -> LatencyStats {
+    /// property test pins it to the naive pooled reference. `None` when no
+    /// stream in the fleet completed a frame — shards that served zero
+    /// frames contribute nothing rather than 0-valued stats.
+    pub fn merged_latency(&self) -> Option<LatencyStats> {
         LatencyStats::merged(
             self.shards
                 .iter()
@@ -248,7 +254,9 @@ impl FleetReport {
     /// binary prints for sharded runs).
     pub fn summary(&self) -> String {
         let mut out = String::new();
-        let latency = self.merged_latency();
+        let (p50, p95, p99) = self
+            .merged_latency()
+            .map_or((0.0, 0.0, 0.0), |l| (l.p50_s, l.p95_s, l.p99_s));
         let batch = self.merged_batch();
         let _ = writeln!(
             out,
@@ -265,9 +273,9 @@ impl FleetReport {
             out,
             "throughput: {:.2} frames/s | merged latency p50/p95/p99: {:.1}/{:.1}/{:.1} ms | gpu dispatch time: {:.3} s",
             self.throughput_fps(),
-            latency.p50_s * 1e3,
-            latency.p95_s * 1e3,
-            latency.p99_s * 1e3,
+            p50 * 1e3,
+            p95 * 1e3,
+            p99 * 1e3,
             self.gpu_dispatch_s(),
         );
         let _ = writeln!(
@@ -352,6 +360,131 @@ pub fn serve_fleet_with_recorder(
     report
 }
 
+/// One unit of pool work: advance shard `idx`'s engine to the barrier.
+type ShardJob = (usize, Engine, f64);
+/// What comes back: the engine (or a worker-panic message) and whether it
+/// still has work.
+type ShardResult = (usize, Result<(Engine, bool), String>);
+
+/// A persistent pool of OS threads that advance whole shard engines
+/// between fleet barriers.
+///
+/// Engines move **by value** through the channels: a pool thread owns the
+/// engine outright while stepping it — its scratch buffers, its recorder
+/// writing end, its internal worker pool — so there is no shared mutable
+/// state and nothing to lock on the simulation path. The fleet's
+/// coordination points (fuse deadlines, rebalance ticks, recorder
+/// flushes) all happen on the control thread after every engine has been
+/// reassembled, which is the whole determinism argument: threads change
+/// *when* wall-clock work happens, never *what* the simulation computes.
+struct ShardPool {
+    job_tx: Option<Sender<ShardJob>>,
+    result_rx: Receiver<ShardResult>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ShardPool {
+    fn new(threads: usize) -> Self {
+        let (job_tx, job_rx) = channel::<ShardJob>();
+        let (result_tx, result_rx) = channel::<ShardResult>();
+        let job_rx = Arc::new(Mutex::new(job_rx));
+        let workers = (0..threads)
+            .map(|_| {
+                let job_rx = Arc::clone(&job_rx);
+                let result_tx = result_tx.clone();
+                std::thread::spawn(move || loop {
+                    let job = job_rx.lock().expect("shard pool queue").recv();
+                    let Ok((idx, mut engine, limit)) = job else {
+                        return; // fleet dropped the sender: run is over
+                    };
+                    let out = catch_unwind(AssertUnwindSafe(|| {
+                        let more = engine.run_until(limit);
+                        (engine, more)
+                    }))
+                    .map_err(|e| panic_message(&*e));
+                    let _ = result_tx.send((idx, out));
+                })
+            })
+            .collect();
+        ShardPool {
+            job_tx: Some(job_tx),
+            result_rx,
+            workers,
+        }
+    }
+}
+
+impl Drop for ShardPool {
+    fn drop(&mut self) {
+        drop(self.job_tx.take());
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Resolves [`ShardConfig::threads`](crate::ShardConfig::threads) against
+/// the shard count: `0` means the host's available parallelism, and no
+/// run ever uses more threads than it has shards.
+fn resolve_threads(threads: usize, shards: usize) -> usize {
+    let t = if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        threads
+    };
+    t.clamp(1, shards.max(1))
+}
+
+/// Advances every engine to `limit` — on the pool when one exists, in
+/// shard order on the control thread otherwise — and reports whether any
+/// shard still has work. Both paths compute the identical result; the
+/// pool path scatters the engines to worker threads and reassembles them
+/// **by shard index**, so downstream code never observes thread
+/// scheduling order.
+///
+/// # Panics
+///
+/// Re-raises (with its message) any panic a shard engine hit on a pool
+/// thread, after every surviving engine has been collected.
+fn run_all(pool: Option<&ShardPool>, engines: &mut Vec<Engine>, limit: f64) -> bool {
+    let Some(pool) = pool else {
+        let mut work_left = false;
+        for e in engines.iter_mut() {
+            work_left |= e.run_until(limit);
+        }
+        return work_left;
+    };
+    let n = engines.len();
+    let job_tx = pool.job_tx.as_ref().expect("pool alive");
+    for (idx, engine) in engines.drain(..).enumerate() {
+        job_tx.send((idx, engine, limit)).expect("pool alive");
+    }
+    let mut slots: Vec<Option<Engine>> = (0..n).map(|_| None).collect();
+    let mut work_left = false;
+    let mut panicked: Option<String> = None;
+    for _ in 0..n {
+        let (idx, res) = pool.result_rx.recv().expect("pool alive");
+        match res {
+            Ok((engine, more)) => {
+                work_left |= more;
+                slots[idx] = Some(engine);
+            }
+            Err(msg) => panicked = Some(msg),
+        }
+    }
+    if let Some(msg) = panicked {
+        panic!("shard engine panicked on a pool thread: {msg}");
+    }
+    engines.extend(
+        slots
+            .into_iter()
+            .map(|s| s.expect("every shard sent its engine back")),
+    );
+    work_left
+}
+
 fn serve_fleet_impl(
     streams: Vec<StreamSpec>,
     cfg: &ServeConfig,
@@ -379,13 +512,32 @@ fn serve_fleet_impl(
         .into_iter()
         .enumerate()
         .map(|(k, g)| {
+            // Fleets hand engines the *barrier* writing end: everything
+            // buffers locally and reaches the shared store only at the
+            // in-shard-order flushes below, so the store's ingest order is
+            // identical at every thread count.
             let sink: Box<dyn FlightRecorder> = match recorder {
-                Some(r) => Box::new(r.handle(k)),
+                Some(r) => Box::new(r.barrier_handle(k)),
                 None => Box::new(NullRecorder),
             };
             Engine::new(g, cfg, 0.0, fleet_fuse, sink)
         })
         .collect();
+
+    // Real-thread execution: between barriers, whole engines move to pool
+    // threads. One thread (the default) keeps the plain sequential loop —
+    // no pool, no channels.
+    let threads = resolve_threads(sc.threads, shards);
+    let pool = (threads > 1).then(|| ShardPool::new(threads));
+    // Drains every engine's recorder buffer in shard-id order; called at
+    // each barrier so store ingest order is thread-count-independent.
+    let flush_in_order = |engines: &mut [Engine]| {
+        if recorder.is_some() {
+            for e in engines.iter_mut() {
+                e.flush_recorder();
+            }
+        }
+    };
 
     let mut migrations: Vec<MigrationEvent> = Vec::new();
     let mut fused_refinements: Vec<FleetRefineRecord> = Vec::new();
@@ -423,10 +575,9 @@ fn serve_fleet_impl(
                 break;
             }
             let next = next.min(next_rebalance);
-            for e in &mut engines {
-                e.run_until(next);
-            }
+            run_all(pool.as_ref(), &mut engines, next);
             if rebalance_on && next_rebalance <= next + EPS {
+                flush_in_order(&mut engines);
                 rebalance(&sc, &mut engines, next_rebalance, &mut migrations, recorder);
                 next_rebalance += sc.rebalance_interval_s;
             }
@@ -441,20 +592,22 @@ fn serve_fleet_impl(
         );
     } else {
         // Shards are fully independent between rebalance ticks: run each
-        // to the next tick (or completion when rebalancing is off).
+        // to the next tick (or completion when rebalancing is off). This
+        // is the embarrassingly parallel phase — with a pool, every shard
+        // advances a whole tick of virtual time on its own OS thread.
         loop {
-            let mut work_left = false;
-            for e in &mut engines {
-                work_left |= e.run_until(next_rebalance);
-            }
+            let work_left = run_all(pool.as_ref(), &mut engines, next_rebalance);
             if !work_left {
                 break;
             }
+            flush_in_order(&mut engines);
             rebalance(&sc, &mut engines, next_rebalance, &mut migrations, recorder);
             next_rebalance += sc.rebalance_interval_s;
         }
     }
 
+    // Shutdown flushes each engine's recorder; `engines` is in shard-id
+    // order, so the final drains are too.
     let shards = engines
         .iter_mut()
         .map(|e| {
@@ -528,6 +681,34 @@ fn fire_fleet_refinements(
     }
 }
 
+/// Picks the (hot, cool) shard pair for one rebalance tick, or `None`
+/// when no pair is worth a migration.
+///
+/// The selection is explicitly deterministic: hot is the *lowest shard
+/// id* among the maximum backlogs, cool the *lowest shard id* among the
+/// minimum backlogs. An earlier version leaned on iterator scan order
+/// and a `usize::MAX - k` key inversion to break ties, which was easy to
+/// regress when the scan changed; the tie rule is now spelled out in one
+/// place and pinned by unit tests. The pair is rejected unless the
+/// backlog gap strictly exceeds `migration_cost_frames` — a migration
+/// must buy more balance than it costs.
+fn pick_rebalance_pair(loads: &[usize], migration_cost_frames: usize) -> Option<(usize, usize)> {
+    let (mut hot, mut cool) = (0, 0);
+    for k in 1..loads.len() {
+        // Strict comparisons keep the earliest (lowest-id) extremum.
+        if loads[k] > loads[hot] {
+            hot = k;
+        }
+        if loads[k] < loads[cool] {
+            cool = k;
+        }
+    }
+    if loads.is_empty() || hot == cool || loads[hot] - loads[cool] <= migration_cost_frames {
+        return None;
+    }
+    Some((hot, cool))
+}
+
 /// One rebalance tick: if the hottest shard's queued backlog leads the
 /// coolest by more than the migration cost, move the migratable stream
 /// whose queue best evens the pair out. One migration per tick keeps the
@@ -550,15 +731,9 @@ fn rebalance(
     recorder: Option<&SharedRecorder>,
 ) {
     let loads: Vec<usize> = engines.iter().map(|e| e.backlog()).collect();
-    let Some(hot) = (0..engines.len()).max_by_key(|&k| (loads[k], usize::MAX - k)) else {
+    let Some((hot, cool)) = pick_rebalance_pair(&loads, sc.migration_cost_frames) else {
         return;
     };
-    let Some(cool) = (0..engines.len()).min_by_key(|&k| (loads[k], k)) else {
-        return;
-    };
-    if hot == cool || loads[hot] - loads[cool] <= sc.migration_cost_frames {
-        return;
-    }
     let imbalance = loads[hot] - loads[cool];
     // Best-balancing migratable stream: queue in (0, imbalance), residual
     // |imbalance − 2·queue| minimal, ties to the lowest global id.
@@ -600,4 +775,34 @@ fn rebalance(
         );
     }
     engines[cool].admit_stream(m, t);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::pick_rebalance_pair;
+
+    #[test]
+    fn rebalance_pair_ties_break_to_lowest_shard_id() {
+        // Tied hot shards: 1 and 2 share the maximum — 1 wins. Tied cool
+        // shards: 0 and 3 share the minimum — 0 wins.
+        assert_eq!(pick_rebalance_pair(&[0, 9, 9, 0], 0), Some((1, 0)));
+        // The same loads permuted must move the *ids*, not the positions.
+        assert_eq!(pick_rebalance_pair(&[9, 0, 0, 9], 0), Some((0, 1)));
+        assert_eq!(pick_rebalance_pair(&[9, 9, 0, 0], 0), Some((0, 2)));
+        // All-tied fleets never pick a pair, whatever the cost.
+        assert_eq!(pick_rebalance_pair(&[5, 5, 5], 0), None);
+    }
+
+    #[test]
+    fn rebalance_pair_respects_migration_cost() {
+        // The gap must *strictly* exceed the cost to justify a move.
+        assert_eq!(pick_rebalance_pair(&[8, 2], 6), None);
+        assert_eq!(pick_rebalance_pair(&[8, 2], 5), Some((0, 1)));
+    }
+
+    #[test]
+    fn rebalance_pair_handles_degenerate_fleets() {
+        assert_eq!(pick_rebalance_pair(&[], 0), None);
+        assert_eq!(pick_rebalance_pair(&[7], 0), None);
+    }
 }

@@ -69,6 +69,7 @@ struct Args {
     rebalance_ms: f64,
     migration_cost: usize,
     no_fuse_across_shards: bool,
+    threads: usize,
     record: Option<String>,
     record_chunk_events: usize,
     record_retention_chunks: usize,
@@ -104,6 +105,7 @@ impl Default for Args {
             rebalance_ms: 0.0,
             migration_cost: 8,
             no_fuse_across_shards: false,
+            threads: 1,
             record: None,
             record_chunk_events: 512,
             record_retention_chunks: usize::MAX,
@@ -164,6 +166,10 @@ USAGE:
     --no-fuse-across-shards
                         keep refinement fusion within each shard instead
                         of pooling work items fleet-wide [fleet-wide]
+    --threads <N>       OS threads advancing shard engines between
+                        barriers (0 = auto, one per host core; capped at
+                        the shard count). Bit-identical results at every
+                        setting -- threads only change wall-clock time [1]
 
   flight recorder (chunked columnar telemetry + time-travel replay):
     --record <FILE>     record every detection/track/batch/scale/admission/
@@ -225,6 +231,7 @@ fn parse_args() -> Result<Args, String> {
             "--shards" => args.shards = parse_num(&flag, &value)?,
             "--rebalance-interval-ms" => args.rebalance_ms = parse_num(&flag, &value)?,
             "--migration-cost-frames" => args.migration_cost = parse_num(&flag, &value)?,
+            "--threads" => args.threads = parse_num(&flag, &value)?,
             "--record" => args.record = Some(value),
             "--record-chunk-events" => args.record_chunk_events = parse_num(&flag, &value)?,
             "--record-retention-chunks" => args.record_retention_chunks = parse_num(&flag, &value)?,
@@ -382,7 +389,8 @@ fn main() {
                 .with_partition(args.partition)
                 .with_rebalance_interval_s(args.rebalance_ms / 1e3)
                 .with_migration_cost_frames(args.migration_cost)
-                .with_fuse_across_shards(!args.no_fuse_across_shards),
+                .with_fuse_across_shards(!args.no_fuse_across_shards)
+                .with_threads(args.threads),
         )
         .with_recorder(if args.record.is_some() {
             RecorderConfig::on()

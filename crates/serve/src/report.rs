@@ -33,7 +33,11 @@ impl LatencyStats {
     /// [`latency_samples`](StreamReport::latency_samples) and the fleet
     /// report merges through this function; a property test pins it to the
     /// naive concatenate-then-rank reference.
-    pub fn merged<'a>(sample_sets: impl IntoIterator<Item = &'a [f64]>) -> Self {
+    ///
+    /// Returns `None` when the pooled set is empty (e.g. every shard
+    /// served zero frames) — like the per-stream stats, an absent
+    /// distribution is not a 0-valued one.
+    pub fn merged<'a>(sample_sets: impl IntoIterator<Item = &'a [f64]>) -> Option<Self> {
         let pooled: Vec<f64> = sample_sets
             .into_iter()
             .flat_map(|s| s.iter().copied())
@@ -41,16 +45,13 @@ impl LatencyStats {
         Self::from_samples(&pooled)
     }
 
-    /// Nearest-rank percentiles over a sample set; all-zero when empty.
-    pub fn from_samples(samples: &[f64]) -> Self {
+    /// Nearest-rank percentiles over a sample set, or `None` when it is
+    /// empty. The rank math (`ceil(p·n)` clamped to `1..=n`) assumes a
+    /// non-empty set; folding emptiness into all-zero stats used to let
+    /// a zero-throughput stream masquerade as a zero-latency one.
+    pub fn from_samples(samples: &[f64]) -> Option<Self> {
         if samples.is_empty() {
-            return Self {
-                mean_s: 0.0,
-                p50_s: 0.0,
-                p95_s: 0.0,
-                p99_s: 0.0,
-                max_s: 0.0,
-            };
+            return None;
         }
         let mut sorted = samples.to_vec();
         sorted.sort_by(f64::total_cmp);
@@ -58,13 +59,13 @@ impl LatencyStats {
             let rank = (p * sorted.len() as f64).ceil() as usize;
             sorted[rank.clamp(1, sorted.len()) - 1]
         };
-        Self {
+        Some(Self {
             mean_s: sorted.iter().sum::<f64>() / sorted.len() as f64,
             p50_s: pick(0.50),
             p95_s: pick(0.95),
             p99_s: pick(0.99),
             max_s: *sorted.last().expect("non-empty"),
-        }
+        })
     }
 }
 
@@ -165,8 +166,11 @@ pub struct StreamReport {
     /// (a stream can legitimately complete nothing under overload) — gate
     /// on `processed` before reading this as a measurement.
     pub mean_ops: OpsBreakdown,
-    /// Latency distribution (completion − arrival, virtual seconds).
-    pub latency: LatencyStats,
+    /// Latency distribution (completion − arrival, virtual seconds), or
+    /// `None` when the stream completed no frame (overload can
+    /// legitimately shed everything; an absent distribution must not read
+    /// as a measured zero latency).
+    pub latency: Option<LatencyStats>,
     /// The raw latency samples behind [`latency`](StreamReport::latency),
     /// in completion order. Kept so higher-level aggregations (the sharded
     /// fleet's merged report) can compute pooled nearest-rank percentiles
@@ -231,14 +235,13 @@ impl ServeReport {
     }
 
     /// Worst per-stream p99 latency, or `None` when no stream completed a
-    /// single frame. (Streams without completions are excluded rather
-    /// than contributing their all-zero placeholder stats, so a
-    /// negative-clock bug can no longer hide behind a `0.0` fold seed.)
+    /// single frame. (Streams without completions carry no
+    /// [`StreamReport::latency`] at all, so a negative-clock bug can no
+    /// longer hide behind a `0.0` fold seed.)
     pub fn worst_p99_s(&self) -> Option<f64> {
         self.streams
             .iter()
-            .filter(|s| s.processed > 0)
-            .map(|s| s.latency.p99_s)
+            .filter_map(|s| s.latency.map(|l| l.p99_s))
             .reduce(f64::max)
     }
 
@@ -324,6 +327,12 @@ impl ServeReport {
             "stream", "system", "proc", "drop", "p50 ms", "p95 ms", "p99 ms", "ops G"
         );
         for s in &self.streams {
+            // Streams that completed nothing print 0.0 columns; the
+            // structured report keeps them distinguishable (`latency` is
+            // `None`, not zero-valued stats).
+            let (p50, p95, p99) = s
+                .latency
+                .map_or((0.0, 0.0, 0.0), |l| (l.p50_s, l.p95_s, l.p99_s));
             let _ = writeln!(
                 out,
                 "{:>6} {:>28} {:>8} {:>8} {:>9.1} {:>9.1} {:>9.1} {:>9.1}",
@@ -331,9 +340,9 @@ impl ServeReport {
                 truncate(&s.system_name, 28),
                 s.processed,
                 s.dropped,
-                s.latency.p50_s * 1e3,
-                s.latency.p95_s * 1e3,
-                s.latency.p99_s * 1e3,
+                p50 * 1e3,
+                p95 * 1e3,
+                p99 * 1e3,
                 s.mean_ops.total() / 1e9,
             );
         }
@@ -426,7 +435,7 @@ mod tests {
     #[test]
     fn percentiles_nearest_rank() {
         let samples: Vec<f64> = (1..=100).map(|i| i as f64).collect();
-        let l = LatencyStats::from_samples(&samples);
+        let l = LatencyStats::from_samples(&samples).expect("non-empty");
         assert_eq!(l.p50_s, 50.0);
         assert_eq!(l.p95_s, 95.0);
         assert_eq!(l.p99_s, 99.0);
@@ -436,17 +445,20 @@ mod tests {
 
     #[test]
     fn single_sample_is_every_percentile() {
-        let l = LatencyStats::from_samples(&[0.25]);
+        let l = LatencyStats::from_samples(&[0.25]).expect("non-empty");
         assert_eq!(l.p50_s, 0.25);
         assert_eq!(l.p99_s, 0.25);
         assert_eq!(l.max_s, 0.25);
     }
 
     #[test]
-    fn empty_samples_are_zero() {
-        let l = LatencyStats::from_samples(&[]);
-        assert_eq!(l.max_s, 0.0);
-        assert_eq!(l.mean_s, 0.0);
+    fn empty_samples_are_absent_not_zero() {
+        assert_eq!(LatencyStats::from_samples(&[]), None);
+        assert_eq!(LatencyStats::merged([]), None);
+        assert_eq!(LatencyStats::merged([[].as_slice(), &[]]), None);
+        // One empty lane must not perturb the pooled distribution.
+        let merged = LatencyStats::merged([[].as_slice(), &[0.5]]).expect("one sample");
+        assert_eq!(merged.p99_s, 0.5);
     }
 
     #[test]

@@ -1449,6 +1449,21 @@ impl Engine {
         if !work_left {
             return None;
         }
+        // A fleet can change this engine's state *between* `run_until`
+        // calls — a rebalance tick lands a migrated stream with backlog on
+        // a drained engine, or an external fused dispatch returns a
+        // pipeline — leaving an idle worker beside an eligible stream with
+        // no future event booked. That is an immediate dispatch
+        // opportunity, not a stall: the next `run_until` pass will batch
+        // it at the current clock. (Inside `run_until` this arm is dead:
+        // `step_workers` has already drained every such pairing.)
+        if self.eligible_stream_count(now) > 0
+            && self.workers[..self.active_workers]
+                .iter()
+                .any(|w| matches!(w, WorkerState::Idle))
+        {
+            next = next.min(now + EPS);
+        }
         assert!(
             next.is_finite(),
             "scheduler stalled: frames queued but no future event"
@@ -1515,6 +1530,14 @@ impl Engine {
         }
     }
 
+    /// Drains the engine's recorder buffer into the backing store. The
+    /// fleet calls this at its lock-step barriers, **in shard-id order**,
+    /// so a [`BarrierRecorder`](catdet_recorder::SharedRecorder::barrier_handle)
+    /// books into the shared store deterministically at any thread count.
+    pub(crate) fn flush_recorder(&mut self) {
+        self.recorder.flush();
+    }
+
     pub(crate) fn shutdown(&mut self) {
         self.recorder.flush();
         drop(self.job_tx.take());
@@ -1552,7 +1575,7 @@ impl StagedDetector for PlaceholderSystem {
     }
 }
 
-fn panic_message(e: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_message(e: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = e.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = e.downcast_ref::<String>() {

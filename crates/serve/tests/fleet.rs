@@ -305,8 +305,8 @@ fn merged_latency_pools_raw_samples_not_percentiles() {
         .flat_map(|s| s.latency_samples.iter().copied())
         .collect();
     assert_eq!(pooled.len(), report.frames_processed());
-    let reference = LatencyStats::from_samples(&pooled);
-    assert_eq!(report.merged_latency(), reference);
+    let reference = LatencyStats::from_samples(&pooled).expect("fleet served frames");
+    assert_eq!(report.merged_latency(), Some(reference));
     // The footgun the raw samples exist to prevent: averaging per-shard
     // p99s would sit far from the pooled truth here.
     let naive_avg: f64 = report
@@ -320,7 +320,104 @@ fn merged_latency_pools_raw_samples_not_percentiles() {
         "test workload too tame to demonstrate the percentile-merge footgun"
     );
     pooled.sort_by(f64::total_cmp);
-    assert_eq!(report.merged_latency().max_s, *pooled.last().unwrap());
+    assert_eq!(
+        report.merged_latency().expect("fleet served frames").max_s,
+        *pooled.last().unwrap()
+    );
+}
+
+#[test]
+fn fused_fleet_survives_migration_onto_drained_shard() {
+    // Regression: in the fused lock-step loop, a rebalance tick can land
+    // a migrated stream (with backlog) on an already-drained engine. The
+    // fleet then asks every engine for its next event *before* any
+    // `run_until` pass has re-run the dispatcher — and the engine used to
+    // panic with "scheduler stalled: frames queued but no future event"
+    // because an idle worker next to an eligible stream booked no event.
+    // These exact parameters reproduced the stall.
+    let specs = [
+        (29.288944259093835, 10, 0.036939220475416305),
+        (74.5066272425318, 13, 0.025988218952662193),
+        (46.12081798512697, 16, 0.03614408925389978),
+        (69.2832993772015, 7, 0.010032323879528788),
+        (31.22560566573869, 18, 0.018703435570863493),
+    ];
+    let streams: Vec<StreamSpec> = specs
+        .iter()
+        .enumerate()
+        .map(|(id, &(fps, frames, start))| null_spec_steady(id, fps, frames, start))
+        .collect();
+    let total: usize = streams.iter().map(|s| s.source.len()).sum();
+    let report = serve_fleet(
+        streams,
+        &no_drop_config()
+            .with_workers(1)
+            .with_fuse_refinement(true)
+            .with_refine_batch_window_s(0.004)
+            .with_shard(
+                ShardConfig::sharded(4)
+                    .with_partition(PartitionKind::StaticHash)
+                    .with_rebalance_interval_s(0.11602991918830421),
+            ),
+    );
+    assert_conservation(&report, total);
+    assert!(
+        !report.migrations.is_empty(),
+        "workload no longer triggers the migration that exposed the stall"
+    );
+}
+
+#[test]
+fn zero_frame_shard_merges_as_absent_not_zero() {
+    // Regression for the empty-sample fold: a shard that served zero
+    // frames used to contribute a 0-valued LatencyStats to the merge,
+    // dragging the fleet's "merged" percentiles toward zero. Static hash
+    // puts id 2 alone on shard 0 and ids 0/1 on shard 1; giving ids 0/1
+    // empty arrival lists leaves shard 1 with nothing to serve.
+    let streams = vec![
+        null_spec_steady(2, 30.0, 10, 0.0),
+        null_spec_steady(0, 30.0, 0, 0.0),
+        null_spec_steady(1, 30.0, 0, 0.0),
+    ];
+    let report = serve_fleet(
+        streams,
+        &no_drop_config()
+            .with_workers(1)
+            .with_shard(ShardConfig::sharded(2).with_partition(PartitionKind::StaticHash)),
+    );
+    assert_conservation(&report, 10);
+    let idle = &report.shards[1];
+    assert_eq!(idle.frames_processed, 0, "shard 1 must have served nothing");
+    assert_eq!(idle.worst_p99_s(), None);
+    for s in &idle.streams {
+        assert_eq!(s.latency, None, "an unserved stream has no distribution");
+    }
+    // The merge equals the active shard's pooled stats exactly — the idle
+    // shard contributes nothing, not zeros.
+    let active: Vec<f64> = report.shards[0]
+        .streams
+        .iter()
+        .flat_map(|s| s.latency_samples.iter().copied())
+        .collect();
+    assert_eq!(active.len(), 10);
+    let reference = LatencyStats::from_samples(&active).expect("shard 0 served frames");
+    assert_eq!(report.merged_latency(), Some(reference));
+    assert!(reference.p50_s > 0.0, "zeros leaked into the merge");
+    assert_eq!(report.worst_p99_s(), Some(reference.p99_s));
+
+    // A fleet where *every* shard served zero frames has no latency
+    // distribution at all, and its summary still renders.
+    let empty = serve_fleet(
+        (0..3)
+            .map(|id| null_spec_steady(id, 30.0, 0, 0.0))
+            .collect(),
+        &no_drop_config()
+            .with_shard(ShardConfig::sharded(2).with_partition(PartitionKind::StaticHash)),
+    );
+    assert_eq!(empty.frames_processed(), 0);
+    assert_eq!(empty.merged_latency(), None);
+    assert_eq!(empty.worst_p99_s(), None);
+    assert!(empty.summary().contains("shards"));
 }
 
 proptest! {

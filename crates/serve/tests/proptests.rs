@@ -45,7 +45,7 @@ proptest! {
     fn percentiles_match_naive_reference(
         samples in proptest::collection::vec(0.0f64..100.0, 1..80),
     ) {
-        let stats = LatencyStats::from_samples(&samples);
+        let stats = LatencyStats::from_samples(&samples).expect("non-empty");
         prop_assert_eq!(stats.p50_s, naive_nearest_rank(&samples, 0.50));
         prop_assert_eq!(stats.p95_s, naive_nearest_rank(&samples, 0.95));
         prop_assert_eq!(stats.p99_s, naive_nearest_rank(&samples, 0.99));
@@ -55,7 +55,7 @@ proptest! {
     fn percentiles_are_ordered(
         samples in proptest::collection::vec(0.0f64..1000.0, 1..120),
     ) {
-        let stats = LatencyStats::from_samples(&samples);
+        let stats = LatencyStats::from_samples(&samples).expect("non-empty");
         prop_assert!(stats.p50_s <= stats.p95_s);
         prop_assert!(stats.p95_s <= stats.p99_s);
         prop_assert!(stats.p99_s <= stats.max_s);
@@ -79,10 +79,11 @@ proptest! {
         let merged = LatencyStats::merged(sample_sets.iter().map(Vec::as_slice));
         let pooled: Vec<f64> = sample_sets.iter().flatten().copied().collect();
         prop_assert_eq!(merged, LatencyStats::from_samples(&pooled));
-        if !pooled.is_empty() {
-            prop_assert_eq!(merged.p50_s, naive_nearest_rank(&pooled, 0.50));
-            prop_assert_eq!(merged.p95_s, naive_nearest_rank(&pooled, 0.95));
-            prop_assert_eq!(merged.p99_s, naive_nearest_rank(&pooled, 0.99));
+        prop_assert_eq!(merged.is_none(), pooled.is_empty());
+        if let Some(m) = merged {
+            prop_assert_eq!(m.p50_s, naive_nearest_rank(&pooled, 0.50));
+            prop_assert_eq!(m.p95_s, naive_nearest_rank(&pooled, 0.95));
+            prop_assert_eq!(m.p99_s, naive_nearest_rank(&pooled, 0.99));
         }
     }
 
@@ -90,7 +91,7 @@ proptest! {
     fn mean_and_max_agree_with_direct_folds(
         samples in proptest::collection::vec(0.0f64..50.0, 1..60),
     ) {
-        let stats = LatencyStats::from_samples(&samples);
+        let stats = LatencyStats::from_samples(&samples).expect("non-empty");
         let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         prop_assert_eq!(stats.max_s, max);
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;

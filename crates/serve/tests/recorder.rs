@@ -184,7 +184,8 @@ fn fleet_recording_partitions_by_shard_and_matches_merged_report() {
     let summary = recorder.latency_stats(&Query::all());
     let fleet_streams = fleet.streams();
     let reference =
-        LatencyStats::merged(fleet_streams.iter().map(|s| s.latency_samples.as_slice()));
+        LatencyStats::merged(fleet_streams.iter().map(|s| s.latency_samples.as_slice()))
+            .expect("fleet served frames");
     assert_eq!(summary.samples, fleet.frames_processed());
     assert_eq!(summary.mean_s, reference.mean_s);
     assert_eq!(summary.p50_s, reference.p50_s);
@@ -216,7 +217,8 @@ proptest! {
         let full = Query::all().between(f64::NEG_INFINITY, f64::INFINITY);
         let summary = recorder.latency_stats(&full);
         let reference =
-            LatencyStats::merged(report.streams.iter().map(|s| s.latency_samples.as_slice()));
+            LatencyStats::merged(report.streams.iter().map(|s| s.latency_samples.as_slice()))
+                .expect("run served frames");
         prop_assert_eq!(summary.samples, report.frames_processed);
         prop_assert_eq!(summary.mean_s, reference.mean_s);
         prop_assert_eq!(summary.p50_s, reference.p50_s);
@@ -225,7 +227,7 @@ proptest! {
         prop_assert_eq!(summary.max_s, reference.max_s);
         for s in &report.streams {
             let per = recorder.latency_stats(&Query::all().stream(s.stream_id));
-            let r = LatencyStats::from_samples(&s.latency_samples);
+            let r = LatencyStats::from_samples(&s.latency_samples).expect("stream served frames");
             prop_assert_eq!(per.samples, s.processed);
             prop_assert_eq!(per.p50_s, r.p50_s);
             prop_assert_eq!(per.p99_s, r.p99_s);

@@ -49,7 +49,7 @@ fn main() {
         report.frames_processed(),
         report.makespan_s(),
         report.migrations.len(),
-        report.merged_latency().p99_s * 1e3,
+        report.merged_latency().expect("frames served").p99_s * 1e3,
     );
     println!(
         "recorder: {} events in {} chunks ({} open), {} snapshots, {} encoded bytes",
@@ -80,7 +80,7 @@ fn main() {
     println!(
         "\nfull window: p99 {:.4} ms (report says {:.4} ms — bit-identical)",
         full.p99_s * 1e3,
-        report.merged_latency().p99_s * 1e3,
+        report.merged_latency().expect("frames served").p99_s * 1e3,
     );
 
     // 3. Time-travel replay: re-drive stream 3 from the nearest snapshot

@@ -32,7 +32,7 @@ fn main() {
             mixed_workload(streams, frames, 42, SystemKind::CatdetA),
             &cfg,
         );
-        let latency = report.merged_latency();
+        let latency = report.merged_latency().expect("frames served");
         println!(
             "{shards} shard(s): {:6.2} frames/s | merged p99 {:6.1} ms | makespan {:5.2} s",
             report.throughput_fps(),
@@ -71,12 +71,12 @@ fn main() {
     );
     println!(
         "frozen:     merged p99 {:7.1} ms | makespan {:5.2} s",
-        frozen.merged_latency().p99_s * 1e3,
+        frozen.merged_latency().expect("frames served").p99_s * 1e3,
         frozen.makespan_s(),
     );
     println!(
         "rebalanced: merged p99 {:7.1} ms | makespan {:5.2} s | {} migrations",
-        rebalanced.merged_latency().p99_s * 1e3,
+        rebalanced.merged_latency().expect("frames served").p99_s * 1e3,
         rebalanced.makespan_s(),
         rebalanced.migrations.len(),
     );

@@ -40,6 +40,29 @@ pub mod strategy {
         type Value;
         /// Draws one value.
         fn generate<R: RngCore>(&self, rng: &mut R) -> Self::Value;
+
+        /// Maps generated values through `f` (the real crate's
+        /// `Strategy::prop_map`, minus shrinking).
+        fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy produced by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+        type Value = T;
+        fn generate<R: RngCore>(&self, rng: &mut R) -> T {
+            (self.f)(self.inner.generate(rng))
+        }
     }
 
     macro_rules! impl_range_strategy {
@@ -228,6 +251,15 @@ mod tests {
                 prop_assert!((0.0..1.0).contains(&f));
                 prop_assert!(n < 5);
             }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_map_applies_function(
+            n in (0usize..10).prop_map(|n| n * 2),
+        ) {
+            prop_assert!(n % 2 == 0 && n < 20);
         }
     }
 

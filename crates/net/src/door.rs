@@ -1,0 +1,100 @@
+//! Per-client admission at the front door: a token bucket that caps the
+//! sustained frame rate any single connection can push past the door,
+//! regardless of what the camera offers. An abusive client burns its own
+//! bucket; well-behaved clients on other connections are untouched.
+
+/// Token-bucket policy for one connection. Refills continuously at
+/// `rate_fps`, holds at most `burst` tokens, spends one token per
+/// admitted frame. Starts full so a connection's first `burst` frames
+/// are never penalised.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DoorPolicy {
+    rate_fps: f64,
+    burst: f64,
+    tokens: f64,
+    last_s: f64,
+    /// Frames admitted through the door.
+    pub admitted: usize,
+    /// Frames rejected at the door (client over its rate).
+    pub rejected: usize,
+}
+
+impl DoorPolicy {
+    /// A full bucket refilling at `rate_fps` with capacity `burst`.
+    /// Panics if either is non-positive or non-finite.
+    pub fn new(rate_fps: f64, burst: f64) -> Self {
+        assert!(
+            rate_fps > 0.0 && rate_fps.is_finite(),
+            "door rate must be finite and positive"
+        );
+        assert!(
+            burst >= 1.0 && burst.is_finite(),
+            "door burst must be finite and at least one frame"
+        );
+        Self {
+            rate_fps,
+            burst,
+            tokens: burst,
+            last_s: 0.0,
+            admitted: 0,
+            rejected: 0,
+        }
+    }
+
+    /// Charges one frame arriving at `now_s`; `true` admits it past the
+    /// door, `false` rejects it. Rejected frames cost nothing.
+    pub fn admit(&mut self, now_s: f64) -> bool {
+        let dt = (now_s - self.last_s).max(0.0);
+        self.last_s = self.last_s.max(now_s);
+        self.tokens = (self.tokens + dt * self.rate_fps).min(self.burst);
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            self.admitted += 1;
+            true
+        } else {
+            self.rejected += 1;
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn burst_is_admitted_then_rate_limits() {
+        let mut door = DoorPolicy::new(10.0, 4.0);
+        // Four frames in the same instant: the burst allowance.
+        for _ in 0..4 {
+            assert!(door.admit(0.0));
+        }
+        assert!(!door.admit(0.0), "bucket is empty");
+        // 0.1 s refills exactly one token at 10 fps.
+        assert!(door.admit(0.1));
+        assert!(!door.admit(0.1));
+        assert_eq!(door.admitted, 5);
+        assert_eq!(door.rejected, 2);
+    }
+
+    #[test]
+    fn a_paced_client_is_never_rejected() {
+        let mut door = DoorPolicy::new(20.0, 2.0);
+        for i in 0..100 {
+            assert!(door.admit(i as f64 * 0.05), "20 fps offered at 20 fps cap");
+        }
+        assert_eq!(door.rejected, 0);
+    }
+
+    #[test]
+    fn an_abusive_client_converges_to_the_cap() {
+        let mut door = DoorPolicy::new(5.0, 2.0);
+        // 100 fps offered for 10 s against a 5 fps cap.
+        for i in 0..1000 {
+            door.admit(i as f64 * 0.01);
+        }
+        let cap = 5.0 * 10.0 + 2.0; // rate * horizon + burst
+        assert!((door.admitted as f64) <= cap + 1.0);
+        assert!(door.admitted >= 45, "the cap itself must flow");
+    }
+}

@@ -1,0 +1,146 @@
+//! Property tests for the CamLink codec: arbitrary records must survive
+//! encode → arbitrary re-chunking → decode bit-for-bit, a truncated tail
+//! must never fabricate a record, and a garbage prefix must cost only
+//! the garbage.
+
+use catdet_net::{encode_record, Decoder, FrameRecord, MAGIC};
+use proptest::prelude::*;
+
+/// Strategy pieces for one record: ids, capture bits and a payload of
+/// arbitrary bytes (empty allowed — a record is valid without payload).
+fn record_strategy() -> impl Strategy<Value = FrameRecord> {
+    (
+        0u32..1000,
+        0u32..100_000,
+        0u64..=u64::MAX,
+        proptest::collection::vec(0u8..=255, 0..200),
+    )
+        .prop_map(
+            |(stream_id, frame_index, capture_bits, payload)| FrameRecord {
+                stream_id,
+                frame_index,
+                capture_bits,
+                payload,
+            },
+        )
+}
+
+fn encode_all(records: &[FrameRecord]) -> Vec<u8> {
+    let mut wire = Vec::new();
+    for r in records {
+        encode_record(r, &mut wire);
+    }
+    wire
+}
+
+/// Feeds `wire` to a decoder split at boundaries walked from `cuts`
+/// (each cut is a chunk length; the tail goes in one final push).
+fn decode_chunked(wire: &[u8], cuts: &[usize]) -> (Decoder, Vec<FrameRecord>) {
+    let mut dec = Decoder::new();
+    let mut out = Vec::new();
+    let mut at = 0;
+    for &cut in cuts {
+        if at >= wire.len() {
+            break;
+        }
+        let end = (at + cut.max(1)).min(wire.len());
+        dec.push(&wire[at..end]);
+        while let Some(r) = dec.next_record() {
+            out.push(r);
+        }
+        at = end;
+    }
+    if at < wire.len() {
+        dec.push(&wire[at..]);
+    }
+    dec.finish();
+    while let Some(r) = dec.next_record() {
+        out.push(r);
+    }
+    (dec, out)
+}
+
+proptest! {
+    #[test]
+    fn records_round_trip_across_arbitrary_chunk_boundaries(
+        records in proptest::collection::vec(record_strategy(), 1..8),
+        cuts in proptest::collection::vec(1usize..64, 0..64),
+    ) {
+        let wire = encode_all(&records);
+        let (dec, decoded) = decode_chunked(&wire, &cuts);
+        prop_assert_eq!(decoded, records);
+        prop_assert_eq!(dec.records_corrupted, 0);
+        prop_assert_eq!(dec.bytes_skipped, 0);
+    }
+
+    #[test]
+    fn a_truncated_tail_yields_only_fully_contained_records(
+        records in proptest::collection::vec(record_strategy(), 1..6),
+        cut_back in 1usize..40,
+    ) {
+        let wire = encode_all(&records);
+        // Chop strictly inside the final record.
+        let last_len = {
+            let mut solo = Vec::new();
+            encode_record(records.last().unwrap(), &mut solo);
+            solo.len()
+        };
+        let keep = wire.len() - cut_back.min(last_len - 1).max(1);
+        let (_, decoded) = decode_chunked(&wire[..keep], &[7, 13, 31]);
+        // Everything before the mangled tail decodes; the tail never
+        // yields a record (its checksum cannot be present).
+        prop_assert_eq!(decoded, records[..records.len() - 1].to_vec());
+    }
+
+    #[test]
+    fn a_garbage_prefix_costs_only_the_garbage(
+        garbage in proptest::collection::vec(0u8..=255, 1..60),
+        records in proptest::collection::vec(record_strategy(), 1..5),
+        cuts in proptest::collection::vec(1usize..32, 0..48),
+    ) {
+        // Garbage that happens to contain the magic can eat into a real
+        // record (the decoder locks onto a bogus header whose "length"
+        // spans real bytes); keep the prefix magic-free so the property
+        // is exact. The corrupted-span case is covered separately below.
+        let garbage: Vec<u8> = garbage
+            .into_iter()
+            .map(|b| if b == MAGIC[0] { b ^ 0xFF } else { b })
+            .collect();
+        let mut wire = garbage.clone();
+        wire.extend(encode_all(&records));
+        let (dec, decoded) = decode_chunked(&wire, &cuts);
+        prop_assert_eq!(decoded, records);
+        prop_assert!(dec.bytes_skipped >= garbage.len());
+    }
+
+    #[test]
+    fn corrupting_one_record_never_loses_the_rest(
+        records in proptest::collection::vec(record_strategy(), 2..6),
+        victim_seed in 0usize..1000,
+        flip_seed in 0usize..1000,
+    ) {
+        let victim = victim_seed % records.len();
+        let mut wire = Vec::new();
+        let mut spans = Vec::new();
+        for r in &records {
+            let start = wire.len();
+            encode_record(r, &mut wire);
+            spans.push(start..wire.len());
+        }
+        // Flip one body byte of the victim (past magic+len, before crc):
+        // its checksum fails, every other record must still decode.
+        let span = spans[victim].clone();
+        let body = (span.start + 6)..(span.end - 4);
+        let target = body.start + flip_seed % body.len();
+        wire[target] ^= 0x5A;
+        let (dec, decoded) = decode_chunked(&wire, &[11, 3, 29, 17]);
+        let expected: Vec<FrameRecord> = records
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != victim)
+            .map(|(_, r)| r.clone())
+            .collect();
+        prop_assert_eq!(decoded, expected);
+        prop_assert!(dec.records_corrupted >= 1);
+    }
+}

@@ -1,5 +1,6 @@
-//! The recorder's event vocabulary: six kinds of telemetry, each reduced
-//! to plain integers/floats so the store can lay them out column-wise.
+//! The recorder's event vocabulary: seven kinds of telemetry, each
+//! reduced to plain integers/floats so the store can lay them out
+//! column-wise.
 //!
 //! Enum-valued fields of the producing crates (scale reasons, admission
 //! reasons, batch stages) travel as small integer codes — the recorder
@@ -29,17 +30,20 @@ pub enum EventKind {
     Admission,
     /// A live stream migration between shards.
     Migration,
+    /// A connection-lifecycle event at the network front door.
+    Conn,
 }
 
 impl EventKind {
     /// Every kind, in stable code order.
-    pub const ALL: [EventKind; 6] = [
+    pub const ALL: [EventKind; 7] = [
         EventKind::Detection,
         EventKind::Track,
         EventKind::Batch,
         EventKind::Scale,
         EventKind::Admission,
         EventKind::Migration,
+        EventKind::Conn,
     ];
 
     /// Stable wire/CLI code of the kind.
@@ -51,6 +55,7 @@ impl EventKind {
             EventKind::Scale => 3,
             EventKind::Admission => 4,
             EventKind::Migration => 5,
+            EventKind::Conn => 6,
         }
     }
 
@@ -68,6 +73,7 @@ impl EventKind {
             EventKind::Scale => "scale",
             EventKind::Admission => "admission",
             EventKind::Migration => "migration",
+            EventKind::Conn => "conn",
         }
     }
 
@@ -86,6 +92,7 @@ impl EventKind {
             EventKind::Scale => &["from_workers", "to_workers", "reason"],
             EventKind::Admission => &["reason"],
             EventKind::Migration => &["from_shard", "to_shard", "backlog_moved"],
+            EventKind::Conn => &["code", "frame", "detail"],
         }
     }
 }
@@ -164,6 +171,18 @@ pub enum Event {
         /// Queued frames relocated with it.
         backlog_moved: usize,
     },
+    /// A connection-lifecycle event at the network front door
+    /// (connect / disconnect / throttle / resume / door-reject).
+    Conn {
+        /// Fleet-wide stream id (the client's connection).
+        stream: usize,
+        /// Producer-defined lifecycle code (see the net crate's mapping).
+        code: u64,
+        /// Frame index involved (resume cursor, rejected frame, …).
+        frame: usize,
+        /// Producer-defined extra (window occupancy, frames offered, …).
+        detail: u64,
+    },
 }
 
 impl Event {
@@ -176,6 +195,7 @@ impl Event {
             Event::Scale { .. } => EventKind::Scale,
             Event::Admission { .. } => EventKind::Admission,
             Event::Migration { .. } => EventKind::Migration,
+            Event::Conn { .. } => EventKind::Conn,
         }
     }
 
@@ -187,7 +207,8 @@ impl Event {
             | Event::Track { stream, .. }
             | Event::Batch { stream, .. }
             | Event::Admission { stream, .. }
-            | Event::Migration { stream, .. } => Some(*stream),
+            | Event::Migration { stream, .. }
+            | Event::Conn { stream, .. } => Some(*stream),
             Event::Scale { .. } => None,
         }
     }
@@ -234,6 +255,12 @@ impl Event {
                 backlog_moved,
                 ..
             } => out.extend([from_shard as u64, to_shard as u64, backlog_moved as u64]),
+            Event::Conn {
+                code,
+                frame,
+                detail,
+                ..
+            } => out.extend([code, frame as u64, detail]),
         }
     }
 
@@ -278,6 +305,12 @@ impl Event {
                 from_shard: *vals.first()? as usize,
                 to_shard: *vals.get(1)? as usize,
                 backlog_moved: *vals.get(2)? as usize,
+            },
+            EventKind::Conn => Event::Conn {
+                stream: stream?,
+                code: *vals.first()?,
+                frame: *vals.get(1)? as usize,
+                detail: *vals.get(2)?,
             },
         })
     }
@@ -333,6 +366,12 @@ mod tests {
                 from_shard: 0,
                 to_shard: 3,
                 backlog_moved: 11,
+            },
+            Event::Conn {
+                stream: 4,
+                code: 2,
+                frame: 23,
+                detail: 8,
             },
         ];
         let mut vals = Vec::new();

@@ -1,6 +1,7 @@
 //! Serving configuration: scheduling policy, batching, backpressure.
 
 use catdet_core::GpuTimingModel;
+use catdet_net::{LinkParams, NetParams};
 use catdet_recorder::SharedRecorder;
 use serde::{Deserialize, Serialize};
 
@@ -555,6 +556,189 @@ impl Default for RecorderConfig {
     }
 }
 
+/// How frames enter the serving layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IngestKind {
+    /// Streams are handed to the scheduler as in-memory frame timelines
+    /// — the pre-network behaviour, and the default.
+    Direct,
+    /// Streams arrive through the simulated network front door: each
+    /// camera is a CamLink connection whose frames cross a faulty wire,
+    /// a bounded receive window and a per-client door rate limiter
+    /// before reaching the partition layer.
+    Net,
+}
+
+impl IngestKind {
+    /// Stable CLI name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            IngestKind::Direct => "direct",
+            IngestKind::Net => "net",
+        }
+    }
+
+    /// Parses a CLI name.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "direct" => Some(IngestKind::Direct),
+            "net" => Some(IngestKind::Net),
+            _ => None,
+        }
+    }
+}
+
+/// Network front-door configuration; inert unless
+/// [`kind`](IngestConfig::kind) is [`IngestKind::Net`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IngestConfig {
+    /// How frames enter the serving layer.
+    pub kind: IngestKind,
+    /// Fixed camera → door propagation delay (virtual seconds).
+    pub conn_latency_s: f64,
+    /// Maximum extra per-chunk delivery jitter (virtual seconds).
+    pub conn_jitter_s: f64,
+    /// Link throughput in bytes per virtual second.
+    pub link_bytes_per_s: f64,
+    /// Maximum bytes per partial write on the wire.
+    pub chunk_bytes: usize,
+    /// Probability two adjacent chunks of a record swap in flight
+    /// (corrupting the record; the camera never retransmits corruption).
+    pub reorder_rate: f64,
+    /// Per-record probability the connection drops mid-send (the camera
+    /// reconnects and resumes from its cursor).
+    pub disconnect_rate: f64,
+    /// Downtime after a disconnect before the camera resumes.
+    pub reconnect_delay_s: f64,
+    /// Bounded per-connection receive window, in frames; `0` (the
+    /// default) follows [`ServeConfig::queue_capacity`].
+    pub recv_window: usize,
+    /// Rate at which the window drains past the door (models the shard
+    /// pulling from the connection).
+    pub drain_fps: f64,
+    /// Sustained per-client frame rate admitted past the door.
+    pub door_rate_fps: f64,
+    /// Door token-bucket burst, in frames.
+    pub door_burst: f64,
+}
+
+impl IngestConfig {
+    /// Direct ingest — the pre-network default. The network knobs hold
+    /// clean-link values so switching the kind alone is meaningful.
+    pub fn direct() -> Self {
+        Self {
+            kind: IngestKind::Direct,
+            conn_latency_s: 0.002,
+            conn_jitter_s: 0.0,
+            link_bytes_per_s: 1_000_000.0,
+            chunk_bytes: 512,
+            reorder_rate: 0.0,
+            disconnect_rate: 0.0,
+            reconnect_delay_s: 0.05,
+            recv_window: 0,
+            drain_fps: 120.0,
+            door_rate_fps: 120.0,
+            door_burst: 16.0,
+        }
+    }
+
+    /// Network ingest over a clean link.
+    pub fn net() -> Self {
+        Self {
+            kind: IngestKind::Net,
+            ..Self::direct()
+        }
+    }
+
+    /// Returns a copy with a different per-chunk jitter bound.
+    pub fn with_conn_jitter_s(mut self, conn_jitter_s: f64) -> Self {
+        self.conn_jitter_s = conn_jitter_s;
+        self
+    }
+
+    /// Returns a copy with a different in-flight reorder probability.
+    pub fn with_reorder_rate(mut self, reorder_rate: f64) -> Self {
+        self.reorder_rate = reorder_rate;
+        self
+    }
+
+    /// Returns a copy with a different mid-send disconnect probability.
+    pub fn with_disconnect_rate(mut self, disconnect_rate: f64) -> Self {
+        self.disconnect_rate = disconnect_rate;
+        self
+    }
+
+    /// Returns a copy with a different receive window (`0` follows the
+    /// queue capacity).
+    pub fn with_recv_window(mut self, recv_window: usize) -> Self {
+        self.recv_window = recv_window;
+        self
+    }
+
+    /// Returns a copy with a different window drain rate.
+    pub fn with_drain_fps(mut self, drain_fps: f64) -> Self {
+        self.drain_fps = drain_fps;
+        self
+    }
+
+    /// Returns a copy with a different door rate limit.
+    pub fn with_door_rate_fps(mut self, door_rate_fps: f64) -> Self {
+        self.door_rate_fps = door_rate_fps;
+        self
+    }
+
+    /// Returns a copy with a different door burst.
+    pub fn with_door_burst(mut self, door_burst: f64) -> Self {
+        self.door_burst = door_burst;
+        self
+    }
+
+    /// The wire behaviour these knobs describe.
+    pub fn link_params(&self) -> LinkParams {
+        LinkParams {
+            base_latency_s: self.conn_latency_s,
+            jitter_s: self.conn_jitter_s,
+            bytes_per_s: self.link_bytes_per_s,
+            chunk_bytes: self.chunk_bytes,
+            reorder_rate: self.reorder_rate,
+            disconnect_rate: self.disconnect_rate,
+            reconnect_delay_s: self.reconnect_delay_s,
+        }
+    }
+
+    /// The full front-door parameters for a run: `seed` keys every
+    /// connection's randomness, `queue_capacity` backs the receive
+    /// window when [`recv_window`](IngestConfig::recv_window) is `0` —
+    /// connection backpressure maps onto the same bound as the
+    /// scheduler's per-stream queues.
+    pub fn net_params(&self, seed: u64, queue_capacity: usize) -> NetParams {
+        NetParams {
+            seed,
+            link: self.link_params(),
+            recv_window: if self.recv_window == 0 {
+                queue_capacity
+            } else {
+                self.recv_window
+            },
+            drain_fps: self.drain_fps,
+            door_rate_fps: self.door_rate_fps,
+            door_burst: self.door_burst,
+        }
+    }
+
+    /// Panics if the configuration is unusable.
+    pub fn validate(&self) {
+        // Seed and window backing do not affect validity; placeholders.
+        self.net_params(0, 1).validate();
+    }
+}
+
+impl Default for IngestConfig {
+    fn default() -> Self {
+        Self::direct()
+    }
+}
+
 /// Configuration of one serving run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ServeConfig {
@@ -602,6 +786,11 @@ pub struct ServeConfig {
     /// Flight recording; [`RecorderConfig::off`] (the default) disables
     /// it.
     pub recorder: RecorderConfig,
+    /// How frames enter the serving layer;
+    /// [`IngestConfig::direct`] (the default) bypasses the network
+    /// front door. Only consulted by
+    /// [`serve_net_fleet`](crate::serve_net_fleet).
+    pub ingest: IngestConfig,
 }
 
 impl ServeConfig {
@@ -622,6 +811,7 @@ impl ServeConfig {
             admission: AdmissionConfig::admit_all(),
             shard: ShardConfig::single(),
             recorder: RecorderConfig::off(),
+            ingest: IngestConfig::direct(),
         }
     }
 
@@ -697,6 +887,12 @@ impl ServeConfig {
         self
     }
 
+    /// Returns a copy with a different ingest configuration.
+    pub fn with_ingest(mut self, ingest: IngestConfig) -> Self {
+        self.ingest = ingest;
+        self
+    }
+
     /// Panics if the configuration is unusable.
     pub fn validate(&self) {
         assert!(self.workers >= 1, "need at least one worker");
@@ -717,6 +913,7 @@ impl ServeConfig {
         self.admission.validate();
         self.shard.validate();
         self.recorder.validate();
+        self.ingest.validate();
     }
 }
 

@@ -81,6 +81,11 @@ pub struct FleetReport {
     /// Summed virtual GPU time of the cross-shard dispatches (accounted
     /// here once, not in any shard's `gpu_dispatch_s`).
     pub fused_gpu_dispatch_s: f64,
+    /// Front-door accounting when the run ingested over the network
+    /// (`None` for direct ingest). Frames this report counts as rejected
+    /// at the door never reached the shards — they are separate from,
+    /// and in addition to, the admission-shed frames below.
+    pub ingest: Option<catdet_net::IngestReport>,
 }
 
 impl FleetReport {
@@ -260,15 +265,21 @@ impl FleetReport {
         let batch = self.merged_batch();
         let _ = writeln!(
             out,
-            "fleet: {} shards | {} streams | {:.1} virtual s | {} processed / {} arrived ({} dropped, {:.1}%)",
+            "fleet: {} shards | {} streams | {:.1} virtual s | {} processed / {} arrived \
+             ({} dropped: {} backpressure + {} admission-shed, {:.1}%)",
             self.shards.len(),
             self.streams().len(),
             self.makespan_s(),
             self.frames_processed(),
             self.frames_arrived(),
             self.frames_dropped(),
+            self.frames_dropped() - self.frames_rejected(),
+            self.frames_rejected(),
             100.0 * self.drop_rate(),
         );
+        if let Some(ingest) = &self.ingest {
+            let _ = writeln!(out, "{}", ingest.summary());
+        }
         let _ = writeln!(
             out,
             "throughput: {:.2} frames/s | merged latency p50/p95/p99: {:.1}/{:.1}/{:.1} ms | gpu dispatch time: {:.3} s",
@@ -621,6 +632,7 @@ fn serve_fleet_impl(
         migrations,
         fused_refinements,
         fused_gpu_dispatch_s: fused_gpu,
+        ingest: None,
     }
 }
 

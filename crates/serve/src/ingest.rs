@@ -1,0 +1,104 @@
+//! Network-ingest glue: runs the front-door simulation as a
+//! deterministic pre-pass, books its connection events into the flight
+//! recorder, then serves the *delivered* streams.
+//!
+//! The pre-pass runs on the control thread on its own virtual-time
+//! reactor, entirely before any shard engine starts. That ordering is
+//! the determinism argument: the delivered timelines, the connection
+//! events and their position in the recorder store cannot depend on
+//! `--threads`, because no engine thread exists yet when they are
+//! produced.
+
+use crate::config::{IngestKind, ServeConfig};
+use crate::fleet::{serve_fleet, serve_fleet_with_recorder, FleetReport};
+use crate::scheduler::StreamSpec;
+use catdet_net::{run_ingest, IngestOutcome};
+use catdet_recorder::{Event, SharedRecorder};
+
+/// Runs the front door over every spec's source and rebuilds the specs
+/// around the delivered timelines (arrival = door drain time, frames =
+/// the survivors).
+fn ingest_pass(
+    specs: Vec<StreamSpec>,
+    cfg: &ServeConfig,
+    seed: u64,
+) -> (Vec<StreamSpec>, IngestOutcome) {
+    assert!(
+        cfg.ingest.kind == IngestKind::Net,
+        "serve_net_fleet needs IngestKind::Net (cfg.ingest is direct)"
+    );
+    let sources: Vec<_> = specs.iter().map(|s| s.source.clone()).collect();
+    let params = cfg.ingest.net_params(seed, cfg.queue_capacity);
+    let outcome = run_ingest(&sources, &params);
+    let specs = specs
+        .into_iter()
+        .zip(outcome.delivered.iter().cloned())
+        .map(|(spec, delivered)| StreamSpec {
+            source: delivered,
+            factory: spec.factory,
+            priority: spec.priority,
+        })
+        .collect();
+    (specs, outcome)
+}
+
+/// Books the connection-event log into the store, stamped on shard 0
+/// (the front door is fleet infrastructure, not shard state).
+fn record_conn_events(outcome: &IngestOutcome, recorder: &SharedRecorder) {
+    for e in &outcome.events {
+        recorder.record(
+            e.t_s,
+            0,
+            Event::Conn {
+                stream: e.client,
+                code: e.kind.code(),
+                frame: e.frame,
+                detail: e.detail,
+            },
+        );
+    }
+}
+
+/// Runs a sharded fleet whose streams arrive through the network front
+/// door: every camera connection is simulated to completion first
+/// (CamLink wire, bounded receive window, per-client door rate limit),
+/// then the delivered streams are served exactly as
+/// [`serve_fleet`] would. The report carries the per-client
+/// [`IngestReport`](catdet_net::IngestReport).
+///
+/// `seed` keys all connection randomness; the entire run — ingest
+/// timeline, events, serving output — is a pure function of
+/// `(specs, cfg, seed)` at every thread count.
+///
+/// # Panics
+///
+/// Panics if `cfg.ingest.kind` is not [`IngestKind::Net`], or on an
+/// invalid configuration.
+pub fn serve_net_fleet(specs: Vec<StreamSpec>, cfg: &ServeConfig, seed: u64) -> FleetReport {
+    if cfg.recorder.enabled {
+        cfg.validate();
+        let recorder = cfg.recorder.build();
+        return serve_net_fleet_with_recorder(specs, cfg, seed, &recorder);
+    }
+    let (specs, outcome) = ingest_pass(specs, cfg, seed);
+    let mut report = serve_fleet(specs, cfg);
+    report.ingest = Some(outcome.report);
+    report
+}
+
+/// [`serve_net_fleet`] with every event — connection lifecycle included
+/// — booked into `recorder`. Connection events are recorded before any
+/// engine runs, so the store layout is bit-identical at every thread
+/// count.
+pub fn serve_net_fleet_with_recorder(
+    specs: Vec<StreamSpec>,
+    cfg: &ServeConfig,
+    seed: u64,
+    recorder: &SharedRecorder,
+) -> FleetReport {
+    let (specs, outcome) = ingest_pass(specs, cfg, seed);
+    record_conn_events(&outcome, recorder);
+    let mut report = serve_fleet_with_recorder(specs, cfg, recorder);
+    report.ingest = Some(outcome.report);
+    report
+}

@@ -55,6 +55,15 @@
 //!   one's), recorded latencies answer telemetry [`Query`]s with exactly
 //!   the report's percentiles, and periodic [`StreamSnapshot`]s let
 //!   [`replay_stream`] re-drive any stream bit-exactly from mid-run.
+//! * **Network front door** — [`serve_net_fleet`] ingests every camera
+//!   over a simulated CamLink connection (`catdet-net`): a virtual-time
+//!   reactor drives length-prefixed, checksummed frame records through
+//!   per-connection jitter, partial writes, reordering and
+//!   disconnect/resume, onto a bounded receive window (backpressure
+//!   pushes back to the socket) and a per-client token-bucket door.
+//!   Connection events land in the flight recorder as
+//!   [`Event::Conn`], and the whole ingest
+//!   timeline is a pure function of the workload seed.
 //!
 //! Scheduling runs in deterministic virtual time while detector compute
 //! runs for real on the pool, so results are reproducible bit-for-bit at
@@ -81,6 +90,7 @@ pub mod admission;
 pub mod autoscale;
 pub mod config;
 pub mod fleet;
+pub mod ingest;
 pub mod replay;
 pub mod report;
 pub mod scheduler;
@@ -96,10 +106,11 @@ pub use autoscale::{
     ScaleReason,
 };
 pub use config::{
-    AdmissionConfig, AdmissionKind, AutoscaleConfig, DropPolicy, PartitionKind, RecorderConfig,
-    ScalePolicyKind, SchedulePolicy, ServeConfig, ShardConfig,
+    AdmissionConfig, AdmissionKind, AutoscaleConfig, DropPolicy, IngestConfig, IngestKind,
+    PartitionKind, RecorderConfig, ScalePolicyKind, SchedulePolicy, ServeConfig, ShardConfig,
 };
 pub use fleet::{serve_fleet, serve_fleet_with_recorder, FleetRefineRecord, FleetReport};
+pub use ingest::{serve_net_fleet, serve_net_fleet_with_recorder};
 pub use replay::{replay_stream, ReplayError, ReplayReport, ReplayedFrame, StreamSnapshot};
 pub use report::{
     merge_timelines, BatchRecord, BatchStage, BatchStats, LatencyStats, ServeReport, StreamReport,
@@ -114,6 +125,7 @@ pub use workload::{bursty_workload, kitti_workload, mixed_workload, step_workloa
 // Re-export the pieces callers almost always need alongside.
 pub use catdet_core::{PresetFactory, SystemFactory, SystemKind};
 pub use catdet_data::{StreamFrame, StreamSource};
+pub use catdet_net::{ClientReport, ConnEvent, ConnEventKind, IngestReport, NetParams};
 pub use catdet_recorder::{
     Event, EventKind, FlightRecorder, LatencySummary, NullRecorder, Query, RecordedEvent,
     SharedRecorder, StoreStats,

@@ -13,13 +13,14 @@
 use catdet_recorder::{read_file, Event, EventKind, Query};
 use catdet_serve::{
     bursty_workload, mixed_workload, serve, serve_fleet, serve_fleet_with_recorder,
-    serve_with_recorder, AdmissionConfig, AdmissionKind, AdmissionReason, AutoscaleConfig,
-    BurstProfile, DropPolicy, PartitionKind, RecorderConfig, ScalePolicyKind, ScaleReason,
+    serve_net_fleet, serve_net_fleet_with_recorder, serve_with_recorder, AdmissionConfig,
+    AdmissionKind, AdmissionReason, AutoscaleConfig, BurstProfile, ConnEventKind, DropPolicy,
+    IngestConfig, IngestKind, PartitionKind, RecorderConfig, ScalePolicyKind, ScaleReason,
     SchedulePolicy, ServeConfig, ShardConfig, StreamSpec, SystemKind,
 };
 use std::path::Path;
 
-#[derive(Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum WorkloadKind {
     Mixed,
     Bursty,
@@ -42,6 +43,7 @@ impl WorkloadKind {
     }
 }
 
+#[derive(Debug)]
 struct Args {
     streams: usize,
     workers: usize,
@@ -74,6 +76,24 @@ struct Args {
     record_chunk_events: usize,
     record_retention_chunks: usize,
     record_snapshot_every: usize,
+    ingest: IngestKind,
+    clients: usize,
+    conn_jitter_ms: f64,
+    disconnect_rate: f64,
+    reorder_rate: f64,
+    door_rate: f64,
+    door_burst: f64,
+    // Which flags the user actually passed — the net-only knobs conflict
+    // with direct ingest (and vice versa), and that is only decidable if
+    // defaults and explicit values are distinguishable.
+    streams_set: bool,
+    workload_set: bool,
+    clients_set: bool,
+    conn_jitter_set: bool,
+    disconnect_rate_set: bool,
+    reorder_rate_set: bool,
+    door_rate_set: bool,
+    door_burst_set: bool,
 }
 
 impl Default for Args {
@@ -110,6 +130,21 @@ impl Default for Args {
             record_chunk_events: 512,
             record_retention_chunks: usize::MAX,
             record_snapshot_every: 0,
+            ingest: IngestKind::Direct,
+            clients: 8,
+            conn_jitter_ms: 0.0,
+            disconnect_rate: 0.0,
+            reorder_rate: 0.0,
+            door_rate: 120.0,
+            door_burst: 16.0,
+            streams_set: false,
+            workload_set: false,
+            clients_set: false,
+            conn_jitter_set: false,
+            disconnect_rate_set: false,
+            reorder_rate_set: false,
+            door_rate_set: false,
+            door_burst_set: false,
         }
     }
 }
@@ -171,6 +206,25 @@ USAGE:
                         the shard count). Bit-identical results at every
                         setting -- threads only change wall-clock time [1]
 
+  ingest (how frames reach the partition layer):
+    --ingest <K>        direct (in-memory timelines) | net (simulated
+                        CamLink camera connections: checksummed frame
+                        records over a jittery, faulty wire into a bounded
+                        receive window and a per-client rate-limited door)
+                        [direct]
+    --clients <N>       camera connections with --ingest net; replaces
+                        --streams there [8]
+    --conn-jitter-ms <MS>
+                        max extra per-chunk delivery jitter [0]
+    --disconnect-rate <P>
+                        per-record mid-send disconnect probability; the
+                        camera reconnects and resumes from its cursor [0]
+    --reorder-rate <P>  probability adjacent wire chunks swap in flight
+                        (corrupts the record; the frame is lost) [0]
+    --door-rate <FPS>   sustained per-client frame rate admitted past the
+                        door [120]
+    --door-burst <N>    door token-bucket burst, in frames [16]
+
   flight recorder (chunked columnar telemetry + time-travel replay):
     --record <FILE>     record every detection/track/batch/scale/admission/
                         migration event and save the chunk store to FILE
@@ -186,7 +240,7 @@ USAGE:
     -h, --help          print this help
 
 SUBCOMMANDS:
-    query <FILE> [--kind detection|track|batch|scale|admission|migration]
+    query <FILE> [--kind detection|track|batch|scale|admission|migration|conn]
                  [--stream <N>] [--shard <N>] [--from <S>] [--to <S>]
                  [--limit <N>]
         scan a saved recording: print matching events in time order and,
@@ -195,8 +249,12 @@ SUBCOMMANDS:
 ";
 
 fn parse_args() -> Result<Args, String> {
+    parse_args_from(std::env::args().skip(1))
+}
+
+fn parse_args_from(it: impl Iterator<Item = String>) -> Result<Args, String> {
     let mut args = Args::default();
-    let mut it = std::env::args().skip(1);
+    let mut it = it;
     while let Some(flag) = it.next() {
         if flag == "-h" || flag == "--help" {
             print!("{USAGE}");
@@ -214,7 +272,38 @@ fn parse_args() -> Result<Args, String> {
             .next()
             .ok_or_else(|| format!("flag {flag} needs a value"))?;
         match flag.as_str() {
-            "--streams" => args.streams = parse_num(&flag, &value)?,
+            "--streams" => {
+                args.streams = parse_num(&flag, &value)?;
+                args.streams_set = true;
+            }
+            "--clients" => {
+                args.clients = parse_num(&flag, &value)?;
+                args.clients_set = true;
+            }
+            "--conn-jitter-ms" => {
+                args.conn_jitter_ms = parse_num(&flag, &value)?;
+                args.conn_jitter_set = true;
+            }
+            "--disconnect-rate" => {
+                args.disconnect_rate = parse_num(&flag, &value)?;
+                args.disconnect_rate_set = true;
+            }
+            "--reorder-rate" => {
+                args.reorder_rate = parse_num(&flag, &value)?;
+                args.reorder_rate_set = true;
+            }
+            "--door-rate" => {
+                args.door_rate = parse_num(&flag, &value)?;
+                args.door_rate_set = true;
+            }
+            "--door-burst" => {
+                args.door_burst = parse_num(&flag, &value)?;
+                args.door_burst_set = true;
+            }
+            "--ingest" => {
+                args.ingest = IngestKind::from_name(&value)
+                    .ok_or_else(|| format!("--ingest: unknown kind {value} (direct | net)"))?
+            }
             "--workers" => args.workers = parse_num(&flag, &value)?,
             "--frames" => args.frames = parse_num(&flag, &value)?,
             "--batch" => args.max_batch = parse_num(&flag, &value)?,
@@ -250,7 +339,8 @@ fn parse_args() -> Result<Args, String> {
             }
             "--workload" => {
                 args.workload = WorkloadKind::from_name(&value)
-                    .ok_or_else(|| format!("--workload: unknown workload {value}"))?
+                    .ok_or_else(|| format!("--workload: unknown workload {value}"))?;
+                args.workload_set = true;
             }
             "--autoscale" => {
                 args.autoscale = ScalePolicyKind::from_name(&value)
@@ -331,6 +421,68 @@ fn parse_args() -> Result<Args, String> {
                 .into(),
         );
     }
+    // Flag-combination conflicts: every net-only knob requires
+    // `--ingest net`, and the net path names its cameras with --clients.
+    // Reject the combination with an actionable error instead of letting
+    // a config assert panic later.
+    if args.ingest == IngestKind::Net {
+        if args.workload_set {
+            return Err(
+                "--workload cannot be combined with --ingest net: the front door \
+                 generates its own capture schedule from the mixed workload; drop \
+                 --workload"
+                    .into(),
+            );
+        }
+        if args.streams_set {
+            return Err(
+                "--streams cannot be combined with --ingest net: cameras are \
+                 connections there; use --clients instead"
+                    .into(),
+            );
+        }
+    } else {
+        let net_only: [(&str, bool); 6] = [
+            ("--clients", args.clients_set),
+            ("--conn-jitter-ms", args.conn_jitter_set),
+            ("--disconnect-rate", args.disconnect_rate_set),
+            ("--reorder-rate", args.reorder_rate_set),
+            ("--door-rate", args.door_rate_set),
+            ("--door-burst", args.door_burst_set),
+        ];
+        if let Some((flag, _)) = net_only.iter().find(|(_, set)| *set) {
+            return Err(format!(
+                "{flag} only applies to the network front door; add --ingest net"
+            ));
+        }
+    }
+    if args.clients == 0 {
+        return Err("--clients must be at least 1".into());
+    }
+    if !args.conn_jitter_ms.is_finite() || args.conn_jitter_ms < 0.0 {
+        return Err(format!(
+            "--conn-jitter-ms must be a finite, non-negative number (got {})",
+            args.conn_jitter_ms
+        ));
+    }
+    if !args.disconnect_rate.is_finite() || !(0.0..1.0).contains(&args.disconnect_rate) {
+        return Err(format!(
+            "--disconnect-rate must be a probability below 1 (got {})",
+            args.disconnect_rate
+        ));
+    }
+    if !args.reorder_rate.is_finite() || !(0.0..=1.0).contains(&args.reorder_rate) {
+        return Err(format!(
+            "--reorder-rate must be a probability (got {})",
+            args.reorder_rate
+        ));
+    }
+    if !args.door_rate.is_finite() || args.door_rate <= 0.0 {
+        return Err("--door-rate must be a finite, positive number".into());
+    }
+    if !args.door_burst.is_finite() || args.door_burst < 1.0 {
+        return Err("--door-burst must be at least 1".into());
+    }
     Ok(args)
 }
 
@@ -399,15 +551,27 @@ fn main() {
                 .with_snapshot_every_frames(args.record_snapshot_every)
         } else {
             RecorderConfig::off()
+        })
+        .with_ingest(if args.ingest == IngestKind::Net {
+            IngestConfig::net()
+                .with_conn_jitter_s(args.conn_jitter_ms / 1e3)
+                .with_disconnect_rate(args.disconnect_rate)
+                .with_reorder_rate(args.reorder_rate)
+                .with_door_rate_fps(args.door_rate)
+                .with_door_burst(args.door_burst)
+        } else {
+            IngestConfig::direct()
         });
 
+    let net = args.ingest == IngestKind::Net;
     println!(
-        "spinning up {} streams ({} frames each, {} workload), {} shards x {} workers \
+        "spinning up {} {} ({} frames each, {} workload), {} shards x {} workers \
          ({} partition), {} scheduling, autoscale {}, admission {}, refinement fusion {}, \
          system {}",
-        args.streams,
+        if net { args.clients } else { args.streams },
+        if net { "camera connections" } else { "streams" },
         args.frames,
-        args.workload.name(),
+        if net { "mixed" } else { args.workload.name() },
         args.shards,
         args.workers,
         args.partition.name(),
@@ -417,21 +581,40 @@ fn main() {
         if args.fuse_refinement { "on" } else { "off" },
         args.system.name(),
     );
-    let streams: Vec<StreamSpec> = match args.workload {
-        WorkloadKind::Mixed => mixed_workload(args.streams, args.frames, args.seed, args.system),
-        WorkloadKind::Bursty => bursty_workload(
-            args.streams,
-            args.frames,
-            args.seed,
-            args.system,
-            BurstProfile::demo(),
-        ),
+    if net {
+        println!(
+            "front door: jitter {} ms, disconnect rate {}, reorder rate {}, \
+             door {} fps (burst {})",
+            args.conn_jitter_ms,
+            args.disconnect_rate,
+            args.reorder_rate,
+            args.door_rate,
+            args.door_burst,
+        );
+    }
+    let streams: Vec<StreamSpec> = if net {
+        mixed_workload(args.clients, args.frames, args.seed, args.system)
+    } else {
+        match args.workload {
+            WorkloadKind::Mixed => {
+                mixed_workload(args.streams, args.frames, args.seed, args.system)
+            }
+            WorkloadKind::Bursty => bursty_workload(
+                args.streams,
+                args.frames,
+                args.seed,
+                args.system,
+                BurstProfile::demo(),
+            ),
+        }
     };
     let recorder = args.record.as_ref().map(|_| cfg.recorder.build());
-    if args.shards > 1 {
-        let report = match &recorder {
-            Some(r) => serve_fleet_with_recorder(streams, &cfg, r),
-            None => serve_fleet(streams, &cfg),
+    if net || args.shards > 1 {
+        let report = match (&recorder, net) {
+            (Some(r), true) => serve_net_fleet_with_recorder(streams, &cfg, args.seed, r),
+            (None, true) => serve_net_fleet(streams, &cfg, args.seed),
+            (Some(r), false) => serve_fleet_with_recorder(streams, &cfg, r),
+            (None, false) => serve_fleet(streams, &cfg),
         };
         print!("{}", report.summary());
         if !report.migrations.is_empty() {
@@ -625,5 +808,135 @@ fn describe(event: &Event) -> String {
             "migration: stream {stream} shard {from_shard} -> {to_shard} \
              ({backlog_moved} queued frames moved)"
         ),
+        Event::Conn {
+            stream,
+            code,
+            frame,
+            detail,
+        } => match ConnEventKind::from_code(code) {
+            Some(ConnEventKind::Connect) => {
+                format!("conn: client {stream} connected ({detail} frames offered)")
+            }
+            Some(ConnEventKind::Disconnect) => {
+                format!("conn: client {stream} dropped mid-send at frame {frame}")
+            }
+            Some(ConnEventKind::Throttle) => format!(
+                "conn: client {stream} throttled (window full at {detail}, head frame {frame})"
+            ),
+            Some(ConnEventKind::Resume) => {
+                format!("conn: client {stream} resumed from frame {frame}")
+            }
+            Some(ConnEventKind::DoorReject) => {
+                format!("conn: client {stream} frame {frame} rejected at the door")
+            }
+            None => format!("conn: client {stream} unknown lifecycle code {code}"),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(argv: &[&str]) -> Result<Args, String> {
+        parse_args_from(argv.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn net_ingest_conflicts_with_workload() {
+        let err = parse(&["--ingest", "net", "--workload", "bursty"]).unwrap_err();
+        assert!(err.contains("--workload"), "{err}");
+        assert!(err.contains("--ingest net"), "{err}");
+    }
+
+    #[test]
+    fn net_ingest_conflicts_with_streams() {
+        let err = parse(&["--ingest", "net", "--streams", "4"]).unwrap_err();
+        assert!(err.contains("--streams"), "{err}");
+        assert!(err.contains("--clients"), "{err}");
+    }
+
+    #[test]
+    fn clients_requires_net_ingest() {
+        let err = parse(&["--clients", "4"]).unwrap_err();
+        assert!(err.contains("--clients"), "{err}");
+        assert!(err.contains("--ingest net"), "{err}");
+    }
+
+    #[test]
+    fn conn_jitter_requires_net_ingest() {
+        let err = parse(&["--conn-jitter-ms", "5"]).unwrap_err();
+        assert!(err.contains("--conn-jitter-ms"), "{err}");
+        assert!(err.contains("--ingest net"), "{err}");
+    }
+
+    #[test]
+    fn disconnect_rate_requires_net_ingest() {
+        let err = parse(&["--disconnect-rate", "0.1"]).unwrap_err();
+        assert!(err.contains("--disconnect-rate"), "{err}");
+        assert!(err.contains("--ingest net"), "{err}");
+    }
+
+    #[test]
+    fn reorder_rate_requires_net_ingest() {
+        let err = parse(&["--reorder-rate", "0.1"]).unwrap_err();
+        assert!(err.contains("--reorder-rate"), "{err}");
+        assert!(err.contains("--ingest net"), "{err}");
+    }
+
+    #[test]
+    fn door_flags_require_net_ingest() {
+        let err = parse(&["--door-rate", "30"]).unwrap_err();
+        assert!(err.contains("--door-rate"), "{err}");
+        assert!(err.contains("--ingest net"), "{err}");
+        let err = parse(&["--door-burst", "4"]).unwrap_err();
+        assert!(err.contains("--door-burst"), "{err}");
+        assert!(err.contains("--ingest net"), "{err}");
+    }
+
+    #[test]
+    fn net_flag_ranges_are_checked() {
+        let err = parse(&["--ingest", "net", "--disconnect-rate", "1.0"]).unwrap_err();
+        assert!(err.contains("--disconnect-rate"), "{err}");
+        let err = parse(&["--ingest", "net", "--reorder-rate", "1.5"]).unwrap_err();
+        assert!(err.contains("--reorder-rate"), "{err}");
+        let err = parse(&["--ingest", "net", "--conn-jitter-ms", "-1"]).unwrap_err();
+        assert!(err.contains("--conn-jitter-ms"), "{err}");
+        let err = parse(&["--ingest", "net", "--door-rate", "0"]).unwrap_err();
+        assert!(err.contains("--door-rate"), "{err}");
+        let err = parse(&["--ingest", "net", "--clients", "0"]).unwrap_err();
+        assert!(err.contains("--clients"), "{err}");
+    }
+
+    #[test]
+    fn valid_net_invocations_parse() {
+        let args = parse(&[
+            "--ingest",
+            "net",
+            "--clients",
+            "10",
+            "--conn-jitter-ms",
+            "8",
+            "--disconnect-rate",
+            "0.05",
+            "--reorder-rate",
+            "0.02",
+            "--door-rate",
+            "60",
+            "--door-burst",
+            "8",
+        ])
+        .unwrap();
+        assert_eq!(args.ingest, IngestKind::Net);
+        assert_eq!(args.clients, 10);
+        assert_eq!(args.conn_jitter_ms, 8.0);
+        assert_eq!(args.disconnect_rate, 0.05);
+        assert_eq!(args.reorder_rate, 0.02);
+        assert_eq!(args.door_rate, 60.0);
+        assert_eq!(args.door_burst, 8.0);
+        // Direct invocations are untouched by the new flags.
+        let args = parse(&["--streams", "4", "--workload", "bursty"]).unwrap();
+        assert_eq!(args.ingest, IngestKind::Direct);
+        assert_eq!(args.streams, 4);
     }
 }

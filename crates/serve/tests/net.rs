@@ -1,0 +1,225 @@
+//! Network front-door acceptance tests: ingest determinism at every
+//! thread count, connection-level backpressure bounds, per-client DoS
+//! isolation, and connection events in the flight recorder.
+
+mod common;
+
+use catdet_recorder::{read_file, EventKind, Query};
+use catdet_serve::{
+    serve_net_fleet, serve_net_fleet_with_recorder, ConnEventKind, Event, IngestConfig,
+    RecorderConfig, ServeConfig, ShardConfig, StreamSpec,
+};
+use common::{null_spec_steady, null_spec_with_arrivals};
+use std::path::PathBuf;
+
+/// A jittery, faulty front door — the configuration the determinism
+/// claims are hardest for.
+fn faulty_ingest() -> IngestConfig {
+    IngestConfig::net()
+        .with_conn_jitter_s(0.004)
+        .with_disconnect_rate(0.08)
+        .with_reorder_rate(0.03)
+}
+
+fn fleet(clients: usize, frames: usize) -> Vec<StreamSpec> {
+    (0..clients)
+        .map(|i| null_spec_steady(i, 10.0, frames, i as f64 * 0.01))
+        .collect()
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("catdet-net-test-{}-{name}", std::process::id()));
+    p
+}
+
+#[test]
+fn ingest_timeline_is_bit_identical_across_thread_counts_and_runs() {
+    let run = |threads: usize, path: &PathBuf| {
+        let cfg = ServeConfig::new()
+            .with_workers(2)
+            .with_ingest(faulty_ingest())
+            .with_shard(ShardConfig::sharded(4).with_threads(threads))
+            .with_recorder(RecorderConfig::on());
+        let recorder = cfg.recorder.build();
+        let report = serve_net_fleet_with_recorder(fleet(6, 20), &cfg, 2019, &recorder);
+        recorder.save(path).expect("save recording");
+        report
+    };
+    let p1 = tmp("t1.cdr");
+    let p1b = tmp("t1b.cdr");
+    let p4 = tmp("t4.cdr");
+    let a = run(1, &p1);
+    let b = run(1, &p1b);
+    let c = run(4, &p4);
+    // Same seed, same run — reports agree in full, ingest section included.
+    assert_eq!(a, b, "repeat seeded runs diverged");
+    assert_eq!(a, c, "thread count changed the outcome");
+    assert!(a.ingest.is_some(), "net fleet must carry an ingest report");
+    // The recorder stores are byte-identical: ConnEvents and engine
+    // events landed in exactly the same order.
+    let bytes1 = std::fs::read(&p1).unwrap();
+    assert_eq!(
+        bytes1,
+        std::fs::read(&p1b).unwrap(),
+        "store bytes differ across runs"
+    );
+    assert_eq!(
+        bytes1,
+        std::fs::read(&p4).unwrap(),
+        "store bytes differ across threads"
+    );
+    for p in [p1, p1b, p4] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+#[test]
+fn backpressure_bounds_the_receive_window_and_records_throttles() {
+    // 100 fps offered against a 4-frame window draining at 20 fps.
+    let specs = vec![null_spec_with_arrivals(
+        0,
+        (0..50).map(|i| i as f64 * 0.01).collect(),
+    )];
+    let cfg = ServeConfig::new().with_ingest(
+        IngestConfig::net()
+            .with_recv_window(4)
+            .with_drain_fps(20.0)
+            .with_door_rate_fps(1000.0)
+            .with_door_burst(1000.0),
+    );
+    let report = serve_net_fleet(specs, &cfg, 7);
+    let ingest = report.ingest.expect("ingest report");
+    let client = ingest.clients[0];
+    assert!(
+        client.max_buffered <= 4,
+        "bounded receive window exceeded: {}",
+        client.max_buffered
+    );
+    assert!(client.throttles > 0, "expected throttle episodes");
+    assert_eq!(client.delivered, 50, "backpressure delays, never drops");
+    assert!(ingest.summary().contains("throttle"));
+}
+
+#[test]
+fn the_door_rejects_an_abusive_client_without_perturbing_the_rest() {
+    // Clients 0 and 1 are honest 10 fps cameras; client 2 floods at
+    // 500 fps. The door caps every client at 30 fps sustained.
+    let honest = |streams: &mut Vec<StreamSpec>| {
+        streams.push(null_spec_steady(0, 10.0, 30, 0.0));
+        streams.push(null_spec_steady(1, 10.0, 30, 0.005));
+    };
+    let abusive = || null_spec_with_arrivals(2, (0..300).map(|i| i as f64 * 0.002).collect());
+    // Drain fast so the flood reaches the door at its offered rate (a
+    // slow drain would pace it down before the limiter ever sees it).
+    let door_cfg = ServeConfig::new().with_ingest(
+        IngestConfig::net()
+            .with_door_rate_fps(30.0)
+            .with_door_burst(4.0)
+            .with_drain_fps(1000.0),
+    );
+
+    let mut with_abuser = Vec::new();
+    honest(&mut with_abuser);
+    with_abuser.push(abusive());
+    let mut without_abuser = Vec::new();
+    honest(&mut without_abuser);
+
+    let guarded = serve_net_fleet(with_abuser, &door_cfg, 11);
+    let baseline = serve_net_fleet(without_abuser, &door_cfg, 11);
+
+    // The abusive client is rejected at the door, massively.
+    let ingest = guarded.ingest.as_ref().expect("ingest report");
+    let abuser = ingest.clients[2];
+    assert_eq!(abuser.offered, 300);
+    assert!(
+        abuser.rejected_at_door as f64 >= 0.8 * abuser.offered as f64,
+        "door barely engaged: {abuser:?}"
+    );
+    // Honest clients' ingest outcomes are bit-identical with or without
+    // the abuser on the wire: per-client randomness is independent.
+    for i in 0..2 {
+        assert_eq!(
+            ingest.clients[i],
+            baseline.ingest.as_ref().unwrap().clients[i],
+            "client {i} ingest perturbed by the abuser"
+        );
+    }
+    // And the door keeps the abuser from degrading honest latency: with
+    // the door wide open the same flood drives honest p99 up.
+    let open_cfg = ServeConfig::new().with_ingest(
+        IngestConfig::net()
+            .with_door_rate_fps(100_000.0)
+            .with_door_burst(100_000.0)
+            .with_drain_fps(100_000.0),
+    );
+    let mut flooded = Vec::new();
+    honest(&mut flooded);
+    flooded.push(abusive());
+    let unguarded = serve_net_fleet(flooded, &open_cfg, 11);
+    let honest_p99 = |r: &catdet_serve::FleetReport| {
+        r.streams()
+            .iter()
+            .filter(|s| s.stream_id < 2)
+            .filter_map(|s| s.latency.as_ref().map(|l| l.p99_s))
+            .fold(0.0f64, f64::max)
+    };
+    assert!(
+        honest_p99(&guarded) <= honest_p99(&unguarded),
+        "door failed to shield honest clients: guarded p99 {} > unguarded {}",
+        honest_p99(&guarded),
+        honest_p99(&unguarded)
+    );
+}
+
+#[test]
+fn connection_events_land_in_the_recorder_and_query_out() {
+    let cfg = ServeConfig::new()
+        .with_ingest(faulty_ingest())
+        .with_recorder(RecorderConfig::on());
+    let recorder = cfg.recorder.build();
+    let report = serve_net_fleet_with_recorder(fleet(5, 15), &cfg, 99, &recorder);
+    let path = tmp("events.cdr");
+    recorder.save(&path).expect("save recording");
+    let mut store = read_file(&path).expect("read recording");
+    let conns = store.scan(&Query::all().kind(EventKind::Conn));
+    assert!(!conns.is_empty(), "no connection events recorded");
+    let connects = conns
+        .iter()
+        .filter(|r| {
+            matches!(r.event, Event::Conn { code, .. }
+            if ConnEventKind::from_code(code) == Some(ConnEventKind::Connect))
+        })
+        .count();
+    assert_eq!(connects, 5, "one connect event per client");
+    // Disconnect/resume come in pairs, matching the ingest report.
+    let ingest = report.ingest.expect("ingest report");
+    let count = |kind: ConnEventKind| {
+        conns
+            .iter()
+            .filter(|r| {
+                matches!(r.event, Event::Conn { code, .. }
+                if ConnEventKind::from_code(code) == Some(kind))
+            })
+            .count()
+    };
+    assert_eq!(count(ConnEventKind::Disconnect), ingest.disconnects());
+    assert_eq!(count(ConnEventKind::Resume), ingest.disconnects());
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn a_clean_net_fleet_serves_every_offered_frame() {
+    let cfg = ServeConfig::new().with_ingest(IngestConfig::net());
+    let report = serve_net_fleet(fleet(4, 12), &cfg, 5);
+    let ingest = report.ingest.as_ref().expect("ingest report");
+    assert_eq!(ingest.offered(), 48);
+    assert_eq!(ingest.delivered(), 48);
+    assert_eq!(report.frames_arrived(), 48);
+    assert_eq!(report.frames_processed(), 48);
+    // The summary splits door accounting from scheduler shedding.
+    let summary = report.summary();
+    assert!(summary.contains("door:"), "{summary}");
+    assert!(summary.contains("backpressure"), "{summary}");
+    assert!(summary.contains("admission-shed"), "{summary}");
+}

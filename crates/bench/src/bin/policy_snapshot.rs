@@ -1,0 +1,383 @@
+//! Frame-policy snapshot: the detect-or-track trade-off frontier of the
+//! adaptive policy layer on KITTI-like video, written to `BENCH_PR9.json`
+//! at the repo root.
+//!
+//! ```text
+//! cargo run --release -p catdet-bench --bin policy_snapshot            # measure + write
+//! cargo run --release -p catdet-bench --bin policy_snapshot -- \
+//!     --check BENCH_PR9.json                                           # measure + regression-gate
+//! CATDET_BENCH_QUICK=1 ... policy_snapshot                             # CI smoke sizes
+//! ```
+//!
+//! Two parts, both in modelled units and therefore machine-independent
+//! and bit-deterministic for a given mode:
+//!
+//! * **kitti** — each policy (always-detect, fixed-stride 3,
+//!   confidence-trigger at the CLI default) drives a policied CaTDet-A
+//!   pipeline over the same KITTI-like sequences. Measured: mean modelled
+//!   MACs per frame (every branch priced end-to-end — coast frames pay
+//!   the cheap-model validate pass, stride skips pay nothing), the
+//!   detect/coast/skip split, and the mean detection-delay (Car, Hard,
+//!   score ≥ 0.5) so the compute saving is priced against responsiveness.
+//! * **fleet** — the same policies on the sharded serving fleet
+//!   (mixed KITTI/CityPersons workload), confirming the saving survives
+//!   scheduling, micro-batching and live migration.
+//!
+//! `--check <baseline.json>` enforces the PR's headline claim directly:
+//! the confidence trigger must cut modelled MACs/frame by **at least 30%**
+//! vs always-detect while regressing mean delay by **at most 3 frames**
+//! (the always-detect baseline sits near 8 frames at these sizes), and —
+//! same-mode only — neither the core nor the fleet reduction may collapse
+//! below the recorded figure minus 5 points.
+
+use catdet_core::{
+    drive_frame, CaTDetSystem, PolicedPipeline, PolicyConfig, PolicyDecision, StagedDetector,
+};
+use catdet_data::{kitti_like, Difficulty, VideoDataset};
+use catdet_metrics::DelayAccumulator;
+use catdet_serve::{mixed_workload, serve_fleet, ServeConfig, ShardConfig, SystemKind};
+use catdet_sim::ActorClass;
+use serde::Serialize;
+use std::time::Instant;
+
+/// Delay is evaluated for this class/difficulty at this score threshold.
+const DELAY_CLASS: ActorClass = ActorClass::Car;
+const DELAY_SCORE: f32 = 0.5;
+
+/// The `--check` gate: minimum confidence-trigger MACs reduction and
+/// maximum tolerated mean-delay regression (frames) vs always-detect.
+const MIN_CT_REDUCTION: f64 = 0.30;
+const MAX_DELAY_REGRESSION_FRAMES: f64 = 3.0;
+
+/// One policy measured on the core pipeline.
+#[derive(Debug, Clone, Serialize)]
+struct PolicyPoint {
+    policy: String,
+    frames: usize,
+    detected: usize,
+    coasted: usize,
+    skipped: usize,
+    /// Mean modelled MACs per frame (all branches priced).
+    mean_macs_per_frame: f64,
+    /// `1 - mean_macs / always_detect_mean_macs` (0 for the baseline row).
+    macs_reduction_vs_always: f64,
+    /// Mean detection delay, frames (Car, Hard, score ≥ 0.5).
+    mean_delay_frames: f64,
+    /// `mean_delay - always_detect_mean_delay` (0 for the baseline row).
+    delay_regression_frames: f64,
+    /// Real wall-clock seconds (machine-dependent, not gated).
+    wall_s: f64,
+}
+
+/// One policy measured on the sharded serving fleet.
+#[derive(Debug, Clone, Serialize)]
+struct FleetPolicyPoint {
+    policy: String,
+    frames_processed: usize,
+    detected: usize,
+    coasted: usize,
+    skipped: usize,
+    /// Summed modelled MACs over every processed frame.
+    total_macs: f64,
+    /// `1 - total_macs / always_detect_total_macs` (0 for the baseline).
+    macs_reduction_vs_always: f64,
+    /// Virtual-time throughput (frames / fleet makespan).
+    virtual_throughput_fps: f64,
+    wall_s: f64,
+}
+
+/// The headline figures the CI gate watches.
+#[derive(Debug, Clone, Serialize)]
+struct Headline {
+    /// Confidence-trigger MACs/frame reduction on the core KITTI run.
+    reduction: f64,
+    /// Confidence-trigger mean-delay regression (frames) on the same run.
+    delay_regression_frames: f64,
+    /// Confidence-trigger MACs reduction on the serving fleet.
+    fleet_reduction: f64,
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct PolicySnapshot {
+    schema: String,
+    quick: bool,
+    kitti: Vec<PolicyPoint>,
+    fleet: Vec<FleetPolicyPoint>,
+    headline: Headline,
+}
+
+fn quick_mode() -> bool {
+    std::env::var_os("CATDET_BENCH_QUICK").is_some_and(|v| v != "0" && !v.is_empty())
+}
+
+/// The swept policies, in baseline-first order. The confidence trigger
+/// runs at the CLI defaults so the snapshot prices exactly what
+/// `--policy confidence-trigger` ships.
+fn policies() -> Vec<(&'static str, PolicyConfig)> {
+    vec![
+        ("always-detect", PolicyConfig::always_detect()),
+        ("fixed-stride-3", PolicyConfig::fixed_stride(3)),
+        ("confidence-trigger", PolicyConfig::confidence_trigger(1.0)),
+    ]
+}
+
+fn kitti_dataset() -> VideoDataset {
+    let (sequences, frames) = if quick_mode() { (4, 80) } else { (10, 240) };
+    kitti_like()
+        .sequences(sequences)
+        .frames_per_sequence(frames)
+        .seed(2019)
+        .build()
+}
+
+/// Drives one policied CaTDet-A pipeline over the dataset, pricing every
+/// branch and accumulating delay statistics.
+fn measure_policy(name: &str, cfg: PolicyConfig, ds: &VideoDataset) -> PolicyPoint {
+    let t0 = Instant::now();
+    let mut total_macs = 0.0;
+    let mut frames = 0usize;
+    let (mut detected, mut coasted, mut skipped) = (0usize, 0usize, 0usize);
+    let mut delay = DelayAccumulator::new();
+    for seq in ds.sequences() {
+        // A fresh pipeline per sequence: policy counters and tracker state
+        // never leak across videos.
+        let mut system = PolicedPipeline::new(Box::new(CaTDetSystem::catdet_a()), cfg);
+        for frame in seq.frames() {
+            let out = drive_frame(&mut system, frame);
+            total_macs += out.ops.total();
+            frames += 1;
+            match system.policy_decision() {
+                Some(PolicyDecision::Coast) => coasted += 1,
+                Some(PolicyDecision::Skip) => skipped += 1,
+                _ => detected += 1,
+            }
+            delay.add_frame(
+                seq.id,
+                frame.index,
+                &frame.ground_truth,
+                &out.detections,
+                Difficulty::Hard,
+            );
+        }
+    }
+    let mean_delay = delay
+        .mean_delay_at(DELAY_CLASS, DELAY_SCORE)
+        .expect("KITTI-like video always has evaluable cars");
+    let point = PolicyPoint {
+        policy: name.to_string(),
+        frames,
+        detected,
+        coasted,
+        skipped,
+        mean_macs_per_frame: total_macs / frames.max(1) as f64,
+        macs_reduction_vs_always: 0.0, // filled in against the baseline row
+        mean_delay_frames: mean_delay,
+        delay_regression_frames: 0.0, // filled in against the baseline row
+        wall_s: t0.elapsed().as_secs_f64(),
+    };
+    println!(
+        "[kitti] {name}: {:.1} modelled MMACs/frame | {} detect / {} coast / {} skip | mD {:.2} frames",
+        point.mean_macs_per_frame / 1e6,
+        point.detected,
+        point.coasted,
+        point.skipped,
+        point.mean_delay_frames,
+    );
+    point
+}
+
+/// Runs one policy on the sharded fleet and sums the priced ops.
+fn measure_fleet_policy(name: &str, policy: PolicyConfig) -> FleetPolicyPoint {
+    let (streams, frames) = if quick_mode() { (6, 16) } else { (12, 40) };
+    let cfg = ServeConfig::new()
+        .with_workers(2)
+        .with_max_batch(4)
+        .with_queue_capacity(100_000)
+        .with_shard(ShardConfig::sharded(3).with_rebalance_interval_s(0.05))
+        .with_policy(policy);
+    let t0 = Instant::now();
+    let report = serve_fleet(
+        mixed_workload(streams, frames, 2019, SystemKind::CatdetA),
+        &cfg,
+    );
+    let total_macs: f64 = report
+        .streams()
+        .iter()
+        .map(|s| s.mean_ops.total() * s.processed as f64)
+        .sum();
+    let point = FleetPolicyPoint {
+        policy: name.to_string(),
+        frames_processed: report.frames_processed(),
+        detected: report.frames_detected(),
+        coasted: report.frames_coasted(),
+        skipped: report.frames_skipped(),
+        total_macs,
+        macs_reduction_vs_always: 0.0, // filled in against the baseline row
+        virtual_throughput_fps: report.throughput_fps(),
+        wall_s: t0.elapsed().as_secs_f64(),
+    };
+    println!(
+        "[fleet] {name}: {} frames ({} detect / {} coast / {} skip) | {:.1} modelled GMACs total",
+        point.frames_processed,
+        point.detected,
+        point.coasted,
+        point.skipped,
+        point.total_macs / 1e9,
+    );
+    point
+}
+
+/// Pulls `"field": <number>` out of our own snapshot JSON, scoped to the
+/// first occurrence after `section` (the vendored serde stack has no
+/// deserializer; the format is ours and stable).
+fn extract_number(json: &str, section: &str, field: &str) -> Option<f64> {
+    let sec = json.find(&format!("\"{section}\""))?;
+    let tail = &json[sec..];
+    let f = tail.find(&format!("\"{field}\""))?;
+    let tail = &tail[f..];
+    let colon = tail.find(':')?;
+    let rest = tail[colon + 1..].trim_start();
+    let end = rest
+        .find(|c: char| {
+            !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E' || c == '+')
+        })
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn extract_bool(json: &str, field: &str) -> Option<bool> {
+    let f = json.find(&format!("\"{field}\""))?;
+    let tail = &json[f..];
+    let colon = tail.find(':')?;
+    Some(tail[colon + 1..].trim_start().starts_with("true"))
+}
+
+fn check_against(path: &str, snapshot: &PolicySnapshot) -> Result<(), String> {
+    // The absolute gate first — the PR's claim, independent of any
+    // baseline drift.
+    let h = &snapshot.headline;
+    if h.reduction < MIN_CT_REDUCTION {
+        return Err(format!(
+            "confidence-trigger MACs/frame reduction is {:.1}% — below the {:.0}% gate",
+            100.0 * h.reduction,
+            100.0 * MIN_CT_REDUCTION
+        ));
+    }
+    if h.delay_regression_frames > MAX_DELAY_REGRESSION_FRAMES {
+        return Err(format!(
+            "confidence-trigger mean delay regressed {:.2} frames — above the {:.1}-frame bound",
+            h.delay_regression_frames, MAX_DELAY_REGRESSION_FRAMES
+        ));
+    }
+    // Then the baseline comparison: same-mode runs must hold the recorded
+    // saving to within 5 points (across modes the workload sizes differ,
+    // so only the absolute gate applies).
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let prev_quick = extract_bool(&text, "quick").unwrap_or(false);
+    if prev_quick != snapshot.quick {
+        println!(
+            "[check] baseline mode (quick={prev_quick}) differs from current (quick={}); \
+             gating on the absolute thresholds only",
+            snapshot.quick
+        );
+        return Ok(());
+    }
+    for (field, now) in [
+        ("reduction", h.reduction),
+        ("fleet_reduction", h.fleet_reduction),
+    ] {
+        let prev = extract_number(&text, "headline", field)
+            .ok_or_else(|| format!("baseline JSON lacks headline.{field}"))?;
+        if now < prev - 0.05 {
+            return Err(format!(
+                "headline {field} collapsed: {:.1}% now vs {:.1}% recorded (>5 point drop)",
+                100.0 * now,
+                100.0 * prev
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let check_path = args
+        .iter()
+        .position(|a| a == "--check")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_PR9.json".to_string());
+
+    let quick = quick_mode();
+    println!(
+        "policy_snapshot ({} mode)",
+        if quick { "quick" } else { "full" }
+    );
+
+    let ds = kitti_dataset();
+    let mut kitti: Vec<PolicyPoint> = policies()
+        .into_iter()
+        .map(|(name, cfg)| measure_policy(name, cfg, &ds))
+        .collect();
+    let base_macs = kitti[0].mean_macs_per_frame;
+    let base_delay = kitti[0].mean_delay_frames;
+    for p in kitti.iter_mut().skip(1) {
+        p.macs_reduction_vs_always = 1.0 - p.mean_macs_per_frame / base_macs;
+        p.delay_regression_frames = p.mean_delay_frames - base_delay;
+    }
+
+    let mut fleet: Vec<FleetPolicyPoint> = policies()
+        .into_iter()
+        .map(|(name, cfg)| measure_fleet_policy(name, cfg))
+        .collect();
+    let fleet_base = fleet[0].total_macs;
+    for p in fleet.iter_mut().skip(1) {
+        p.macs_reduction_vs_always = 1.0 - p.total_macs / fleet_base;
+    }
+
+    let ct = kitti.last().unwrap();
+    let headline = Headline {
+        reduction: ct.macs_reduction_vs_always,
+        delay_regression_frames: ct.delay_regression_frames,
+        fleet_reduction: fleet.last().unwrap().macs_reduction_vs_always,
+    };
+    println!(
+        "[headline] confidence-trigger: {:.1}% MACs/frame saved (fleet {:.1}%) at {:+.2} frames delay",
+        100.0 * headline.reduction,
+        100.0 * headline.fleet_reduction,
+        headline.delay_regression_frames,
+    );
+
+    let snapshot = PolicySnapshot {
+        schema: "catdet-policy-snapshot/v1".to_string(),
+        quick,
+        kitti,
+        fleet,
+        headline,
+    };
+    match serde_json::to_string_pretty(&snapshot) {
+        Ok(json) => {
+            std::fs::write(&out_path, json + "\n").expect("write snapshot");
+            println!("[saved {out_path}]");
+        }
+        Err(e) => {
+            eprintln!("error: cannot serialize snapshot: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    if let Some(path) = check_path {
+        match check_against(&path, &snapshot) {
+            Ok(()) => println!("[check] OK — no regression vs {path}"),
+            Err(msg) => {
+                eprintln!("[check] FAIL — {msg}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

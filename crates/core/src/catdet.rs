@@ -9,6 +9,7 @@ use crate::system::{
 };
 use catdet_data::Frame;
 use catdet_detector::{zoo, DetectorModel, OpsSpec, SimulatedDetector};
+use catdet_metrics::Detection;
 use catdet_sim::ActorClass;
 use catdet_track::{TrackDetection, Tracker, TrackerConfig};
 
@@ -378,6 +379,83 @@ impl StagedDetector for CaTDetSystem {
 
     fn live_tracks(&self) -> usize {
         self.tracker.tracks().len()
+    }
+
+    /// Track-only frame: the tracker's Kalman predictions become the
+    /// output directly — no proposal scan, no refinement dispatch — and
+    /// the only priced compute is a cheap validate pass of the *proposal*
+    /// (validate-model) network masked over the predicted regions. The
+    /// tracker then ages one frame (confidence decay, motion advance), so
+    /// a later full detection resumes from honest temporal state.
+    fn coast_frame(&mut self, frame: &Frame) -> Option<FrameOutput> {
+        assert!(
+            matches!(self.stage, Stage::Idle),
+            "coast_frame while a frame is in flight"
+        );
+        let _ = frame; // pixels are never touched on a coasted frame
+        let predictions = self.tracker.predictions(self.width, self.height);
+        self.scratch.regions.clear();
+        self.scratch
+            .regions
+            .extend(predictions.iter().map(|p| p.bbox));
+        let coverage = catdet_geom::coverage::masked_fraction_with(
+            &mut self.scratch.coverage,
+            &self.scratch.regions,
+            self.width,
+            self.height,
+            16,
+            self.cfg.margin,
+        );
+        let spec = &self.proposal.model().ops;
+        let validate_macs = refinement_macs_from_coverage(
+            spec,
+            self.width,
+            self.height,
+            coverage,
+            &self.scratch.regions,
+            self.cfg.margin,
+        )
+        .unwrap_or_else(|| {
+            refinement_macs_with(
+                &mut self.scratch.coverage,
+                spec,
+                self.width,
+                self.height,
+                &self.scratch.regions,
+                self.cfg.margin,
+            )
+        });
+        // Scores map the tracker's adaptive confidence counter onto [0,1].
+        let max_conf = self.tracker.config().max_confidence.max(1) as f32;
+        let mut detections: Vec<Detection> = predictions
+            .iter()
+            .map(|p| Detection {
+                bbox: p.bbox,
+                score: (p.confidence as f32 / max_conf).clamp(0.0, 1.0),
+                class: p.class,
+            })
+            .collect();
+        detections.sort_by(|a, b| b.score.total_cmp(&a.score));
+        self.tracker.update(&[]);
+        Some(FrameOutput {
+            detections,
+            ops: OpsBreakdown {
+                proposal: 0.0,
+                refinement: validate_macs,
+                refinement_from_tracker: validate_macs,
+                refinement_from_proposal: 0.0,
+            },
+            num_refinement_regions: self.scratch.regions.len(),
+            refinement_coverage: coverage,
+        })
+    }
+
+    fn mean_track_confidence(&self) -> Option<f64> {
+        let tracks = self.tracker.tracks();
+        if tracks.is_empty() {
+            return None;
+        }
+        Some(tracks.iter().map(|t| t.confidence as f64).sum::<f64>() / tracks.len() as f64)
     }
 }
 

@@ -46,6 +46,7 @@ pub mod cascade;
 pub mod catdet;
 pub mod factory;
 pub mod ops;
+pub mod policy;
 pub mod runner;
 pub mod scratch;
 pub mod single;
@@ -57,6 +58,9 @@ pub use cascade::CascadedSystem;
 pub use catdet::CaTDetSystem;
 pub use factory::{PresetFactory, SystemFactory, SystemKind};
 pub use ops::OpsBreakdown;
+pub use policy::{
+    confidence_trigger_decision, PolicedPipeline, PolicyConfig, PolicyDecision, PolicyKind,
+};
 pub use runner::{
     evaluate_collected, evaluate_collected_with, run_collect, run_on_dataset, CollectedRun,
     RunReport,

@@ -30,6 +30,7 @@
 //! so `run_collect`, the metrics pipeline and every pre-existing caller
 //! work unchanged.
 
+use crate::policy::PolicyDecision;
 use crate::system::{DetectionSystem, FrameOutput};
 use catdet_data::Frame;
 use catdet_detector::DetectorState;
@@ -73,6 +74,23 @@ pub enum PipelineState {
         proposal: DetectorState,
         /// The refinement network.
         refinement: DetectorState,
+    },
+    /// A frame-policy wrapper around another pipeline: the policy's
+    /// cross-frame counters ride next to the inner pipeline's state, so a
+    /// migrated or replayed stream makes exactly the same detect/coast
+    /// decisions it would have made in place.
+    Policied {
+        /// Frames begun so far (the stride clock).
+        frame_count: u64,
+        /// Consecutive track-only frames since the last full detection.
+        coast_streak: usize,
+        /// Live-track count right after the last full detection — the
+        /// coverage-gap reference.
+        tracks_at_last_detect: usize,
+        /// Whether admission has degraded this stream's policy class.
+        degraded: bool,
+        /// The wrapped pipeline's own state.
+        inner: Box<PipelineState>,
     },
 }
 
@@ -189,6 +207,44 @@ pub trait StagedDetector: Send {
     /// the flight recorder's track-population telemetry.
     fn live_tracks(&self) -> usize {
         0
+    }
+
+    /// Completes a frame from tracker state alone — the Kalman coast of
+    /// the detect-or-track policy layer. Predicted boxes become the
+    /// frame's detections, a cheap validate pass is priced over their
+    /// regions, and the tracker ages one frame. Returns `None` for
+    /// systems that carry no tracker (the policy then falls back to a
+    /// full detection). Must be called at a frame boundary; the frame
+    /// completes immediately (no suspend points).
+    fn coast_frame(&mut self, _frame: &Frame) -> Option<FrameOutput> {
+        None
+    }
+
+    /// Mean adaptive confidence over live tracks, or `None` when no
+    /// tracks are live (or the system is untracked) — the
+    /// confidence-trigger policy's decay signal.
+    fn mean_track_confidence(&self) -> Option<f64> {
+        None
+    }
+
+    /// The policy decision made for the most recently begun frame, or
+    /// `None` for unpoliced pipelines — the scheduler's per-frame
+    /// coasted/skipped accounting hook.
+    fn policy_decision(&self) -> Option<PolicyDecision> {
+        None
+    }
+
+    /// Consecutive coasted frames ending at the current frame boundary
+    /// (0 for unpoliced pipelines) — recorded in policy events.
+    fn policy_coast_streak(&self) -> usize {
+        0
+    }
+
+    /// Degrades (or restores) the pipeline's policy class — admission's
+    /// downgrade-before-drop rung. Returns `false` if the pipeline has no
+    /// policy layer and cannot degrade.
+    fn set_degraded(&mut self, _on: bool) -> bool {
+        false
     }
 }
 
@@ -368,6 +424,26 @@ impl StagedDetector for Box<dyn StagedDetector> {
 
     fn live_tracks(&self) -> usize {
         self.as_ref().live_tracks()
+    }
+
+    fn coast_frame(&mut self, frame: &Frame) -> Option<FrameOutput> {
+        self.as_mut().coast_frame(frame)
+    }
+
+    fn mean_track_confidence(&self) -> Option<f64> {
+        self.as_ref().mean_track_confidence()
+    }
+
+    fn policy_decision(&self) -> Option<PolicyDecision> {
+        self.as_ref().policy_decision()
+    }
+
+    fn policy_coast_streak(&self) -> usize {
+        self.as_ref().policy_coast_streak()
+    }
+
+    fn set_degraded(&mut self, on: bool) -> bool {
+        self.as_mut().set_degraded(on)
     }
 }
 
@@ -622,6 +698,20 @@ mod tests {
                 _ => unreachable!(),
             }
         );
+        // Policy-layer hooks forward through the box too: a bare CaTDet
+        // coasts (it has a tracker) and reports confidence, but carries
+        // no policy layer of its own.
+        assert_eq!(
+            boxed.mean_track_confidence().is_some(),
+            boxed.live_tracks() > 0
+        );
+        assert_eq!(boxed.policy_decision(), None);
+        assert_eq!(boxed.policy_coast_streak(), 0);
+        assert!(!boxed.set_degraded(true));
+        let coasted = boxed
+            .coast_frame(&ds.sequences()[0].frames()[0])
+            .expect("tracked pipelines coast");
+        assert_eq!(coasted.ops.proposal, 0.0);
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! The recorder's event vocabulary: seven kinds of telemetry, each
+//! The recorder's event vocabulary: eight kinds of telemetry, each
 //! reduced to plain integers/floats so the store can lay them out
 //! column-wise.
 //!
@@ -12,6 +12,17 @@
 pub const STAGE_PROPOSAL: u64 = 0;
 /// Batch-stage code for [`Event::Batch::stage`]: a refinement dispatch.
 pub const STAGE_REFINEMENT: u64 = 1;
+
+/// Decision code for [`Event::Policy::decision`]: admission downgraded the
+/// stream's frame policy one rung (downgrade-before-drop engaged).
+///
+/// Codes 0–2 are the per-frame policy decisions owned by the core crate
+/// (detect / coast / stride-skip); the two degrade-transition codes live
+/// above that range.
+pub const POLICY_DEGRADED_ON: u64 = 3;
+/// Decision code for [`Event::Policy::decision`]: the stream's frame
+/// policy was restored to its configured rung.
+pub const POLICY_DEGRADED_OFF: u64 = 4;
 
 /// The kind of a recorded event — one per telemetry source in the serving
 /// fleet. Doubles as the chunk-partitioning key (chunks are homogeneous in
@@ -32,11 +43,13 @@ pub enum EventKind {
     Migration,
     /// A connection-lifecycle event at the network front door.
     Conn,
+    /// A frame-policy decision (coast / stride-skip) or degrade transition.
+    Policy,
 }
 
 impl EventKind {
     /// Every kind, in stable code order.
-    pub const ALL: [EventKind; 7] = [
+    pub const ALL: [EventKind; 8] = [
         EventKind::Detection,
         EventKind::Track,
         EventKind::Batch,
@@ -44,6 +57,7 @@ impl EventKind {
         EventKind::Admission,
         EventKind::Migration,
         EventKind::Conn,
+        EventKind::Policy,
     ];
 
     /// Stable wire/CLI code of the kind.
@@ -56,6 +70,7 @@ impl EventKind {
             EventKind::Admission => 4,
             EventKind::Migration => 5,
             EventKind::Conn => 6,
+            EventKind::Policy => 7,
         }
     }
 
@@ -74,6 +89,7 @@ impl EventKind {
             EventKind::Admission => "admission",
             EventKind::Migration => "migration",
             EventKind::Conn => "conn",
+            EventKind::Policy => "policy",
         }
     }
 
@@ -93,6 +109,7 @@ impl EventKind {
             EventKind::Admission => &["reason"],
             EventKind::Migration => &["from_shard", "to_shard", "backlog_moved"],
             EventKind::Conn => &["code", "frame", "detail"],
+            EventKind::Policy => &["frame", "decision", "streak"],
         }
     }
 }
@@ -183,6 +200,22 @@ pub enum Event {
         /// Producer-defined extra (window occupancy, frames offered, …).
         detail: u64,
     },
+    /// A frame-policy decision on a stream. Detect frames are *not*
+    /// recorded (keeping the always-detect byte stream untouched); rows
+    /// appear only for coasted/stride-skipped frames and for
+    /// degrade-transition markers ([`POLICY_DEGRADED_ON`] /
+    /// [`POLICY_DEGRADED_OFF`], which carry `frame_index = 0`).
+    Policy {
+        /// Fleet-wide stream id.
+        stream: usize,
+        /// The frame's index within its source sequence.
+        frame_index: usize,
+        /// Producer-defined decision code (see the core crate's
+        /// `PolicyDecision` mapping and the degrade codes above).
+        decision: u64,
+        /// Consecutive coasted frames after this decision.
+        streak: usize,
+    },
 }
 
 impl Event {
@@ -196,6 +229,7 @@ impl Event {
             Event::Admission { .. } => EventKind::Admission,
             Event::Migration { .. } => EventKind::Migration,
             Event::Conn { .. } => EventKind::Conn,
+            Event::Policy { .. } => EventKind::Policy,
         }
     }
 
@@ -208,7 +242,8 @@ impl Event {
             | Event::Batch { stream, .. }
             | Event::Admission { stream, .. }
             | Event::Migration { stream, .. }
-            | Event::Conn { stream, .. } => Some(*stream),
+            | Event::Conn { stream, .. }
+            | Event::Policy { stream, .. } => Some(*stream),
             Event::Scale { .. } => None,
         }
     }
@@ -261,6 +296,12 @@ impl Event {
                 detail,
                 ..
             } => out.extend([code, frame as u64, detail]),
+            Event::Policy {
+                frame_index,
+                decision,
+                streak,
+                ..
+            } => out.extend([frame_index as u64, decision, streak as u64]),
         }
     }
 
@@ -311,6 +352,12 @@ impl Event {
                 code: *vals.first()?,
                 frame: *vals.get(1)? as usize,
                 detail: *vals.get(2)?,
+            },
+            EventKind::Policy => Event::Policy {
+                stream: stream?,
+                frame_index: *vals.first()? as usize,
+                decision: *vals.get(1)?,
+                streak: *vals.get(2)? as usize,
             },
         })
     }
@@ -372,6 +419,12 @@ mod tests {
                 code: 2,
                 frame: 23,
                 detail: 8,
+            },
+            Event::Policy {
+                stream: 6,
+                frame_index: 12,
+                decision: 1,
+                streak: 3,
             },
         ];
         let mut vals = Vec::new();

@@ -36,7 +36,9 @@ mod store;
 
 pub use chunk::{Chunk, ChunkKey, VarintCol};
 pub use codec::{decode, encode, read_file, write_file, DecodeError};
-pub use event::{Event, EventKind, STAGE_PROPOSAL, STAGE_REFINEMENT};
+pub use event::{
+    Event, EventKind, POLICY_DEGRADED_OFF, POLICY_DEGRADED_ON, STAGE_PROPOSAL, STAGE_REFINEMENT,
+};
 pub use query::{LatencySummary, Query, RecordedEvent, RollingWindow};
 pub use store::{ChunkStore, Snapshot, StoreStats};
 

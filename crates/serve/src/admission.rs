@@ -74,6 +74,22 @@ pub struct AdmissionEvent {
     pub reason: AdmissionReason,
 }
 
+/// One downgrade-before-drop transition, stamped in virtual time.
+///
+/// With [`AdmissionConfig::downgrade`](crate::AdmissionConfig::downgrade)
+/// enabled, the first shed verdict against a stream downgrades its frame
+/// policy one rung instead of dropping the frame (`on = true`); the next
+/// clean admit restores it (`on = false`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DowngradeEvent {
+    /// Arrival time of the frame that tripped (or cleared) the downgrade.
+    pub t_s: f64,
+    /// Stream whose policy class changed (fleet-wide id).
+    pub stream: usize,
+    /// `true` when entering the degraded rung, `false` on restore.
+    pub on: bool,
+}
+
 /// A per-arrival admission decision.
 ///
 /// Implementations must be deterministic functions of the context and
@@ -89,6 +105,14 @@ pub trait AdmissionPolicy: Send {
     /// gates (a live migration admitting a stream onto this shard). Stateful
     /// policies grow their per-stream state; the default is a no-op.
     fn on_stream_added(&mut self, _priority: u8) {}
+
+    /// Whether the policy's rejections may be converted into policy
+    /// downgrades (the downgrade-before-drop rung). Only load-shedding
+    /// rejections qualify — a rate-limit refusal reflects a per-camera
+    /// contract, not fleet overload, so [`TokenBucket`] keeps the default.
+    fn supports_downgrade(&self) -> bool {
+        false
+    }
 }
 
 /// Admits every frame (the no-admission-control baseline).
@@ -214,6 +238,10 @@ impl AdmissionPolicy for PriorityShed {
     fn on_stream_added(&mut self, priority: u8) {
         self.classes = self.classes.max(priority as usize + 1);
     }
+
+    fn supports_downgrade(&self) -> bool {
+        true
+    }
 }
 
 /// Instantiates the configured admission policy for a fleet with the
@@ -286,6 +314,13 @@ mod tests {
         // Level 2: only class 0 admitted.
         assert_eq!(p.admit(&ctx(0.0, 1, 1, 20)), Err(AdmissionReason::Shed));
         assert!(p.admit(&ctx(0.0, 0, 0, 20)).is_ok());
+    }
+
+    #[test]
+    fn only_priority_shedding_supports_downgrade() {
+        assert!(PriorityShed::new(10, &[0, 1]).supports_downgrade());
+        assert!(!AdmitAll.supports_downgrade());
+        assert!(!TokenBucket::new(10.0, 2.0, 1).supports_downgrade());
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Serving configuration: scheduling policy, batching, backpressure.
 
-use catdet_core::GpuTimingModel;
+use catdet_core::{GpuTimingModel, PolicyConfig};
 use catdet_net::{LinkParams, NetParams};
 use catdet_recorder::SharedRecorder;
 use serde::{Deserialize, Serialize};
@@ -269,6 +269,12 @@ pub struct AdmissionConfig {
     pub burst: f64,
     /// Priority: backlog (queued frames fleet-wide) per overload level.
     pub backlog_watermark: usize,
+    /// Priority: downgrade-before-drop. When the shed rung would reject a
+    /// stream's frame, the frame is admitted anyway and the stream's
+    /// frame policy is demoted one class instead (see
+    /// [`PolicedPipeline`](catdet_core::PolicedPipeline)); the class is
+    /// restored the first time the stream clears admission again.
+    pub downgrade: bool,
 }
 
 impl AdmissionConfig {
@@ -279,6 +285,7 @@ impl AdmissionConfig {
             rate_fps: 30.0,
             burst: 10.0,
             backlog_watermark: 32,
+            downgrade: false,
         }
     }
 
@@ -301,8 +308,18 @@ impl AdmissionConfig {
         }
     }
 
+    /// Returns a copy with downgrade-before-drop on or off.
+    pub fn with_downgrade(mut self, downgrade: bool) -> Self {
+        self.downgrade = downgrade;
+        self
+    }
+
     /// Panics if the configuration is unusable.
     pub fn validate(&self) {
+        assert!(
+            !self.downgrade || self.kind == AdmissionKind::Priority,
+            "downgrade-before-drop needs the priority admission policy"
+        );
         assert!(
             self.rate_fps > 0.0 && self.rate_fps.is_finite(),
             "admission rate must be finite and positive"
@@ -770,7 +787,13 @@ pub struct ServeConfig {
     /// [`fuse_refinement`]: ServeConfig::fuse_refinement
     pub refine_batch_window_s: f64,
     /// Stream selection policy.
-    pub policy: SchedulePolicy,
+    pub schedule: SchedulePolicy,
+    /// Per-frame detect-or-track policy applied to every stream that does
+    /// not carry its own class on its
+    /// [`StreamSpec`](crate::StreamSpec). The default
+    /// ([`PolicyConfig::always_detect`]) detects every frame and is
+    /// bit-identical to the unpoliced pipeline.
+    pub policy: PolicyConfig,
     /// Backpressure behaviour on a full queue.
     pub drop_policy: DropPolicy,
     /// GPU/CPU execution-time model used for all virtual-time accounting.
@@ -804,7 +827,8 @@ impl ServeConfig {
             queue_capacity: 64,
             fuse_refinement: false,
             refine_batch_window_s: 0.0,
-            policy: SchedulePolicy::RoundRobin,
+            schedule: SchedulePolicy::RoundRobin,
+            policy: PolicyConfig::always_detect(),
             drop_policy: DropPolicy::Newest,
             timing: GpuTimingModel::titan_x_maxwell(),
             autoscale: AutoscaleConfig::fixed(),
@@ -852,7 +876,13 @@ impl ServeConfig {
     }
 
     /// Returns a copy with a different scheduling policy.
-    pub fn with_policy(mut self, policy: SchedulePolicy) -> Self {
+    pub fn with_schedule(mut self, schedule: SchedulePolicy) -> Self {
+        self.schedule = schedule;
+        self
+    }
+
+    /// Returns a copy with a different per-frame detect-or-track policy.
+    pub fn with_policy(mut self, policy: PolicyConfig) -> Self {
         self.policy = policy;
         self
     }
@@ -909,6 +939,7 @@ impl ServeConfig {
             self.refine_batch_window_s >= 0.0 && self.refine_batch_window_s.is_finite(),
             "refinement batch window must be finite and non-negative"
         );
+        self.policy.validate();
         self.autoscale.validate();
         self.admission.validate();
         self.shard.validate();
@@ -936,7 +967,8 @@ mod tests {
             .with_queue_capacity(2)
             .with_fuse_refinement(true)
             .with_refine_batch_window_s(0.004)
-            .with_policy(SchedulePolicy::LeastBacklog)
+            .with_schedule(SchedulePolicy::LeastBacklog)
+            .with_policy(PolicyConfig::confidence_trigger(1.5))
             .with_drop_policy(DropPolicy::Oldest);
         cfg.validate();
         assert_eq!(cfg.workers, 8);
@@ -944,9 +976,35 @@ mod tests {
         assert_eq!(cfg.queue_capacity, 2);
         assert!(cfg.fuse_refinement);
         assert_eq!(cfg.refine_batch_window_s, 0.004);
-        assert_eq!(cfg.policy, SchedulePolicy::LeastBacklog);
+        assert_eq!(cfg.schedule, SchedulePolicy::LeastBacklog);
+        assert_eq!(cfg.policy, PolicyConfig::confidence_trigger(1.5));
         assert_eq!(cfg.drop_policy, DropPolicy::Oldest);
         assert!(!ServeConfig::new().fuse_refinement, "fusion is opt-in");
+        assert_eq!(
+            ServeConfig::new().policy,
+            PolicyConfig::always_detect(),
+            "the frame policy defaults to the golden baseline"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "downgrade-before-drop needs the priority admission policy")]
+    fn downgrade_without_priority_is_rejected() {
+        ServeConfig::new()
+            .with_admission(AdmissionConfig::admit_all().with_downgrade(true))
+            .validate();
+    }
+
+    #[test]
+    fn downgrade_rides_the_priority_policy() {
+        let cfg =
+            ServeConfig::new().with_admission(AdmissionConfig::priority(16).with_downgrade(true));
+        cfg.validate();
+        assert!(cfg.admission.downgrade);
+        assert!(
+            !ServeConfig::new().admission.downgrade,
+            "downgrade is opt-in"
+        );
     }
 
     #[test]

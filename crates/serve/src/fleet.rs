@@ -109,6 +109,22 @@ impl FleetReport {
         self.shards.iter().map(|s| s.frames_rejected).sum()
     }
 
+    /// Of the processed frames, total served by coasting the tracker
+    /// (track-only frames under a non-default frame policy).
+    pub fn frames_coasted(&self) -> usize {
+        self.shards.iter().map(|s| s.frames_coasted).sum()
+    }
+
+    /// Of the processed frames, total skipped by policy stride.
+    pub fn frames_skipped(&self) -> usize {
+        self.shards.iter().map(|s| s.frames_skipped).sum()
+    }
+
+    /// Total frames served with a full detection pass.
+    pub fn frames_detected(&self) -> usize {
+        self.frames_processed() - self.frames_coasted() - self.frames_skipped()
+    }
+
     /// Fleet drop rate over arrived frames.
     pub fn drop_rate(&self) -> f64 {
         let arrived = self.frames_arrived();
@@ -227,6 +243,17 @@ impl FleetReport {
         merge_timelines(&lanes)
     }
 
+    /// All downgrade-before-drop transitions across shards as
+    /// `(shard, event)`, merged in time order (ties keep shard order).
+    pub fn downgrade_timeline(&self) -> Vec<(usize, crate::admission::DowngradeEvent)> {
+        let lanes: Vec<&[crate::admission::DowngradeEvent]> = self
+            .shards
+            .iter()
+            .map(|s| s.downgrade_events.as_slice())
+            .collect();
+        merge_timelines(&lanes)
+    }
+
     /// All dispatched batches across shards as `(shard, record)`, merged
     /// in time order (ties keep shard order). Per-shard logs are in
     /// dispatch order, which can run slightly ahead of time order (a
@@ -298,6 +325,23 @@ impl FleetReport {
             batch.refinement_launches_saved,
             self.fused_refinements.len(),
         );
+        if self.frames_coasted() + self.frames_skipped() > 0 {
+            let _ = writeln!(
+                out,
+                "policy: {} detected | {} coasted | {} stride-skipped",
+                self.frames_detected(),
+                self.frames_coasted(),
+                self.frames_skipped(),
+            );
+        }
+        let downgrades = self.downgrade_timeline();
+        if !downgrades.is_empty() {
+            let _ = writeln!(
+                out,
+                "downgrade: {} transitions (downgrade-before-drop)",
+                downgrades.len(),
+            );
+        }
         if !self.migrations.is_empty() {
             let _ = writeln!(
                 out,

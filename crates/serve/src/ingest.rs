@@ -37,6 +37,7 @@ fn ingest_pass(
             source: delivered,
             factory: spec.factory,
             priority: spec.priority,
+            policy: spec.policy,
         })
         .collect();
     (specs, outcome)

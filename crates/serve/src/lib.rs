@@ -98,8 +98,8 @@ pub mod shard;
 pub mod workload;
 
 pub use admission::{
-    AdmissionContext, AdmissionEvent, AdmissionPolicy, AdmissionReason, AdmitAll, PriorityShed,
-    TokenBucket,
+    AdmissionContext, AdmissionEvent, AdmissionPolicy, AdmissionReason, AdmitAll, DowngradeEvent,
+    PriorityShed, TokenBucket,
 };
 pub use autoscale::{
     ControlSample, FixedScale, HysteresisScale, ProportionalScale, ScaleEvent, ScalePolicy,
@@ -123,7 +123,10 @@ pub use shard::{
 pub use workload::{bursty_workload, kitti_workload, mixed_workload, step_workload, BurstProfile};
 
 // Re-export the pieces callers almost always need alongside.
-pub use catdet_core::{PresetFactory, SystemFactory, SystemKind};
+pub use catdet_core::{
+    PolicedPipeline, PolicyConfig, PolicyDecision, PolicyKind, PresetFactory, SystemFactory,
+    SystemKind,
+};
 pub use catdet_data::{StreamFrame, StreamSource};
 pub use catdet_net::{ClientReport, ConnEvent, ConnEventKind, IngestReport, NetParams};
 pub use catdet_recorder::{

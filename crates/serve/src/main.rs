@@ -4,10 +4,11 @@
 //!
 //! ```text
 //! catdet-serve --streams 32 --workers 8 --frames 60 --batch 8 \
-//!              --window-ms 5 --queue 64 --policy round-robin --drop newest \
+//!              --window-ms 5 --queue 64 --schedule round-robin --drop newest \
 //!              --system catdet-a --workload bursty \
+//!              --policy confidence-trigger --policy-confidence 1.5 \
 //!              --autoscale hysteresis --min-workers 1 --max-workers 8 \
-//!              --admission priority --watermark 32
+//!              --admission priority --watermark 32 --admit-downgrade
 //! ```
 
 use catdet_recorder::{read_file, Event, EventKind, Query};
@@ -15,8 +16,9 @@ use catdet_serve::{
     bursty_workload, mixed_workload, serve, serve_fleet, serve_fleet_with_recorder,
     serve_net_fleet, serve_net_fleet_with_recorder, serve_with_recorder, AdmissionConfig,
     AdmissionKind, AdmissionReason, AutoscaleConfig, BurstProfile, ConnEventKind, DropPolicy,
-    IngestConfig, IngestKind, PartitionKind, RecorderConfig, ScalePolicyKind, ScaleReason,
-    SchedulePolicy, ServeConfig, ShardConfig, StreamSpec, SystemKind,
+    IngestConfig, IngestKind, PartitionKind, PolicyConfig, PolicyDecision, PolicyKind,
+    RecorderConfig, ScalePolicyKind, ScaleReason, SchedulePolicy, ServeConfig, ShardConfig,
+    StreamSpec, SystemKind,
 };
 use std::path::Path;
 
@@ -53,8 +55,12 @@ struct Args {
     fuse_refinement: bool,
     refine_window_ms: f64,
     queue: usize,
-    policy: SchedulePolicy,
+    schedule: SchedulePolicy,
     drop: DropPolicy,
+    policy: PolicyKind,
+    policy_stride: usize,
+    policy_confidence: f64,
+    admit_downgrade: bool,
     system: SystemKind,
     seed: u64,
     workload: WorkloadKind,
@@ -88,6 +94,9 @@ struct Args {
     // defaults and explicit values are distinguishable.
     streams_set: bool,
     workload_set: bool,
+    policy_set: bool,
+    policy_stride_set: bool,
+    policy_confidence_set: bool,
     clients_set: bool,
     conn_jitter_set: bool,
     disconnect_rate_set: bool,
@@ -107,8 +116,12 @@ impl Default for Args {
             fuse_refinement: false,
             refine_window_ms: 0.0,
             queue: 64,
-            policy: SchedulePolicy::RoundRobin,
+            schedule: SchedulePolicy::RoundRobin,
             drop: DropPolicy::Newest,
+            policy: PolicyKind::AlwaysDetect,
+            policy_stride: 3,
+            policy_confidence: 1.0,
+            admit_downgrade: false,
             system: SystemKind::CatdetA,
             seed: 2019,
             workload: WorkloadKind::Mixed,
@@ -139,6 +152,9 @@ impl Default for Args {
             door_burst: 16.0,
             streams_set: false,
             workload_set: false,
+            policy_set: false,
+            policy_stride_set: false,
+            policy_confidence_set: false,
             clients_set: false,
             conn_jitter_set: false,
             disconnect_rate_set: false,
@@ -173,8 +189,18 @@ USAGE:
                         how long a frame may wait at its refinement
                         boundary for co-dispatching streams [0]
     --queue <N>         bounded per-stream queue capacity [64]
-    --policy <P>        round-robin | least-backlog [round-robin]
+    --schedule <P>      round-robin | least-backlog [round-robin]
     --drop <P>          newest | oldest (backpressure policy) [newest]
+
+  frame policy (detect-or-track scheduling, per frame, per stream):
+    --policy <P>        always-detect | fixed-stride | confidence-trigger
+                        [always-detect]
+    --policy-stride <K> fixed-stride: detect every Kth frame, skip the
+                        rest (requires --policy fixed-stride) [3]
+    --policy-confidence <C>
+                        confidence-trigger: coast on tracker predictions
+                        while mean track confidence stays >= C (requires
+                        --policy confidence-trigger) [1]
 
   autoscale (feedback control on drop-rate + window p99 — per shard):
     --autoscale <P>     fixed | hysteresis | proportional [fixed]
@@ -187,6 +213,10 @@ USAGE:
     --admit-rate <FPS>  token-bucket sustained rate per stream [30]
     --admit-burst <N>   token-bucket burst capacity per stream [10]
     --watermark <N>     priority: fleet backlog per shed level [32]
+    --admit-downgrade   downgrade a shed stream's frame policy one rung
+                        instead of dropping its frame, restoring it when
+                        admission clears (requires --admission priority)
+                        [off]
 
   shard (fleet partitioning and live rebalancing):
     --shards <N>        independent scheduler shards, each with its own
@@ -240,7 +270,7 @@ USAGE:
     -h, --help          print this help
 
 SUBCOMMANDS:
-    query <FILE> [--kind detection|track|batch|scale|admission|migration|conn]
+    query <FILE> [--kind detection|track|batch|scale|admission|migration|conn|policy]
                  [--stream <N>] [--shard <N>] [--from <S>] [--to <S>]
                  [--limit <N>]
         scan a saved recording: print matching events in time order and,
@@ -266,6 +296,10 @@ fn parse_args_from(it: impl Iterator<Item = String>) -> Result<Args, String> {
         }
         if flag == "--no-fuse-across-shards" {
             args.no_fuse_across_shards = true;
+            continue;
+        }
+        if flag == "--admit-downgrade" {
+            args.admit_downgrade = true;
             continue;
         }
         let value = it
@@ -329,9 +363,30 @@ fn parse_args_from(it: impl Iterator<Item = String>) -> Result<Args, String> {
                 args.partition = PartitionKind::from_name(&value)
                     .ok_or_else(|| format!("--partition: unknown policy {value}"))?
             }
+            "--schedule" => {
+                args.schedule = SchedulePolicy::from_name(&value)
+                    .ok_or_else(|| format!("--schedule: unknown policy {value}"))?
+            }
             "--policy" => {
-                args.policy = SchedulePolicy::from_name(&value)
-                    .ok_or_else(|| format!("--policy: unknown policy {value}"))?
+                args.policy = PolicyKind::from_name(&value).ok_or_else(|| {
+                    format!(
+                        "--policy: unknown frame policy {value} (expected one of: {})",
+                        PolicyKind::ALL
+                            .iter()
+                            .map(|k| k.name())
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    )
+                })?;
+                args.policy_set = true;
+            }
+            "--policy-stride" => {
+                args.policy_stride = parse_num(&flag, &value)?;
+                args.policy_stride_set = true;
+            }
+            "--policy-confidence" => {
+                args.policy_confidence = parse_num(&flag, &value)?;
+                args.policy_confidence_set = true;
             }
             "--drop" => {
                 args.drop = DropPolicy::from_name(&value)
@@ -400,6 +455,34 @@ fn parse_args_from(it: impl Iterator<Item = String>) -> Result<Args, String> {
     }
     if args.watermark == 0 {
         return Err("--watermark must be at least 1".into());
+    }
+    if args.policy_stride_set && args.policy != PolicyKind::FixedStride {
+        return Err(
+            "--policy-stride only applies to the fixed-stride frame policy; add \
+             --policy fixed-stride"
+                .into(),
+        );
+    }
+    if args.policy_confidence_set && args.policy != PolicyKind::ConfidenceTrigger {
+        return Err(
+            "--policy-confidence only applies to the confidence-trigger frame policy; \
+             add --policy confidence-trigger"
+                .into(),
+        );
+    }
+    if args.policy_stride == 0 {
+        return Err("--policy-stride must be at least 1".into());
+    }
+    if !args.policy_confidence.is_finite() || args.policy_confidence < 0.0 {
+        return Err(format!(
+            "--policy-confidence must be a finite, non-negative number (got {})",
+            args.policy_confidence
+        ));
+    }
+    if args.admit_downgrade && args.admission != AdmissionKind::Priority {
+        return Err(
+            "--admit-downgrade needs a shedding admission gate; add --admission priority".into(),
+        );
     }
     if args.shards == 0 {
         return Err("--shards must be at least 1".into());
@@ -523,7 +606,14 @@ fn main() {
         AdmissionKind::TokenBucket => {
             AdmissionConfig::token_bucket(args.admit_rate, args.admit_burst)
         }
-        AdmissionKind::Priority => AdmissionConfig::priority(args.watermark),
+        AdmissionKind::Priority => {
+            AdmissionConfig::priority(args.watermark).with_downgrade(args.admit_downgrade)
+        }
+    };
+    let policy = match args.policy {
+        PolicyKind::AlwaysDetect => PolicyConfig::always_detect(),
+        PolicyKind::FixedStride => PolicyConfig::fixed_stride(args.policy_stride),
+        PolicyKind::ConfidenceTrigger => PolicyConfig::confidence_trigger(args.policy_confidence),
     };
     let cfg = ServeConfig::new()
         .with_workers(args.workers)
@@ -532,7 +622,8 @@ fn main() {
         .with_queue_capacity(args.queue)
         .with_fuse_refinement(args.fuse_refinement)
         .with_refine_batch_window_s(args.refine_window_ms / 1e3)
-        .with_policy(args.policy)
+        .with_schedule(args.schedule)
+        .with_policy(policy)
         .with_drop_policy(args.drop)
         .with_autoscale(autoscale)
         .with_admission(admission)
@@ -566,8 +657,8 @@ fn main() {
     let net = args.ingest == IngestKind::Net;
     println!(
         "spinning up {} {} ({} frames each, {} workload), {} shards x {} workers \
-         ({} partition), {} scheduling, autoscale {}, admission {}, refinement fusion {}, \
-         system {}",
+         ({} partition), {} scheduling, {} frame policy, autoscale {}, admission {}, \
+         refinement fusion {}, system {}",
         if net { args.clients } else { args.streams },
         if net { "camera connections" } else { "streams" },
         args.frames,
@@ -575,6 +666,7 @@ fn main() {
         args.shards,
         args.workers,
         args.partition.name(),
+        args.schedule.name(),
         args.policy.name(),
         args.autoscale.name(),
         args.admission.name(),
@@ -831,6 +923,26 @@ fn describe(event: &Event) -> String {
             }
             None => format!("conn: client {stream} unknown lifecycle code {code}"),
         },
+        Event::Policy {
+            stream,
+            frame_index,
+            decision,
+            streak,
+        } => match decision {
+            catdet_recorder::POLICY_DEGRADED_ON => {
+                format!("policy: stream {stream} downgraded one rung (admission shedding)")
+            }
+            catdet_recorder::POLICY_DEGRADED_OFF => {
+                format!("policy: stream {stream} restored to its configured policy")
+            }
+            _ => match PolicyDecision::from_code(decision) {
+                Some(d) => format!(
+                    "policy: stream {stream} frame {frame_index} {} (coast streak {streak})",
+                    d.label()
+                ),
+                None => format!("policy: stream {stream} unknown decision code {decision}"),
+            },
+        },
     }
 }
 
@@ -906,6 +1018,74 @@ mod tests {
         assert!(err.contains("--door-rate"), "{err}");
         let err = parse(&["--ingest", "net", "--clients", "0"]).unwrap_err();
         assert!(err.contains("--clients"), "{err}");
+    }
+
+    #[test]
+    fn policy_stride_requires_fixed_stride_policy() {
+        let err = parse(&["--policy-stride", "4"]).unwrap_err();
+        assert!(err.contains("--policy-stride"), "{err}");
+        assert!(err.contains("--policy fixed-stride"), "{err}");
+        // Wrong policy kind is as invalid as no policy at all.
+        let err = parse(&["--policy", "confidence-trigger", "--policy-stride", "4"]).unwrap_err();
+        assert!(err.contains("--policy fixed-stride"), "{err}");
+    }
+
+    #[test]
+    fn policy_confidence_requires_confidence_trigger_policy() {
+        let err = parse(&["--policy-confidence", "1.5"]).unwrap_err();
+        assert!(err.contains("--policy-confidence"), "{err}");
+        assert!(err.contains("--policy confidence-trigger"), "{err}");
+        let err = parse(&["--policy", "fixed-stride", "--policy-confidence", "1.5"]).unwrap_err();
+        assert!(err.contains("--policy confidence-trigger"), "{err}");
+    }
+
+    #[test]
+    fn policy_flag_ranges_are_checked() {
+        let err = parse(&["--policy", "fixed-stride", "--policy-stride", "0"]).unwrap_err();
+        assert!(err.contains("--policy-stride"), "{err}");
+        let err = parse(&[
+            "--policy",
+            "confidence-trigger",
+            "--policy-confidence",
+            "-1",
+        ])
+        .unwrap_err();
+        assert!(err.contains("--policy-confidence"), "{err}");
+        let err = parse(&["--policy", "nope"]).unwrap_err();
+        assert!(err.contains("unknown frame policy"), "{err}");
+    }
+
+    #[test]
+    fn admit_downgrade_requires_priority_admission() {
+        let err = parse(&["--admit-downgrade"]).unwrap_err();
+        assert!(err.contains("--admit-downgrade"), "{err}");
+        assert!(err.contains("--admission priority"), "{err}");
+        let args = parse(&["--admission", "priority", "--admit-downgrade"]).unwrap();
+        assert!(args.admit_downgrade);
+        assert_eq!(args.admission, AdmissionKind::Priority);
+    }
+
+    #[test]
+    fn valid_policy_invocations_parse() {
+        let args = parse(&["--policy", "fixed-stride", "--policy-stride", "5"]).unwrap();
+        assert_eq!(args.policy, PolicyKind::FixedStride);
+        assert_eq!(args.policy_stride, 5);
+        let args = parse(&[
+            "--policy",
+            "confidence-trigger",
+            "--policy-confidence",
+            "1.5",
+            "--schedule",
+            "least-backlog",
+        ])
+        .unwrap();
+        assert_eq!(args.policy, PolicyKind::ConfidenceTrigger);
+        assert_eq!(args.policy_confidence, 1.5);
+        assert_eq!(args.schedule, SchedulePolicy::LeastBacklog);
+        // Defaults: always-detect, no downgrade.
+        let args = parse(&[]).unwrap();
+        assert_eq!(args.policy, PolicyKind::AlwaysDetect);
+        assert!(!args.admit_downgrade);
     }
 
     #[test]

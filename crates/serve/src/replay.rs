@@ -14,11 +14,25 @@
 //! virtual time, the replayed outputs are **bit-identical** to the live
 //! run — verified per frame against the recorded
 //! [`output_hash`](catdet_core::output_hash()).
+//!
+//! Streams served under a frame policy replay from the **recorded policy
+//! rows**, not by re-running the decision logic: a
+//! [`Policy`](catdet_recorder::EventKind::Policy) event marks each coasted
+//! or stride-skipped frame, so replay coasts, skips or detects exactly as
+//! the live run did — even when downgrade-before-drop toggled the
+//! stream's policy class mid-run (those toggles depend on fleet-wide
+//! admission state replay cannot reconstruct). A
+//! [`Policied`](catdet_core::PipelineState::Policied) snapshot is
+//! unwrapped to its inner pipeline state first; the wrapper's counters
+//! are not needed once the decisions come from the recording. Like
+//! detections, policy rows must survive chunk eviction over the replay
+//! window.
 
 use crate::scheduler::StreamSpec;
-use catdet_core::{drive_frame, output_hash, PipelineState, StagedDetector};
+use catdet_core::{drive_frame, output_hash, PipelineState, PolicyDecision, StagedDetector};
 use catdet_metrics::Detection;
 use catdet_recorder::{Event, EventKind, Query, SharedRecorder};
+use std::collections::HashMap;
 
 /// Per-stream state captured at a snapshot point: the complete pipeline
 /// state plus the serving counters at capture. Stored opaquely in the
@@ -233,9 +247,40 @@ pub fn replay_stream(
         }
     }
 
+    // Frame-policy decisions the live run recorded over the window: only
+    // coasted/skipped frames have rows (detect frames record nothing, and
+    // the degrade-transition markers carry codes outside the decision
+    // range, so they fall out of `from_code` here).
+    let mut decisions: HashMap<usize, PolicyDecision> = HashMap::new();
+    for r in recorder.scan(
+        &Query::all()
+            .kind(EventKind::Policy)
+            .stream(stream)
+            .between(snapshot_t_s.unwrap_or(f64::NEG_INFINITY), f64::INFINITY),
+    ) {
+        if let Event::Policy {
+            frame_index,
+            decision,
+            ..
+        } = r.event
+        {
+            if let Some(d @ (PolicyDecision::Coast | PolicyDecision::Skip)) =
+                PolicyDecision::from_code(decision)
+            {
+                decisions.insert(frame_index, d);
+            }
+        }
+    }
+
     let mut system: Box<dyn StagedDetector> = spec.factory.build_staged();
     if let Some(state) = state {
-        system.import_state(state);
+        // A policied stream's wrapper state is superfluous here — the
+        // recorded rows already say what each frame did — so replay drives
+        // the bare pipeline from the inner state.
+        system.import_state(match state {
+            PipelineState::Policied { inner, .. } => *inner,
+            other => other,
+        });
     }
     let frames = spec.source.frames();
     let mut replayed = Vec::with_capacity(todo.len());
@@ -246,12 +291,22 @@ pub fn replay_stream(
                 frame_index,
             });
         };
-        let out = drive_frame(system.as_mut(), &sf.frame);
-        let replayed_hash = output_hash(&out.detections);
+        let detections = match decisions.get(&frame_index) {
+            Some(PolicyDecision::Coast) => {
+                system
+                    .coast_frame(&sf.frame)
+                    .expect("recorded coast on a pipeline that cannot coast")
+                    .detections
+            }
+            // A stride-skipped frame never touched the live pipeline.
+            Some(PolicyDecision::Skip) => Vec::new(),
+            _ => drive_frame(system.as_mut(), &sf.frame).detections,
+        };
+        let replayed_hash = output_hash(&detections);
         replayed.push(ReplayedFrame {
             seq,
             frame_index,
-            detections: out.detections,
+            detections,
             recorded_hash,
             replayed_hash,
         });

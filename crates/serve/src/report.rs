@@ -1,7 +1,7 @@
 //! Serving reports: per-stream latency percentiles, aggregate throughput,
 //! and the control-plane timelines (scale and admission events).
 
-use crate::admission::AdmissionEvent;
+use crate::admission::{AdmissionEvent, DowngradeEvent};
 use crate::autoscale::ScaleEvent;
 use catdet_core::OpsBreakdown;
 use catdet_metrics::Detection;
@@ -162,6 +162,12 @@ pub struct StreamReport {
     /// Of the dropped frames, how many were refused by admission control
     /// (always `<= dropped`).
     pub rejected: usize,
+    /// Of the processed frames, how many the frame policy served by
+    /// coasting the tracker instead of detecting (always `<= processed`).
+    pub coasted: usize,
+    /// Of the processed frames, how many the frame policy skipped by
+    /// stride, completing with an empty output (always `<= processed`).
+    pub skipped: usize,
     /// Mean per-frame ops actually spent. All-zero when `processed == 0`
     /// (a stream can legitimately complete nothing under overload) — gate
     /// on `processed` before reading this as a measurement.
@@ -196,6 +202,11 @@ pub struct ServeReport {
     pub frames_dropped: usize,
     /// Of the dropped frames, total refused by admission control.
     pub frames_rejected: usize,
+    /// Of the processed frames, total served by coasting the tracker
+    /// (track-only frames under a non-default frame policy).
+    pub frames_coasted: usize,
+    /// Of the processed frames, total skipped by policy stride.
+    pub frames_skipped: usize,
     /// Aggregate modelled throughput: processed frames / makespan.
     pub throughput_fps: f64,
     /// Integral of the provisioned worker count over virtual time (the
@@ -220,6 +231,10 @@ pub struct ServeReport {
     pub scale_events: Vec<ScaleEvent>,
     /// Admission rejections, in time order (empty under admit-all).
     pub admission_events: Vec<AdmissionEvent>,
+    /// Downgrade-before-drop transitions, in time order (empty unless
+    /// [`AdmissionConfig::downgrade`](crate::AdmissionConfig::downgrade)
+    /// is on).
+    pub downgrade_events: Vec<DowngradeEvent>,
     /// Per-stream breakdowns, ordered by stream id.
     pub streams: Vec<StreamReport>,
 }
@@ -252,6 +267,27 @@ impl ServeReport {
         } else {
             0.0
         }
+    }
+
+    /// Total frames the policy served with a full detection pass.
+    pub fn frames_detected(&self) -> usize {
+        self.frames_processed - self.frames_coasted - self.frames_skipped
+    }
+
+    /// Human-readable downgrade timeline, one line per transition (empty
+    /// string when downgrade-before-drop never engaged).
+    pub fn downgrade_timeline(&self) -> String {
+        let mut out = String::new();
+        for e in &self.downgrade_events {
+            let _ = writeln!(
+                out,
+                "  t={:>8.3}s  stream {:>3} {}",
+                e.t_s,
+                e.stream,
+                if e.on { "downgraded" } else { "restored" },
+            );
+        }
+        out
     }
 
     /// Human-readable scale-event timeline, one line per event (empty
@@ -313,12 +349,28 @@ impl ServeReport {
                 self.worker_seconds,
             );
         }
+        if self.frames_coasted + self.frames_skipped > 0 {
+            let _ = writeln!(
+                out,
+                "policy: {} detected | {} coasted | {} stride-skipped",
+                self.frames_detected(),
+                self.frames_coasted,
+                self.frames_skipped,
+            );
+        }
         if self.frames_rejected > 0 {
             let _ = writeln!(
                 out,
                 "admission: {} frames rejected ({} events recorded)",
                 self.frames_rejected,
                 self.admission_events.len(),
+            );
+        }
+        if !self.downgrade_events.is_empty() {
+            let _ = writeln!(
+                out,
+                "downgrade: {} transitions (downgrade-before-drop)",
+                self.downgrade_events.len(),
             );
         }
         let _ = writeln!(
@@ -367,6 +419,12 @@ impl TimestampedEvent for ScaleEvent {
 }
 
 impl TimestampedEvent for AdmissionEvent {
+    fn t_s(&self) -> f64 {
+        self.t_s
+    }
+}
+
+impl TimestampedEvent for DowngradeEvent {
     fn t_s(&self) -> f64 {
         self.t_s
     }
@@ -495,6 +553,8 @@ mod tests {
             frames_processed: 8,
             frames_dropped: 2,
             frames_rejected: 1,
+            frames_coasted: 3,
+            frames_skipped: 1,
             throughput_fps: 4.0,
             worker_seconds: 8.0,
             gpu_dispatch_s: 1.25,
@@ -519,6 +579,11 @@ mod tests {
                 reason: crate::autoscale::ScaleReason::DropRate,
             }],
             admission_events: vec![],
+            downgrade_events: vec![DowngradeEvent {
+                t_s: 0.75,
+                stream: 0,
+                on: true,
+            }],
             streams: vec![StreamReport {
                 stream_id: 0,
                 system_name: "test-system".into(),
@@ -526,6 +591,8 @@ mod tests {
                 processed: 8,
                 dropped: 2,
                 rejected: 1,
+                coasted: 3,
+                skipped: 1,
                 mean_ops: OpsBreakdown::default(),
                 latency: LatencyStats::from_samples(&[0.1, 0.2]),
                 latency_samples: vec![0.1, 0.2],
@@ -537,6 +604,11 @@ mod tests {
         assert!(s.contains("test-system"));
         assert!(s.contains("autoscale: 1 scale events"));
         assert!(s.contains("admission: 1 frames rejected"));
+        assert!(s.contains("policy: 4 detected | 3 coasted | 1 stride-skipped"));
+        assert!(s.contains("downgrade: 1 transitions"));
+        assert_eq!(report.frames_detected(), 4);
+        let dg = report.downgrade_timeline();
+        assert!(dg.contains("stream   0 downgraded"));
         assert!(s.contains("refinement: 2 dispatches (mean 3.00, max 4, 4 launches saved)"));
         assert!(s.contains("gpu dispatch time: 1.250 s"));
         assert!((report.batch.mean_refine_batch() - 3.0).abs() < 1e-12);
@@ -575,6 +647,8 @@ mod tests {
             processed,
             dropped: 0,
             rejected: 0,
+            coasted: 0,
+            skipped: 0,
             mean_ops: OpsBreakdown::default(),
             latency: LatencyStats::from_samples(samples),
             latency_samples: samples.to_vec(),
@@ -586,6 +660,8 @@ mod tests {
             frames_processed: 0,
             frames_dropped: 0,
             frames_rejected: 0,
+            frames_coasted: 0,
+            frames_skipped: 0,
             throughput_fps: 0.0,
             worker_seconds: 0.0,
             gpu_dispatch_s: 0.0,
@@ -594,6 +670,7 @@ mod tests {
             batch_log: vec![],
             scale_events: vec![],
             admission_events: vec![],
+            downgrade_events: vec![],
             streams: vec![],
         };
         // No streams at all: no p99 to report.

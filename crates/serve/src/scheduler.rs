@@ -49,7 +49,10 @@
 //! [`GpuTimingModel`]: catdet_core::GpuTimingModel
 //! [`StagedDetector`]: catdet_core::StagedDetector
 
-use crate::admission::{build_admission, AdmissionContext, AdmissionEvent, AdmissionPolicy};
+use crate::admission::{
+    build_admission, AdmissionContext, AdmissionEvent, AdmissionPolicy, AdmissionReason,
+    DowngradeEvent,
+};
 use crate::autoscale::{
     window_p99, ControlSample, FixedScale, HysteresisScale, ProportionalScale, ScaleEvent,
     ScalePolicy,
@@ -58,8 +61,8 @@ use crate::config::{DropPolicy, ScalePolicyKind, SchedulePolicy, ServeConfig};
 use crate::replay::StreamSnapshot;
 use crate::report::{BatchRecord, BatchStage, BatchStats, LatencyStats, ServeReport, StreamReport};
 use catdet_core::{
-    output_hash, FrameOutput, OpsBreakdown, RefinementWork, StageStep, StagedDetector,
-    SystemFactory,
+    output_hash, FrameOutput, OpsBreakdown, PolicedPipeline, PolicyConfig, PolicyDecision,
+    PolicyKind, RefinementWork, StageStep, StagedDetector, SystemFactory,
 };
 use catdet_data::{Frame, StreamSource};
 use catdet_recorder::{
@@ -79,6 +82,10 @@ pub struct StreamSpec {
     /// Admission priority class (0 is highest; only consulted by the
     /// priority admission policy).
     pub priority: u8,
+    /// Per-stream quality class: this stream's own detect-or-track frame
+    /// policy, overriding [`ServeConfig::policy`](crate::ServeConfig::policy).
+    /// `None` (the default) follows the run-wide setting.
+    pub policy: Option<PolicyConfig>,
 }
 
 impl StreamSpec {
@@ -88,12 +95,19 @@ impl StreamSpec {
             source,
             factory,
             priority: 0,
+            policy: None,
         }
     }
 
     /// Returns a copy with a different admission priority class.
     pub fn with_priority(mut self, priority: u8) -> Self {
         self.priority = priority;
+        self
+    }
+
+    /// Returns a copy pinned to its own frame-policy quality class.
+    pub fn with_policy(mut self, policy: PolicyConfig) -> Self {
+        self.policy = Some(policy);
         self
     }
 }
@@ -261,6 +275,15 @@ pub(crate) struct StreamRt {
     processed: usize,
     dropped: usize,
     rejected: usize,
+    /// Frames completed from tracker state alone (policy decided Coast).
+    coasted: usize,
+    /// Frames skipped outright by a stride policy.
+    skipped: usize,
+    /// Admission's downgrade-before-drop rung is currently holding this
+    /// stream's policy one class down. The authoritative flag travels
+    /// inside the policied pipeline (so it migrates and snapshots); this
+    /// mirror is what admission reads without touching the system box.
+    degraded: bool,
     latencies: Vec<f64>,
     ops: OpsBreakdown,
     outputs: Vec<(usize, Vec<catdet_metrics::Detection>)>,
@@ -390,6 +413,7 @@ pub(crate) struct Engine {
     win_latencies: Vec<(f64, f64)>,
     scale_events: Vec<ScaleEvent>,
     admission_events: Vec<AdmissionEvent>,
+    downgrade_events: Vec<DowngradeEvent>,
     batch_log: Vec<BatchRecord>,
     // Dispatch scratch, reused across events so the steady-state loop
     // stops allocating per dispatch. `slot_items` is per worker *slot*
@@ -425,7 +449,18 @@ impl Engine {
         let streams: Vec<StreamRt> = specs
             .into_iter()
             .map(|spec| {
-                let system = spec.factory.build_staged();
+                // Streams get a policy layer only when one can matter: a
+                // non-default policy (run-wide or per-stream), or the
+                // downgrade rung (which demotes even always-detect
+                // streams). The default path builds the bare pipeline —
+                // bit-identical to pre-policy behaviour by construction.
+                let policy = spec.policy.unwrap_or(cfg.policy);
+                let system = if policy.kind != PolicyKind::AlwaysDetect || cfg.admission.downgrade {
+                    Box::new(PolicedPipeline::new(spec.factory.build_staged(), policy))
+                        as Box<dyn StagedDetector>
+                } else {
+                    spec.factory.build_staged()
+                };
                 StreamRt {
                     global_id: spec.source.stream_id,
                     priority: spec.priority,
@@ -444,6 +479,9 @@ impl Engine {
                     processed: 0,
                     dropped: 0,
                     rejected: 0,
+                    coasted: 0,
+                    skipped: 0,
+                    degraded: false,
                     latencies: Vec::new(),
                     ops: OpsBreakdown::default(),
                     outputs: Vec::new(),
@@ -539,6 +577,7 @@ impl Engine {
             win_latencies: Vec::new(),
             scale_events: Vec::new(),
             admission_events: Vec::new(),
+            downgrade_events: Vec::new(),
             batch_log: Vec::new(),
             slot_items: (0..slots).map(|_| Vec::new()).collect(),
             job_buf: Vec::new(),
@@ -688,6 +727,9 @@ impl Engine {
             processed: 0,
             dropped: 0,
             rejected: 0,
+            coasted: 0,
+            skipped: 0,
+            degraded: false,
             latencies: Vec::new(),
             ops: OpsBreakdown::default(),
             outputs: Vec::new(),
@@ -802,29 +844,52 @@ impl Engine {
                     priority: self.priorities[i],
                     total_backlog: self.total_queued,
                 };
-                if let Err(reason) = self.admission.admit(&ctx) {
-                    let s = &mut self.streams[i];
-                    s.dropped += 1;
-                    s.rejected += 1;
-                    self.win_shed += 1;
-                    // Events are report surface: they carry the fleet-wide
-                    // id, like every other per-stream figure.
-                    let global = self.streams[i].global_id;
-                    self.admission_events.push(AdmissionEvent {
-                        t_s: arrival_s,
-                        stream: global,
-                        reason,
-                    });
-                    if self.recorder.enabled() {
-                        self.recorder.record(
-                            arrival_s,
-                            Event::Admission {
-                                stream: global,
-                                reason: reason.code(),
-                            },
-                        );
+                match self.admission.admit(&ctx) {
+                    Err(AdmissionReason::Shed)
+                        if self.cfg.admission.downgrade
+                            && self.admission.supports_downgrade()
+                            && !self.streams[i].degraded =>
+                    {
+                        // Downgrade-before-drop: instead of shedding the
+                        // frame, admit it and demote the stream's frame
+                        // policy one class. The pipeline picks the flag up
+                        // at its next dispatch (a frame boundary), so the
+                        // decision ladder shifts without ever touching a
+                        // frame mid-flight.
+                        self.record_downgrade(i, arrival_s, true);
                     }
-                    continue;
+                    Err(reason) => {
+                        let s = &mut self.streams[i];
+                        s.dropped += 1;
+                        s.rejected += 1;
+                        self.win_shed += 1;
+                        // Events are report surface: they carry the
+                        // fleet-wide id, like every other per-stream
+                        // figure.
+                        let global = self.streams[i].global_id;
+                        self.admission_events.push(AdmissionEvent {
+                            t_s: arrival_s,
+                            stream: global,
+                            reason,
+                        });
+                        if self.recorder.enabled() {
+                            self.recorder.record(
+                                arrival_s,
+                                Event::Admission {
+                                    stream: global,
+                                    reason: reason.code(),
+                                },
+                            );
+                        }
+                        continue;
+                    }
+                    Ok(()) => {
+                        // Overload has cleared for this stream: restore its
+                        // policy class on the first clean admission.
+                        if self.streams[i].degraded {
+                            self.record_downgrade(i, arrival_s, false);
+                        }
+                    }
                 }
                 let s = &mut self.streams[i];
                 if s.queue.len() >= self.cfg.queue_capacity {
@@ -845,6 +910,34 @@ impl Engine {
                 s.queue.push_back(idx);
                 self.total_queued += 1;
             }
+        }
+    }
+
+    /// Books one flip of a stream's downgrade rung (`on` demotes, `off`
+    /// restores) into the stream mirror, the report timeline, and the
+    /// flight recorder.
+    fn record_downgrade(&mut self, stream: usize, t_s: f64, on: bool) {
+        self.streams[stream].degraded = on;
+        let global = self.streams[stream].global_id;
+        self.downgrade_events.push(DowngradeEvent {
+            t_s,
+            stream: global,
+            on,
+        });
+        if self.recorder.enabled() {
+            self.recorder.record(
+                t_s,
+                Event::Policy {
+                    stream: global,
+                    frame_index: 0,
+                    decision: if on {
+                        catdet_recorder::POLICY_DEGRADED_ON
+                    } else {
+                        catdet_recorder::POLICY_DEGRADED_OFF
+                    },
+                    streak: 0,
+                },
+            );
         }
     }
 
@@ -907,6 +1000,14 @@ impl Engine {
         s.processed += 1;
         s.latencies.push(completion_s - arrival_s);
         s.ops.accumulate(&out.ops);
+        // Per-policy frame accounting; detect frames (and unpoliced
+        // pipelines, which report no decision) count only as processed.
+        let decision = system.policy_decision();
+        match decision {
+            Some(PolicyDecision::Coast) => s.coasted += 1,
+            Some(PolicyDecision::Skip) => s.skipped += 1,
+            _ => {}
+        }
         let frame_index = s.frames[frame_idx].1.index;
         if recording {
             let global = s.global_id;
@@ -944,6 +1045,20 @@ impl Engine {
                     live_tracks: system.live_tracks(),
                 },
             );
+            // Only coasted and skipped frames book a policy row — detect
+            // frames leave the recorded byte stream exactly as an
+            // unpoliced run would write it (the golden-identity contract).
+            if let Some(d @ (PolicyDecision::Coast | PolicyDecision::Skip)) = decision {
+                self.recorder.record(
+                    completion_s,
+                    Event::Policy {
+                        stream: global,
+                        frame_index,
+                        decision: d.code(),
+                        streak: system.policy_coast_streak(),
+                    },
+                );
+            }
             if let Some(snap) = snapshot {
                 self.recorder
                     .snapshot(completion_s, global, seq, Arc::new(snap));
@@ -1027,15 +1142,23 @@ impl Engine {
         // boundary with executed costs. Frames ship as `Arc` handles.
         let mut jobs = std::mem::take(&mut self.job_buf);
         jobs.clear();
+        let downgrade = self.cfg.admission.downgrade;
         for batch in &planned {
             for &(stream, frame_idx, _) in &batch.items {
                 let s = &mut self.streams[stream];
+                let mut system = s.system.take().expect("stream system in flight");
+                // A dispatch is a frame boundary: sync the pipeline's
+                // policy class with admission's downgrade rung before the
+                // frame begins (idempotent; a no-op on the default path).
+                if downgrade {
+                    system.set_degraded(s.degraded);
+                }
                 jobs.push(Job {
                     stream,
                     kind: JobKind::Proposal {
                         frame: Arc::clone(&s.frames[frame_idx].1),
                     },
-                    system: s.system.take().expect("stream system in flight"),
+                    system,
                 });
             }
         }
@@ -1376,7 +1499,7 @@ impl Engine {
             |s: &StreamRt| !s.queue.is_empty() && s.system.is_some() && s.busy_until <= now + EPS;
         let mut chosen = std::mem::take(&mut self.chosen_buf);
         chosen.clear();
-        match self.cfg.policy {
+        match self.cfg.schedule {
             SchedulePolicy::RoundRobin => {
                 let n = self.streams.len();
                 for off in 0..n {
@@ -1478,6 +1601,8 @@ impl Engine {
         let mut processed = 0;
         let mut dropped = 0;
         let mut rejected = 0;
+        let mut coasted = 0;
+        let mut skipped = 0;
         let streams: Vec<StreamReport> = self
             .streams
             .iter_mut()
@@ -1493,6 +1618,8 @@ impl Engine {
                 processed += s.processed;
                 dropped += s.dropped;
                 rejected += s.rejected;
+                coasted += s.coasted;
+                skipped += s.skipped;
                 StreamReport {
                     stream_id: s.global_id,
                     system_name: s.system_name.clone(),
@@ -1500,6 +1627,8 @@ impl Engine {
                     processed: s.processed,
                     dropped: s.dropped,
                     rejected: s.rejected,
+                    coasted: s.coasted,
+                    skipped: s.skipped,
                     mean_ops: s.ops.scaled(s.processed.max(1) as f64),
                     latency: LatencyStats::from_samples(&s.latencies),
                     latency_samples: std::mem::take(&mut s.latencies),
@@ -1514,6 +1643,8 @@ impl Engine {
             frames_processed: processed,
             frames_dropped: dropped,
             frames_rejected: rejected,
+            frames_coasted: coasted,
+            frames_skipped: skipped,
             throughput_fps: if makespan_s > 0.0 {
                 processed as f64 / makespan_s
             } else {
@@ -1526,6 +1657,7 @@ impl Engine {
             batch_log: std::mem::take(&mut self.batch_log),
             scale_events: std::mem::take(&mut self.scale_events),
             admission_events: std::mem::take(&mut self.admission_events),
+            downgrade_events: std::mem::take(&mut self.downgrade_events),
             streams,
         }
     }

@@ -8,8 +8,8 @@ mod common;
 
 use catdet_serve::{
     mixed_workload, serve_fleet, serve_fleet_with_recorder, AdmissionConfig, AutoscaleConfig,
-    FleetReport, PartitionKind, Query, ServeConfig, ShardConfig, SharedRecorder, StreamSpec,
-    SystemKind,
+    EventKind, FleetReport, PartitionKind, PolicyConfig, Query, ServeConfig, ShardConfig,
+    SharedRecorder, StreamSpec, SystemKind,
 };
 use common::null_spec_steady;
 use proptest::prelude::*;
@@ -72,6 +72,86 @@ fn threaded_fleet_matches_sequential_control_plane() {
         .with_autoscale(AutoscaleConfig::hysteresis(1, 6).with_control_interval_s(0.05))
         .with_admission(AdmissionConfig::token_bucket(60.0, 8.0));
     assert_thread_count_invariant(&cfg, || mixed_workload(9, 20, 3, SystemKind::CatdetB));
+}
+
+#[test]
+fn threaded_fleet_matches_sequential_under_frame_policy() {
+    // The adaptive policy layer makes per-frame detect/coast decisions
+    // from tracker state that migrates between shards; the decisions (and
+    // hence every output and priced op) must survive threading untouched.
+    let cfg = base_config(3).with_policy(PolicyConfig::confidence_trigger(1.5));
+    assert_thread_count_invariant(&cfg, || mixed_workload(8, 24, 11, SystemKind::CatdetA));
+
+    // Per-stream overrides ride along: one camera on a fixed stride, the
+    // rest on the fleet-wide trigger.
+    let cfg = base_config(2).with_policy(PolicyConfig::confidence_trigger(1.0));
+    assert_thread_count_invariant(&cfg, || {
+        let mut streams = mixed_workload(6, 20, 13, SystemKind::CatdetA);
+        streams[1].policy = Some(PolicyConfig::fixed_stride(3));
+        streams
+    });
+}
+
+#[test]
+fn always_detect_policy_is_golden() {
+    // The golden guarantee: the policy layer at its default is invisible.
+    // An explicit always-detect config and a run whose pipelines are
+    // actually wrapped (downgrade arms the wrapper even at always-detect)
+    // both reproduce the unpoliced fleet report bit for bit.
+    let streams = || mixed_workload(6, 16, 7, SystemKind::CatdetA);
+    let bare = serve_fleet(streams(), &base_config(2));
+    let explicit = serve_fleet(
+        streams(),
+        &base_config(2).with_policy(PolicyConfig::always_detect()),
+    );
+    assert_eq!(bare, explicit, "explicit always-detect diverged");
+
+    // A priority gate with an unreachable watermark never sheds, so the
+    // only difference from `bare` is that every pipeline runs inside the
+    // (never-degraded) policy wrapper.
+    let wrapped = serve_fleet(
+        streams(),
+        &base_config(2).with_admission(AdmissionConfig::priority(1_000_000).with_downgrade(true)),
+    );
+    assert_eq!(bare, wrapped, "wrapped always-detect diverged");
+    assert_eq!(bare.frames_coasted(), 0);
+    assert_eq!(bare.frames_skipped(), 0);
+    assert_eq!(bare.frames_detected(), bare.frames_processed());
+}
+
+#[test]
+fn policy_recorder_store_is_bit_identical_across_threads() {
+    // Policy rows (one per coasted/skipped frame) land in the store in
+    // deterministic order too — and replay depends on that.
+    let streams = || mixed_workload(8, 18, 5, SystemKind::CatdetA);
+    let run = |threads: usize| -> (FleetReport, SharedRecorder) {
+        let recorder = SharedRecorder::new(64, usize::MAX, 4);
+        let cfg = base_config(3)
+            .with_policy(PolicyConfig::confidence_trigger(1.2))
+            .with_shard(base_config(3).shard.with_threads(threads));
+        let report = serve_fleet_with_recorder(streams(), &cfg, &recorder);
+        (report, recorder)
+    };
+    let (seq_report, seq_rec) = run(1);
+    let policy_rows = seq_rec.scan(&Query::all().kind(EventKind::Policy));
+    assert!(
+        !policy_rows.is_empty(),
+        "confidence trigger never coasted — workload too easy to prove anything"
+    );
+    assert_eq!(
+        policy_rows.len(),
+        seq_report.frames_coasted() + seq_report.frames_skipped(),
+        "every coasted/skipped frame books exactly one policy row"
+    );
+    for threads in [2, 4] {
+        let (thr_report, thr_rec) = run(threads);
+        assert_eq!(seq_report, thr_report, "threads={threads} report diverged");
+        assert_eq!(
+            seq_rec.scan(&Query::all()),
+            thr_rec.scan(&Query::all()),
+            "threads={threads} recorded event streams diverged"
+        );
+    }
 }
 
 #[test]

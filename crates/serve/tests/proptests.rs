@@ -135,7 +135,7 @@ proptest! {
             .with_batch_window_s([0.0, 0.005, 0.05][window_choice])
             .with_fuse_refinement(fuse_refinement)
             .with_refine_batch_window_s([0.0, 0.002, 0.02][refine_window_choice])
-            .with_policy(if least_backlog {
+            .with_schedule(if least_backlog {
                 SchedulePolicy::LeastBacklog
             } else {
                 SchedulePolicy::RoundRobin

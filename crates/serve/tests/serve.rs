@@ -99,7 +99,7 @@ fn detections_are_identical_at_any_worker_count() {
             &no_drop_config()
                 .with_workers(workers)
                 .with_max_batch(4)
-                .with_policy(policy),
+                .with_schedule(policy),
         )
     };
     let one = run_with(1, SchedulePolicy::RoundRobin);

@@ -42,7 +42,7 @@ fn main() {
             .with_max_batch(8)
             .with_queue_capacity(2)
             .with_drop_policy(DropPolicy::Oldest)
-            .with_policy(policy);
+            .with_schedule(policy);
         let report = serve(
             mixed_workload(streams, frames, 42, SystemKind::CatdetA),
             &cfg,

@@ -17,7 +17,8 @@
 use catdet::core::system::refinement_macs;
 use catdet::core::{
     drive_frame, nms_per_class, CaTDetSystem, CascadedSystem, DetectionSystem, FrameOutput,
-    OpsBreakdown, SingleModelSystem, StageStep, StagedDetector, SystemConfig,
+    OpsBreakdown, PolicedPipeline, PolicyConfig, PolicyDecision, SingleModelSystem, StageStep,
+    StagedDetector, SystemConfig,
 };
 use catdet::data::{citypersons_like, kitti_like, Frame, VideoDataset};
 use catdet::detector::{zoo, DetectorModel, SimulatedDetector};
@@ -378,6 +379,165 @@ fn staged_single_model_matches_monolithic_reference() {
                 );
             }
         }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Frame-policy golden suite: an always-detect PolicedPipeline is the
+// identity wrapper, bit for bit, on KITTI-like and CityPersons-like
+// sequences; the other policies follow their decision contracts exactly.
+// ---------------------------------------------------------------------
+
+#[test]
+fn policed_always_detect_matches_bare_pipeline() {
+    for (ds, w, h) in datasets() {
+        for seq in ds.sequences() {
+            let mut bare = CaTDetSystem::new(
+                zoo::resnet10a(2),
+                zoo::resnet50(2),
+                w,
+                h,
+                SystemConfig::paper(),
+            );
+            let mut policed = PolicedPipeline::new(
+                Box::new(CaTDetSystem::new(
+                    zoo::resnet10a(2),
+                    zoo::resnet50(2),
+                    w,
+                    h,
+                    SystemConfig::paper(),
+                )),
+                PolicyConfig::always_detect(),
+            );
+            assert_eq!(
+                StagedDetector::name(&policed),
+                StagedDetector::name(&bare),
+                "the wrapper must be invisible"
+            );
+            for frame in seq.frames() {
+                let expect = drive_frame(&mut bare, frame);
+                assert_eq!(
+                    drive_frame(&mut policed, frame),
+                    expect,
+                    "always-detect policy diverged on {} seq {} frame {}",
+                    ds.name,
+                    seq.id,
+                    frame.index
+                );
+                assert_eq!(policed.policy_decision(), Some(PolicyDecision::Detect));
+            }
+        }
+    }
+}
+
+#[test]
+fn fixed_stride_detects_on_schedule_and_skips_between() {
+    let ds = kitti_like()
+        .sequences(1)
+        .frames_per_sequence(20)
+        .seed(9)
+        .build();
+    let stride = 4;
+    let mut policed = PolicedPipeline::new(
+        Box::new(CaTDetSystem::catdet_a()),
+        PolicyConfig::fixed_stride(stride),
+    );
+    for (i, frame) in ds.sequences()[0].frames().iter().enumerate() {
+        let out = drive_frame(&mut policed, frame);
+        let decision = policed.policy_decision().expect("policied pipeline");
+        if i % stride == 0 {
+            assert_eq!(decision, PolicyDecision::Detect, "frame {i}");
+            assert!(out.ops.total() > 0.0, "detect frames are priced");
+        } else {
+            assert_eq!(decision, PolicyDecision::Skip, "frame {i}");
+            assert!(out.detections.is_empty(), "skipped frames output nothing");
+            assert_eq!(out.ops.total(), 0.0, "skipped frames cost nothing");
+        }
+    }
+}
+
+proptest! {
+    /// The confidence trigger's coast bound: no run of consecutive coasts
+    /// ever exceeds `max_coast`, and the frame after a full coast run is
+    /// always a detection — across random seeds, thresholds and bounds.
+    #[test]
+    fn confidence_trigger_bounds_every_coast_run(
+        seed in 0u64..12,
+        confidence in 0.0f64..2.5,
+        max_coast in 1usize..6,
+    ) {
+        let ds = kitti_like()
+            .sequences(1)
+            .frames_per_sequence(30)
+            .seed(seed)
+            .build();
+        let cfg = PolicyConfig::confidence_trigger(confidence).with_max_coast(max_coast);
+        let mut policed =
+            PolicedPipeline::new(Box::new(CaTDetSystem::catdet_a()), cfg);
+        let mut streak = 0usize;
+        let mut full_run = false;
+        for frame in ds.sequences()[0].frames() {
+            drive_frame(&mut policed, frame);
+            let decision = policed.policy_decision().expect("policied pipeline");
+            if full_run {
+                prop_assert_eq!(
+                    decision,
+                    PolicyDecision::Detect,
+                    "a full coast run must trigger a detection"
+                );
+            }
+            match decision {
+                PolicyDecision::Coast => streak += 1,
+                _ => streak = 0,
+            }
+            prop_assert!(streak <= max_coast, "coast run exceeded max_coast");
+            full_run = streak == max_coast;
+        }
+    }
+
+    /// Migration invariance: exporting the policied state mid-sequence and
+    /// importing it into a fresh pipeline (what a live migration does at a
+    /// stage-boundary suspend point) changes neither the decisions nor the
+    /// outputs of the remaining frames.
+    #[test]
+    fn confidence_trigger_decisions_survive_migration(
+        seed in 0u64..8,
+        split in 1usize..24,
+    ) {
+        let ds = kitti_like()
+            .sequences(1)
+            .frames_per_sequence(25)
+            .seed(seed)
+            .build();
+        let frames = ds.sequences()[0].frames();
+        let cfg = PolicyConfig::confidence_trigger(1.0);
+
+        let mut reference =
+            PolicedPipeline::new(Box::new(CaTDetSystem::catdet_a()), cfg);
+        let expect: Vec<(FrameOutput, PolicyDecision)> = frames
+            .iter()
+            .map(|f| {
+                let out = drive_frame(&mut reference, f);
+                (out, reference.policy_decision().expect("policied"))
+            })
+            .collect();
+
+        let mut before =
+            PolicedPipeline::new(Box::new(CaTDetSystem::catdet_a()), cfg);
+        let mut got = Vec::with_capacity(frames.len());
+        for f in &frames[..split] {
+            let out = drive_frame(&mut before, f);
+            got.push((out, before.policy_decision().expect("policied")));
+        }
+        let state = before.export_state().expect("catdet state exports");
+        let mut after =
+            PolicedPipeline::new(Box::new(CaTDetSystem::catdet_a()), cfg);
+        after.import_state(state);
+        for f in &frames[split..] {
+            let out = drive_frame(&mut after, f);
+            got.push((out, after.policy_decision().expect("policied")));
+        }
+        prop_assert_eq!(got, expect);
     }
 }
 

@@ -1,4 +1,4 @@
-//! The recorder's event vocabulary: eight kinds of telemetry, each
+//! The recorder's event vocabulary: nine kinds of telemetry, each
 //! reduced to plain integers/floats so the store can lay them out
 //! column-wise.
 //!
@@ -45,11 +45,13 @@ pub enum EventKind {
     Conn,
     /// A frame-policy decision (coast / stride-skip) or degrade transition.
     Policy,
+    /// One stream's arrival-rate forecast at a control tick.
+    Forecast,
 }
 
 impl EventKind {
     /// Every kind, in stable code order.
-    pub const ALL: [EventKind; 8] = [
+    pub const ALL: [EventKind; 9] = [
         EventKind::Detection,
         EventKind::Track,
         EventKind::Batch,
@@ -58,6 +60,7 @@ impl EventKind {
         EventKind::Migration,
         EventKind::Conn,
         EventKind::Policy,
+        EventKind::Forecast,
     ];
 
     /// Stable wire/CLI code of the kind.
@@ -71,6 +74,7 @@ impl EventKind {
             EventKind::Migration => 5,
             EventKind::Conn => 6,
             EventKind::Policy => 7,
+            EventKind::Forecast => 8,
         }
     }
 
@@ -90,6 +94,7 @@ impl EventKind {
             EventKind::Migration => "migration",
             EventKind::Conn => "conn",
             EventKind::Policy => "policy",
+            EventKind::Forecast => "forecast",
         }
     }
 
@@ -110,6 +115,7 @@ impl EventKind {
             EventKind::Migration => &["from_shard", "to_shard", "backlog_moved"],
             EventKind::Conn => &["code", "frame", "detail"],
             EventKind::Policy => &["frame", "decision", "streak"],
+            EventKind::Forecast => &["rate_bits", "confidence_bits", "phase"],
         }
     }
 }
@@ -216,6 +222,19 @@ pub enum Event {
         /// Consecutive coasted frames after this decision.
         streak: usize,
     },
+    /// One stream's arrival-rate forecast, booked at a control tick when
+    /// a predictive control-plane consumer is active.
+    Forecast {
+        /// Fleet-wide stream id.
+        stream: usize,
+        /// Forecast arrival rate over the horizon (frames/s).
+        rate_fps: f64,
+        /// Forecaster confidence in `[0, 1]`.
+        confidence: f64,
+        /// Producer-defined burst-phase code (see the serving crate's
+        /// `BurstPhase` mapping).
+        phase: u64,
+    },
 }
 
 impl Event {
@@ -230,6 +249,7 @@ impl Event {
             Event::Migration { .. } => EventKind::Migration,
             Event::Conn { .. } => EventKind::Conn,
             Event::Policy { .. } => EventKind::Policy,
+            Event::Forecast { .. } => EventKind::Forecast,
         }
     }
 
@@ -243,7 +263,8 @@ impl Event {
             | Event::Admission { stream, .. }
             | Event::Migration { stream, .. }
             | Event::Conn { stream, .. }
-            | Event::Policy { stream, .. } => Some(*stream),
+            | Event::Policy { stream, .. }
+            | Event::Forecast { stream, .. } => Some(*stream),
             Event::Scale { .. } => None,
         }
     }
@@ -302,6 +323,12 @@ impl Event {
                 streak,
                 ..
             } => out.extend([frame_index as u64, decision, streak as u64]),
+            Event::Forecast {
+                rate_fps,
+                confidence,
+                phase,
+                ..
+            } => out.extend([rate_fps.to_bits(), confidence.to_bits(), phase]),
         }
     }
 
@@ -358,6 +385,12 @@ impl Event {
                 frame_index: *vals.first()? as usize,
                 decision: *vals.get(1)?,
                 streak: *vals.get(2)? as usize,
+            },
+            EventKind::Forecast => Event::Forecast {
+                stream: stream?,
+                rate_fps: f64::from_bits(*vals.first()?),
+                confidence: f64::from_bits(*vals.get(1)?),
+                phase: *vals.get(2)?,
             },
         })
     }
@@ -425,6 +458,12 @@ mod tests {
                 frame_index: 12,
                 decision: 1,
                 streak: 3,
+            },
+            Event::Forecast {
+                stream: 8,
+                rate_fps: 27.5,
+                confidence: 0.8125,
+                phase: 2,
             },
         ];
         let mut vals = Vec::new();

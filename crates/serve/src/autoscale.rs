@@ -11,6 +11,7 @@
 //! exact [`ScaleEvent`] timeline can be locked in by a golden test.
 
 use crate::config::AutoscaleConfig;
+use crate::forecast::ForecastConfig;
 use crate::report::LatencyStats;
 use serde::{Deserialize, Serialize};
 
@@ -32,6 +33,12 @@ pub struct ControlSample {
     /// Nearest-rank p99 of latencies completed during the window, if any
     /// frame completed.
     pub window_p99_s: Option<f64>,
+    /// Summed per-stream forecast arrival rate (frames/s) over the
+    /// forecast horizon; `0.0` when forecasting is off.
+    pub forecast_rate_fps: f64,
+    /// Aggregate forecaster confidence in `[0, 1]` (mean over live
+    /// streams); `0.0` when forecasting is off or nothing has history.
+    pub forecast_confidence: f64,
 }
 
 impl ControlSample {
@@ -56,6 +63,9 @@ pub enum ScaleReason {
     Idle,
     /// A load-tracking policy re-targeted the fleet to the arrival rate.
     LoadTracking,
+    /// The forecaster predicted a load change and the fleet was re-sized
+    /// ahead of it.
+    Predictive,
 }
 
 impl ScaleReason {
@@ -66,6 +76,7 @@ impl ScaleReason {
             ScaleReason::TailLatency => "tail-latency",
             ScaleReason::Idle => "idle",
             ScaleReason::LoadTracking => "load-tracking",
+            ScaleReason::Predictive => "predictive",
         }
     }
 
@@ -76,6 +87,7 @@ impl ScaleReason {
             ScaleReason::TailLatency => 1,
             ScaleReason::Idle => 2,
             ScaleReason::LoadTracking => 3,
+            ScaleReason::Predictive => 4,
         }
     }
 
@@ -86,6 +98,7 @@ impl ScaleReason {
             1 => Some(ScaleReason::TailLatency),
             2 => Some(ScaleReason::Idle),
             3 => Some(ScaleReason::LoadTracking),
+            4 => Some(ScaleReason::Predictive),
             _ => None,
         }
     }
@@ -247,6 +260,124 @@ impl ScalePolicy for ProportionalScale {
     }
 }
 
+/// Forecast-driven proactive controller.
+///
+/// When the forecaster is confident, the fleet is re-targeted straight
+/// to `ceil(forecast_rate × service_s_per_frame)` — one control tick of
+/// lead instead of hysteresis's damage-triggered one-step-per-cooldown
+/// climb. Scale-*down* to the forecast target additionally requires a
+/// completely calm window (nothing shed, no backlog, an idle worker), so
+/// a mistaken low forecast cannot shed load. Reactive shed/p99 breaches
+/// still scale up even when the forecast disagrees — the forecast adds
+/// lead time, it never suppresses the damage signal. Below the
+/// confidence floor the controller degrades to exact hysteresis
+/// semantics (warmup behaves like the reactive baseline).
+#[derive(Debug, Clone, Copy)]
+pub struct PredictiveScale {
+    min: usize,
+    max: usize,
+    step: usize,
+    up_shed_rate: f64,
+    up_p99_s: f64,
+    down_p99_s: f64,
+    cooldown_ticks: usize,
+    ticks_since_change: usize,
+    service_s_per_frame: f64,
+    min_confidence: f64,
+}
+
+impl PredictiveScale {
+    /// Builds the controller from the autoscale and forecaster
+    /// configurations.
+    pub fn from_config(cfg: &AutoscaleConfig, forecast: &ForecastConfig) -> Self {
+        Self {
+            min: cfg.min_workers,
+            max: cfg.max_workers,
+            step: cfg.scale_step,
+            up_shed_rate: cfg.up_shed_rate,
+            up_p99_s: cfg.up_p99_s,
+            down_p99_s: cfg.down_p99_s,
+            cooldown_ticks: cfg.cooldown_ticks,
+            // The first tick is allowed to act immediately.
+            ticks_since_change: cfg.cooldown_ticks,
+            service_s_per_frame: cfg.service_s_per_frame,
+            min_confidence: forecast.min_confidence,
+        }
+    }
+
+    /// The hysteresis decision body, shared by the low-confidence
+    /// fallback path.
+    fn reactive(&mut self, s: &ControlSample) -> Option<(usize, ScaleReason)> {
+        let shedding = s.window_shed_rate() > self.up_shed_rate;
+        let slow = s.window_p99_s.is_some_and(|p| p > self.up_p99_s);
+        if (shedding || slow) && s.active_workers < self.max {
+            self.ticks_since_change = 0;
+            let reason = if shedding {
+                ScaleReason::DropRate
+            } else {
+                ScaleReason::TailLatency
+            };
+            return Some(((s.active_workers + self.step).min(self.max), reason));
+        }
+        let calm = s.window_shed == 0
+            && s.backlog == 0
+            && s.window_p99_s.is_none_or(|p| p < self.down_p99_s)
+            && s.busy_workers < s.active_workers;
+        if calm && s.active_workers > self.min {
+            self.ticks_since_change = 0;
+            let target = s.active_workers.saturating_sub(self.step).max(self.min);
+            return Some((target, ScaleReason::Idle));
+        }
+        self.ticks_since_change += 1;
+        None
+    }
+}
+
+impl ScalePolicy for PredictiveScale {
+    fn name(&self) -> &'static str {
+        "predictive"
+    }
+
+    fn desired_workers(&mut self, s: &ControlSample) -> Option<(usize, ScaleReason)> {
+        if self.ticks_since_change < self.cooldown_ticks {
+            self.ticks_since_change += 1;
+            return None;
+        }
+        if s.forecast_confidence < self.min_confidence {
+            return self.reactive(s);
+        }
+        let needed = ((s.forecast_rate_fps * self.service_s_per_frame).ceil() as usize)
+            .clamp(self.min, self.max);
+        if needed > s.active_workers {
+            self.ticks_since_change = 0;
+            return Some((needed, ScaleReason::Predictive));
+        }
+        let calm = s.window_shed == 0 && s.backlog == 0 && s.busy_workers < s.active_workers;
+        if needed < s.active_workers && calm {
+            self.ticks_since_change = 0;
+            return Some((needed, ScaleReason::Predictive));
+        }
+        // At (or pinned above) the forecast target: hold, but reactive
+        // shed/p99 breaches still scale up — a wrong forecast must not
+        // mask damage. The hysteresis idle rule is deliberately *not*
+        // consulted here, so a calm instant cannot drag the fleet below
+        // what the forecast says is about to arrive.
+        let shedding = s.window_shed_rate() > self.up_shed_rate;
+        let slow = s.window_p99_s.is_some_and(|p| p > self.up_p99_s);
+        if (shedding || slow) && s.active_workers < self.max {
+            self.ticks_since_change = 0;
+            let reason = if shedding {
+                ScaleReason::DropRate
+            } else {
+                ScaleReason::TailLatency
+            };
+            return Some(((s.active_workers + self.step).min(self.max), reason));
+        }
+        self.ticks_since_change += 1;
+        None
+    }
+}
+
 /// Nearest-rank p99 over one control window's completed latencies
 /// (`None` for an empty window).
 pub(crate) fn window_p99(latencies: &[f64]) -> Option<f64> {
@@ -266,6 +397,8 @@ mod tests {
             window_arrived: 10,
             window_shed: 0,
             window_p99_s: Some(0.01),
+            forecast_rate_fps: 0.0,
+            forecast_confidence: 0.0,
         }
     }
 
@@ -333,6 +466,95 @@ mod tests {
         // …and holds there without re-deciding.
         s.active_workers = 1;
         assert_eq!(p.desired_workers(&s), None);
+    }
+
+    fn predictive(min: usize, max: usize) -> PredictiveScale {
+        let cfg = AutoscaleConfig::predictive(min, max).with_cooldown_ticks(0);
+        // service_s_per_frame defaults to 0.05: 20 fps per worker.
+        PredictiveScale::from_config(&cfg, &ForecastConfig::new())
+    }
+
+    #[test]
+    fn predictive_jumps_to_the_forecast_target_in_one_tick() {
+        let mut p = predictive(1, 16);
+        let mut s = calm_sample(2);
+        s.busy_workers = 2; // not calm: only the forecast can move us
+        s.forecast_rate_fps = 200.0; // needs ceil(200 × 0.05) = 10
+        s.forecast_confidence = 0.9;
+        assert_eq!(
+            p.desired_workers(&s),
+            Some((10, ScaleReason::Predictive)),
+            "confident forecast re-targets directly, no step climb"
+        );
+    }
+
+    #[test]
+    fn predictive_scales_down_only_when_calm() {
+        let mut p = predictive(1, 16);
+        let mut s = calm_sample(8);
+        s.forecast_rate_fps = 40.0; // needs 2
+        s.forecast_confidence = 0.9;
+        assert_eq!(p.desired_workers(&s), Some((2, ScaleReason::Predictive)));
+        // Same forecast with backlog still queued: hold.
+        let mut busy = s;
+        busy.backlog = 5;
+        let mut p = predictive(1, 16);
+        assert_eq!(p.desired_workers(&busy), None);
+    }
+
+    #[test]
+    fn predictive_falls_back_to_hysteresis_at_low_confidence() {
+        let mut p = predictive(1, 8);
+        let mut s = calm_sample(2);
+        s.window_shed = 5;
+        s.forecast_rate_fps = 40.0; // would need 2 — but not trusted
+        s.forecast_confidence = 0.1;
+        assert_eq!(
+            p.desired_workers(&s),
+            Some((3, ScaleReason::DropRate)),
+            "low confidence degrades to the reactive step climb"
+        );
+    }
+
+    #[test]
+    fn predictive_never_lets_a_wrong_forecast_mask_damage() {
+        let mut p = predictive(1, 8);
+        let mut s = calm_sample(2);
+        s.busy_workers = 2;
+        s.window_shed = 5; // shedding now…
+        s.forecast_rate_fps = 20.0; // …while the forecast claims 1 worker
+        s.forecast_confidence = 0.9;
+        assert_eq!(p.desired_workers(&s), Some((3, ScaleReason::DropRate)));
+    }
+
+    #[test]
+    fn predictive_honours_the_cooldown() {
+        let cfg = AutoscaleConfig::predictive(1, 16).with_cooldown_ticks(2);
+        let mut p = PredictiveScale::from_config(&cfg, &ForecastConfig::new());
+        let mut s = calm_sample(1);
+        s.busy_workers = 1;
+        s.forecast_rate_fps = 100.0;
+        s.forecast_confidence = 0.9;
+        assert!(p.desired_workers(&s).is_some());
+        s.active_workers = 5;
+        s.forecast_rate_fps = 200.0;
+        assert_eq!(p.desired_workers(&s), None, "cooldown tick 1");
+        assert_eq!(p.desired_workers(&s), None, "cooldown tick 2");
+        assert!(p.desired_workers(&s).is_some(), "cooldown expired");
+    }
+
+    #[test]
+    fn scale_reason_codes_round_trip() {
+        for r in [
+            ScaleReason::DropRate,
+            ScaleReason::TailLatency,
+            ScaleReason::Idle,
+            ScaleReason::LoadTracking,
+            ScaleReason::Predictive,
+        ] {
+            assert_eq!(ScaleReason::from_code(r.code()), Some(r));
+        }
+        assert_eq!(ScaleReason::from_code(99), None);
     }
 
     #[test]

@@ -1,5 +1,7 @@
 //! Serving configuration: scheduling policy, batching, backpressure.
 
+use crate::forecast::ForecastConfig;
+use crate::shard::RebalanceSignal;
 use catdet_core::{GpuTimingModel, PolicyConfig};
 use catdet_net::{LinkParams, NetParams};
 use catdet_recorder::SharedRecorder;
@@ -76,6 +78,10 @@ pub enum ScalePolicyKind {
     Hysteresis,
     /// Step-load-aware proportional tracking of the arrival rate.
     Proportional,
+    /// Forecast-driven proactive scaling: targets the forecast arrival
+    /// rate ahead of a load step, falling back to hysteresis semantics
+    /// while the forecaster's confidence is low.
+    Predictive,
 }
 
 impl ScalePolicyKind {
@@ -85,6 +91,7 @@ impl ScalePolicyKind {
             ScalePolicyKind::Fixed => "fixed",
             ScalePolicyKind::Hysteresis => "hysteresis",
             ScalePolicyKind::Proportional => "proportional",
+            ScalePolicyKind::Predictive => "predictive",
         }
     }
 
@@ -94,6 +101,7 @@ impl ScalePolicyKind {
             "fixed" => Some(ScalePolicyKind::Fixed),
             "hysteresis" => Some(ScalePolicyKind::Hysteresis),
             "proportional" => Some(ScalePolicyKind::Proportional),
+            "predictive" => Some(ScalePolicyKind::Predictive),
             _ => None,
         }
     }
@@ -161,6 +169,18 @@ impl AutoscaleConfig {
             min_workers,
             max_workers,
             service_s_per_frame,
+            ..Self::fixed()
+        }
+    }
+
+    /// Predictive controller bounded to `[min_workers, max_workers]`,
+    /// driven by the fleet's arrival-rate forecaster
+    /// ([`ServeConfig::forecast`]).
+    pub fn predictive(min_workers: usize, max_workers: usize) -> Self {
+        Self {
+            policy: ScalePolicyKind::Predictive,
+            min_workers,
+            max_workers,
             ..Self::fixed()
         }
     }
@@ -396,10 +416,21 @@ pub struct ShardConfig {
     /// Spacing of live-rebalance ticks on the fleet's virtual clock;
     /// `0.0` disables rebalancing (streams stay where placed).
     pub rebalance_interval_s: f64,
-    /// Minimum backlog imbalance (queued frames, hottest minus coolest
-    /// shard) before a migration pays for itself; below it the rebalancer
-    /// holds still. This is the migration-cost hysteresis knob.
+    /// Minimum load imbalance (in frames, hottest minus coolest shard)
+    /// before a migration pays for itself; below it the rebalancer holds
+    /// still. This is the migration-cost hysteresis knob, priced against
+    /// the current backlog gap or the predicted one depending on
+    /// [`rebalance_signal`](ShardConfig::rebalance_signal).
     pub migration_cost_frames: usize,
+    /// Load signal the rebalancer compares across shards: current queued
+    /// backlog (the reactive default) or backlog plus forecast arrivals
+    /// over the forecast horizon.
+    pub rebalance_signal: RebalanceSignal,
+    /// Rebalance ticks a stream must sit out after migrating before it
+    /// may move again. Prevents one stream ping-ponging between two
+    /// shards on alternating ticks under near-symmetric load; `0`
+    /// disables the cooldown.
+    pub migration_cooldown_ticks: usize,
     /// Pool [`RefinementWork`](catdet_core::RefinementWork) across shards:
     /// with [`fuse_refinement`](ServeConfig::fuse_refinement) on, frames
     /// suspended at their refinement boundary on *different shards* share
@@ -423,6 +454,8 @@ impl ShardConfig {
             partition: PartitionKind::StaticHash,
             rebalance_interval_s: 0.0,
             migration_cost_frames: 8,
+            rebalance_signal: RebalanceSignal::Backlog,
+            migration_cooldown_ticks: 2,
             fuse_across_shards: true,
             threads: 1,
         }
@@ -452,6 +485,19 @@ impl ShardConfig {
     /// Returns a copy with a different migration-cost hysteresis.
     pub fn with_migration_cost_frames(mut self, frames: usize) -> Self {
         self.migration_cost_frames = frames;
+        self
+    }
+
+    /// Returns a copy with a different rebalance load signal.
+    pub fn with_rebalance_signal(mut self, signal: RebalanceSignal) -> Self {
+        self.rebalance_signal = signal;
+        self
+    }
+
+    /// Returns a copy with a different per-stream migration cooldown
+    /// (`0` disables).
+    pub fn with_migration_cooldown_ticks(mut self, ticks: usize) -> Self {
+        self.migration_cooldown_ticks = ticks;
         self
     }
 
@@ -800,6 +846,11 @@ pub struct ServeConfig {
     pub timing: GpuTimingModel,
     /// Worker-count control loop; [`AutoscaleConfig::fixed`] disables it.
     pub autoscale: AutoscaleConfig,
+    /// Arrival-rate forecaster shape, read by the predictive autoscaler
+    /// ([`ScalePolicyKind::Predictive`]) and the predicted-load
+    /// rebalancer ([`RebalanceSignal::Predicted`]); inert when neither
+    /// consumer is selected.
+    pub forecast: ForecastConfig,
     /// Arrival gating; [`AdmissionConfig::admit_all`] disables it.
     pub admission: AdmissionConfig,
     /// Fleet sharding; [`ShardConfig::single`] (the default) is the
@@ -832,6 +883,7 @@ impl ServeConfig {
             drop_policy: DropPolicy::Newest,
             timing: GpuTimingModel::titan_x_maxwell(),
             autoscale: AutoscaleConfig::fixed(),
+            forecast: ForecastConfig::new(),
             admission: AdmissionConfig::admit_all(),
             shard: ShardConfig::single(),
             recorder: RecorderConfig::off(),
@@ -899,6 +951,12 @@ impl ServeConfig {
         self
     }
 
+    /// Returns a copy with a different forecaster configuration.
+    pub fn with_forecast(mut self, forecast: ForecastConfig) -> Self {
+        self.forecast = forecast;
+        self
+    }
+
     /// Returns a copy with a different admission configuration.
     pub fn with_admission(mut self, admission: AdmissionConfig) -> Self {
         self.admission = admission;
@@ -941,6 +999,7 @@ impl ServeConfig {
         );
         self.policy.validate();
         self.autoscale.validate();
+        self.forecast.validate();
         self.admission.validate();
         self.shard.validate();
         self.recorder.validate();
@@ -1034,6 +1093,7 @@ mod tests {
             ScalePolicyKind::Fixed,
             ScalePolicyKind::Hysteresis,
             ScalePolicyKind::Proportional,
+            ScalePolicyKind::Predictive,
         ] {
             assert_eq!(ScalePolicyKind::from_name(k.name()), Some(k));
         }
@@ -1057,6 +1117,37 @@ mod tests {
         assert_eq!(cfg.autoscale.max_workers, 6);
         assert_eq!(cfg.admission.kind, AdmissionKind::TokenBucket);
         assert!(!AutoscaleConfig::fixed().enabled());
+    }
+
+    #[test]
+    fn predictive_autoscale_and_forecast_ride_the_builder() {
+        let cfg = ServeConfig::new()
+            .with_autoscale(AutoscaleConfig::predictive(2, 12))
+            .with_forecast(ForecastConfig::new().with_horizon_s(0.75))
+            .with_shard(
+                ShardConfig::sharded(4)
+                    .with_rebalance_signal(RebalanceSignal::Predicted)
+                    .with_migration_cooldown_ticks(3),
+            );
+        cfg.validate();
+        assert_eq!(cfg.autoscale.policy, ScalePolicyKind::Predictive);
+        assert!(cfg.autoscale.enabled());
+        assert_eq!(cfg.forecast.horizon_s, 0.75);
+        assert_eq!(cfg.shard.rebalance_signal, RebalanceSignal::Predicted);
+        assert_eq!(cfg.shard.migration_cooldown_ticks, 3);
+        assert_eq!(
+            ServeConfig::new().shard.rebalance_signal,
+            RebalanceSignal::Backlog,
+            "the predicted signal is opt-in"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "forecast horizon")]
+    fn negative_forecast_horizon_is_rejected() {
+        ServeConfig::new()
+            .with_forecast(ForecastConfig::new().with_horizon_s(-1.0))
+            .validate();
     }
 
     #[test]

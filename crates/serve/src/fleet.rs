@@ -14,10 +14,13 @@
 //!   fleet is exactly as deterministic as one scheduler.
 //! * **Live rebalancing** — at every
 //!   [`rebalance_interval_s`](crate::ShardConfig::rebalance_interval_s)
-//!   tick the fleet compares shard backlogs; when the hottest shard leads
-//!   the coolest by more than
+//!   tick the fleet compares shard loads — queued backlog, or (with the
+//!   [`RebalanceSignal::Predicted`](crate::RebalanceSignal) signal)
+//!   backlog plus each stream's forecast arrivals over the forecast
+//!   horizon; when the hottest shard leads the coolest by more than
 //!   [`migration_cost_frames`](crate::ShardConfig::migration_cost_frames),
-//!   the most backlogged *migratable* stream moves. Migration happens at a
+//!   the best-balancing *migratable* stream moves (streams that just
+//!   moved sit out a per-stream cooldown). Migration happens at a
 //!   stage-boundary suspend point: the stream's suspended pipeline (tracker
 //!   state, frame scratch), queued backlog, undelivered frames and every
 //!   counter relocate wholesale, so **no frame is ever lost or duplicated**
@@ -46,7 +49,7 @@ use crate::report::{
     merge_timelines, BatchRecord, BatchStats, LatencyStats, ServeReport, StreamReport,
 };
 use crate::scheduler::{panic_message, Engine, StreamSpec, EPS};
-use crate::shard::{build_partition, MigrationEvent};
+use crate::shard::{build_partition, MigrationEvent, RebalanceSignal};
 use catdet_recorder::{Event, FlightRecorder, NullRecorder, SharedRecorder};
 use std::fmt::Write as _;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -597,6 +600,7 @@ fn serve_fleet_impl(
     let mut migrations: Vec<MigrationEvent> = Vec::new();
     let mut fused_refinements: Vec<FleetRefineRecord> = Vec::new();
     let mut fused_gpu = 0.0_f64;
+    let mut rebalance_state = RebalanceState::default();
     let mut next_rebalance = if rebalance_on {
         sc.rebalance_interval_s
     } else {
@@ -633,7 +637,14 @@ fn serve_fleet_impl(
             run_all(pool.as_ref(), &mut engines, next);
             if rebalance_on && next_rebalance <= next + EPS {
                 flush_in_order(&mut engines);
-                rebalance(&sc, &mut engines, next_rebalance, &mut migrations, recorder);
+                rebalance(
+                    &sc,
+                    &mut engines,
+                    next_rebalance,
+                    &mut migrations,
+                    recorder,
+                    &mut rebalance_state,
+                );
                 next_rebalance += sc.rebalance_interval_s;
             }
         }
@@ -656,7 +667,14 @@ fn serve_fleet_impl(
                 break;
             }
             flush_in_order(&mut engines);
-            rebalance(&sc, &mut engines, next_rebalance, &mut migrations, recorder);
+            rebalance(
+                &sc,
+                &mut engines,
+                next_rebalance,
+                &mut migrations,
+                recorder,
+                &mut rebalance_state,
+            );
             next_rebalance += sc.rebalance_interval_s;
         }
     }
@@ -737,18 +755,46 @@ fn fire_fleet_refinements(
     }
 }
 
+/// Cross-tick rebalancer memory: the tick counter and, per fleet-wide
+/// stream id, the tick of the stream's last migration. The per-stream
+/// cooldown is what breaks the two-shard ping-pong: without it, a stream
+/// whose queue sits near half the imbalance can be the best candidate in
+/// *both* directions on alternating ticks under symmetric load, bouncing
+/// forever while paying the migration cost twice per cycle.
+#[derive(Debug, Default)]
+struct RebalanceState {
+    /// Rebalance ticks fired so far (the cooldown clock).
+    tick: u64,
+    /// Fleet-wide stream id → tick of its last migration.
+    last_move: std::collections::BTreeMap<usize, u64>,
+}
+
+impl RebalanceState {
+    /// Whether a stream may migrate at the current tick: more than
+    /// `cooldown` ticks must have passed since it last moved.
+    fn eligible(&self, global_id: usize, cooldown: u64) -> bool {
+        match self.last_move.get(&global_id) {
+            Some(&moved) => self.tick - moved > cooldown,
+            None => true,
+        }
+    }
+}
+
 /// Picks the (hot, cool) shard pair for one rebalance tick, or `None`
 /// when no pair is worth a migration.
 ///
 /// The selection is explicitly deterministic: hot is the *lowest shard
-/// id* among the maximum backlogs, cool the *lowest shard id* among the
-/// minimum backlogs. An earlier version leaned on iterator scan order
+/// id* among the maximum loads, cool the *lowest shard id* among the
+/// minimum loads. An earlier version leaned on iterator scan order
 /// and a `usize::MAX - k` key inversion to break ties, which was easy to
 /// regress when the scan changed; the tie rule is now spelled out in one
 /// place and pinned by unit tests. The pair is rejected unless the
-/// backlog gap strictly exceeds `migration_cost_frames` — a migration
-/// must buy more balance than it costs.
-fn pick_rebalance_pair(loads: &[usize], migration_cost_frames: usize) -> Option<(usize, usize)> {
+/// load gap strictly exceeds `migration_cost` — a migration must buy
+/// more balance than it costs. Loads are `f64` so the predicted signal
+/// (fractional forecast frames) and the exact integer backlog signal
+/// share one selection rule; integer inputs order exactly as they did
+/// when this took `usize`.
+fn pick_rebalance_pair_by(loads: &[f64], migration_cost: f64) -> Option<(usize, usize)> {
     let (mut hot, mut cool) = (0, 0);
     for k in 1..loads.len() {
         // Strict comparisons keep the earliest (lowest-id) extremum.
@@ -759,49 +805,96 @@ fn pick_rebalance_pair(loads: &[usize], migration_cost_frames: usize) -> Option<
             cool = k;
         }
     }
-    if loads.is_empty() || hot == cool || loads[hot] - loads[cool] <= migration_cost_frames {
+    if loads.is_empty() || hot == cool || loads[hot] - loads[cool] <= migration_cost {
         return None;
     }
     Some((hot, cool))
 }
 
-/// One rebalance tick: if the hottest shard's queued backlog leads the
-/// coolest by more than the migration cost, move the migratable stream
-/// whose queue best evens the pair out. One migration per tick keeps the
-/// control loop gentle and every decision attributable.
+/// The integer-backlog entry point to [`pick_rebalance_pair_by`]: the
+/// pinned legacy tests drive it to prove the `f64` generalisation keeps
+/// the reactive signal's exact historical semantics.
+#[cfg(test)]
+fn pick_rebalance_pair(loads: &[usize], migration_cost_frames: usize) -> Option<(usize, usize)> {
+    let loads: Vec<f64> = loads.iter().map(|&q| q as f64).collect();
+    pick_rebalance_pair_by(&loads, migration_cost_frames as f64)
+}
+
+/// One rebalance tick: if the hottest shard's load leads the coolest by
+/// more than the migration cost, move the migratable stream whose load
+/// best evens the pair out. One migration per tick keeps the control
+/// loop gentle and every decision attributable.
 ///
-/// Two guards make the controller thrash-free:
-/// * only streams whose queue is **strictly smaller than the imbalance**
+/// The load is the configured [`RebalanceSignal`]: queued backlog
+/// (reactive), or queued backlog plus forecast arrivals over the
+/// forecast horizon (predictive) — with the predicted signal,
+/// `migration_cost_frames` is priced against the *predicted* gain, and a
+/// shard about to burst sheds a stream before its queues show damage.
+///
+/// Three guards make the controller thrash-free:
+/// * only streams whose load is **strictly smaller than the imbalance**
 ///   are candidates — moving a larger one would just flip the imbalance
 ///   (and a stream that *is* the entire backlog gains nothing from a
 ///   move: its frames face one worker pool either way);
-/// * among candidates, the queue closest to half the imbalance wins (ties
+/// * among candidates, the load closest to half the imbalance wins (ties
 ///   to the lowest stream id), so the post-move imbalance is minimal and
 ///   the same stream can never satisfy the candidate rule again at the
-///   next tick unless real load shifted.
+///   next tick unless real load shifted;
+/// * a stream that just moved is ineligible for
+///   [`migration_cooldown_ticks`](crate::ShardConfig::migration_cooldown_ticks)
+///   further ticks, so symmetric load can never bounce one stream
+///   between two shards on alternating ticks.
 fn rebalance(
     sc: &crate::ShardConfig,
     engines: &mut [Engine],
     t: f64,
     migrations: &mut Vec<MigrationEvent>,
     recorder: Option<&SharedRecorder>,
+    state: &mut RebalanceState,
 ) {
-    let loads: Vec<usize> = engines.iter().map(|e| e.backlog()).collect();
-    let Some((hot, cool)) = pick_rebalance_pair(&loads, sc.migration_cost_frames) else {
+    state.tick += 1;
+    let predicted = sc.rebalance_signal == RebalanceSignal::Predicted;
+    let loads: Vec<f64> = engines
+        .iter()
+        .map(|e| {
+            if predicted {
+                e.predicted_backlog(t)
+            } else {
+                e.backlog() as f64
+            }
+        })
+        .collect();
+    let Some((hot, cool)) = pick_rebalance_pair_by(&loads, sc.migration_cost_frames as f64) else {
         return;
     };
     let imbalance = loads[hot] - loads[cool];
-    // Best-balancing migratable stream: queue in (0, imbalance), residual
-    // |imbalance − 2·queue| minimal, ties to the lowest global id.
+    let cooldown = sc.migration_cooldown_ticks as u64;
+    // Best-balancing migratable stream: load in (0, imbalance), residual
+    // |imbalance − 2·load| minimal, ties to the lowest global id.
     let candidate = engines[hot]
         .migratable_streams()
-        .map(|local| (engines[hot].stream_backlog(local), local))
-        .filter(|&(q, _)| q > 0 && q < imbalance)
-        .min_by_key(|&(q, local)| {
-            (
-                (imbalance as i64 - 2 * q as i64).unsigned_abs(),
-                engines[hot].global_stream_id(local),
-            )
+        .map(|local| {
+            let q = if predicted {
+                engines[hot].predicted_stream_backlog(local, t)
+            } else {
+                engines[hot].stream_backlog(local) as f64
+            };
+            (q, local)
+        })
+        .filter(|&(q, local)| {
+            q > 0.0
+                && q < imbalance
+                && state.eligible(engines[hot].global_stream_id(local), cooldown)
+        })
+        .min_by(|&(qa, la), &(qb, lb)| {
+            (imbalance - 2.0 * qa)
+                .abs()
+                .total_cmp(&(imbalance - 2.0 * qb).abs())
+                .then_with(|| {
+                    engines[hot]
+                        .global_stream_id(la)
+                        .cmp(&engines[hot].global_stream_id(lb))
+                })
         });
     let Some((_, local)) = candidate else {
         return; // nothing movable improves balance right now; next tick
@@ -809,6 +902,7 @@ fn rebalance(
     let Some(m) = engines[hot].extract_stream(local) else {
         return;
     };
+    state.last_move.insert(m.global_id(), state.tick);
     migrations.push(MigrationEvent {
         t_s: t,
         stream: m.global_id(),
@@ -835,7 +929,7 @@ fn rebalance(
 
 #[cfg(test)]
 mod tests {
-    use super::pick_rebalance_pair;
+    use super::{pick_rebalance_pair, pick_rebalance_pair_by, RebalanceState};
 
     #[test]
     fn rebalance_pair_ties_break_to_lowest_shard_id() {
@@ -860,5 +954,37 @@ mod tests {
     fn rebalance_pair_handles_degenerate_fleets() {
         assert_eq!(pick_rebalance_pair(&[], 0), None);
         assert_eq!(pick_rebalance_pair(&[7], 0), None);
+    }
+
+    #[test]
+    fn rebalance_pair_by_prices_fractional_predicted_loads() {
+        // The predicted signal produces fractional loads: the gap must
+        // still strictly exceed the cost.
+        assert_eq!(pick_rebalance_pair_by(&[8.5, 2.0], 6.5), None);
+        assert_eq!(pick_rebalance_pair_by(&[8.5, 2.0], 6.4), Some((0, 1)));
+        // Tie rules match the integer path.
+        assert_eq!(
+            pick_rebalance_pair_by(&[0.5, 9.5, 9.5, 0.5], 0.0),
+            Some((1, 0))
+        );
+    }
+
+    #[test]
+    fn cooldown_blocks_a_fresh_mover_until_the_ticks_pass() {
+        let mut state = RebalanceState {
+            tick: 5,
+            ..Default::default()
+        };
+        state.last_move.insert(7, 5);
+        // Cooldown 2: ineligible at ticks 6 and 7, eligible again at 8.
+        for (tick, want) in [(6, false), (7, false), (8, true)] {
+            state.tick = tick;
+            assert_eq!(state.eligible(7, 2), want, "tick {tick}");
+        }
+        // A stream that never moved is always eligible.
+        assert!(state.eligible(9, 2));
+        // Cooldown 0 is the legacy rule: eligible on the very next tick.
+        state.tick = 6;
+        assert!(state.eligible(7, 0));
     }
 }

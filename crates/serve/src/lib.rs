@@ -34,6 +34,12 @@
 //!   drop-rate + window p99, or step-load-aware proportional tracking)
 //!   grows and shrinks the active worker set at a configurable control
 //!   interval, on the virtual clock.
+//! * **Predictive control plane** — every stream carries an
+//!   [`ArrivalHistory`] ring that a shared [`RateForecaster`] (EWMA
+//!   level + trend with a burst-phase detector) turns into per-stream
+//!   arrival forecasts; [`PredictiveScale`] scales up *ahead* of a
+//!   forecast breach, and the fleet rebalancer can weigh shards by
+//!   predicted (not merely current) load.
 //! * **Reporting** — [`ServeReport`] carries aggregate throughput
 //!   (frames/s of virtual time), per-stream latency percentiles
 //!   (p50/p95/p99) with their raw samples, ops totals, drop/reject
@@ -90,6 +96,7 @@ pub mod admission;
 pub mod autoscale;
 pub mod config;
 pub mod fleet;
+pub mod forecast;
 pub mod ingest;
 pub mod replay;
 pub mod report;
@@ -102,14 +109,15 @@ pub use admission::{
     PriorityShed, TokenBucket,
 };
 pub use autoscale::{
-    ControlSample, FixedScale, HysteresisScale, ProportionalScale, ScaleEvent, ScalePolicy,
-    ScaleReason,
+    ControlSample, FixedScale, HysteresisScale, PredictiveScale, ProportionalScale, ScaleEvent,
+    ScalePolicy, ScaleReason,
 };
 pub use config::{
     AdmissionConfig, AdmissionKind, AutoscaleConfig, DropPolicy, IngestConfig, IngestKind,
     PartitionKind, RecorderConfig, ScalePolicyKind, SchedulePolicy, ServeConfig, ShardConfig,
 };
 pub use fleet::{serve_fleet, serve_fleet_with_recorder, FleetRefineRecord, FleetReport};
+pub use forecast::{ArrivalHistory, BurstPhase, Forecast, ForecastConfig, RateForecaster};
 pub use ingest::{serve_net_fleet, serve_net_fleet_with_recorder};
 pub use replay::{replay_stream, ReplayError, ReplayReport, ReplayedFrame, StreamSnapshot};
 pub use report::{
@@ -118,9 +126,13 @@ pub use report::{
 };
 pub use scheduler::{serve, serve_with_recorder, StreamSpec};
 pub use shard::{
-    build_partition, ConsistentHashRing, LeastLoaded, MigrationEvent, PartitionPolicy, StaticHash,
+    build_partition, ConsistentHashRing, LeastLoaded, MigrationEvent, PartitionPolicy,
+    RebalanceSignal, StaticHash,
 };
-pub use workload::{bursty_workload, kitti_workload, mixed_workload, step_workload, BurstProfile};
+pub use workload::{
+    bursty_workload, kitti_workload, mixed_workload, ramp_workload, sine_workload, step_workload,
+    BurstProfile,
+};
 
 // Re-export the pieces callers almost always need alongside.
 pub use catdet_core::{

@@ -13,12 +13,12 @@
 
 use catdet_recorder::{read_file, Event, EventKind, Query};
 use catdet_serve::{
-    bursty_workload, mixed_workload, serve, serve_fleet, serve_fleet_with_recorder,
-    serve_net_fleet, serve_net_fleet_with_recorder, serve_with_recorder, AdmissionConfig,
-    AdmissionKind, AdmissionReason, AutoscaleConfig, BurstProfile, ConnEventKind, DropPolicy,
-    IngestConfig, IngestKind, PartitionKind, PolicyConfig, PolicyDecision, PolicyKind,
-    RecorderConfig, ScalePolicyKind, ScaleReason, SchedulePolicy, ServeConfig, ShardConfig,
-    StreamSpec, SystemKind,
+    bursty_workload, mixed_workload, ramp_workload, serve, serve_fleet, serve_fleet_with_recorder,
+    serve_net_fleet, serve_net_fleet_with_recorder, serve_with_recorder, sine_workload,
+    AdmissionConfig, AdmissionKind, AdmissionReason, AutoscaleConfig, BurstPhase, BurstProfile,
+    ConnEventKind, DropPolicy, ForecastConfig, IngestConfig, IngestKind, PartitionKind,
+    PolicyConfig, PolicyDecision, PolicyKind, RebalanceSignal, RecorderConfig, ScalePolicyKind,
+    ScaleReason, SchedulePolicy, ServeConfig, ShardConfig, StreamSpec, SystemKind,
 };
 use std::path::Path;
 
@@ -26,6 +26,8 @@ use std::path::Path;
 enum WorkloadKind {
     Mixed,
     Bursty,
+    Ramp,
+    Sine,
 }
 
 impl WorkloadKind {
@@ -33,6 +35,8 @@ impl WorkloadKind {
         match self {
             WorkloadKind::Mixed => "mixed",
             WorkloadKind::Bursty => "bursty",
+            WorkloadKind::Ramp => "ramp",
+            WorkloadKind::Sine => "sine",
         }
     }
 
@@ -40,6 +44,8 @@ impl WorkloadKind {
         match name {
             "mixed" => Some(WorkloadKind::Mixed),
             "bursty" => Some(WorkloadKind::Bursty),
+            "ramp" => Some(WorkloadKind::Ramp),
+            "sine" => Some(WorkloadKind::Sine),
             _ => None,
         }
     }
@@ -76,6 +82,8 @@ struct Args {
     partition: PartitionKind,
     rebalance_ms: f64,
     migration_cost: usize,
+    rebalance_signal: RebalanceSignal,
+    migration_cooldown: usize,
     no_fuse_across_shards: bool,
     threads: usize,
     record: Option<String>,
@@ -89,6 +97,10 @@ struct Args {
     reorder_rate: f64,
     door_rate: f64,
     door_burst: f64,
+    forecast_bucket_ms: f64,
+    forecast_buckets: usize,
+    forecast_horizon_ms: f64,
+    forecast_confidence: f64,
     // Which flags the user actually passed — the net-only knobs conflict
     // with direct ingest (and vice versa), and that is only decidable if
     // defaults and explicit values are distinguishable.
@@ -103,6 +115,10 @@ struct Args {
     reorder_rate_set: bool,
     door_rate_set: bool,
     door_burst_set: bool,
+    forecast_bucket_set: bool,
+    forecast_buckets_set: bool,
+    forecast_horizon_set: bool,
+    forecast_confidence_set: bool,
 }
 
 impl Default for Args {
@@ -137,6 +153,8 @@ impl Default for Args {
             partition: PartitionKind::StaticHash,
             rebalance_ms: 0.0,
             migration_cost: 8,
+            rebalance_signal: RebalanceSignal::Backlog,
+            migration_cooldown: 2,
             no_fuse_across_shards: false,
             threads: 1,
             record: None,
@@ -150,6 +168,10 @@ impl Default for Args {
             reorder_rate: 0.0,
             door_rate: 120.0,
             door_burst: 16.0,
+            forecast_bucket_ms: 250.0,
+            forecast_buckets: 32,
+            forecast_horizon_ms: 500.0,
+            forecast_confidence: 0.35,
             streams_set: false,
             workload_set: false,
             policy_set: false,
@@ -161,6 +183,10 @@ impl Default for Args {
             reorder_rate_set: false,
             door_rate_set: false,
             door_burst_set: false,
+            forecast_bucket_set: false,
+            forecast_buckets_set: false,
+            forecast_horizon_set: false,
+            forecast_confidence_set: false,
         }
     }
 }
@@ -177,7 +203,9 @@ USAGE:
                         single-resnet50 [catdet-a]
     --seed <N>          workload seed [2019]
     --workload <W>      mixed (KITTI/CityPersons fleet) | bursty
-                        (quiet/stampede arrival cycles) [mixed]
+                        (quiet/stampede arrival cycles) | ramp (rate climbs
+                        2 -> 20 fps over 3 s) | sine (rate swings 10 +/- 6
+                        fps on a 2 s period) [mixed]
 
   scheduler (batching, queues, backpressure — per shard):
     --workers <N>       initial worker threads / modelled executors [4]
@@ -203,10 +231,24 @@ USAGE:
                         --policy confidence-trigger) [1]
 
   autoscale (feedback control on drop-rate + window p99 — per shard):
-    --autoscale <P>     fixed | hysteresis | proportional [fixed]
+    --autoscale <P>     fixed | hysteresis | proportional | predictive
+                        (scale ahead of the forecast arrival rate, falling
+                        back to hysteresis at low confidence) [fixed]
     --min-workers <N>   autoscale floor [1]
     --max-workers <N>   autoscale ceiling [8]
     --interval-ms <MS>  control-loop interval, virtual time [250]
+
+  forecast (per-stream arrival-rate forecaster feeding the predictive
+  control plane; requires --autoscale predictive or --rebalance predicted):
+    --forecast-bucket-ms <MS>
+                        arrival-history bucket width, virtual time [250]
+    --forecast-buckets <N>
+                        complete buckets of history kept per stream [32]
+    --forecast-horizon-ms <MS>
+                        how far ahead the forecast looks [500]
+    --forecast-confidence <C>
+                        confidence floor in [0, 1]; below it the
+                        predictive policy falls back to hysteresis [0.35]
 
   admission (gates arrivals before queueing — per shard):
     --admission <P>     admit-all | token-bucket | priority [admit-all]
@@ -228,6 +270,13 @@ USAGE:
                         (0 disables migration) [0]
     --migration-cost-frames <N>
                         min backlog imbalance before a migration pays [8]
+    --rebalance <S>     backlog (queued frames now) | predicted (queued
+                        frames plus forecast arrivals over the forecast
+                        horizon) [backlog]
+    --migration-cooldown-ticks <N>
+                        rebalance ticks a freshly moved stream sits out
+                        before it may migrate again (0 restores the
+                        cooldown-free rule) [2]
     --no-fuse-across-shards
                         keep refinement fusion within each shard instead
                         of pooling work items fleet-wide [fleet-wide]
@@ -270,7 +319,7 @@ USAGE:
     -h, --help          print this help
 
 SUBCOMMANDS:
-    query <FILE> [--kind detection|track|batch|scale|admission|migration|conn|policy]
+    query <FILE> [--kind detection|track|batch|scale|admission|migration|conn|policy|forecast]
                  [--stream <N>] [--shard <N>] [--from <S>] [--to <S>]
                  [--limit <N>]
         scan a saved recording: print matching events in time order and,
@@ -354,6 +403,28 @@ fn parse_args_from(it: impl Iterator<Item = String>) -> Result<Args, String> {
             "--shards" => args.shards = parse_num(&flag, &value)?,
             "--rebalance-interval-ms" => args.rebalance_ms = parse_num(&flag, &value)?,
             "--migration-cost-frames" => args.migration_cost = parse_num(&flag, &value)?,
+            "--migration-cooldown-ticks" => args.migration_cooldown = parse_num(&flag, &value)?,
+            "--rebalance" => {
+                args.rebalance_signal = RebalanceSignal::from_name(&value).ok_or_else(|| {
+                    format!("--rebalance: unknown signal {value} (backlog | predicted)")
+                })?
+            }
+            "--forecast-bucket-ms" => {
+                args.forecast_bucket_ms = parse_num(&flag, &value)?;
+                args.forecast_bucket_set = true;
+            }
+            "--forecast-buckets" => {
+                args.forecast_buckets = parse_num(&flag, &value)?;
+                args.forecast_buckets_set = true;
+            }
+            "--forecast-horizon-ms" => {
+                args.forecast_horizon_ms = parse_num(&flag, &value)?;
+                args.forecast_horizon_set = true;
+            }
+            "--forecast-confidence" => {
+                args.forecast_confidence = parse_num(&flag, &value)?;
+                args.forecast_confidence_set = true;
+            }
             "--threads" => args.threads = parse_num(&flag, &value)?,
             "--record" => args.record = Some(value),
             "--record-chunk-events" => args.record_chunk_events = parse_num(&flag, &value)?,
@@ -493,6 +564,45 @@ fn parse_args_from(it: impl Iterator<Item = String>) -> Result<Args, String> {
             args.rebalance_ms
         ));
     }
+    // The forecast knobs steer the predictive control plane; with neither
+    // predictive consumer enabled they would silently do nothing.
+    let forecasting = args.autoscale == ScalePolicyKind::Predictive
+        || args.rebalance_signal == RebalanceSignal::Predicted;
+    if !forecasting {
+        let forecast_only: [(&str, bool); 4] = [
+            ("--forecast-bucket-ms", args.forecast_bucket_set),
+            ("--forecast-buckets", args.forecast_buckets_set),
+            ("--forecast-horizon-ms", args.forecast_horizon_set),
+            ("--forecast-confidence", args.forecast_confidence_set),
+        ];
+        if let Some((flag, _)) = forecast_only.iter().find(|(_, set)| *set) {
+            return Err(format!(
+                "{flag} only applies to the predictive control plane; add \
+                 --autoscale predictive or --rebalance predicted"
+            ));
+        }
+    }
+    if !args.forecast_bucket_ms.is_finite() || args.forecast_bucket_ms <= 0.0 {
+        return Err(format!(
+            "--forecast-bucket-ms must be a finite, positive number (got {})",
+            args.forecast_bucket_ms
+        ));
+    }
+    if args.forecast_buckets < 2 {
+        return Err("--forecast-buckets must be at least 2".into());
+    }
+    if !args.forecast_horizon_ms.is_finite() || args.forecast_horizon_ms < 0.0 {
+        return Err(format!(
+            "--forecast-horizon-ms must be a finite, non-negative number (got {})",
+            args.forecast_horizon_ms
+        ));
+    }
+    if !args.forecast_confidence.is_finite() || !(0.0..=1.0).contains(&args.forecast_confidence) {
+        return Err(format!(
+            "--forecast-confidence must be in [0, 1] (got {})",
+            args.forecast_confidence
+        ));
+    }
     if args.record_chunk_events == 0 {
         return Err("--record-chunk-events must be at least 1".into());
     }
@@ -599,6 +709,9 @@ fn main() {
         ScalePolicyKind::Proportional => {
             AutoscaleConfig::proportional(args.min_workers, args.max_workers, 0.05)
         }
+        ScalePolicyKind::Predictive => {
+            AutoscaleConfig::predictive(args.min_workers, args.max_workers)
+        }
     };
     autoscale = autoscale.with_control_interval_s(args.interval_ms / 1e3);
     let admission = match args.admission {
@@ -627,11 +740,20 @@ fn main() {
         .with_drop_policy(args.drop)
         .with_autoscale(autoscale)
         .with_admission(admission)
+        .with_forecast(
+            ForecastConfig::new()
+                .with_bucket_s(args.forecast_bucket_ms / 1e3)
+                .with_history_buckets(args.forecast_buckets)
+                .with_horizon_s(args.forecast_horizon_ms / 1e3)
+                .with_min_confidence(args.forecast_confidence),
+        )
         .with_shard(
             ShardConfig::sharded(args.shards)
                 .with_partition(args.partition)
                 .with_rebalance_interval_s(args.rebalance_ms / 1e3)
                 .with_migration_cost_frames(args.migration_cost)
+                .with_rebalance_signal(args.rebalance_signal)
+                .with_migration_cooldown_ticks(args.migration_cooldown)
                 .with_fuse_across_shards(!args.no_fuse_across_shards)
                 .with_threads(args.threads),
         )
@@ -697,6 +819,24 @@ fn main() {
                 args.seed,
                 args.system,
                 BurstProfile::demo(),
+            ),
+            WorkloadKind::Ramp => ramp_workload(
+                args.streams,
+                args.frames,
+                args.seed,
+                args.system,
+                2.0,
+                20.0,
+                3.0,
+            ),
+            WorkloadKind::Sine => sine_workload(
+                args.streams,
+                args.frames,
+                args.seed,
+                args.system,
+                10.0,
+                6.0,
+                2.0,
             ),
         }
     };
@@ -943,6 +1083,16 @@ fn describe(event: &Event) -> String {
                 None => format!("policy: stream {stream} unknown decision code {decision}"),
             },
         },
+        Event::Forecast {
+            stream,
+            rate_fps,
+            confidence,
+            phase,
+        } => format!(
+            "forecast: stream {stream} -> {rate_fps:.2} fps over the horizon \
+             ({} phase, confidence {confidence:.2})",
+            BurstPhase::from_code(phase).map_or("unknown", |p| p.label())
+        ),
     }
 }
 
@@ -1118,5 +1268,73 @@ mod tests {
         let args = parse(&["--streams", "4", "--workload", "bursty"]).unwrap();
         assert_eq!(args.ingest, IngestKind::Direct);
         assert_eq!(args.streams, 4);
+    }
+
+    #[test]
+    fn forecast_flags_require_a_predictive_consumer() {
+        for flag in [
+            ["--forecast-bucket-ms", "100"],
+            ["--forecast-buckets", "16"],
+            ["--forecast-horizon-ms", "400"],
+            ["--forecast-confidence", "0.5"],
+        ] {
+            let err = parse(&flag).unwrap_err();
+            assert!(err.contains(flag[0]), "{err}");
+            assert!(err.contains("--autoscale predictive"), "{err}");
+        }
+        // Either predictive consumer unlocks them.
+        let args = parse(&["--autoscale", "predictive", "--forecast-horizon-ms", "400"]).unwrap();
+        assert_eq!(args.autoscale, ScalePolicyKind::Predictive);
+        assert_eq!(args.forecast_horizon_ms, 400.0);
+        let args = parse(&["--rebalance", "predicted", "--forecast-buckets", "16"]).unwrap();
+        assert_eq!(args.rebalance_signal, RebalanceSignal::Predicted);
+        assert_eq!(args.forecast_buckets, 16);
+    }
+
+    #[test]
+    fn forecast_flag_ranges_are_checked() {
+        let err = parse(&["--autoscale", "predictive", "--forecast-bucket-ms", "0"]).unwrap_err();
+        assert!(err.contains("--forecast-bucket-ms"), "{err}");
+        let err = parse(&["--autoscale", "predictive", "--forecast-buckets", "1"]).unwrap_err();
+        assert!(err.contains("--forecast-buckets"), "{err}");
+        let err = parse(&["--autoscale", "predictive", "--forecast-horizon-ms", "-1"]).unwrap_err();
+        assert!(err.contains("--forecast-horizon-ms"), "{err}");
+        let err =
+            parse(&["--autoscale", "predictive", "--forecast-confidence", "1.5"]).unwrap_err();
+        assert!(err.contains("--forecast-confidence"), "{err}");
+    }
+
+    #[test]
+    fn rebalance_signal_and_cooldown_parse() {
+        let args = parse(&[]).unwrap();
+        assert_eq!(args.rebalance_signal, RebalanceSignal::Backlog);
+        assert_eq!(args.migration_cooldown, 2);
+        let args = parse(&[
+            "--rebalance",
+            "predicted",
+            "--migration-cooldown-ticks",
+            "0",
+        ])
+        .unwrap();
+        assert_eq!(args.rebalance_signal, RebalanceSignal::Predicted);
+        assert_eq!(args.migration_cooldown, 0);
+        let err = parse(&["--rebalance", "nope"]).unwrap_err();
+        assert!(err.contains("unknown signal"), "{err}");
+    }
+
+    #[test]
+    fn ramp_and_sine_workloads_parse() {
+        let args = parse(&["--workload", "ramp"]).unwrap();
+        assert_eq!(args.workload, WorkloadKind::Ramp);
+        let args = parse(&["--workload", "sine"]).unwrap();
+        assert_eq!(args.workload, WorkloadKind::Sine);
+        for k in [
+            WorkloadKind::Mixed,
+            WorkloadKind::Bursty,
+            WorkloadKind::Ramp,
+            WorkloadKind::Sine,
+        ] {
+            assert_eq!(WorkloadKind::from_name(k.name()), Some(k));
+        }
     }
 }

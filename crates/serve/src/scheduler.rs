@@ -54,12 +54,14 @@ use crate::admission::{
     DowngradeEvent,
 };
 use crate::autoscale::{
-    window_p99, ControlSample, FixedScale, HysteresisScale, ProportionalScale, ScaleEvent,
-    ScalePolicy,
+    window_p99, ControlSample, FixedScale, HysteresisScale, PredictiveScale, ProportionalScale,
+    ScaleEvent, ScalePolicy,
 };
 use crate::config::{DropPolicy, ScalePolicyKind, SchedulePolicy, ServeConfig};
+use crate::forecast::{ArrivalHistory, RateForecaster};
 use crate::replay::StreamSnapshot;
 use crate::report::{BatchRecord, BatchStage, BatchStats, LatencyStats, ServeReport, StreamReport};
+use crate::shard::RebalanceSignal;
 use catdet_core::{
     output_hash, FrameOutput, OpsBreakdown, PolicedPipeline, PolicyConfig, PolicyDecision,
     PolicyKind, RefinementWork, StageStep, StagedDetector, SystemFactory,
@@ -284,6 +286,10 @@ pub(crate) struct StreamRt {
     /// inside the policied pipeline (so it migrates and snapshots); this
     /// mirror is what admission reads without touching the system box.
     degraded: bool,
+    /// Bucketed arrival counts feeding the rate forecaster. Owned by the
+    /// stream (not the engine) so it migrates with it and a forecast is
+    /// identical before and after an `extract_stream`/`admit_stream` hop.
+    history: ArrivalHistory,
     latencies: Vec<f64>,
     ops: OpsBreakdown,
     outputs: Vec<(usize, Vec<catdet_metrics::Detection>)>,
@@ -383,6 +389,14 @@ pub(crate) struct Engine {
     scale_policy: Box<dyn ScalePolicy>,
     admission: Box<dyn AdmissionPolicy>,
     priorities: Vec<u8>,
+    /// Shared per-stream arrival-rate forecaster (a pure function of each
+    /// stream's [`ArrivalHistory`]), consulted by the predictive scale
+    /// policy and the fleet's predicted-load rebalance signal.
+    forecaster: RateForecaster,
+    /// Control ticks aggregate forecasts into the [`ControlSample`] (and
+    /// book `Forecast` events) only when the predictive policy runs, so
+    /// every other policy's recorded byte stream is untouched.
+    forecast_active: bool,
     /// Next control tick, `INFINITY` when autoscaling is off.
     next_control_s: f64,
     /// Frames queued across all streams (kept in lock-step with the
@@ -482,6 +496,7 @@ impl Engine {
                     coasted: 0,
                     skipped: 0,
                     degraded: false,
+                    history: ArrivalHistory::new(&cfg.forecast),
                     latencies: Vec::new(),
                     ops: OpsBreakdown::default(),
                     outputs: Vec::new(),
@@ -495,6 +510,9 @@ impl Engine {
             ScalePolicyKind::Hysteresis => Box::new(HysteresisScale::from_config(&cfg.autoscale)),
             ScalePolicyKind::Proportional => {
                 Box::new(ProportionalScale::from_config(&cfg.autoscale))
+            }
+            ScalePolicyKind::Predictive => {
+                Box::new(PredictiveScale::from_config(&cfg.autoscale, &cfg.forecast))
             }
         };
         let admission = build_admission(&cfg.admission, &priorities);
@@ -562,6 +580,10 @@ impl Engine {
             scale_policy,
             admission,
             priorities,
+            forecaster: RateForecaster::new(cfg.forecast),
+            forecast_active: autoscaling
+                && (cfg.autoscale.policy == ScalePolicyKind::Predictive
+                    || cfg.shard.rebalance_signal == RebalanceSignal::Predicted),
             next_control_s: if autoscaling {
                 start_clock + cfg.autoscale.control_interval_s
             } else {
@@ -704,6 +726,65 @@ impl Engine {
         self.streams[local].queue.len()
     }
 
+    /// One stream's forecast arrivals (frames) over the forecast horizon.
+    fn forecast_frames(&self, s: &StreamRt, t: f64) -> f64 {
+        let f = self.forecaster.forecast(&s.history, t);
+        f.rate_fps * self.forecaster.config().horizon_s
+    }
+
+    /// Queued backlog plus forecast arrivals over the forecast horizon,
+    /// summed across live streams — the fleet rebalancer's *predicted*
+    /// load signal. A pure function of (config, histories, `t`), so it is
+    /// identical at every `--threads` when read at a fleet barrier.
+    pub(crate) fn predicted_backlog(&self, t: f64) -> f64 {
+        self.streams
+            .iter()
+            .filter(|s| !s.departed)
+            .map(|s| s.queue.len() as f64 + self.forecast_frames(s, t))
+            .sum()
+    }
+
+    /// One local slot's predicted load (same units as
+    /// [`predicted_backlog`](Self::predicted_backlog)).
+    pub(crate) fn predicted_stream_backlog(&self, local: usize, t: f64) -> f64 {
+        let s = &self.streams[local];
+        s.queue.len() as f64 + self.forecast_frames(s, t)
+    }
+
+    /// Runs the forecaster over every live stream at control tick `t`:
+    /// returns (summed rate, mean confidence) for the [`ControlSample`]
+    /// and books one `Forecast` event per stream when recording.
+    fn forecast_tick(&mut self, t: f64) -> (f64, f64) {
+        let mut rate = 0.0;
+        let mut conf = 0.0;
+        let mut live = 0usize;
+        for s in &self.streams {
+            if s.departed {
+                continue;
+            }
+            let f = self.forecaster.forecast(&s.history, t);
+            rate += f.rate_fps;
+            conf += f.confidence;
+            live += 1;
+            if self.recorder.enabled() {
+                self.recorder.record(
+                    t,
+                    Event::Forecast {
+                        stream: s.global_id,
+                        rate_fps: f.rate_fps,
+                        confidence: f.confidence,
+                        phase: f.phase.code(),
+                    },
+                );
+            }
+        }
+        if live == 0 {
+            (0.0, 0.0)
+        } else {
+            (rate, conf / live as f64)
+        }
+    }
+
     /// Lifts a stream out of this engine for migration, leaving an inert
     /// tombstone in its slot. Returns `None` if the stream is not at a
     /// suspend point (stage job in flight or frame in a fuse pool) — the
@@ -730,6 +811,7 @@ impl Engine {
             coasted: 0,
             skipped: 0,
             degraded: false,
+            history: ArrivalHistory::new(&self.cfg.forecast),
             latencies: Vec::new(),
             ops: OpsBreakdown::default(),
             outputs: Vec::new(),
@@ -771,6 +853,11 @@ impl Engine {
                     true
                 }
             });
+            let (forecast_rate_fps, forecast_confidence) = if self.forecast_active {
+                self.forecast_tick(t)
+            } else {
+                (0.0, 0.0)
+            };
             let sample = ControlSample {
                 now_s: t,
                 active_workers: self.active_workers,
@@ -782,6 +869,8 @@ impl Engine {
                 window_arrived: self.win_arrived,
                 window_shed: self.win_shed,
                 window_p99_s: window_p99(&window),
+                forecast_rate_fps,
+                forecast_confidence,
             };
             self.win_arrived = 0;
             self.win_shed = 0;
@@ -836,6 +925,10 @@ impl Engine {
                     let s = &mut self.streams[i];
                     s.next_arrival += 1;
                     s.arrived += 1;
+                    // Offered load, counted before admission/drops: the
+                    // forecaster tracks what the camera sends, not what
+                    // the door lets through.
+                    s.history.record(arrival_s);
                 }
                 self.win_arrived += 1;
                 let ctx = AdmissionContext {

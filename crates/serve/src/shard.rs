@@ -130,6 +130,39 @@ pub fn build_partition(kind: PartitionKind) -> Box<dyn PartitionPolicy> {
     }
 }
 
+/// Which load signal the live rebalancer compares across shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RebalanceSignal {
+    /// Queued backlog right now — the reactive signal (the default): a
+    /// shard must already be behind before any stream moves.
+    Backlog,
+    /// Queued backlog plus each stream's forecast arrivals over the
+    /// forecast horizon — the predictive signal: a shard whose streams
+    /// are *about* to burst reads hot before its queues show it, and the
+    /// migration cost is priced against the predicted (not merely
+    /// current) gain.
+    Predicted,
+}
+
+impl RebalanceSignal {
+    /// Stable CLI name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RebalanceSignal::Backlog => "backlog",
+            RebalanceSignal::Predicted => "predicted",
+        }
+    }
+
+    /// Parses a CLI name.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "backlog" => Some(RebalanceSignal::Backlog),
+            "predicted" => Some(RebalanceSignal::Predicted),
+            _ => None,
+        }
+    }
+}
+
 /// One live stream migration, stamped in fleet virtual time.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct MigrationEvent {
@@ -230,5 +263,13 @@ mod tests {
             assert_eq!(PartitionKind::from_name(k.name()), Some(k));
         }
         assert_eq!(PartitionKind::from_name("nope"), None);
+    }
+
+    #[test]
+    fn rebalance_signal_names_round_trip() {
+        for s in [RebalanceSignal::Backlog, RebalanceSignal::Predicted] {
+            assert_eq!(RebalanceSignal::from_name(s.name()), Some(s));
+        }
+        assert_eq!(RebalanceSignal::from_name("nope"), None);
     }
 }

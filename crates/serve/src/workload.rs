@@ -225,6 +225,110 @@ pub fn step_workload(
         .collect()
 }
 
+/// Builds a homogeneous KITTI-like fleet whose arrival rate climbs
+/// linearly from `start_fps` to `end_fps` over the first `ramp_s`
+/// seconds of each camera's life, then holds at `end_fps` — the trend
+/// input for the rate forecaster (a step controller always lags a ramp;
+/// a trend-aware one tracks it).
+///
+/// The workload is deterministic in `seed`.
+pub fn ramp_workload(
+    streams: usize,
+    frames_per_stream: usize,
+    seed: u64,
+    kind: SystemKind,
+    start_fps: f64,
+    end_fps: f64,
+    ramp_s: f64,
+) -> Vec<StreamSpec> {
+    assert!(
+        start_fps > 0.0 && end_fps > 0.0,
+        "arrival rates must be positive"
+    );
+    assert!(
+        ramp_s > 0.0 && ramp_s.is_finite(),
+        "ramp length must be finite and positive"
+    );
+    let ds = kitti_like()
+        .sequences(streams)
+        .frames_per_sequence(frames_per_stream)
+        .seed(seed)
+        .build();
+    let factory: Arc<dyn SystemFactory> = Arc::new(PresetFactory::kitti(kind));
+    ds.sequences()
+        .iter()
+        .enumerate()
+        .map(|(slot, seq)| {
+            let source = retime(
+                slot,
+                seq,
+                slot as f64 * STAGGER_S,
+                ds.width,
+                ds.height,
+                start_fps.max(end_fps) as f32,
+                |t| {
+                    let frac = (t / ramp_s).clamp(0.0, 1.0);
+                    1.0 / (start_fps + (end_fps - start_fps) * frac)
+                },
+            );
+            StreamSpec::new(source, Arc::clone(&factory)).with_priority((slot % 2) as u8)
+        })
+        .collect()
+}
+
+/// Builds a homogeneous KITTI-like fleet whose arrival rate oscillates as
+/// `mean_fps + amplitude_fps · sin(2π·t / period_s)` — a smooth periodic
+/// load with no flat phases, sitting between the step and bursty
+/// extremes. `amplitude_fps` must stay below `mean_fps` so the rate is
+/// always positive.
+///
+/// The workload is deterministic in `seed`.
+pub fn sine_workload(
+    streams: usize,
+    frames_per_stream: usize,
+    seed: u64,
+    kind: SystemKind,
+    mean_fps: f64,
+    amplitude_fps: f64,
+    period_s: f64,
+) -> Vec<StreamSpec> {
+    assert!(mean_fps > 0.0, "arrival rates must be positive");
+    assert!(
+        amplitude_fps >= 0.0 && amplitude_fps < mean_fps,
+        "sine amplitude must be in [0, mean_fps)"
+    );
+    assert!(
+        period_s > 0.0 && period_s.is_finite(),
+        "sine period must be finite and positive"
+    );
+    let ds = kitti_like()
+        .sequences(streams)
+        .frames_per_sequence(frames_per_stream)
+        .seed(seed)
+        .build();
+    let factory: Arc<dyn SystemFactory> = Arc::new(PresetFactory::kitti(kind));
+    ds.sequences()
+        .iter()
+        .enumerate()
+        .map(|(slot, seq)| {
+            let source = retime(
+                slot,
+                seq,
+                slot as f64 * STAGGER_S,
+                ds.width,
+                ds.height,
+                (mean_fps + amplitude_fps) as f32,
+                |t| {
+                    let rate = mean_fps
+                        + amplitude_fps * (2.0 * std::f64::consts::PI * t / period_s).sin();
+                    1.0 / rate
+                },
+            );
+            StreamSpec::new(source, Arc::clone(&factory)).with_priority((slot % 2) as u8)
+        })
+        .collect()
+}
+
 /// Builds a homogeneous KITTI-like workload (used by benches that want a
 /// single-variable sweep).
 pub fn kitti_workload(
@@ -328,6 +432,68 @@ mod tests {
         let switch = gaps.iter().position(|&g| (g - 0.05).abs() < 1e-9).unwrap();
         assert!(gaps[..switch].iter().all(|&g| (g - 0.2).abs() < 1e-9));
         assert!(gaps[switch..].iter().all(|&g| (g - 0.05).abs() < 1e-9));
+    }
+
+    #[test]
+    fn ramp_workload_gaps_shrink_then_plateau() {
+        // 2 fps → 20 fps over 2 s: the first gap is exactly the start
+        // period, gaps shrink monotonically through the ramp, and once a
+        // frame lands past ramp_s every later gap is the end period.
+        let specs = ramp_workload(2, 40, 9, SystemKind::CatdetA, 2.0, 20.0, 2.0);
+        assert_eq!(specs.len(), 2);
+        let arrivals: Vec<f64> = specs[0]
+            .source
+            .frames()
+            .iter()
+            .map(|f| f.arrival_s)
+            .collect();
+        let gaps: Vec<f64> = arrivals.windows(2).map(|w| w[1] - w[0]).collect();
+        assert!(
+            (gaps[0] - 0.5).abs() < 1e-9,
+            "first gap {} ≠ 1/2 s",
+            gaps[0]
+        );
+        assert!(gaps.windows(2).all(|w| w[1] <= w[0] + 1e-9), "gaps grew");
+        let plateau = arrivals.windows(2).position(|w| w[0] >= 2.0).unwrap();
+        assert!(gaps[plateau..].iter().all(|&g| (g - 0.05).abs() < 1e-9));
+        // Deterministic schedule.
+        let again = ramp_workload(2, 40, 9, SystemKind::CatdetA, 2.0, 20.0, 2.0);
+        assert_eq!(specs[0].source, again[0].source);
+        assert_eq!(specs[1].source, again[1].source);
+    }
+
+    #[test]
+    fn sine_workload_oscillates_within_the_rate_band() {
+        // mean 10 fps, amplitude 6 fps, period 2 s: the first gap is
+        // exactly 1/mean (sin 0 = 0), every gap stays inside the
+        // [1/(mean+amp), 1/(mean−amp)] band, and both halves of the swing
+        // actually occur.
+        let specs = sine_workload(1, 60, 4, SystemKind::CatdetA, 10.0, 6.0, 2.0);
+        let arrivals: Vec<f64> = specs[0]
+            .source
+            .frames()
+            .iter()
+            .map(|f| f.arrival_s)
+            .collect();
+        let gaps: Vec<f64> = arrivals.windows(2).map(|w| w[1] - w[0]).collect();
+        assert!(
+            (gaps[0] - 0.1).abs() < 1e-9,
+            "first gap {} ≠ 1/10 s",
+            gaps[0]
+        );
+        let (fast, slow) = (1.0 / 16.0, 1.0 / 4.0);
+        assert!(gaps.iter().all(|&g| g >= fast - 1e-9 && g <= slow + 1e-9));
+        assert!(gaps.iter().any(|&g| g < 0.1 - 1e-3), "never sped up");
+        assert!(gaps.iter().any(|&g| g > 0.1 + 1e-3), "never slowed down");
+        // Deterministic schedule.
+        let again = sine_workload(1, 60, 4, SystemKind::CatdetA, 10.0, 6.0, 2.0);
+        assert_eq!(specs[0].source, again[0].source);
+    }
+
+    #[test]
+    #[should_panic(expected = "sine amplitude")]
+    fn sine_amplitude_at_or_above_mean_is_rejected() {
+        sine_workload(1, 4, 0, SystemKind::CatdetA, 5.0, 5.0, 1.0);
     }
 
     #[test]

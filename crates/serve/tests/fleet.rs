@@ -420,6 +420,104 @@ fn zero_frame_shard_merges_as_absent_not_zero() {
     assert!(empty.summary().contains("shards"));
 }
 
+/// Arrival times for a camera bursting at `fps` for `burst_s` out of
+/// every `cycle_s`, phase-shifted by `phase_offset_s`.
+fn burst_arrivals(
+    phase_offset_s: f64,
+    cycle_s: f64,
+    burst_s: f64,
+    fps: f64,
+    cycles: usize,
+) -> Vec<f64> {
+    let mut out = Vec::new();
+    for c in 0..cycles {
+        let start = phase_offset_s + c as f64 * cycle_s;
+        for i in 0..(burst_s * fps) as usize {
+            out.push(start + i as f64 / fps);
+        }
+    }
+    out
+}
+
+#[test]
+fn migration_cooldown_stops_two_shard_ping_pong() {
+    // Regression: two heavy cameras bursting in anti-phase (ids 0 and 1,
+    // one per shard under least-loaded placement paired with a steady
+    // mid-weight mover and a trickle) flip which shard reads hot every
+    // half-cycle. Without a cooldown the mover (stream 2) is the best
+    // candidate in *both* directions and bounces between the shards on
+    // back-to-back ticks, paying the migration cost twice and balancing
+    // nothing.
+    let streams = || -> Vec<StreamSpec> {
+        vec![
+            common::null_spec_with_arrivals(0, burst_arrivals(0.0, 0.8, 0.4, 100.0, 3)),
+            common::null_spec_with_arrivals(1, burst_arrivals(0.4, 0.8, 0.4, 100.0, 3)),
+            common::null_spec_with_arrivals(2, (0..48).map(|i| i as f64 / 20.0).collect()),
+            common::null_spec_with_arrivals(3, (0..4).map(|i| i as f64 / 2.0).collect()),
+        ]
+    };
+    let total: usize = streams().iter().map(|s| s.source.len()).sum();
+    let interval = 0.05;
+    let cfg = |cooldown: usize| {
+        no_drop_config()
+            .with_workers(1)
+            .with_max_batch(1)
+            .with_shard(
+                ShardConfig::sharded(2)
+                    .with_partition(PartitionKind::LeastLoaded)
+                    .with_rebalance_interval_s(interval)
+                    .with_migration_cost_frames(0)
+                    .with_migration_cooldown_ticks(cooldown),
+            )
+    };
+    // A "bounce": the same stream returning to the shard it just left on
+    // the immediately following tick.
+    let bounces = |report: &FleetReport| {
+        report
+            .migrations
+            .windows(2)
+            .filter(|w| {
+                w[0].stream == w[1].stream
+                    && w[1].from_shard == w[0].to_shard
+                    && w[1].t_s - w[0].t_s <= interval + 1e-9
+            })
+            .count()
+    };
+
+    let thrashing = serve_fleet(streams(), &cfg(0));
+    assert_conservation(&thrashing, total);
+    assert!(
+        bounces(&thrashing) > 0,
+        "workload no longer reproduces the cooldown-free ping-pong:\n{}",
+        thrashing.migration_timeline()
+    );
+
+    // The default cooldown (2 ticks) must eliminate next-tick returns
+    // entirely: every same-stream re-migration waits out the cooldown.
+    let calmed = serve_fleet(streams(), &cfg(2));
+    assert_conservation(&calmed, total);
+    assert_eq!(
+        bounces(&calmed),
+        0,
+        "cooldown 2 still allowed an immediate return trip:\n{}",
+        calmed.migration_timeline()
+    );
+    let mut last_move: std::collections::BTreeMap<usize, f64> = std::collections::BTreeMap::new();
+    for m in &calmed.migrations {
+        if let Some(prev) = last_move.insert(m.stream, m.t_s) {
+            assert!(
+                m.t_s - prev > 2.0 * interval + 1e-9,
+                "stream {} re-migrated {:.3}s after its last move (cooldown is 2 ticks)",
+                m.stream,
+                m.t_s - prev
+            );
+        }
+    }
+    // No extra churn, and the run stays bit-reproducible.
+    assert!(calmed.migrations.len() <= thrashing.migrations.len());
+    assert_eq!(calmed, serve_fleet(streams(), &cfg(2)));
+}
+
 proptest! {
     /// Random fleets under random live migrations: shard counts, partition
     /// policies, overdrive factors, queue capacities and rebalance cadence
